@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace gridse::bench {
+
+/// Print a section header in the style shared by all bench binaries.
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), description.c_str());
+}
+
+/// Print a table followed by a blank line.
+inline void print_table(const TextTable& table) {
+  std::fputs(table.to_string().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+/// Format seconds with microsecond resolution, like the paper's tables.
+inline std::string fmt_secs(double seconds) {
+  return strfmt("%.6f", seconds);
+}
+
+}  // namespace gridse::bench

@@ -1,0 +1,117 @@
+// Ablation bench: counter-based dynamic load balancing vs static
+// pre-partitioning for massive contingency analysis — the workload of the
+// paper's reference [2] (Chen, Huang, Chavarría-Miranda: "Performance
+// evaluation of counter-based dynamic load balancing schemes for massive
+// contingency analysis"), which is the downstream consumer of the DSE
+// solution. Contingency costs are heterogeneous (islanding checks are cheap,
+// full DC re-solves are not), so static splits leave clusters idle.
+#include <mutex>
+
+#include "apps/balancer.hpp"
+#include "apps/contingency.hpp"
+#include "bench_util.hpp"
+#include "io/synthetic.hpp"
+#include "runtime/inproc_comm.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace gridse;
+
+volatile double g_sink = 0.0;
+void benchmark_keep(double v) { g_sink = g_sink + v; }
+
+struct RunResult {
+  double makespan = 0.0;
+  double busy_min = 0.0;
+  double busy_max = 0.0;
+  std::vector<int> per_rank;
+};
+
+template <typename Runner>
+RunResult run_mode(const grid::Network& network, int ranks, int repeat,
+                   const Runner& runner) {
+  runtime::InprocWorld world(ranks);
+  std::mutex mutex;
+  RunResult result;
+  result.per_rank.assign(static_cast<std::size_t>(ranks), 0);
+  result.busy_min = 1e30;
+  const int tasks = static_cast<int>(network.num_branches());
+  world.run([&](runtime::Communicator& c) {
+    const apps::BalanceStats stats = runner(c, tasks, [&](int t) {
+      // `repeat` inflates per-task cost so scheduling effects dominate
+      // the (fast) 118-bus DC solves.
+      for (int r = 0; r < repeat; ++r) {
+        const apps::ContingencyOutcome outcome = apps::evaluate_contingency(
+            network, static_cast<std::size_t>(t));
+        benchmark_keep(outcome.worst_loading);
+      }
+    });
+    std::lock_guard<std::mutex> lock(mutex);
+    result.makespan = std::max(result.makespan, stats.total_seconds);
+    result.busy_min = std::min(result.busy_min, stats.busy_seconds);
+    result.busy_max = std::max(result.busy_max, stats.busy_seconds);
+    result.per_rank[static_cast<std::size_t>(c.rank())] = stats.tasks_executed;
+  });
+  return result;
+}
+
+int run() {
+  bench::print_header(
+      "Ablation — contingency analysis load balancing (paper ref. [2])",
+      "N-1 screening of the 118-bus system distributed over simulated\n"
+      "clusters: static pre-partitioning vs the counter-based dynamic\n"
+      "scheme (rank 0 serves the shared task counter).");
+
+  io::GeneratedCase generated = io::ieee118_dse();
+  grid::assign_ratings_from_base_case(generated.kase.network, 1.2, 0.1);
+  const grid::Network& network = generated.kase.network;
+
+  // Sequential report for reference.
+  const apps::ContingencyReport report = apps::screen_all_branches(network);
+  std::printf("N-1 cases: %zu | insecure: %d (islanding: %d)\n\n",
+              report.outcomes.size(), report.insecure_cases,
+              report.islanding_cases);
+
+  TextTable t({"ranks", "mode", "makespan (ms)", "busy min/max (ms)",
+               "tasks per rank"});
+  for (const int ranks : {2, 4, 8}) {
+    const int repeat = 20;
+    const RunResult stat = run_mode(
+        network, ranks, repeat,
+        [](runtime::Communicator& c, int n, const apps::TaskFn& fn) {
+          return apps::run_static(c, n, fn);
+        });
+    const RunResult dyn = run_mode(
+        network, ranks, repeat,
+        [](runtime::Communicator& c, int n, const apps::TaskFn& fn) {
+          return apps::run_dynamic(c, n, fn);
+        });
+    const auto fmt_counts = [](const std::vector<int>& counts) {
+      std::string s;
+      for (const int c : counts) {
+        if (!s.empty()) s += "/";
+        s += std::to_string(c);
+      }
+      return s;
+    };
+    t.add_row({std::to_string(ranks), "static",
+               strfmt("%.1f", stat.makespan * 1e3),
+               strfmt("%.1f / %.1f", stat.busy_min * 1e3, stat.busy_max * 1e3),
+               fmt_counts(stat.per_rank)});
+    t.add_row({std::to_string(ranks), "dynamic",
+               strfmt("%.1f", dyn.makespan * 1e3),
+               strfmt("%.1f / %.1f", dyn.busy_min * 1e3, dyn.busy_max * 1e3),
+               fmt_counts(dyn.per_rank)});
+  }
+  bench::print_table(t);
+  std::printf("Expected shape (per ref. [2]): dynamic balancing narrows the\n"
+              "busy-time spread across ranks; with heterogeneous task costs\n"
+              "its makespan beats the static split despite sacrificing rank\n"
+              "0 to the counter.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,105 @@
+// Reproduces Figure 8 of the paper: "Overheads of Data Communication through
+// MeDICi" — the absolute overhead (T_with - T_without) as a function of the
+// data size, for both scenarios (within a workstation; workstation to HPC
+// cluster). The paper's observation: "the overhead follows a linear trend to
+// the data size". We measure the overhead series on real sockets with the
+// calibrated relay, fit a line, and report the fit quality and slope.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "transfer_util.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace gridse;
+
+struct Fit {
+  double slope = 0.0;      // seconds per byte
+  double intercept = 0.0;  // seconds
+  double r_squared = 0.0;
+};
+
+Fit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  Fit f;
+  const double denom = n * sxx - sx * sx;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  const double mean = sy / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = f.slope * x[i] + f.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  f.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+int run() {
+  bench::print_header(
+      "Figure 8 — MeDICi overhead vs data size",
+      "Overhead series (T_with_medici - T_without) for both scenarios, with\n"
+      "a least-squares linear fit. Paper: the overhead is linear in size,\n"
+      "governed by the ~0.4 GB/s relay rate.");
+
+  const medici::NetModel raw = medici::unshaped_model();
+  const medici::NetModel gige = medici::gige_network_model();
+  const medici::NetModel relay = medici::medici_relay_model();
+
+  const std::size_t kMiB = 1024 * 1024;
+  const std::size_t sizes[] = {8 * kMiB, 16 * kMiB, 32 * kMiB,
+                               64 * kMiB, 96 * kMiB, 128 * kMiB};
+
+  TextTable t({"Data Size", "Overhead 1: workstation (s)",
+               "Overhead 2: cross-network (s)"});
+  std::vector<double> xs;
+  std::vector<double> o1;
+  std::vector<double> o2;
+  for (const std::size_t size : sizes) {
+    const double t1 = bench::measure_direct(size, raw);
+    const double t2 = bench::measure_via_medici(size, raw, relay);
+    const double t3 = bench::measure_direct(size, gige);
+    const double t4 = bench::measure_via_medici(size, gige, relay);
+    xs.push_back(static_cast<double>(size));
+    o1.push_back(t2 - t1);
+    o2.push_back(t4 - t3);
+    t.add_row({format_bytes(size), bench::fmt_secs(t2 - t1),
+               bench::fmt_secs(t4 - t3)});
+  }
+  bench::print_table(t);
+
+  const Fit f1 = linear_fit(xs, o1);
+  const Fit f2 = linear_fit(xs, o2);
+  const double gb = 1024.0 * 1024.0 * 1024.0;
+  std::printf("linear fit, scenario 1 (workstation):   slope %.3f s/GB, "
+              "R^2 = %.4f\n",
+              f1.slope * gb, f1.r_squared);
+  std::printf("linear fit, scenario 2 (cross-network): slope %.3f s/GB, "
+              "R^2 = %.4f\n",
+              f2.slope * gb, f2.r_squared);
+  std::printf("relay-rate implied slope: %.3f s/GB (1 / 0.4 GB/s)\n",
+              gb / relay.bandwidth_bytes_per_sec);
+
+  const bool linear = f1.r_squared > 0.98 && f2.r_squared > 0.98;
+  std::printf("\nFigure 8 reproduction: overhead %s linear in data size "
+              "(paper: linear)\n",
+              linear ? "IS" : "IS NOT");
+  return linear ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

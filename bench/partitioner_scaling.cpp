@@ -1,0 +1,80 @@
+// Ablation bench: the mapping method vs naive baselines as the power system
+// decomposition grows ("the power systems will further expand in size and in
+// complexity", §I). Compares the weighted partitioner against contiguous and
+// random subsystem-to-cluster designations on edge cut and load balance, and
+// reports partitioning wall time (the paper notes "partitioning is typically
+// much faster than running state estimation computations").
+#include "bench_util.hpp"
+#include "decomp/decomposition.hpp"
+#include "io/synthetic.hpp"
+#include "mapping/mapper.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gridse;
+
+int run() {
+  bench::print_header(
+      "Ablation — mapping method vs naive designation at scale",
+      "Synthetic interconnections of m subsystems (ring + chords, 12 buses\n"
+      "each) mapped onto k clusters. cut = tie-line communication weight\n"
+      "crossing clusters; imb = load-imbalance ratio.");
+
+  TextTable t({"m", "k", "mapped cut", "mapped imb", "contig cut",
+               "contig imb", "random cut", "random imb", "map time (ms)"});
+  Rng rng(99);
+  for (const int m : {9, 27, 64, 128, 256}) {
+    for (const int k : {3, 8}) {
+      if (k >= m) continue;
+      const io::SyntheticSpec spec = io::make_ring_spec(m, 12, m / 3);
+      const io::GeneratedCase generated = io::generate_synthetic(spec);
+      decomp::Decomposition d = decomp::decompose(generated.kase.network,
+                                                  generated.subsystem_of_bus);
+
+      mapping::MappingOptions opts;
+      opts.num_clusters = k;
+      const mapping::ClusterMapper mapper(d, opts);
+      Timer timer;
+      const mapping::MappingResult mapped = mapper.map_before_step2(
+          0.0, mapper.map_before_step1(0.0).partition.assignment);
+      const double map_ms = timer.millis();
+
+      const graph::WeightedGraph& g = mapped.weighted_graph;
+      const auto contig = mapping::contiguous_mapping(m, k);
+      const graph::Partition contigp = graph::evaluate_partition(
+          g, std::vector<graph::PartId>(contig.begin(), contig.end()), k);
+
+      std::vector<graph::PartId> random_assign(static_cast<std::size_t>(m));
+      for (int s = 0; s < m; ++s) {
+        random_assign[static_cast<std::size_t>(s)] =
+            static_cast<graph::PartId>(s < k ? s : rng.uniform_int(0, k - 1));
+      }
+      const graph::Partition randomp =
+          graph::evaluate_partition(g, random_assign, k);
+
+      t.add_row({std::to_string(m), std::to_string(k),
+                 strfmt("%.0f", mapped.partition.edge_cut),
+                 strfmt("%.3f", mapped.partition.load_imbalance),
+                 strfmt("%.0f", contigp.edge_cut),
+                 strfmt("%.3f", contigp.load_imbalance),
+                 strfmt("%.0f", randomp.edge_cut),
+                 strfmt("%.3f", randomp.load_imbalance),
+                 strfmt("%.2f", map_ms)});
+    }
+  }
+  bench::print_table(t);
+  std::printf(
+      "Expected shape: mapped cut << random cut with imbalance near 1.0.\n"
+      "(Contiguous designation is a strong baseline on ring topologies —\n"
+      "arcs are near-optimal cuts — but it carries no balance guarantee\n"
+      "once vertex weights vary; the mapping method optimizes both.)\n"
+      "Mapping time stays far below a state-estimation cycle (paper §V-A).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,193 @@
+// Ablation bench (google-benchmark): the linear-solver choice inside the
+// WLS gain-matrix solve — the paper's §IV-C motivates the preconditioned CG
+// ("the condition number of  is significantly lower than that of A, to make
+// the equation converge faster"). Compares PCG preconditioners and the
+// direct LDLt baseline on real gain matrices from the IEEE 14/118 systems,
+// and reports the condition-number effect.
+#include <benchmark/benchmark.h>
+
+#include "estimation/wls.hpp"
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/case14.hpp"
+#include "io/synthetic.hpp"
+#include "sparse/cg.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/ldlt.hpp"
+#include "sparse/normal_equations.hpp"
+#include "sparse/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gridse;
+
+struct GainSystem {
+  sparse::Csr gain;
+  std::vector<double> rhs;
+};
+
+/// Build the flat-start WLS gain system for a case.
+GainSystem make_gain(const grid::Network& network) {
+  const grid::PowerFlowResult pf = grid::solve_power_flow(network);
+  grid::MeasurementGenerator gen(network, {});
+  Rng rng(11);
+  const grid::MeasurementSet set = gen.generate(pf.state, rng);
+  const grid::StateIndex index(network.num_buses(), network.slack_bus());
+  const grid::MeasurementModel model(network, index);
+  const grid::GridState flat(network.num_buses());
+  const sparse::Csr h = model.jacobian(set, flat);
+  const std::vector<double> w = set.weights();
+  GainSystem sys;
+  sys.gain = sparse::normal_matrix(h, w);
+  const std::vector<double> r = sparse::subtract(set.values(),
+                                                 model.evaluate(set, flat));
+  sys.rhs = sparse::normal_rhs(h, w, r);
+  return sys;
+}
+
+const GainSystem& gain14() {
+  static const GainSystem sys = make_gain(io::ieee14().network);
+  return sys;
+}
+
+const GainSystem& gain118() {
+  static const GainSystem sys = make_gain(io::ieee118_dse().kase.network);
+  return sys;
+}
+
+const GainSystem& gain_wecc() {
+  static const GainSystem sys = make_gain(io::wecc37().kase.network);
+  return sys;
+}
+
+void bench_pcg(benchmark::State& state, const GainSystem& sys,
+               sparse::PreconditionerKind kind) {
+  int iterations = 0;
+  for (auto _ : state) {
+    const auto precond = sparse::make_preconditioner(kind, sys.gain);
+    std::vector<double> x(sys.rhs.size(), 0.0);
+    const sparse::CgReport rep = sparse::pcg(sys.gain, sys.rhs, x, *precond);
+    iterations = rep.iterations;
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["cg_iters"] = iterations;
+}
+
+void bench_ldlt(benchmark::State& state, const GainSystem& sys) {
+  for (auto _ : state) {
+    sparse::SparseLdlt ldlt;
+    ldlt.factorize(sys.gain);
+    auto x = ldlt.solve(sys.rhs);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+
+void BM_Pcg14_None(benchmark::State& s) {
+  bench_pcg(s, gain14(), sparse::PreconditionerKind::kNone);
+}
+void BM_Pcg14_Jacobi(benchmark::State& s) {
+  bench_pcg(s, gain14(), sparse::PreconditionerKind::kJacobi);
+}
+void BM_Pcg14_Ssor(benchmark::State& s) {
+  bench_pcg(s, gain14(), sparse::PreconditionerKind::kSsor);
+}
+void BM_Pcg14_Ic0(benchmark::State& s) {
+  bench_pcg(s, gain14(), sparse::PreconditionerKind::kIc0);
+}
+void BM_Ldlt14(benchmark::State& s) { bench_ldlt(s, gain14()); }
+void BM_Pcg118_None(benchmark::State& s) {
+  bench_pcg(s, gain118(), sparse::PreconditionerKind::kNone);
+}
+void BM_Pcg118_Jacobi(benchmark::State& s) {
+  bench_pcg(s, gain118(), sparse::PreconditionerKind::kJacobi);
+}
+void BM_Pcg118_Ssor(benchmark::State& s) {
+  bench_pcg(s, gain118(), sparse::PreconditionerKind::kSsor);
+}
+void BM_Pcg118_Ic0(benchmark::State& s) {
+  bench_pcg(s, gain118(), sparse::PreconditionerKind::kIc0);
+}
+void BM_Ldlt118(benchmark::State& s) { bench_ldlt(s, gain118()); }
+void BM_PcgWecc_Ic0(benchmark::State& s) {
+  bench_pcg(s, gain_wecc(), sparse::PreconditionerKind::kIc0);
+}
+void BM_PcgWecc_None(benchmark::State& s) {
+  bench_pcg(s, gain_wecc(), sparse::PreconditionerKind::kNone);
+}
+void BM_LdltWecc(benchmark::State& s) { bench_ldlt(s, gain_wecc()); }
+
+BENCHMARK(BM_Pcg14_None);
+BENCHMARK(BM_Pcg14_Jacobi);
+BENCHMARK(BM_Pcg14_Ssor);
+BENCHMARK(BM_Pcg14_Ic0);
+BENCHMARK(BM_Ldlt14);
+BENCHMARK(BM_Pcg118_None);
+BENCHMARK(BM_Pcg118_Jacobi);
+BENCHMARK(BM_Pcg118_Ssor);
+BENCHMARK(BM_Pcg118_Ic0);
+BENCHMARK(BM_Ldlt118);
+BENCHMARK(BM_PcgWecc_None);
+BENCHMARK(BM_PcgWecc_Ic0);
+BENCHMARK(BM_LdltWecc);
+
+/// Full WLS estimation, PCG(IC0) vs LDLt, IEEE 118.
+void BM_Wls118(benchmark::State& state, estimation::LinearSolver solver) {
+  static const io::GeneratedCase generated = io::ieee118_dse();
+  static const grid::PowerFlowResult pf =
+      grid::solve_power_flow(generated.kase.network);
+  static const grid::MeasurementSet meas = [] {
+    grid::MeasurementGenerator gen(generated.kase.network, {});
+    Rng rng(5);
+    return gen.generate(pf.state, rng);
+  }();
+  estimation::WlsOptions opts;
+  opts.solver = solver;
+  const estimation::WlsEstimator est(generated.kase.network, opts);
+  for (auto _ : state) {
+    auto result = est.estimate(meas);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+void BM_Wls118_Pcg(benchmark::State& s) {
+  BM_Wls118(s, estimation::LinearSolver::kPcg);
+}
+void BM_Wls118_Ldlt(benchmark::State& s) {
+  BM_Wls118(s, estimation::LinearSolver::kLdlt);
+}
+BENCHMARK(BM_Wls118_Pcg)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Wls118_Ldlt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Condition-number report motivating the preconditioner (paper §IV-C).
+  {
+    const GainSystem& sys = gain14();
+    const auto dense_vals = sys.gain.to_dense();
+    const auto n = static_cast<std::size_t>(sys.gain.rows());
+    sparse::DenseMatrix dm(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dm(i, j) = dense_vals[i * n + j];
+      }
+    }
+    std::printf("IEEE 14 gain-matrix condition estimate: %.3e\n",
+                dm.condition_estimate_spd());
+    // After Jacobi preconditioning: D^{-1/2} G D^{-1/2}
+    const auto diag = sys.gain.diagonal();
+    sparse::DenseMatrix scaled(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        scaled(i, j) = dense_vals[i * n + j] /
+                       std::sqrt(diag[i] * diag[j]);
+      }
+    }
+    std::printf("after Jacobi scaling:                   %.3e "
+                "(the paper's \"significantly lower\" condition number)\n\n",
+                scaled.condition_estimate_spd());
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared measurement helpers for the middleware-overhead experiments
+// (paper Tables III/IV, Figure 8): time one framed transfer from a source
+// estimator to a destination estimator, either directly over a TCP socket
+// or through a MeDICi pipeline relay.
+
+#include <vector>
+
+#include "medici/mw_client.hpp"
+#include "medici/pipeline.hpp"
+#include "util/timer.hpp"
+
+namespace gridse::bench {
+
+/// Time a direct TCP transfer of `size` bytes (paper's "w/o MeDICi" mode).
+/// `link` paces the sender's uplink (unshaped = raw loopback).
+inline double measure_direct(std::size_t size, const medici::NetModel& link) {
+  medici::MwClient source(0);
+  medici::MwClient destination(1);
+  const std::vector<std::uint8_t> payload(size, 0x5a);
+  Timer timer;
+  source.send(destination.endpoint(), 1, payload, link);
+  (void)destination.recv(0, 1);
+  return timer.seconds();
+}
+
+/// Time a transfer through one MeDICi pipeline (paper's "w/ MeDICi" mode):
+/// source -> pipeline inbound -> store-and-forward relay -> destination.
+inline double measure_via_medici(std::size_t size,
+                                 const medici::NetModel& link,
+                                 const medici::NetModel& relay) {
+  medici::MwClient source(0);
+  medici::MwClient destination(1);
+  medici::MifPipeline pipeline;
+  pipeline.add_mif_connector(medici::EndpointProtocol::kTcp);
+  medici::MifComponent& se = pipeline.add_mif_component("SESocket");
+  se.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se.set_out_hal_endpoint(destination.endpoint().to_string());
+  pipeline.set_relay_model(relay);
+  pipeline.start();
+
+  const std::vector<std::uint8_t> payload(size, 0xa5);
+  Timer timer;
+  source.send(se.inbound(), 1, payload, link);
+  (void)destination.recv(0, 1);
+  const double seconds = timer.seconds();
+  pipeline.stop();
+  return seconds;
+}
+
+/// Effective end-to-end rate in bytes/second measured over one transfer.
+inline double measured_rate(std::size_t size, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(size) / seconds : 0.0;
+}
+
+}  // namespace gridse::bench

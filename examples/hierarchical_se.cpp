@@ -1,0 +1,89 @@
+// Hierarchical state estimation over the same architecture — the structure
+// industry runs today (paper §I: balancing authorities feed a reliability
+// coordinator) contrasted with the decentralized peer-to-peer DSE on the
+// same measurement frame.
+//
+//   $ ./examples/hierarchical_se
+#include <cstdio>
+#include <mutex>
+
+#include "core/dse_driver.hpp"
+#include "core/hierarchical.hpp"
+#include "decomp/sensitivity.hpp"
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/synthetic.hpp"
+#include "runtime/inproc_comm.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace gridse;
+
+  const io::GeneratedCase generated = io::ieee118_dse();
+  decomp::Decomposition d =
+      decomp::decompose(generated.kase.network, generated.subsystem_of_bus);
+  decomp::analyze_sensitivity(generated.kase.network, d, {});
+  const grid::PowerFlowResult pf =
+      grid::solve_power_flow(generated.kase.network);
+
+  grid::MeasurementPlan plan;
+  for (const decomp::Subsystem& s : d.subsystems) {
+    plan.pmu_buses.push_back(s.buses.front());
+  }
+  grid::MeasurementGenerator gen(generated.kase.network, plan);
+  Rng rng(17);
+  const grid::MeasurementSet meas = gen.generate(pf.state, rng);
+  const std::vector<graph::PartId> assignment{0, 0, 0, 1, 1, 1, 2, 2, 2};
+
+  std::printf("IEEE 118-bus system, 9 subsystems on 3 clusters, one SCADA "
+              "frame (%zu measurements)\n\n",
+              meas.size());
+
+  // --- hierarchical: balancing authorities -> reliability coordinator -------
+  {
+    core::HierarchicalDriver driver(generated.kase.network, d, {});
+    runtime::InprocWorld world(3);
+    std::mutex mutex;
+    core::HierarchicalResult result;
+    world.run([&](runtime::Communicator& c) {
+      core::HierarchicalResult r = driver.run(c, meas, assignment);
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        result = std::move(r);
+      }
+    });
+    std::printf("hierarchical (coordinator at rank 0):\n");
+    std::printf("  local estimations: %.1f ms | coordination pass: %.1f ms\n",
+                result.step1_seconds * 1e3, result.coordination_seconds * 1e3);
+    std::printf("  bytes through the coordinator: %zu\n", result.bytes_sent);
+    std::printf("  max |V| error: %.2e pu\n\n",
+                grid::max_vm_error(result.state, pf.state));
+  }
+
+  // --- decentralized: peer-to-peer DSE ---------------------------------------
+  {
+    core::DseDriver driver(generated.kase.network, d, {});
+    runtime::InprocWorld world(3);
+    std::mutex mutex;
+    core::DseResult result;
+    world.run([&](runtime::Communicator& c) {
+      core::DseResult r = driver.run(c, meas, assignment);
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        result = std::move(r);
+      }
+    });
+    std::printf("decentralized DSE (no coordinator):\n");
+    std::printf("  step1 %.1f ms | exchange %.1f ms | step2 %.1f ms\n",
+                result.step1_seconds * 1e3, result.exchange_seconds * 1e3,
+                result.step2_seconds * 1e3);
+    std::printf("  peer-to-peer bytes: %zu\n", result.bytes_sent);
+    std::printf("  max |V| error: %.2e pu\n\n",
+                grid::max_vm_error(result.state, pf.state));
+  }
+
+  std::printf("The same architecture hosts both data-exchange structures "
+              "(paper §IV-A): only the\nassignment of who talks to whom "
+              "changes, not the estimators or the middleware.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "apps/balancer.hpp"
+
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gridse::apps {
+namespace {
+
+constexpr int kRequestTag = 900001 & 0xFFFFF;  // well inside user tag space
+constexpr int kGrantTag = kRequestTag + 1;
+
+std::vector<std::uint8_t> encode_int(std::int32_t v) {
+  ByteWriter w(4);
+  w.write(v);
+  return w.take();
+}
+
+std::int32_t decode_int(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  return r.read<std::int32_t>();
+}
+
+}  // namespace
+
+BalanceStats run_static(runtime::Communicator& comm, int num_tasks,
+                        const TaskFn& fn) {
+  GRIDSE_CHECK_MSG(num_tasks >= 0, "task count must be nonnegative");
+  BalanceStats stats;
+  Timer total;
+  Timer busy;
+  double busy_acc = 0.0;
+  for (int t = comm.rank(); t < num_tasks; t += comm.size()) {
+    busy.reset();
+    fn(t);
+    busy_acc += busy.seconds();
+    ++stats.tasks_executed;
+  }
+  stats.busy_seconds = busy_acc;
+  comm.barrier();
+  stats.total_seconds = total.seconds();
+  return stats;
+}
+
+BalanceStats run_dynamic(runtime::Communicator& comm, int num_tasks,
+                         const TaskFn& fn) {
+  GRIDSE_CHECK_MSG(num_tasks >= 0, "task count must be nonnegative");
+  BalanceStats stats;
+  Timer total;
+
+  if (comm.size() == 1) {
+    Timer busy;
+    for (int t = 0; t < num_tasks; ++t) {
+      fn(t);
+    }
+    stats.tasks_executed = num_tasks;
+    stats.busy_seconds = busy.seconds();
+    comm.barrier();
+    stats.total_seconds = total.seconds();
+    return stats;
+  }
+
+  if (comm.rank() == 0) {
+    // Counter process: hand out indices until exhausted, then send one
+    // terminator (-1) per worker. Workers identify themselves by message
+    // source, so grants go back point-to-point.
+    int next = 0;
+    int active_workers = comm.size() - 1;
+    while (active_workers > 0) {
+      const runtime::Message req = comm.recv(runtime::kAnySource, kRequestTag);
+      if (next < num_tasks) {
+        comm.send(req.source, kGrantTag, encode_int(next++));
+      } else {
+        comm.send(req.source, kGrantTag, encode_int(-1));
+        --active_workers;
+      }
+    }
+  } else {
+    Timer busy;
+    double busy_acc = 0.0;
+    for (;;) {
+      comm.send(0, kRequestTag, {});
+      const runtime::Message grant = comm.recv(0, kGrantTag);
+      const std::int32_t task = decode_int(grant.payload);
+      if (task < 0) break;
+      busy.reset();
+      fn(task);
+      busy_acc += busy.seconds();
+      ++stats.tasks_executed;
+    }
+    stats.busy_seconds = busy_acc;
+  }
+  comm.barrier();
+  stats.total_seconds = total.seconds();
+  return stats;
+}
+
+}  // namespace gridse::apps

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "runtime/communicator.hpp"
+
+namespace gridse::apps {
+
+/// Statistics of one distributed task-processing run.
+struct BalanceStats {
+  /// Tasks executed by this rank.
+  int tasks_executed = 0;
+  /// Wall time this rank spent executing tasks, seconds.
+  double busy_seconds = 0.0;
+  /// Wall time from start to the post-run barrier, seconds (includes
+  /// waiting for stragglers — the load-imbalance penalty).
+  double total_seconds = 0.0;
+};
+
+/// A task processor: called with the task index, returns nothing; cost may
+/// vary wildly per task (islanding checks are cheap, full solves are not).
+using TaskFn = std::function<void(int task)>;
+
+/// Static (pre-partitioned) scheduling baseline: task t runs on rank
+/// t % size. No communication, but stragglers bound the makespan.
+BalanceStats run_static(runtime::Communicator& comm, int num_tasks,
+                        const TaskFn& fn);
+
+/// Counter-based dynamic load balancing (the scheme of the paper's
+/// reference [2], Chen/Huang/Chavarría-Miranda): rank 0 owns a shared task
+/// counter; workers request the next index when idle, so fast ranks absorb
+/// more tasks. With more than one rank, rank 0 dedicates itself to serving
+/// the counter (the "counter process"); with a single rank it degenerates
+/// to a local loop.
+BalanceStats run_dynamic(runtime::Communicator& comm, int num_tasks,
+                         const TaskFn& fn);
+
+}  // namespace gridse::apps

@@ -1,0 +1,47 @@
+#include "apps/contingency.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridse::apps {
+
+void ContingencyReport::add(ContingencyOutcome outcome) {
+  if (outcome.islanding) ++islanding_cases;
+  if (!outcome.secure()) ++insecure_cases;
+  outcomes.push_back(std::move(outcome));
+}
+
+ContingencyOutcome evaluate_contingency(const grid::Network& network,
+                                        std::size_t branch) {
+  GRIDSE_CHECK_MSG(branch < network.num_branches(),
+                   "contingency branch out of range");
+  ContingencyOutcome outcome;
+  outcome.outaged_branch = branch;
+  const auto solution = grid::solve_dc_power_flow(network, {branch});
+  if (!solution.has_value()) {
+    outcome.islanding = true;
+    return outcome;
+  }
+  for (std::size_t bi = 0; bi < network.num_branches(); ++bi) {
+    if (bi == branch) continue;
+    const double rating = network.branch(bi).rating;
+    if (rating <= 0.0) continue;
+    const double loading = std::abs(solution->flows[bi]) / rating;
+    outcome.worst_loading = std::max(outcome.worst_loading, loading);
+    if (loading > 1.0) {
+      outcome.overloaded_branches.push_back(bi);
+    }
+  }
+  return outcome;
+}
+
+ContingencyReport screen_all_branches(const grid::Network& network) {
+  ContingencyReport report;
+  for (std::size_t bi = 0; bi < network.num_branches(); ++bi) {
+    report.add(evaluate_contingency(network, bi));
+  }
+  return report;
+}
+
+}  // namespace gridse::apps

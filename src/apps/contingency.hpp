@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/dc_powerflow.hpp"
+#include "grid/network.hpp"
+
+namespace gridse::apps {
+
+/// Outcome of one N-1 branch-outage case.
+struct ContingencyOutcome {
+  std::size_t outaged_branch = 0;
+  /// The outage splits the network (requires operator attention, no flows).
+  bool islanding = false;
+  /// Branches whose post-contingency flow exceeds their rating.
+  std::vector<std::size_t> overloaded_branches;
+  /// Worst post-contingency loading ratio |flow| / rating across branches.
+  double worst_loading = 0.0;
+
+  [[nodiscard]] bool secure() const {
+    return !islanding && overloaded_branches.empty();
+  }
+};
+
+/// Aggregate of a screening run.
+struct ContingencyReport {
+  std::vector<ContingencyOutcome> outcomes;
+  int insecure_cases = 0;
+  int islanding_cases = 0;
+
+  void add(ContingencyOutcome outcome);
+};
+
+/// Evaluate a single branch outage with a DC power flow (paper reference
+/// [2]'s workload unit). Ratings of 0 are treated as unlimited.
+ContingencyOutcome evaluate_contingency(const grid::Network& network,
+                                        std::size_t branch);
+
+/// Screen every branch outage sequentially (the single-node baseline).
+ContingencyReport screen_all_branches(const grid::Network& network);
+
+}  // namespace gridse::apps

@@ -1,0 +1,126 @@
+#include "core/architecture.hpp"
+
+#include <mutex>
+
+#include "grid/powerflow.hpp"
+#include "medici/medici_comm.hpp"
+#include "runtime/inproc_comm.hpp"
+#include "runtime/tcp_comm.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace gridse::core {
+
+DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
+    : generated_(std::move(generated)),
+      config_(config),
+      decomposition_(decomp::decompose(generated_.kase.network,
+                                       generated_.subsystem_of_bus)),
+      rng_(config.seed) {
+  decomp::analyze_sensitivity(generated_.kase.network, decomposition_,
+                              config_.sensitivity);
+
+  const grid::PowerFlowResult pf =
+      grid::solve_power_flow(generated_.kase.network);
+  if (!pf.converged) {
+    throw ConvergenceFailure("DseSystem: power flow for the true state did "
+                             "not converge");
+  }
+  true_state_ = pf.state;
+
+  if (config_.plan.pmu_buses.empty()) {
+    for (const decomp::Subsystem& s : decomposition_.subsystems) {
+      config_.plan.pmu_buses.push_back(
+          *std::min_element(s.buses.begin(), s.buses.end()));
+    }
+  }
+  generator_ = std::make_unique<grid::MeasurementGenerator>(
+      generated_.kase.network, config_.plan);
+}
+
+CycleReport DseSystem::run_cycle(double time_sec) {
+  CycleReport report;
+
+  if (config_.load_profile) {
+    // Track a moving operating point: re-solve the power flow at the
+    // frame's load level. The measurement model itself is load-independent
+    // (loads only shift the true state), so the same generator stays valid.
+    const double factor = config_.load_profile(time_sec);
+    grid::Network scaled = generated_.kase.network;
+    scaled.scale_loads(factor);
+    const grid::PowerFlowResult pf = grid::solve_power_flow(scaled);
+    if (!pf.converged) {
+      throw ConvergenceFailure(
+          "DseSystem: power flow at load factor " + std::to_string(factor) +
+          " did not converge");
+    }
+    true_state_ = pf.state;
+  }
+  last_measurements_ = generator_->generate(true_state_, rng_, time_sec);
+
+  // --- mapping (paper §IV-B): weights from the time frame -------------------
+  mapping::ClusterMapper mapper(decomposition_, config_.mapping,
+                                config_.weight_model);
+  report.map_step1 = mapper.map_before_step1(
+      time_sec,
+      previous_assignment_ ? &*previous_assignment_ : nullptr);
+  report.map_step2 =
+      mapper.map_before_step2(time_sec, report.map_step1.partition.assignment);
+  report.redistribution = mapping::plan_redistribution(
+      decomposition_, report.map_step1.partition.assignment,
+      report.map_step2.partition.assignment);
+  previous_assignment_ = report.map_step2.partition.assignment;
+
+  // --- distributed run over the configured transport ------------------------
+  const int k = config_.mapping.num_clusters;
+  DseDriver driver(generated_.kase.network, decomposition_, config_.dse);
+  DseResult rank0_result;
+  std::mutex result_mutex;
+  const auto body = [&](runtime::Communicator& comm) {
+    DseResult r =
+        driver.run(comm, last_measurements_,
+                   report.map_step1.partition.assignment,
+                   report.map_step2.partition.assignment);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      rank0_result = std::move(r);
+    }
+  };
+  switch (config_.transport) {
+    case Transport::kInproc: {
+      runtime::InprocWorld world(k);
+      world.run(body);
+      break;
+    }
+    case Transport::kTcp: {
+      runtime::TcpWorld world(k);
+      world.run(body);
+      break;
+    }
+    case Transport::kMedici: {
+      medici::MediciWorld world(k, medici::TransportMode::kViaMiddleware,
+                                medici::unshaped_model());
+      world.run(body);
+      break;
+    }
+    case Transport::kMediciDirect: {
+      medici::MediciWorld world(k, medici::TransportMode::kDirectTcp);
+      world.run(body);
+      break;
+    }
+  }
+  report.dse = std::move(rank0_result);
+  report.max_vm_error = grid::max_vm_error(report.dse.state, true_state_);
+  report.max_angle_error =
+      grid::max_angle_error(report.dse.state, true_state_);
+  return report;
+}
+
+estimation::WlsResult DseSystem::centralized_reference() const {
+  GRIDSE_CHECK_MSG(!last_measurements_.items.empty(),
+                   "run_cycle must run before centralized_reference");
+  return centralized_estimate(generated_.kase.network, last_measurements_,
+                              config_.dse.local.wls);
+}
+
+}  // namespace gridse::core

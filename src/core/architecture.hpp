@@ -1,0 +1,97 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/dse_driver.hpp"
+#include "core/hierarchical.hpp"
+#include "decomp/sensitivity.hpp"
+#include "io/synthetic.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/redistribution.hpp"
+
+namespace gridse::core {
+
+/// Which transport carries the estimator-to-estimator traffic.
+enum class Transport {
+  kInproc,        ///< in-process channels (fast, deterministic)
+  kTcp,           ///< real loopback TCP sockets
+  kMedici,        ///< TCP through MeDICi pipeline relays (paper's data path)
+  kMediciDirect,  ///< MwClient direct TCP (paper's "w/o MeDICi" mode)
+};
+
+/// End-to-end configuration of the prototype system (paper Fig. 1).
+struct SystemConfig {
+  mapping::MappingOptions mapping;          ///< clusters, balance tolerance
+  mapping::WeightModelParams weight_model;  ///< Expressions (1)–(5)
+  decomp::SensitivityOptions sensitivity;   ///< preliminary-step analysis
+  DseOptions dse;
+  grid::MeasurementPlan plan;  ///< SCADA/PMU synthesis (PMUs auto-placed)
+  Transport transport = Transport::kInproc;
+  std::uint64_t seed = 1;
+  /// Optional system-load multiplier per frame time (e.g. a diurnal curve).
+  /// When set, each run_cycle re-solves the power flow at the scaled
+  /// operating point, so the DSE tracks a moving state — the paper's
+  /// real-time tracking setting. Null = static operating point.
+  std::function<double(double time_sec)> load_profile;
+};
+
+/// Everything one DSE cycle produced, from mapping to solution quality.
+struct CycleReport {
+  mapping::MappingResult map_step1;
+  mapping::MappingResult map_step2;
+  mapping::RedistributionPlan redistribution;
+  DseResult dse;  ///< rank-0 view (state identical on all ranks)
+  /// Accuracy vs the true operating state the measurements were drawn from.
+  double max_vm_error = 0.0;
+  double max_angle_error = 0.0;
+};
+
+/// Facade wiring the whole prototype together: decomposition + sensitivity
+/// analysis (preliminary step), per-frame mapping via the weight model,
+/// measurement synthesis, and the distributed run over the chosen
+/// transport. One instance models one deployed system; call run_cycle once
+/// per SCADA time frame.
+class DseSystem {
+ public:
+  /// `generated` supplies the network and its ground-truth decomposition.
+  /// PMU placement: if the config's plan has no explicit PMUs, one PMU is
+  /// placed at the lowest-numbered bus of every subsystem (each local
+  /// estimation needs a synchronized angle reference).
+  DseSystem(io::GeneratedCase generated, SystemConfig config);
+
+  /// Execute one full cycle at time-frame anchor `time_sec`:
+  /// power-flow truth → measurements → map (Step 1, repartitioned from the
+  /// previous cycle) → DSE Step 1 → remap (Step 2) → exchange → Step 2 →
+  /// combine. Deterministic given the config seed and cycle count.
+  CycleReport run_cycle(double time_sec);
+
+  /// The centralized reference on the same measurements as the last cycle.
+  [[nodiscard]] estimation::WlsResult centralized_reference() const;
+
+  [[nodiscard]] const decomp::Decomposition& decomposition() const {
+    return decomposition_;
+  }
+  [[nodiscard]] const grid::Network& network() const {
+    return generated_.kase.network;
+  }
+  [[nodiscard]] const grid::GridState& true_state() const {
+    return true_state_;
+  }
+  [[nodiscard]] const grid::MeasurementSet& last_measurements() const {
+    return last_measurements_;
+  }
+
+ private:
+  io::GeneratedCase generated_;
+  SystemConfig config_;
+  decomp::Decomposition decomposition_;
+  grid::GridState true_state_;
+  std::unique_ptr<grid::MeasurementGenerator> generator_;
+  Rng rng_;
+  grid::MeasurementSet last_measurements_;
+  std::optional<std::vector<graph::PartId>> previous_assignment_;
+};
+
+}  // namespace gridse::core

@@ -1,0 +1,259 @@
+#include "core/dse_driver.hpp"
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace gridse::core {
+namespace {
+
+/// Tag layout (all below the transports' reserved range).
+constexpr int kPseudoTagBase = 16;
+constexpr int kRedistTagBase = 1 << 18;
+constexpr int kCombineTag = (1 << 18) + (1 << 17);
+
+int pseudo_tag(int from_subsystem, int to_subsystem, int m) {
+  return kPseudoTagBase + from_subsystem * m + to_subsystem;
+}
+
+int redist_tag(int subsystem) { return kRedistTagBase + subsystem; }
+
+}  // namespace
+
+DseDriver::DseDriver(const grid::Network& network,
+                     const decomp::Decomposition& decomposition,
+                     DseOptions options)
+    : network_(&network),
+      decomposition_(&decomposition),
+      options_(options) {
+  GRIDSE_CHECK_MSG(options.workers_per_cluster > 0,
+                   "need at least one worker per cluster");
+  const int m = decomposition.num_subsystems();
+  GRIDSE_CHECK_MSG(kPseudoTagBase + m * m + m < kRedistTagBase,
+                   "too many subsystems for the tag layout");
+}
+
+DseResult DseDriver::run(runtime::Communicator& comm,
+                         const grid::MeasurementSet& global_measurements,
+                         std::span<const graph::PartId> assignment) const {
+  return run(comm, global_measurements, assignment, assignment);
+}
+
+DseResult DseDriver::run(runtime::Communicator& comm,
+                         const grid::MeasurementSet& global_measurements,
+                         std::span<const graph::PartId> step1_assignment,
+                         std::span<const graph::PartId> step2_assignment) const {
+  const int m = decomposition_->num_subsystems();
+  const int rank = comm.rank();
+  GRIDSE_CHECK(static_cast<int>(step1_assignment.size()) == m);
+  GRIDSE_CHECK(static_cast<int>(step2_assignment.size()) == m);
+  for (int s = 0; s < m; ++s) {
+    GRIDSE_CHECK_MSG(step1_assignment[static_cast<std::size_t>(s)] >= 0 &&
+                         step1_assignment[static_cast<std::size_t>(s)] <
+                             comm.size() &&
+                         step2_assignment[static_cast<std::size_t>(s)] >= 0 &&
+                         step2_assignment[static_cast<std::size_t>(s)] <
+                             comm.size(),
+                     "assignment rank out of range");
+  }
+
+  const std::size_t bytes_before = comm.bytes_sent();
+  Timer total_timer;
+  DseResult result;
+
+  std::vector<int> hosted1;
+  std::vector<int> hosted2;
+  for (int s = 0; s < m; ++s) {
+    if (step1_assignment[static_cast<std::size_t>(s)] == rank) {
+      hosted1.push_back(s);
+    }
+    if (step2_assignment[static_cast<std::size_t>(s)] == rank) {
+      hosted2.push_back(s);
+    }
+  }
+
+  // Build estimators for every subsystem this rank touches in either step.
+  std::map<int, std::unique_ptr<LocalEstimator>> estimators;
+  for (const int s : hosted1) {
+    estimators.emplace(s, std::make_unique<LocalEstimator>(
+                              *network_, *decomposition_, s, options_.local));
+  }
+  for (const int s : hosted2) {
+    if (estimators.count(s) == 0) {
+      estimators.emplace(s, std::make_unique<LocalEstimator>(
+                                *network_, *decomposition_, s, options_.local));
+    }
+  }
+
+  ThreadPool pool(static_cast<std::size_t>(options_.workers_per_cluster));
+
+  // --- DSE Step 1 ------------------------------------------------------------
+  Timer step1_timer;
+  std::map<int, LocalSolveInfo> step1_info;
+  {
+    std::mutex info_mutex;
+    pool.parallel_for(hosted1.size(), [&](std::size_t i) {
+      const int s = hosted1[i];
+      const LocalSolveInfo info =
+          estimators.at(s)->run_step1(global_measurements);
+      std::lock_guard<std::mutex> lock(info_mutex);
+      step1_info[s] = info;
+    });
+  }
+  comm.barrier();
+  result.step1_seconds = step1_timer.seconds();
+
+  // --- Re-mapping redistribution + pseudo-measurement exchange ---------------
+  Timer exchange_timer;
+  // Ship Step-1 solutions (plus the raw boundary/sensitive measurements the
+  // new host will need) for subsystems that move clusters between steps.
+  for (const int s : hosted1) {
+    const graph::PartId dest = step2_assignment[static_cast<std::size_t>(s)];
+    if (dest == rank) continue;
+    ByteWriter w;
+    const auto states = estimators.at(s)->step1_all_states();
+    w.write_vector(states);
+    if (options_.ship_redistribution) {
+      const grid::MeasurementSet local_set =
+          estimators.at(s)->local_model().filter(global_measurements,
+                                                 *network_);
+      const auto meas_bytes = encode_measurements(local_set);
+      w.write_vector(meas_bytes);
+    } else {
+      w.write_vector(std::vector<std::uint8_t>{});
+    }
+    comm.send(dest, redist_tag(s), w.take());
+  }
+  for (const int s : hosted2) {
+    const graph::PartId src = step1_assignment[static_cast<std::size_t>(s)];
+    if (src == rank) continue;
+    const runtime::Message msg = comm.recv(src, redist_tag(s));
+    ByteReader r(msg.payload);
+    const auto states = r.read_vector<BusStateRecord>();
+    (void)r.read_vector<std::uint8_t>();  // raw measurements: costed payload
+    estimators.at(s)->adopt_step1(states);
+  }
+
+  comm.barrier();
+  result.exchange_seconds = exchange_timer.seconds();
+
+  // --- Step-2 exchange/re-evaluation rounds ----------------------------------
+  // Round 0 ships the Step-1 boundary/sensitive solutions (the paper's
+  // prototype); further rounds re-exchange the re-evaluated values, bounded
+  // in usefulness by the decomposition diameter (§II).
+  std::map<int, LocalSolveInfo> step2_info;
+  for (int round = 0; round < std::max(1, options_.step2_rounds); ++round) {
+    // Peer-to-peer pseudo measurements: the Step-2 owner of each subsystem
+    // sends its boundary/sensitive solution to the Step-2 owners of all its
+    // neighbours (Fig. 6: MW_Client_Send / MW_Client_Recv per neighbour).
+    // Tags repeat across rounds: per-(source rank, tag) FIFO ordering keeps
+    // the rounds from mixing.
+    Timer round_exchange_timer;
+    std::map<int, std::vector<BusStateRecord>> neighbor_records;
+    for (const int s : hosted2) {
+      const auto records = estimators.at(s)->current_boundary_states();
+      const auto payload = encode_bus_states(records);
+      for (const int t : decomposition_->neighbors_of(s)) {
+        const graph::PartId dest =
+            step2_assignment[static_cast<std::size_t>(t)];
+        if (dest == rank) {
+          auto& sink = neighbor_records[t];
+          sink.insert(sink.end(), records.begin(), records.end());
+        } else {
+          comm.send(dest, pseudo_tag(s, t, m), payload);
+        }
+      }
+    }
+    for (const int t : hosted2) {
+      for (const int s : decomposition_->neighbors_of(t)) {
+        const graph::PartId src =
+            step2_assignment[static_cast<std::size_t>(s)];
+        if (src == rank) continue;  // already merged locally above
+        const runtime::Message msg = comm.recv(src, pseudo_tag(s, t, m));
+        const auto records = decode_bus_states(msg.payload);
+        auto& sink = neighbor_records[t];
+        sink.insert(sink.end(), records.begin(), records.end());
+      }
+    }
+    result.exchange_seconds += round_exchange_timer.seconds();
+
+    Timer step2_timer;
+    {
+      std::mutex info_mutex;
+      pool.parallel_for(hosted2.size(), [&](std::size_t i) {
+        const int s = hosted2[i];
+        const LocalSolveInfo info = estimators.at(s)->run_step2(
+            global_measurements, neighbor_records[s]);
+        std::lock_guard<std::mutex> lock(info_mutex);
+        step2_info[s] = info;
+      });
+    }
+    comm.barrier();
+    result.step2_seconds += step2_timer.seconds();
+  }
+
+  // --- Final step: combine subsystem solutions --------------------------------
+  Timer combine_timer;
+  bool local_ok = true;
+  for (const auto& [s, info] : step1_info) local_ok &= info.converged;
+  for (const auto& [s, info] : step2_info) local_ok &= info.converged;
+
+  std::vector<BusStateRecord> my_records;
+  for (const int s : hosted2) {
+    const auto records = estimators.at(s)->final_states();
+    my_records.insert(my_records.end(), records.begin(), records.end());
+  }
+  ByteWriter w;
+  w.write(static_cast<std::uint8_t>(local_ok ? 1 : 0));
+  w.write_vector(my_records);
+  const auto combine_payload = w.take();
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == rank) continue;
+    comm.send(r, kCombineTag, combine_payload);
+  }
+  result.state = grid::GridState(network_->num_buses());
+  bool all_ok = local_ok;
+  const auto apply_records = [&](const std::vector<BusStateRecord>& records) {
+    for (const BusStateRecord& rec : records) {
+      result.state.theta[static_cast<std::size_t>(rec.bus)] = rec.theta;
+      result.state.vm[static_cast<std::size_t>(rec.bus)] = rec.vm;
+    }
+  };
+  apply_records(my_records);
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == rank) continue;
+    const runtime::Message msg = comm.recv(r, kCombineTag);
+    ByteReader reader(msg.payload);
+    all_ok &= reader.read<std::uint8_t>() != 0;
+    apply_records(reader.read_vector<BusStateRecord>());
+  }
+  result.all_converged = all_ok;
+  result.combine_seconds = combine_timer.seconds();
+  result.total_seconds = total_timer.seconds();
+  result.bytes_sent = comm.bytes_sent() - bytes_before;
+
+  for (const int s : hosted2) {
+    SubsystemTrace trace;
+    trace.subsystem = s;
+    trace.step1_rank = step1_assignment[static_cast<std::size_t>(s)];
+    trace.step2_rank = step2_assignment[static_cast<std::size_t>(s)];
+    if (step1_info.count(s) > 0) trace.step1 = step1_info[s];
+    if (step2_info.count(s) > 0) trace.step2 = step2_info[s];
+    result.traces.push_back(trace);
+  }
+  return result;
+}
+
+estimation::WlsResult centralized_estimate(
+    const grid::Network& network, const grid::MeasurementSet& measurements,
+    const estimation::WlsOptions& options) {
+  estimation::WlsEstimator estimator(network, options);
+  return estimator.estimate(measurements);
+}
+
+}  // namespace gridse::core

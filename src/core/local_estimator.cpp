@@ -1,0 +1,275 @@
+#include "core/local_estimator.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "estimation/robust.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gridse::core {
+namespace {
+
+/// Dispatch one local solve through plain WLS or the Huber M-estimator,
+/// per the options.
+estimation::WlsResult solve_local(const grid::Network& network,
+                                  grid::BusIndex reference,
+                                  const LocalEstimatorOptions& options,
+                                  const estimation::WlsOptions& wls_opts,
+                                  const grid::MeasurementSet& set,
+                                  const grid::GridState& initial) {
+  if (!options.robust) {
+    const estimation::WlsEstimator estimator(network, reference, wls_opts);
+    return estimator.estimate(set, initial);
+  }
+  // HuberEstimator drives WLS internally; thread the reference bus through
+  // by constructing on the same network/options.
+  estimation::RobustOptions ropts;
+  ropts.wls = wls_opts;
+  ropts.gamma = options.huber_gamma;
+  // The robust estimator's WlsEstimator uses the network slack by default;
+  // subsystem models need the explicit reference, so run IRLS manually here.
+  grid::MeasurementSet working = set;
+  grid::GridState start = initial;
+  estimation::WlsResult result;
+  std::vector<double> influence(set.size(), 1.0);
+  for (int iter = 0; iter < ropts.max_reweight_iterations; ++iter) {
+    const estimation::WlsEstimator estimator(network, reference, wls_opts);
+    result = estimator.estimate(working, start);
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      const double sigma = set.items[i].sigma;
+      const double std_res = std::abs(result.residuals[i]) / sigma;
+      const double w = std_res <= ropts.gamma ? 1.0 : ropts.gamma / std_res;
+      max_change = std::max(max_change, std::abs(w - influence[i]));
+      influence[i] = w;
+      working.items[i].sigma = sigma / std::sqrt(w);
+    }
+    start = result.state;
+    if (max_change < ropts.weight_tolerance) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+LocalEstimator::LocalEstimator(const grid::Network& network,
+                               const decomp::Decomposition& d, int subsystem,
+                               LocalEstimatorOptions options)
+    : network_(&network),
+      decomposition_(&d),
+      subsystem_(subsystem),
+      options_(options),
+      local_(decomp::extract_local(network, d, subsystem)),
+      extended_(decomp::extract_extended(network, d, subsystem)) {}
+
+LocalEstimator::Reference LocalEstimator::pick_reference(
+    const decomp::SubsystemModel& model,
+    const grid::MeasurementSet& local_set) const {
+  // Global slack inside this subsystem anchors the reference at angle 0.
+  const grid::BusIndex global_slack = network_->slack_bus();
+  const auto it = model.local_of_global.find(global_slack);
+  if (it != model.local_of_global.end() &&
+      model.own[static_cast<std::size_t>(it->second)]) {
+    return {it->second, 0.0};
+  }
+  // Otherwise the first PMU (kVAngle) measurement pins the local reference
+  // to a globally synchronized angle — the role synchronized phasors play in
+  // the decentralized DSE algorithm the paper builds on [5].
+  for (const grid::Measurement& m : local_set.items) {
+    if (m.type == grid::MeasType::kVAngle &&
+        model.own[static_cast<std::size_t>(m.bus)]) {
+      return {m.bus, m.value};
+    }
+  }
+  throw InvalidInput(
+      "subsystem " + std::to_string(subsystem_) +
+      " has neither the slack bus nor a PMU angle measurement; its local "
+      "state estimation cannot be referenced to the interconnection");
+}
+
+LocalSolveInfo LocalEstimator::run_step1(
+    const grid::MeasurementSet& global_set) {
+  Timer timer;
+  const grid::MeasurementSet local_set = local_.filter(global_set, *network_);
+  const Reference ref = pick_reference(local_, local_set);
+
+  grid::GridState initial(local_.network.num_buses());
+  // Flat-start magnitudes, but seed every angle at the reference angle: in a
+  // wide interconnection the subsystem's absolute angle can be far from 0,
+  // and Gauss-Newton diverges when started that far out; the intra-subsystem
+  // spread around the PMU angle is always small.
+  for (double& th : initial.theta) {
+    th = ref.angle;
+  }
+  const estimation::WlsResult result = solve_local(
+      local_.network, ref.local_bus, options_, options_.wls, local_set,
+      initial);
+
+  step1_state_ = result.state;
+  step2_state_.reset();
+
+  LocalSolveInfo info;
+  info.converged = result.converged;
+  info.gauss_newton_iterations = result.iterations;
+  info.inner_iterations = result.inner_iterations;
+  info.objective = result.objective;
+  info.num_measurements = local_set.size();
+  info.seconds = timer.seconds();
+  return info;
+}
+
+void LocalEstimator::adopt_step1(const std::vector<BusStateRecord>& records) {
+  grid::GridState state(local_.network.num_buses());
+  std::vector<bool> seen(static_cast<std::size_t>(local_.network.num_buses()),
+                         false);
+  for (const BusStateRecord& rec : records) {
+    const auto it = local_.local_of_global.find(rec.bus);
+    if (it == local_.local_of_global.end()) {
+      throw InvalidInput("adopt_step1: record for bus " +
+                         std::to_string(rec.bus) +
+                         " which is not in subsystem " +
+                         std::to_string(subsystem_));
+    }
+    state.theta[static_cast<std::size_t>(it->second)] = rec.theta;
+    state.vm[static_cast<std::size_t>(it->second)] = rec.vm;
+    seen[static_cast<std::size_t>(it->second)] = true;
+  }
+  for (const bool s : seen) {
+    if (!s) {
+      throw InvalidInput("adopt_step1: incomplete state for subsystem " +
+                         std::to_string(subsystem_));
+    }
+  }
+  step1_state_ = std::move(state);
+  step2_state_.reset();
+}
+
+LocalSolveInfo LocalEstimator::run_step2(
+    const grid::MeasurementSet& global_set,
+    const std::vector<BusStateRecord>& neighbor_states) {
+  GRIDSE_CHECK_MSG(step1_state_.has_value(), "run_step2 before run_step1");
+  Timer timer;
+
+  grid::MeasurementSet ext_set = extended_.filter(global_set, *network_);
+  const Reference ref = pick_reference(extended_, ext_set);
+
+  // Initial state: own buses from Step 1; remote buses flat, overwritten
+  // below by the received neighbour solutions.
+  grid::GridState initial(extended_.network.num_buses());
+  for (grid::BusIndex l = 0; l < extended_.network.num_buses(); ++l) {
+    const grid::BusIndex g = extended_.global_bus[static_cast<std::size_t>(l)];
+    const auto own_it = local_.local_of_global.find(g);
+    if (own_it != local_.local_of_global.end()) {
+      initial.theta[static_cast<std::size_t>(l)] =
+          step1_state_->theta[static_cast<std::size_t>(own_it->second)];
+      initial.vm[static_cast<std::size_t>(l)] =
+          step1_state_->vm[static_cast<std::size_t>(own_it->second)];
+    }
+  }
+
+  // Neighbour solutions become pseudo measurements on the extended model
+  // (paper §II Step 2), and seed the initial state of the remote buses.
+  for (const BusStateRecord& rec : neighbor_states) {
+    const auto it = extended_.local_of_global.find(rec.bus);
+    if (it == extended_.local_of_global.end()) {
+      continue;  // a neighbour bus outside this extended model
+    }
+    const grid::BusIndex l = it->second;
+    if (extended_.own[static_cast<std::size_t>(l)]) {
+      continue;  // own buses keep their own Step-1 estimate
+    }
+    ext_set.items.push_back({grid::MeasType::kVMag, l, -1, true, rec.vm,
+                             options_.pseudo_sigma_vm});
+    ext_set.items.push_back({grid::MeasType::kVAngle, l, -1, true, rec.theta,
+                             options_.pseudo_sigma_angle});
+    initial.theta[static_cast<std::size_t>(l)] = rec.theta;
+    initial.vm[static_cast<std::size_t>(l)] = rec.vm;
+  }
+
+  estimation::WlsOptions wls = options_.wls;
+  wls.regularization = std::max(wls.regularization,
+                                options_.step2_regularization);
+  initial.theta[static_cast<std::size_t>(ref.local_bus)] = ref.angle;
+  const estimation::WlsResult result = solve_local(
+      extended_.network, ref.local_bus, options_, wls, ext_set, initial);
+
+  step2_state_ = result.state;
+
+  LocalSolveInfo info;
+  info.converged = result.converged;
+  info.gauss_newton_iterations = result.iterations;
+  info.inner_iterations = result.inner_iterations;
+  info.objective = result.objective;
+  info.num_measurements = ext_set.size();
+  info.seconds = timer.seconds();
+  return info;
+}
+
+std::vector<BusStateRecord> LocalEstimator::step1_all_states() const {
+  GRIDSE_CHECK_MSG(step1_state_.has_value(), "step1 has not run");
+  std::vector<BusStateRecord> out;
+  out.reserve(local_.global_bus.size());
+  for (grid::BusIndex l = 0; l < local_.network.num_buses(); ++l) {
+    out.push_back({local_.global_bus[static_cast<std::size_t>(l)],
+                   step1_state_->theta[static_cast<std::size_t>(l)],
+                   step1_state_->vm[static_cast<std::size_t>(l)]});
+  }
+  return out;
+}
+
+std::vector<BusStateRecord> LocalEstimator::step1_boundary_states() const {
+  GRIDSE_CHECK_MSG(step1_state_.has_value(), "step1 has not run");
+  const decomp::Subsystem& sub =
+      decomposition_->subsystems[static_cast<std::size_t>(subsystem_)];
+  std::vector<BusStateRecord> out;
+  const auto add = [&](grid::BusIndex g) {
+    const auto it = local_.local_of_global.find(g);
+    GRIDSE_CHECK(it != local_.local_of_global.end());
+    const grid::BusIndex l = it->second;
+    out.push_back({g, step1_state_->theta[static_cast<std::size_t>(l)],
+                   step1_state_->vm[static_cast<std::size_t>(l)]});
+  };
+  for (const grid::BusIndex g : sub.boundary_buses) add(g);
+  for (const grid::BusIndex g : sub.sensitive_internal) add(g);
+  return out;
+}
+
+std::vector<BusStateRecord> LocalEstimator::current_boundary_states() const {
+  std::vector<BusStateRecord> out = step1_boundary_states();
+  if (!step2_state_.has_value()) {
+    return out;
+  }
+  for (BusStateRecord& rec : out) {
+    const auto it = extended_.local_of_global.find(rec.bus);
+    GRIDSE_CHECK(it != extended_.local_of_global.end());
+    rec.theta = step2_state_->theta[static_cast<std::size_t>(it->second)];
+    rec.vm = step2_state_->vm[static_cast<std::size_t>(it->second)];
+  }
+  return out;
+}
+
+std::vector<BusStateRecord> LocalEstimator::final_states() const {
+  GRIDSE_CHECK_MSG(step1_state_.has_value(), "step1 has not run");
+  std::vector<BusStateRecord> out = step1_all_states();
+  if (!step2_state_.has_value()) {
+    return out;
+  }
+  const decomp::Subsystem& sub =
+      decomposition_->subsystems[static_cast<std::size_t>(subsystem_)];
+  std::set<grid::BusIndex> reeval(sub.boundary_buses.begin(),
+                                  sub.boundary_buses.end());
+  reeval.insert(sub.sensitive_internal.begin(), sub.sensitive_internal.end());
+  for (BusStateRecord& rec : out) {
+    if (reeval.count(rec.bus) == 0) continue;
+    const auto it = extended_.local_of_global.find(rec.bus);
+    GRIDSE_CHECK(it != extended_.local_of_global.end());
+    rec.theta = step2_state_->theta[static_cast<std::size_t>(it->second)];
+    rec.vm = step2_state_->vm[static_cast<std::size_t>(it->second)];
+  }
+  return out;
+}
+
+}  // namespace gridse::core

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <optional>
+
+#include "core/serialize.hpp"
+#include "decomp/subsystem_model.hpp"
+#include "estimation/wls.hpp"
+
+namespace gridse::core {
+
+/// Per-subsystem estimation configuration (shared by the distributed and
+/// hierarchical drivers).
+struct LocalEstimatorOptions {
+  estimation::WlsOptions wls;
+  /// Standard deviations assigned to neighbour pseudo measurements in
+  /// Step 2.
+  double pseudo_sigma_vm = 0.01;
+  double pseudo_sigma_angle = 0.01;
+  /// Tikhonov regularization for the Step-2 extended system (remote corners
+  /// of the extended model can be weakly observed).
+  double step2_regularization = 1e-8;
+  /// Use the Huber M-estimator (IRLS) for the local solves instead of plain
+  /// WLS: gross errors in one subsystem's telemetry are then bounded before
+  /// its solution is exported to neighbours as pseudo measurements.
+  bool robust = false;
+  /// Huber threshold in standard deviations (only with robust = true).
+  double huber_gamma = 1.5;
+};
+
+/// Outcome of one subsystem step.
+struct LocalSolveInfo {
+  bool converged = false;
+  int gauss_newton_iterations = 0;
+  int inner_iterations = 0;
+  double seconds = 0.0;
+  double objective = 0.0;
+  std::size_t num_measurements = 0;
+};
+
+/// Runs DSE Step 1 and Step 2 for one subsystem. Owns the extracted local
+/// and extended models; construct once per (decomposition, subsystem) and
+/// reuse across time frames.
+class LocalEstimator {
+ public:
+  LocalEstimator(const grid::Network& network, const decomp::Decomposition& d,
+                 int subsystem, LocalEstimatorOptions options);
+
+  /// DSE Step 1: estimate from this subsystem's own measurements (already
+  /// filtered to the local model by the caller, or pass the global set and
+  /// let this filter). The local angle reference is the global slack bus if
+  /// the subsystem hosts it, else the bus of the first PMU (kVAngle)
+  /// measurement; throws InvalidInput when neither exists.
+  LocalSolveInfo run_step1(const grid::MeasurementSet& global_set);
+
+  /// Install a Step-1 solution computed on another cluster (re-mapping
+  /// redistribution): `records` must cover every bus of this subsystem in
+  /// global numbering. Enables run_step2 without a local run_step1.
+  void adopt_step1(const std::vector<BusStateRecord>& records);
+
+  /// DSE Step 2: re-evaluate on the extended model using own measurements
+  /// plus neighbour pseudo measurements. Requires run_step1 first.
+  LocalSolveInfo run_step2(const grid::MeasurementSet& global_set,
+                           const std::vector<BusStateRecord>& neighbor_states);
+
+  /// Step-1 solution of this subsystem's own buses, global numbering —
+  /// all buses (for the final combine).
+  [[nodiscard]] std::vector<BusStateRecord> step1_all_states() const;
+
+  /// Step-1 solution restricted to boundary + sensitive internal buses —
+  /// the pseudo measurements shipped to neighbours.
+  [[nodiscard]] std::vector<BusStateRecord> step1_boundary_states() const;
+
+  /// Boundary + sensitive states from the most recent step (Step 2 when it
+  /// has run, else Step 1) — the payload of later exchange rounds.
+  [[nodiscard]] std::vector<BusStateRecord> current_boundary_states() const;
+
+  /// Final per-bus states after Step 2: Step-2 values for boundary +
+  /// sensitive buses, Step-1 values elsewhere. Falls back to Step-1
+  /// everywhere when Step 2 has not run.
+  [[nodiscard]] std::vector<BusStateRecord> final_states() const;
+
+  [[nodiscard]] const decomp::SubsystemModel& local_model() const {
+    return local_;
+  }
+  [[nodiscard]] const decomp::SubsystemModel& extended_model() const {
+    return extended_;
+  }
+  [[nodiscard]] int subsystem() const { return subsystem_; }
+
+ private:
+  struct Reference {
+    grid::BusIndex local_bus = 0;
+    double angle = 0.0;
+  };
+  [[nodiscard]] Reference pick_reference(
+      const decomp::SubsystemModel& model,
+      const grid::MeasurementSet& local_set) const;
+
+  const grid::Network* network_;
+  const decomp::Decomposition* decomposition_;
+  int subsystem_;
+  LocalEstimatorOptions options_;
+  decomp::SubsystemModel local_;
+  decomp::SubsystemModel extended_;
+  std::optional<grid::GridState> step1_state_;   // local numbering
+  std::optional<grid::GridState> step2_state_;   // extended numbering
+};
+
+}  // namespace gridse::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/measurement.hpp"
+#include "grid/state.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace gridse::core {
+
+/// One bus's solved state shipped between estimators (the paper's pseudo
+/// measurements: "bus voltage, phase angle" of boundary and sensitive
+/// internal buses). Global bus numbering.
+struct BusStateRecord {
+  std::int32_t bus = -1;
+  double theta = 0.0;
+  double vm = 0.0;
+};
+static_assert(std::is_trivially_copyable_v<BusStateRecord>);
+
+/// Serialize/deserialize a batch of bus state records.
+std::vector<std::uint8_t> encode_bus_states(
+    const std::vector<BusStateRecord>& records);
+std::vector<BusStateRecord> decode_bus_states(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Serialize/deserialize a measurement set (for the Step-1→Step-2
+/// raw-measurement redistribution when a subsystem is re-mapped).
+std::vector<std::uint8_t> encode_measurements(const grid::MeasurementSet& set);
+grid::MeasurementSet decode_measurements(const std::vector<std::uint8_t>& bytes);
+
+/// Serialize/deserialize a full grid state.
+std::vector<std::uint8_t> encode_state(const grid::GridState& state);
+grid::GridState decode_state(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace gridse::core

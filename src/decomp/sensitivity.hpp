@@ -1,0 +1,27 @@
+#pragma once
+
+#include "decomp/decomposition.hpp"
+#include "grid/network.hpp"
+
+namespace gridse::decomp {
+
+/// Controls the preliminary-step sensitivity analysis (paper §II: "sensitivity
+/// analysis is usually performed to determine the sensitive internal buses …
+/// carried out off-line, once for a given graph topology").
+struct SensitivityOptions {
+  /// Internal buses within this many hops of a boundary bus are candidates.
+  int hops = 1;
+  /// Keep only candidates whose electrical coupling to the boundary (sum of
+  /// |series admittance| along incident candidate branches) is at least this
+  /// fraction of the strongest candidate's coupling. 0 keeps all candidates.
+  double coupling_floor = 0.0;
+};
+
+/// Fill in `sensitive_internal` for every subsystem of `d`: the internal
+/// (non-boundary) buses whose state is materially affected by neighbouring
+/// subsystems, i.e. those electrically close to the boundary. These buses'
+/// solutions are shipped to neighbours as pseudo measurements in DSE Step 2.
+void analyze_sensitivity(const grid::Network& network, Decomposition& d,
+                         const SensitivityOptions& options = {});
+
+}  // namespace gridse::decomp

@@ -1,0 +1,151 @@
+#include "decomp/subsystem_model.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace gridse::decomp {
+namespace {
+
+SubsystemModel build_model(const grid::Network& network,
+                           const std::vector<grid::BusIndex>& own_buses,
+                           const std::vector<grid::BusIndex>& remote_buses,
+                           int subsystem_id) {
+  SubsystemModel m;
+  m.subsystem_id = subsystem_id;
+
+  const auto add_bus = [&](grid::BusIndex g, bool is_own) {
+    grid::Bus bus = network.bus(g);
+    const grid::BusIndex local = m.network.add_bus(std::move(bus));
+    m.global_bus.push_back(g);
+    m.local_of_global[g] = local;
+    m.own.push_back(is_own);
+  };
+  for (const grid::BusIndex g : own_buses) add_bus(g, true);
+  for (const grid::BusIndex g : remote_buses) add_bus(g, false);
+
+  // Include every branch whose both endpoints are in the model.
+  for (std::size_t bi = 0; bi < network.num_branches(); ++bi) {
+    const grid::Branch& br = network.branch(bi);
+    const auto fit = m.local_of_global.find(br.from);
+    const auto tit = m.local_of_global.find(br.to);
+    if (fit == m.local_of_global.end() || tit == m.local_of_global.end()) {
+      continue;
+    }
+    grid::Branch local = br;
+    local.from = fit->second;
+    local.to = tit->second;
+    m.local_branch_of_global[bi] = m.global_branch.size();
+    m.global_branch.push_back(bi);
+    m.network.add_branch(local);
+  }
+  return m;
+}
+
+}  // namespace
+
+std::optional<grid::Measurement> SubsystemModel::remap(
+    const grid::Measurement& g, const grid::Network& global_network) const {
+  grid::Measurement local = g;
+  const auto bus_it = local_of_global.find(g.bus);
+  if (bus_it == local_of_global.end()) {
+    return std::nullopt;
+  }
+  // Meters live with the subsystem that owns the metered bus.
+  if (!own[static_cast<std::size_t>(bus_it->second)]) {
+    return std::nullopt;
+  }
+  local.bus = bus_it->second;
+
+  switch (g.type) {
+    case grid::MeasType::kPFlow:
+    case grid::MeasType::kQFlow: {
+      const auto br_it = local_branch_of_global.find(
+          static_cast<std::size_t>(g.branch));
+      if (br_it == local_branch_of_global.end()) {
+        return std::nullopt;
+      }
+      local.branch = static_cast<std::int32_t>(br_it->second);
+      return local;
+    }
+    case grid::MeasType::kPInjection:
+    case grid::MeasType::kQInjection: {
+      // The injection function sums over every incident branch; it is only
+      // correct when all of them are present in the model.
+      for (const std::size_t bi : global_network.branches_at(g.bus)) {
+        if (local_branch_of_global.count(bi) == 0) {
+          return std::nullopt;
+        }
+      }
+      return local;
+    }
+    case grid::MeasType::kVMag:
+    case grid::MeasType::kVAngle:
+      return local;
+  }
+  return std::nullopt;
+}
+
+grid::MeasurementSet SubsystemModel::filter(
+    const grid::MeasurementSet& global_set,
+    const grid::Network& global_network) const {
+  grid::MeasurementSet out;
+  out.timestamp = global_set.timestamp;
+  for (const grid::Measurement& g : global_set.items) {
+    if (auto local = remap(g, global_network)) {
+      out.items.push_back(*local);
+    }
+  }
+  return out;
+}
+
+void SubsystemModel::scatter_state(const grid::GridState& local_state,
+                                   grid::GridState& global_state,
+                                   bool own_buses_only) const {
+  GRIDSE_CHECK(local_state.num_buses() == network.num_buses());
+  for (grid::BusIndex l = 0; l < network.num_buses(); ++l) {
+    if (own_buses_only && !own[static_cast<std::size_t>(l)]) continue;
+    const grid::BusIndex g = global_bus[static_cast<std::size_t>(l)];
+    global_state.theta[static_cast<std::size_t>(g)] =
+        local_state.theta[static_cast<std::size_t>(l)];
+    global_state.vm[static_cast<std::size_t>(g)] =
+        local_state.vm[static_cast<std::size_t>(l)];
+  }
+}
+
+grid::GridState SubsystemModel::gather_state(
+    const grid::GridState& global_state) const {
+  grid::GridState local(network.num_buses());
+  for (grid::BusIndex l = 0; l < network.num_buses(); ++l) {
+    const grid::BusIndex g = global_bus[static_cast<std::size_t>(l)];
+    local.theta[static_cast<std::size_t>(l)] =
+        global_state.theta[static_cast<std::size_t>(g)];
+    local.vm[static_cast<std::size_t>(l)] =
+        global_state.vm[static_cast<std::size_t>(g)];
+  }
+  return local;
+}
+
+SubsystemModel extract_local(const grid::Network& network,
+                             const Decomposition& d, int s) {
+  GRIDSE_CHECK(s >= 0 && s < d.num_subsystems());
+  const Subsystem& sub = d.subsystems[static_cast<std::size_t>(s)];
+  return build_model(network, sub.buses, {}, s);
+}
+
+SubsystemModel extract_extended(const grid::Network& network,
+                                const Decomposition& d, int s) {
+  GRIDSE_CHECK(s >= 0 && s < d.num_subsystems());
+  const Subsystem& sub = d.subsystems[static_cast<std::size_t>(s)];
+  std::set<grid::BusIndex> remote;
+  for (const int nbr : d.neighbors_of(s)) {
+    const Subsystem& nsub = d.subsystems[static_cast<std::size_t>(nbr)];
+    for (const grid::BusIndex b : nsub.boundary_buses) remote.insert(b);
+    for (const grid::BusIndex b : nsub.sensitive_internal) remote.insert(b);
+  }
+  return build_model(network, sub.buses,
+                     {remote.begin(), remote.end()}, s);
+}
+
+}  // namespace gridse::decomp

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "decomp/decomposition.hpp"
+#include "grid/measurement.hpp"
+#include "grid/network.hpp"
+#include "grid/state.hpp"
+
+namespace gridse::decomp {
+
+/// A subsystem-scoped network extracted from the interconnection, with the
+/// index maps needed to shuttle measurements and states between global and
+/// local numbering. Used in two flavours:
+///  - local  (DSE Step 1): the subsystem's own buses and internal branches;
+///  - extended (DSE Step 2): additionally the tie lines, the neighbouring
+///    subsystems' boundary + sensitive-internal buses, and the remote
+///    branches among those included remote buses.
+struct SubsystemModel {
+  int subsystem_id = 0;
+  grid::Network network;
+  /// local bus index -> global bus index.
+  std::vector<grid::BusIndex> global_bus;
+  /// global bus index -> local bus index (absent = not in model).
+  std::map<grid::BusIndex, grid::BusIndex> local_of_global;
+  /// local branch index -> global branch index.
+  std::vector<std::size_t> global_branch;
+  /// global branch index -> local branch index.
+  std::map<std::size_t, std::size_t> local_branch_of_global;
+  /// own[local bus] = true when the bus belongs to this subsystem (false for
+  /// remote buses pulled into an extended model).
+  std::vector<bool> own;
+
+  /// Translate one global-numbered measurement into local numbering.
+  /// Returns nullopt when the measurement cannot be evaluated on this model:
+  /// the bus/branch is absent, the meter sits on a non-own bus, or it is an
+  /// injection at a bus with incident branches outside the model (its h(x)
+  /// would be wrong).
+  [[nodiscard]] std::optional<grid::Measurement> remap(
+      const grid::Measurement& global_meas,
+      const grid::Network& global_network) const;
+
+  /// Filter and remap a whole global measurement set.
+  [[nodiscard]] grid::MeasurementSet filter(
+      const grid::MeasurementSet& global_set,
+      const grid::Network& global_network) const;
+
+  /// Scatter a local state into a global state (only this model's buses are
+  /// touched; optionally own buses only).
+  void scatter_state(const grid::GridState& local_state,
+                     grid::GridState& global_state,
+                     bool own_buses_only = true) const;
+
+  /// Gather the model's buses from a global state into a local state.
+  [[nodiscard]] grid::GridState gather_state(
+      const grid::GridState& global_state) const;
+};
+
+/// Extract the Step-1 local model of subsystem `s`.
+SubsystemModel extract_local(const grid::Network& network,
+                             const Decomposition& d, int s);
+
+/// Extract the Step-2 extended model of subsystem `s` (requires
+/// analyze_sensitivity to have populated sensitive_internal for neighbours;
+/// boundary buses are always included).
+SubsystemModel extract_extended(const grid::Network& network,
+                                const Decomposition& d, int s);
+
+}  // namespace gridse::decomp

@@ -1,0 +1,137 @@
+#include "estimation/bad_data.hpp"
+
+#include <cmath>
+
+#include "sparse/ldlt.hpp"
+#include "sparse/normal_equations.hpp"
+#include "util/error.hpp"
+
+namespace gridse::estimation {
+
+double chi_square_quantile(int dof, double confidence) {
+  GRIDSE_CHECK_MSG(dof > 0, "chi-square dof must be positive");
+  GRIDSE_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                   "confidence must be in (0,1)");
+  // Inverse normal via Acklam's rational approximation (|error| < 1.15e-9).
+  const auto inv_norm = [](double p) {
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    if (p < plow) {
+      const double q = std::sqrt(-2.0 * std::log(p));
+      return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+             ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+      const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+      return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+               c[5]) /
+             ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  };
+  // Wilson–Hilferty: χ²_p(k) ≈ k (1 − 2/(9k) + z_p √(2/(9k)))³
+  const double k = static_cast<double>(dof);
+  const double z = inv_norm(confidence);
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+ChiSquareTest chi_square_test(const WlsResult& result, std::int32_t num_states,
+                              double confidence) {
+  ChiSquareTest test;
+  test.objective = result.objective;
+  test.degrees_of_freedom =
+      static_cast<int>(result.residuals.size()) - num_states;
+  GRIDSE_CHECK_MSG(test.degrees_of_freedom > 0,
+                   "chi-square test needs measurement redundancy");
+  test.threshold = chi_square_quantile(test.degrees_of_freedom, confidence);
+  test.suspect_bad_data = test.objective > test.threshold;
+  return test;
+}
+
+BadDataHit largest_normalized_residual(const WlsEstimator& estimator,
+                                       const grid::MeasurementSet& set,
+                                       const WlsResult& result) {
+  GRIDSE_CHECK(set.size() == result.residuals.size());
+  const grid::MeasurementModel& model = estimator.model();
+  const std::vector<double> weights = set.weights();
+  const sparse::Csr h = model.jacobian(set, result.state);
+  const sparse::Csr gain = sparse::normal_matrix(h, weights);
+  sparse::SparseLdlt ldlt;
+  ldlt.factorize(gain);
+
+  BadDataHit best;
+  const auto cols = h.col_idx();
+  const auto vals = h.values();
+  std::vector<double> hrow(static_cast<std::size_t>(h.cols()), 0.0);
+  for (std::size_t mi = 0; mi < set.size(); ++mi) {
+    // Ω_ii = R_ii − h_i G⁻¹ h_iᵀ  with R_ii = 1/w_i
+    const auto [b, e] =
+        h.row_range(static_cast<sparse::Index>(mi));
+    std::fill(hrow.begin(), hrow.end(), 0.0);
+    for (auto k = b; k < e; ++k) {
+      hrow[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])] =
+          vals[static_cast<std::size_t>(k)];
+    }
+    const std::vector<double> ginv_h = ldlt.solve(hrow);
+    double quad = 0.0;
+    for (auto k = b; k < e; ++k) {
+      quad += vals[static_cast<std::size_t>(k)] *
+              ginv_h[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+    }
+    const double omega = 1.0 / weights[mi] - quad;
+    if (omega <= 1e-14) {
+      continue;  // critical measurement: residual carries no information
+    }
+    const double rn = std::abs(result.residuals[mi]) / std::sqrt(omega);
+    if (rn > best.normalized_residual) {
+      best.normalized_residual = rn;
+      best.measurement_index = mi;
+    }
+  }
+  return best;
+}
+
+BadDataScrub detect_and_remove(const WlsEstimator& estimator,
+                               const grid::MeasurementSet& set,
+                               double threshold, int max_removals) {
+  BadDataScrub scrub;
+  scrub.cleaned = set;
+  // Track original indices through removals.
+  std::vector<std::size_t> original(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) original[i] = i;
+
+  scrub.result = estimator.estimate(scrub.cleaned);
+  for (int round = 0; round < max_removals; ++round) {
+    const BadDataHit hit =
+        largest_normalized_residual(estimator, scrub.cleaned, scrub.result);
+    if (hit.normalized_residual <= threshold) {
+      break;
+    }
+    scrub.removed.push_back(original[hit.measurement_index]);
+    scrub.cleaned.items.erase(scrub.cleaned.items.begin() +
+                              static_cast<std::ptrdiff_t>(hit.measurement_index));
+    original.erase(original.begin() +
+                   static_cast<std::ptrdiff_t>(hit.measurement_index));
+    scrub.result = estimator.estimate(scrub.cleaned);
+  }
+  return scrub;
+}
+
+}  // namespace gridse::estimation

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "estimation/wls.hpp"
+
+namespace gridse::estimation {
+
+/// Chi-square global test on the WLS objective: J(x̂) ~ χ²(m − n) when all
+/// measurements are good. `confidence` is the test level (e.g. 0.99).
+struct ChiSquareTest {
+  double objective = 0.0;   ///< J(x̂)
+  double threshold = 0.0;   ///< χ² quantile at the test level
+  int degrees_of_freedom = 0;
+  bool suspect_bad_data = false;  ///< objective > threshold
+};
+
+/// Upper quantile of the χ² distribution with `dof` degrees of freedom at
+/// `confidence` (Wilson–Hilferty approximation; accurate to ~0.1% for
+/// dof ≥ 10, which is the regime of SE redundancy).
+double chi_square_quantile(int dof, double confidence);
+
+/// Run the global chi-square detection test on a WLS solution.
+ChiSquareTest chi_square_test(const WlsResult& result, std::int32_t num_states,
+                              double confidence = 0.99);
+
+/// One identified bad measurement.
+struct BadDataHit {
+  std::size_t measurement_index = 0;
+  double normalized_residual = 0.0;
+};
+
+/// Largest-normalized-residual (LNR) identification: r_N,i = |r_i| / √Ω_ii
+/// with Ω = R − H G⁻¹ Hᵀ (residual covariance). Returns the measurement with
+/// the largest normalized residual; bad when it exceeds `threshold`
+/// (conventionally 3.0).
+///
+/// `estimator` supplies the measurement model; `result` must come from the
+/// same estimator and measurement set.
+BadDataHit largest_normalized_residual(const WlsEstimator& estimator,
+                                       const grid::MeasurementSet& set,
+                                       const WlsResult& result);
+
+/// Iteratively remove bad measurements (LNR > threshold) and re-estimate, up
+/// to `max_removals` times. Returns the cleaned set, the final result, and
+/// the indices (into the ORIGINAL set) that were removed.
+struct BadDataScrub {
+  grid::MeasurementSet cleaned;
+  WlsResult result;
+  std::vector<std::size_t> removed;
+};
+BadDataScrub detect_and_remove(const WlsEstimator& estimator,
+                               const grid::MeasurementSet& set,
+                               double threshold = 3.0, int max_removals = 5);
+
+}  // namespace gridse::estimation

@@ -1,0 +1,64 @@
+#include "estimation/observability.hpp"
+
+#include <cmath>
+
+#include "sparse/dense.hpp"
+#include "sparse/normal_equations.hpp"
+#include "util/error.hpp"
+
+namespace gridse::estimation {
+
+ObservabilityReport check_observability(const grid::MeasurementModel& model,
+                                        const grid::MeasurementSet& set,
+                                        double pivot_tolerance) {
+  ObservabilityReport report;
+  report.num_measurements = static_cast<std::int32_t>(set.size());
+  report.num_states = model.state_index().size();
+  report.redundancy = report.num_states > 0
+                          ? static_cast<double>(report.num_measurements) /
+                                static_cast<double>(report.num_states)
+                          : 0.0;
+  if (report.num_measurements < report.num_states) {
+    report.observable = false;
+    return report;
+  }
+
+  const grid::GridState flat(model.network().num_buses());
+  const sparse::Csr h = model.jacobian(set, flat);
+  const std::vector<double> weights = set.weights();
+  const sparse::Csr gain = sparse::normal_matrix(h, weights);
+
+  // Dense LDLᵀ-style pivot scan (no pivoting needed for PSD): robust to the
+  // exactly-singular case the sparse factorization throws on.
+  const auto n = static_cast<std::size_t>(gain.rows());
+  sparse::DenseMatrix a(n, n);
+  const auto dvals = gain.to_dense();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = dvals[i * n + j];
+    }
+  }
+  double max_pivot = 0.0;
+  double min_pivot = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double piv = a(k, k);
+    max_pivot = std::max(max_pivot, piv);
+    min_pivot = std::min(min_pivot, piv);
+    if (piv <= 0.0) {
+      min_pivot = std::min(min_pivot, 0.0);
+      break;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a(i, k) / piv;
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) {
+        a(i, j) -= f * a(k, j);
+      }
+    }
+  }
+  report.min_pivot = min_pivot;
+  report.observable = min_pivot > pivot_tolerance * max_pivot;
+  return report;
+}
+
+}  // namespace gridse::estimation

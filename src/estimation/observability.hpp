@@ -1,0 +1,28 @@
+#pragma once
+
+#include "grid/meas_model.hpp"
+#include "grid/measurement.hpp"
+
+namespace gridse::estimation {
+
+/// Result of a numerical observability analysis of a measurement
+/// configuration (can the state be estimated at all?).
+struct ObservabilityReport {
+  bool observable = false;
+  /// Smallest diagonal pivot of the LDLᵀ factorization of the (weighted)
+  /// gain matrix at flat start; ≈0 signals an unobservable direction.
+  double min_pivot = 0.0;
+  /// Measurement count vs state count.
+  std::int32_t num_measurements = 0;
+  std::int32_t num_states = 0;
+  /// Redundancy ratio m/n.
+  double redundancy = 0.0;
+};
+
+/// Numerical observability check: factor the flat-start gain matrix and
+/// inspect the pivots. `pivot_tolerance` is relative to the largest pivot.
+ObservabilityReport check_observability(const grid::MeasurementModel& model,
+                                        const grid::MeasurementSet& set,
+                                        double pivot_tolerance = 1e-8);
+
+}  // namespace gridse::estimation

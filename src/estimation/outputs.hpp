@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/meas_model.hpp"
+#include "grid/network.hpp"
+#include "grid/state.hpp"
+
+namespace gridse::estimation {
+
+/// Estimated branch flows at both ends (the paper §I: the estimator's
+/// "results are estimated states such as voltage magnitude, power injections
+/// and power flows. These are critical inputs for other power system
+/// operational tools").
+struct BranchFlowEstimate {
+  std::size_t branch = 0;
+  double p_from = 0.0;  ///< P into the branch at the from end, p.u.
+  double q_from = 0.0;
+  double p_to = 0.0;    ///< P into the branch at the to end, p.u.
+  double q_to = 0.0;
+  /// Series active loss = p_from + p_to (≥ 0 for passive branches).
+  [[nodiscard]] double p_loss() const { return p_from + p_to; }
+};
+
+/// Full operating-point report computed from an estimated state — the
+/// interface the downstream tools (contingency analysis, optimal power
+/// flow, AGC) consume.
+struct SolutionReport {
+  grid::GridState state;
+  std::vector<double> p_injection;  ///< per bus, p.u.
+  std::vector<double> q_injection;
+  std::vector<BranchFlowEstimate> flows;
+  double total_loss = 0.0;  ///< system active losses, p.u.
+
+  /// Loading ratio |S_from| / rating per branch (0 where unrated).
+  [[nodiscard]] std::vector<double> loadings(
+      const grid::Network& network) const;
+};
+
+/// Evaluate injections and flows at `state`.
+SolutionReport build_solution_report(const grid::Network& network,
+                                     const grid::GridState& state);
+
+/// Per-bus one-sigma confidence of a WLS estimate, from the estimation
+/// error covariance G⁻¹ = (HᵀWH)⁻¹ evaluated at the solution (Abur &
+/// Expósito ch. 3). The reference bus angle has zero deviation by
+/// construction.
+struct StateConfidence {
+  std::vector<double> theta_stddev;  ///< radians, per bus
+  std::vector<double> vm_stddev;     ///< p.u., per bus
+};
+
+/// Compute the estimate's standard deviations. `model` and `set` must be
+/// the ones the estimate was produced with; `state` is the WLS solution.
+StateConfidence estimate_confidence(const grid::MeasurementModel& model,
+                                    const grid::MeasurementSet& set,
+                                    const grid::GridState& state);
+
+}  // namespace gridse::estimation

@@ -1,0 +1,102 @@
+#include "estimation/restore.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "sparse/dense.hpp"
+#include "sparse/normal_equations.hpp"
+#include "util/error.hpp"
+
+namespace gridse::estimation {
+namespace {
+
+/// Columns of the flat-start gain matrix whose elimination pivot is
+/// (near-)zero: the unobservable state directions, attributed per column.
+std::vector<std::int32_t> weak_pivot_columns(
+    const grid::MeasurementModel& model, const grid::MeasurementSet& set,
+    double tolerance) {
+  const grid::GridState flat(model.network().num_buses());
+  const sparse::Csr h = model.jacobian(set, flat);
+  const std::vector<double> w = set.weights();
+  const sparse::Csr gain = sparse::normal_matrix(h, w);
+
+  const auto n = static_cast<std::size_t>(gain.rows());
+  sparse::DenseMatrix a(n, n);
+  const auto vals = gain.to_dense();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = vals[i * n + j];
+    }
+  }
+  double max_pivot = 0.0;
+  std::vector<std::int32_t> weak;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double piv = a(k, k);
+    max_pivot = std::max(max_pivot, piv);
+    if (piv <= tolerance * std::max(max_pivot, 1.0)) {
+      weak.push_back(static_cast<std::int32_t>(k));
+      // Skip elimination on a dead pivot; later columns still get scanned.
+      continue;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a(i, k) / piv;
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) {
+        a(i, j) -= f * a(k, j);
+      }
+    }
+  }
+  return weak;
+}
+
+/// Map a state-vector column back to (bus, is_angle).
+std::pair<grid::BusIndex, bool> column_to_bus(const grid::StateIndex& index,
+                                              std::int32_t col) {
+  const grid::BusIndex n = index.num_buses();
+  if (col < n - 1) {
+    // angle block: skips the reference bus
+    const grid::BusIndex bus =
+        col < index.reference_bus() ? col : col + 1;
+    return {bus, true};
+  }
+  return {static_cast<grid::BusIndex>(col - (n - 1)), false};
+}
+
+}  // namespace
+
+RestorationResult restore_observability(const grid::MeasurementModel& model,
+                                        const grid::MeasurementSet& set,
+                                        double pseudo_sigma, int max_rounds) {
+  GRIDSE_CHECK_MSG(pseudo_sigma > 0.0, "pseudo sigma must be positive");
+  GRIDSE_CHECK_MSG(max_rounds > 0, "need at least one restoration round");
+  RestorationResult result;
+  result.augmented = set;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    const ObservabilityReport report =
+        check_observability(model, result.augmented);
+    if (report.observable) {
+      result.observable = true;
+      return result;
+    }
+    const auto weak = weak_pivot_columns(model, result.augmented, 1e-8);
+    if (weak.empty()) {
+      break;  // unobservable yet no attributable pivot: give up
+    }
+    for (const std::int32_t col : weak) {
+      const auto [bus, is_angle] = column_to_bus(model.state_index(), col);
+      grid::Measurement pseudo;
+      pseudo.type =
+          is_angle ? grid::MeasType::kVAngle : grid::MeasType::kVMag;
+      pseudo.bus = bus;
+      pseudo.value = is_angle ? 0.0 : 1.0;  // flat-profile prior
+      pseudo.sigma = pseudo_sigma;
+      result.augmented.items.push_back(pseudo);
+      result.added.push_back(pseudo);
+    }
+  }
+  result.observable = check_observability(model, result.augmented).observable;
+  return result;
+}
+
+}  // namespace gridse::estimation

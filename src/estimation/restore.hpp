@@ -1,0 +1,29 @@
+#pragma once
+
+#include "estimation/observability.hpp"
+#include "grid/measurement.hpp"
+
+namespace gridse::estimation {
+
+/// Outcome of observability restoration.
+struct RestorationResult {
+  /// The augmented measurement set (original + added pseudo measurements).
+  grid::MeasurementSet augmented;
+  /// The pseudo measurements that were added, in order.
+  std::vector<grid::Measurement> added;
+  /// True if the augmented set is numerically observable.
+  bool observable = false;
+};
+
+/// Restore observability by injecting pseudo measurements (Abur & Expósito
+/// ch. 4): scan the flat-start gain matrix pivots; every state coordinate
+/// behind a (near-)zero pivot gets a pseudo measurement — a flat-profile
+/// angle or magnitude at the corresponding bus with standard deviation
+/// `pseudo_sigma` (loose: forecasts/schedules, not telemetry). Iterates
+/// until observable or `max_rounds` exhausted.
+RestorationResult restore_observability(const grid::MeasurementModel& model,
+                                        const grid::MeasurementSet& set,
+                                        double pseudo_sigma = 0.1,
+                                        int max_rounds = 4);
+
+}  // namespace gridse::estimation

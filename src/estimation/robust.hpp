@@ -1,0 +1,45 @@
+#pragma once
+
+#include "estimation/wls.hpp"
+
+namespace gridse::estimation {
+
+/// Options for the Huber M-estimator. `gamma` is the Huber threshold in
+/// standard deviations: residuals within ±gamma·sigma get quadratic loss
+/// (WLS behaviour), larger ones linear loss (bounded influence).
+struct RobustOptions {
+  WlsOptions wls;
+  double gamma = 1.5;
+  /// Outer IRLS iterations (each runs one full WLS on reweighted data).
+  int max_reweight_iterations = 10;
+  /// Stop when the largest relative weight change falls below this.
+  double weight_tolerance = 1e-3;
+};
+
+struct RobustResult {
+  WlsResult wls;
+  /// Final IRLS weight multipliers in [0,1], one per measurement; values
+  /// well below 1 mark suspected outliers.
+  std::vector<double> influence;
+  int reweight_iterations = 0;
+};
+
+/// Huber M-estimation by iteratively reweighted least squares: an
+/// alternative to detect-and-remove that tolerates gross errors without
+/// explicitly excising measurements (Abur & Expósito ch. 6 — the robust
+/// option for the paper's reference [19] formulation).
+class HuberEstimator {
+ public:
+  explicit HuberEstimator(const grid::Network& network,
+                          RobustOptions options = {});
+
+  [[nodiscard]] RobustResult estimate(const grid::MeasurementSet& set) const;
+  [[nodiscard]] RobustResult estimate(const grid::MeasurementSet& set,
+                                      const grid::GridState& initial) const;
+
+ private:
+  const grid::Network* network_;
+  RobustOptions options_;
+};
+
+}  // namespace gridse::estimation

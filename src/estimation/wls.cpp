@@ -1,0 +1,117 @@
+#include "estimation/wls.hpp"
+
+#include <cmath>
+
+#include "sparse/dense.hpp"
+#include "sparse/ldlt.hpp"
+#include "sparse/normal_equations.hpp"
+#include "sparse/vector_ops.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace gridse::estimation {
+
+WlsEstimator::WlsEstimator(const grid::Network& network, WlsOptions options)
+    : WlsEstimator(network, network.slack_bus(), options) {}
+
+WlsEstimator::WlsEstimator(const grid::Network& network,
+                           grid::BusIndex reference_bus, WlsOptions options)
+    : network_(&network),
+      options_(options),
+      model_(network, grid::StateIndex(network.num_buses(), reference_bus)) {}
+
+WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set) const {
+  return estimate(set, grid::GridState(network_->num_buses()));
+}
+
+WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set,
+                                 const grid::GridState& initial) const {
+  grid::validate_measurements(*network_, set);
+  const grid::StateIndex& index = model_.state_index();
+  if (static_cast<std::int32_t>(set.size()) < index.size()) {
+    throw InvalidInput(
+        "WLS: fewer measurements than states (" + std::to_string(set.size()) +
+        " < " + std::to_string(index.size()) + "); system unobservable");
+  }
+  const std::vector<double> weights = set.weights();
+  const std::vector<double> z = set.values();
+  const double ref_angle =
+      initial.theta[static_cast<std::size_t>(index.reference_bus())];
+
+  WlsResult result;
+  std::vector<double> x = index.pack(initial);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const grid::GridState state = index.unpack(x, ref_angle);
+    const std::vector<double> h = model_.evaluate(set, state);
+    std::vector<double> r = sparse::subtract(z, h);
+
+    const sparse::Csr jac = model_.jacobian(set, state);
+    sparse::Csr gain = sparse::normal_matrix(jac, weights);
+    if (options_.regularization > 0.0) {
+      gain = sparse::add_diagonal(gain, options_.regularization);
+    }
+    const std::vector<double> rhs = sparse::normal_rhs(jac, weights, r);
+
+    std::vector<double> dx(static_cast<std::size_t>(index.size()), 0.0);
+    switch (options_.solver) {
+      case LinearSolver::kPcg: {
+        const auto precond =
+            sparse::make_preconditioner(options_.preconditioner, gain);
+        sparse::CgOptions cg_opts;
+        cg_opts.tolerance = options_.cg_tolerance;
+        const sparse::CgReport rep = sparse::pcg(gain, rhs, dx, *precond, cg_opts);
+        result.inner_iterations += rep.iterations;
+        if (!rep.converged) {
+          GRIDSE_WARN << "WLS inner PCG did not converge (rel res "
+                      << rep.relative_residual << ")";
+        }
+        break;
+      }
+      case LinearSolver::kLdlt: {
+        sparse::SparseLdlt ldlt;
+        ldlt.factorize(gain);
+        dx = ldlt.solve(rhs);
+        break;
+      }
+      case LinearSolver::kDense: {
+        const auto dense_vals = gain.to_dense();
+        const auto n = static_cast<std::size_t>(gain.rows());
+        sparse::DenseMatrix dm(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            dm(i, j) = dense_vals[i * n + j];
+          }
+        }
+        dx = dm.solve_spd(rhs);
+        break;
+      }
+    }
+
+    sparse::axpy(1.0, dx, x);
+    result.final_step = sparse::norm_inf(dx);
+    result.iterations = iter + 1;
+    if (!std::isfinite(result.final_step)) {
+      throw ConvergenceFailure("WLS diverged (non-finite step)");
+    }
+    if (result.final_step < options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.state = index.unpack(x, ref_angle);
+  const std::vector<double> h = model_.evaluate(set, result.state);
+  result.residuals = sparse::subtract(z, h);
+  result.objective = 0.0;
+  for (std::size_t i = 0; i < result.residuals.size(); ++i) {
+    result.objective += weights[i] * result.residuals[i] * result.residuals[i];
+  }
+  if (!result.converged) {
+    GRIDSE_WARN << "WLS did not converge in " << options_.max_iterations
+                << " iterations (last step " << result.final_step << ")";
+  }
+  return result;
+}
+
+}  // namespace gridse::estimation

@@ -1,0 +1,79 @@
+#pragma once
+
+#include "grid/meas_model.hpp"
+#include "grid/measurement.hpp"
+#include "grid/network.hpp"
+#include "grid/state.hpp"
+#include "sparse/cg.hpp"
+#include "sparse/preconditioner.hpp"
+
+namespace gridse::estimation {
+
+/// Which linear solver handles the normal-equations system G Δx = Hᵀ W r in
+/// each Gauss–Newton iteration.
+enum class LinearSolver {
+  kPcg,   ///< preconditioned conjugate gradient (the paper's solver, §IV-C)
+  kLdlt,  ///< sparse direct LDLᵀ (baseline)
+  kDense  ///< dense Cholesky (reference; tiny systems only)
+};
+
+struct WlsOptions {
+  /// Gauss–Newton stops when max |Δx| falls below this (10⁻⁶ p.u./radians
+  /// is far below measurement noise; tighter values fight the inner
+  /// solver's own tolerance on large systems).
+  double tolerance = 1e-6;
+  int max_iterations = 25;
+  LinearSolver solver = LinearSolver::kPcg;
+  sparse::PreconditionerKind preconditioner = sparse::PreconditionerKind::kIc0;
+  /// Relative tolerance for the inner PCG solve.
+  double cg_tolerance = 1e-12;
+  /// Tikhonov term added to the gain matrix diagonal (0 = none). DSE Step 2
+  /// re-evaluation sets this to keep reduced systems well-posed.
+  double regularization = 0.0;
+};
+
+struct WlsResult {
+  grid::GridState state;
+  bool converged = false;
+  int iterations = 0;
+  /// Weighted least-squares objective J(x̂) = Σ w_i r_i² at the solution.
+  double objective = 0.0;
+  /// Residuals z − h(x̂) at the solution, in measurement order.
+  std::vector<double> residuals;
+  /// max |Δx| of the final iteration.
+  double final_step = 0.0;
+  /// Total inner (PCG) iterations across the Gauss–Newton loop; 0 for
+  /// direct solvers.
+  int inner_iterations = 0;
+};
+
+/// Centralized weighted-least-squares state estimator (Abur & Expósito
+/// formulation, the paper's reference [19]): Gauss–Newton on
+/// min Σ w_i (z_i − h_i(x))², normal equations solved per WlsOptions.
+class WlsEstimator {
+ public:
+  /// The angle reference defaults to the network's slack bus.
+  explicit WlsEstimator(const grid::Network& network, WlsOptions options = {});
+
+  /// Alternate reference bus (DSE subsystems use their local reference).
+  WlsEstimator(const grid::Network& network, grid::BusIndex reference_bus,
+               WlsOptions options);
+
+  /// Run the estimator from `initial` (flat start when omitted). The
+  /// reference angle is pinned to `initial`'s value at the reference bus.
+  /// Throws InvalidInput on malformed measurements; a non-converged run is
+  /// reported via WlsResult::converged, not an exception.
+  [[nodiscard]] WlsResult estimate(const grid::MeasurementSet& set) const;
+  [[nodiscard]] WlsResult estimate(const grid::MeasurementSet& set,
+                                   const grid::GridState& initial) const;
+
+  [[nodiscard]] const grid::MeasurementModel& model() const { return model_; }
+  [[nodiscard]] const WlsOptions& options() const { return options_; }
+
+ private:
+  const grid::Network* network_;
+  WlsOptions options_;
+  grid::MeasurementModel model_;
+};
+
+}  // namespace gridse::estimation

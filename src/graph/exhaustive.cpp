@@ -1,0 +1,127 @@
+#include <cmath>
+
+#include "graph/partitioner.hpp"
+#include "util/error.hpp"
+
+namespace gridse::graph::detail {
+namespace {
+
+struct SearchState {
+  const WeightedGraph* g = nullptr;
+  PartId k = 0;
+  double tolerance_weight = 0.0;  // tol * ideal part weight
+  std::vector<PartId> assignment;
+  std::vector<double> part_weights;
+  double cut = 0.0;
+
+  bool have_best = false;
+  bool best_feasible = false;
+  double best_cut = 0.0;
+  double best_max_weight = 0.0;
+  std::vector<PartId> best_assignment;
+};
+
+void record_if_better(SearchState& s) {
+  double max_w = 0.0;
+  for (const double w : s.part_weights) {
+    if (w == 0.0) return;  // empty part: not a valid k-way partition
+    max_w = std::max(max_w, w);
+  }
+  const bool feasible = max_w <= s.tolerance_weight + 1e-12;
+  bool better = false;
+  if (!s.have_best) {
+    better = true;
+  } else if (feasible != s.best_feasible) {
+    better = feasible;
+  } else if (feasible) {
+    better = s.cut < s.best_cut ||
+             (s.cut == s.best_cut && max_w < s.best_max_weight);
+  } else {
+    better = max_w < s.best_max_weight ||
+             (max_w == s.best_max_weight && s.cut < s.best_cut);
+  }
+  if (better) {
+    s.have_best = true;
+    s.best_feasible = feasible;
+    s.best_cut = s.cut;
+    s.best_max_weight = max_w;
+    s.best_assignment = s.assignment;
+  }
+}
+
+void search(SearchState& s, VertexId v) {
+  const VertexId n = s.g->num_vertices();
+  if (v == n) {
+    record_if_better(s);
+    return;
+  }
+  // Prune: cut only grows, so once a feasible incumbent exists any partial
+  // with cut >= incumbent cut (or an already-infeasible part weight) is dead.
+  if (s.have_best && s.best_feasible && s.cut >= s.best_cut) {
+    return;
+  }
+  // Symmetry breaking on the first vertex: part labels are interchangeable
+  // for the objective, so pin vertex 0 to part 0.
+  const PartId max_part = (v == 0) ? 1 : s.k;
+  for (PartId p = 0; p < max_part; ++p) {
+    double delta_cut = 0.0;
+    for (const auto& [nbr, w] : s.g->neighbors(v)) {
+      if (nbr < v && s.assignment[static_cast<std::size_t>(nbr)] != p) {
+        delta_cut += w;
+      }
+    }
+    const double new_weight =
+        s.part_weights[static_cast<std::size_t>(p)] + s.g->vertex_weight(v);
+    if (s.have_best && s.best_feasible && new_weight > s.tolerance_weight) {
+      continue;  // this branch can never become feasible again
+    }
+    s.assignment[static_cast<std::size_t>(v)] = p;
+    s.part_weights[static_cast<std::size_t>(p)] = new_weight;
+    s.cut += delta_cut;
+    search(s, v + 1);
+    s.cut -= delta_cut;
+    s.part_weights[static_cast<std::size_t>(p)] =
+        new_weight - s.g->vertex_weight(v);
+  }
+  s.assignment[static_cast<std::size_t>(v)] = -1;
+}
+
+}  // namespace
+
+Partition exhaustive_partition(const WeightedGraph& g,
+                               const PartitionOptions& options) {
+  const VertexId n = g.num_vertices();
+  GRIDSE_CHECK_MSG(std::pow(static_cast<double>(options.k),
+                            static_cast<double>(n)) <=
+                       options.exhaustive_budget * 4.0,
+                   "graph too large for exhaustive partitioning");
+  SearchState s;
+  s.g = &g;
+  s.k = options.k;
+  s.tolerance_weight = options.imbalance_tolerance * g.total_vertex_weight() /
+                       static_cast<double>(options.k);
+  s.assignment.assign(static_cast<std::size_t>(n), -1);
+  s.part_weights.assign(static_cast<std::size_t>(options.k), 0.0);
+  search(s, 0);
+  GRIDSE_CHECK_MSG(s.have_best, "no valid partition exists (k > n?)");
+  return evaluate_partition(g, std::move(s.best_assignment), options.k);
+}
+
+bool better_partition(const Partition& candidate, const Partition& incumbent,
+                      double tolerance) {
+  const bool cand_ok = candidate.load_imbalance <= tolerance + 1e-12;
+  const bool inc_ok = incumbent.load_imbalance <= tolerance + 1e-12;
+  if (cand_ok != inc_ok) return cand_ok;
+  if (cand_ok) {
+    if (candidate.edge_cut != incumbent.edge_cut) {
+      return candidate.edge_cut < incumbent.edge_cut;
+    }
+    return candidate.load_imbalance < incumbent.load_imbalance;
+  }
+  if (candidate.load_imbalance != incumbent.load_imbalance) {
+    return candidate.load_imbalance < incumbent.load_imbalance;
+  }
+  return candidate.edge_cut < incumbent.edge_cut;
+}
+
+}  // namespace gridse::graph::detail

@@ -1,0 +1,146 @@
+#include "graph/graph.hpp"
+
+#include <numeric>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace gridse::graph {
+
+WeightedGraph::WeightedGraph(VertexId num_vertices)
+    : vertex_weights_(static_cast<std::size_t>(num_vertices), 1.0),
+      adjacency_(static_cast<std::size_t>(num_vertices)) {
+  GRIDSE_CHECK(num_vertices >= 0);
+}
+
+void WeightedGraph::set_vertex_weight(VertexId v, double w) {
+  GRIDSE_CHECK(v >= 0 && v < num_vertices());
+  GRIDSE_CHECK_MSG(w >= 0.0, "vertex weight must be nonnegative");
+  vertex_weights_[static_cast<std::size_t>(v)] = w;
+}
+
+double WeightedGraph::vertex_weight(VertexId v) const {
+  GRIDSE_CHECK(v >= 0 && v < num_vertices());
+  return vertex_weights_[static_cast<std::size_t>(v)];
+}
+
+double WeightedGraph::total_vertex_weight() const {
+  return std::accumulate(vertex_weights_.begin(), vertex_weights_.end(), 0.0);
+}
+
+void WeightedGraph::add_edge(VertexId u, VertexId v, double weight) {
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+    throw InvalidInput("add_edge: vertex out of range");
+  }
+  if (u == v) {
+    throw InvalidInput("add_edge: self loops are not allowed");
+  }
+  if (has_edge(u, v)) {
+    throw InvalidInput("add_edge: duplicate edge (" + std::to_string(u) + "," +
+                       std::to_string(v) + ")");
+  }
+  if (weight < 0.0) {
+    throw InvalidInput("add_edge: negative edge weight");
+  }
+  edges_.push_back({u, v, weight});
+  adjacency_[static_cast<std::size_t>(u)].emplace_back(v, weight);
+  adjacency_[static_cast<std::size_t>(v)].emplace_back(u, weight);
+}
+
+void WeightedGraph::set_edge_weight(VertexId u, VertexId v, double weight) {
+  bool found = false;
+  for (auto& e : edges_) {
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) {
+      e.weight = weight;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    throw InvalidInput("set_edge_weight: edge not present");
+  }
+  for (auto& [nbr, w] : adjacency_[static_cast<std::size_t>(u)]) {
+    if (nbr == v) w = weight;
+  }
+  for (auto& [nbr, w] : adjacency_[static_cast<std::size_t>(v)]) {
+    if (nbr == u) w = weight;
+  }
+}
+
+void WeightedGraph::set_uniform_edge_weights(double weight) {
+  for (auto& e : edges_) {
+    e.weight = weight;
+  }
+  for (auto& adj : adjacency_) {
+    for (auto& [nbr, w] : adj) {
+      w = weight;
+    }
+  }
+}
+
+const std::vector<std::pair<VertexId, double>>& WeightedGraph::neighbors(
+    VertexId v) const {
+  GRIDSE_CHECK(v >= 0 && v < num_vertices());
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+bool WeightedGraph::has_edge(VertexId u, VertexId v) const {
+  if (u < 0 || u >= num_vertices()) return false;
+  for (const auto& [nbr, w] : adjacency_[static_cast<std::size_t>(u)]) {
+    if (nbr == v) return true;
+  }
+  return false;
+}
+
+bool WeightedGraph::connected() const {
+  const VertexId n = num_vertices();
+  if (n <= 1) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<VertexId> q;
+  q.push(0);
+  seen[0] = true;
+  VertexId count = 1;
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    for (const auto& [v, w] : neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+int WeightedGraph::diameter() const {
+  const VertexId n = num_vertices();
+  if (n < 2) return 0;
+  if (!connected()) {
+    throw InvalidInput("diameter: graph is disconnected");
+  }
+  int best = 0;
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  for (VertexId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<VertexId> q;
+    q.push(s);
+    dist[static_cast<std::size_t>(s)] = 0;
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (const auto& [v, w] : neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          best = std::max(best, dist[static_cast<std::size_t>(v)]);
+          q.push(v);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace gridse::graph

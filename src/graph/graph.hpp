@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gridse::graph {
+
+using VertexId = std::int32_t;
+
+/// One undirected weighted edge.
+struct Edge {
+  VertexId u;
+  VertexId v;
+  double weight;
+};
+
+/// Undirected graph with vertex and edge weights — the "power system
+/// decomposition graph" of the paper (§IV-B1): vertices are subsystems
+/// (weight = predicted computation), edges are tie-line groups (weight =
+/// predicted communication).
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(VertexId num_vertices);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(vertex_weights_.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Set/get vertex weight (default 1).
+  void set_vertex_weight(VertexId v, double w);
+  [[nodiscard]] double vertex_weight(VertexId v) const;
+  [[nodiscard]] std::span<const double> vertex_weights() const {
+    return vertex_weights_;
+  }
+  [[nodiscard]] double total_vertex_weight() const;
+
+  /// Add an undirected edge; throws InvalidInput on self-loops, duplicate
+  /// edges, or out-of-range endpoints.
+  void add_edge(VertexId u, VertexId v, double weight);
+
+  /// Update the weight of an existing edge (throws if absent).
+  void set_edge_weight(VertexId u, VertexId v, double weight);
+
+  /// Set every edge weight to `weight` (Step-1 mapping uses uniform edges).
+  void set_uniform_edge_weights(double weight);
+
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Neighbors of v as (neighbor, edge weight) pairs.
+  [[nodiscard]] const std::vector<std::pair<VertexId, double>>& neighbors(
+      VertexId v) const;
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  [[nodiscard]] bool connected() const;
+
+  /// Longest shortest-path length in hops (the "diameter of the power system
+  /// decomposition" that bounds DSE iterations, §II). Returns 0 for graphs
+  /// with fewer than 2 vertices; throws InvalidInput if disconnected.
+  [[nodiscard]] int diameter() const;
+
+ private:
+  std::vector<double> vertex_weights_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<VertexId, double>>> adjacency_;
+};
+
+}  // namespace gridse::graph

@@ -1,0 +1,130 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/partitioner.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::graph::detail {
+namespace {
+
+struct CoarseLevel {
+  WeightedGraph graph;
+  /// map[fine_vertex] = coarse_vertex in this level's graph
+  std::vector<VertexId> fine_to_coarse;
+};
+
+/// Heavy-edge matching coarsening: visit vertices in random order and merge
+/// each unmatched vertex with the unmatched neighbor sharing the heaviest
+/// edge. Vertex weights add; parallel coarse edges fold together.
+CoarseLevel coarsen_once(const WeightedGraph& g, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<VertexId> fine_to_coarse(static_cast<std::size_t>(n), -1);
+  VertexId coarse_count = 0;
+  for (const VertexId v : order) {
+    if (fine_to_coarse[static_cast<std::size_t>(v)] >= 0) continue;
+    VertexId mate = -1;
+    double best_w = -1.0;
+    for (const auto& [nbr, w] : g.neighbors(v)) {
+      if (fine_to_coarse[static_cast<std::size_t>(nbr)] < 0 && w > best_w) {
+        best_w = w;
+        mate = nbr;
+      }
+    }
+    fine_to_coarse[static_cast<std::size_t>(v)] = coarse_count;
+    if (mate >= 0) {
+      fine_to_coarse[static_cast<std::size_t>(mate)] = coarse_count;
+    }
+    ++coarse_count;
+  }
+
+  CoarseLevel level;
+  level.graph = WeightedGraph(coarse_count);
+  level.fine_to_coarse = std::move(fine_to_coarse);
+  for (VertexId c = 0; c < coarse_count; ++c) {
+    level.graph.set_vertex_weight(c, 0.0);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId c = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    level.graph.set_vertex_weight(
+        c, level.graph.vertex_weight(c) + g.vertex_weight(v));
+  }
+  std::vector<std::pair<std::pair<VertexId, VertexId>, double>> agg;
+  agg.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    const VertexId cu = level.fine_to_coarse[static_cast<std::size_t>(e.u)];
+    const VertexId cv = level.fine_to_coarse[static_cast<std::size_t>(e.v)];
+    if (cu == cv) continue;
+    const auto [lo, hi] = std::minmax(cu, cv);
+    agg.push_back({{lo, hi}, e.weight});
+  }
+  std::sort(agg.begin(), agg.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < agg.size();) {
+    std::size_t j = i;
+    double w = 0.0;
+    while (j < agg.size() && agg[j].first == agg[i].first) {
+      w += agg[j].second;
+      ++j;
+    }
+    level.graph.add_edge(agg[i].first.first, agg[i].first.second, w);
+    i = j;
+  }
+  return level;
+}
+
+bool exhaustive_fits(const WeightedGraph& g, const PartitionOptions& options) {
+  return std::pow(static_cast<double>(options.k),
+                  static_cast<double>(g.num_vertices())) <=
+         options.exhaustive_budget;
+}
+
+}  // namespace
+
+Partition multilevel_partition(const WeightedGraph& g,
+                               const PartitionOptions& options);
+
+Partition multilevel_partition(const WeightedGraph& g,
+                               const PartitionOptions& options) {
+  Rng rng(options.seed);
+  // --- coarsening phase ----------------------------------------------------
+  std::vector<CoarseLevel> levels;
+  const WeightedGraph* current = &g;
+  const VertexId stop_at =
+      std::max<VertexId>(options.coarsen_to, options.k * 4);
+  while (current->num_vertices() > stop_at) {
+    CoarseLevel level = coarsen_once(*current, rng);
+    if (level.graph.num_vertices() == current->num_vertices()) {
+      break;  // matching stalled (e.g. star graphs); stop coarsening
+    }
+    levels.push_back(std::move(level));
+    current = &levels.back().graph;
+  }
+
+  // --- initial partition at the coarsest level ------------------------------
+  Partition part = exhaustive_fits(*current, options)
+                       ? exhaustive_partition(*current, options)
+                       : greedy_partition(*current, options);
+
+  // --- uncoarsening + refinement --------------------------------------------
+  for (std::size_t li = levels.size(); li > 0; --li) {
+    const CoarseLevel& level = levels[li - 1];
+    const WeightedGraph& fine =
+        (li - 1 == 0) ? g : levels[li - 2].graph;
+    std::vector<PartId> projected(static_cast<std::size_t>(fine.num_vertices()));
+    for (VertexId v = 0; v < fine.num_vertices(); ++v) {
+      projected[static_cast<std::size_t>(v)] =
+          part.assignment[static_cast<std::size_t>(
+              level.fine_to_coarse[static_cast<std::size_t>(v)])];
+    }
+    part = fm_refine(fine, std::move(projected), options);
+  }
+  return part;
+}
+
+}  // namespace gridse::graph::detail

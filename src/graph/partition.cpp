@@ -1,0 +1,60 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gridse::graph {
+
+Partition evaluate_partition(const WeightedGraph& g,
+                             std::vector<PartId> assignment, PartId k) {
+  GRIDSE_CHECK(static_cast<VertexId>(assignment.size()) == g.num_vertices());
+  GRIDSE_CHECK(k > 0);
+  Partition p;
+  p.assignment = std::move(assignment);
+  p.k = k;
+  p.part_weights.assign(static_cast<std::size_t>(k), 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId part = p.assignment[static_cast<std::size_t>(v)];
+    GRIDSE_CHECK_MSG(part >= 0 && part < k, "partition id out of range");
+    p.part_weights[static_cast<std::size_t>(part)] += g.vertex_weight(v);
+  }
+  p.edge_cut = 0.0;
+  for (const Edge& e : g.edges()) {
+    if (p.assignment[static_cast<std::size_t>(e.u)] !=
+        p.assignment[static_cast<std::size_t>(e.v)]) {
+      p.edge_cut += e.weight;
+    }
+  }
+  const double total = g.total_vertex_weight();
+  const double ideal = total / static_cast<double>(k);
+  const double max_part =
+      *std::max_element(p.part_weights.begin(), p.part_weights.end());
+  p.load_imbalance = ideal > 0.0 ? max_part / ideal : 0.0;
+  return p;
+}
+
+bool is_valid_partition(const WeightedGraph& g,
+                        std::span<const PartId> assignment, PartId k) {
+  if (static_cast<VertexId>(assignment.size()) != g.num_vertices()) {
+    return false;
+  }
+  std::vector<bool> used(static_cast<std::size_t>(k), false);
+  for (const PartId p : assignment) {
+    if (p < 0 || p >= k) return false;
+    used[static_cast<std::size_t>(p)] = true;
+  }
+  return std::all_of(used.begin(), used.end(), [](bool b) { return b; });
+}
+
+int migration_count(std::span<const PartId> before,
+                    std::span<const PartId> after) {
+  GRIDSE_CHECK(before.size() == after.size());
+  int moved = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace gridse::graph

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gridse::graph {
+
+using PartId = std::int32_t;
+
+/// A k-way assignment of vertices to parts plus its quality metrics.
+struct Partition {
+  /// assignment[v] = part of vertex v, in [0, k).
+  std::vector<PartId> assignment;
+  PartId k = 0;
+
+  /// Sum of weights of edges whose endpoints lie in different parts.
+  double edge_cut = 0.0;
+
+  /// METIS-style load-imbalance ratio: max part weight divided by the ideal
+  /// (total / k). 1.0 is perfect balance; the paper quotes 1.035 / 1.079
+  /// against METIS's suggested 1.05 threshold.
+  double load_imbalance = 0.0;
+
+  /// Aggregate vertex weight per part.
+  std::vector<double> part_weights;
+};
+
+/// Compute edge cut, part weights and imbalance for `assignment` on `g`.
+Partition evaluate_partition(const WeightedGraph& g,
+                             std::vector<PartId> assignment, PartId k);
+
+/// True if every vertex has a part in [0,k) and no part is empty.
+bool is_valid_partition(const WeightedGraph& g,
+                        std::span<const PartId> assignment, PartId k);
+
+/// Number of vertices that changed parts between two assignments (the
+/// re-mapping migration volume between DSE Step 1 and Step 2).
+int migration_count(std::span<const PartId> before,
+                    std::span<const PartId> after);
+
+}  // namespace gridse::graph

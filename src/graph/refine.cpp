@@ -1,0 +1,190 @@
+#include <algorithm>
+#include <numeric>
+
+#include "graph/partitioner.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::graph::detail {
+namespace {
+
+/// Count of vertices per part; moves that would empty a part are forbidden.
+std::vector<int> part_sizes(std::span<const PartId> assignment, PartId k) {
+  std::vector<int> sizes(static_cast<std::size_t>(k), 0);
+  for (const PartId p : assignment) {
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Partition fm_refine(const WeightedGraph& g, std::vector<PartId> assignment,
+                    const PartitionOptions& options) {
+  const VertexId n = g.num_vertices();
+  const PartId k = options.k;
+  GRIDSE_CHECK(static_cast<VertexId>(assignment.size()) == n);
+
+  std::vector<double> part_weights(static_cast<std::size_t>(k), 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    part_weights[static_cast<std::size_t>(assignment[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  }
+  auto sizes = part_sizes(assignment, k);
+  const double ideal = g.total_vertex_weight() / static_cast<double>(k);
+  const double limit = options.imbalance_tolerance * ideal;
+
+  Rng rng(options.seed ^ 0xf1a6u);
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> ext(static_cast<std::size_t>(k));
+  for (int pass = 0; pass < options.refinement_passes; ++pass) {
+    bool moved_any = false;
+    rng.shuffle(order);
+    for (const VertexId v : order) {
+      const auto vs = static_cast<std::size_t>(v);
+      const PartId from = assignment[vs];
+      if (sizes[static_cast<std::size_t>(from)] <= 1) {
+        continue;  // never empty a part
+      }
+      std::fill(ext.begin(), ext.end(), 0.0);
+      bool boundary = false;
+      for (const auto& [nbr, w] : g.neighbors(v)) {
+        const PartId np = assignment[static_cast<std::size_t>(nbr)];
+        ext[static_cast<std::size_t>(np)] += w;
+        boundary = boundary || np != from;
+      }
+      if (!boundary) continue;
+
+      const double vw = g.vertex_weight(v);
+      const double internal = ext[static_cast<std::size_t>(from)];
+      PartId best_to = -1;
+      double best_gain = 0.0;
+      bool best_balances = false;
+      for (PartId to = 0; to < k; ++to) {
+        if (to == from) continue;
+        const double gain = ext[static_cast<std::size_t>(to)] - internal;
+        const double new_to = part_weights[static_cast<std::size_t>(to)] + vw;
+        const double old_from = part_weights[static_cast<std::size_t>(from)];
+        // A move is admissible if the target stays within the balance limit,
+        // or if it strictly improves the heavier side (rebalancing move).
+        const bool within = new_to <= limit;
+        const bool rebalances = old_from > limit && new_to < old_from;
+        if (!within && !rebalances) continue;
+        const bool improves_balance =
+            std::max(new_to, old_from - vw) <
+            std::max(part_weights[static_cast<std::size_t>(to)], old_from);
+        if (gain > best_gain ||
+            (gain == best_gain && improves_balance && !best_balances)) {
+          best_gain = gain;
+          best_to = to;
+          best_balances = improves_balance;
+        }
+      }
+      // Accept strictly-positive-gain moves, and zero-gain moves that improve
+      // balance (classic FM tie-break).
+      if (best_to >= 0 && (best_gain > 0.0 || (best_gain == 0.0 && best_balances))) {
+        part_weights[static_cast<std::size_t>(from)] -= vw;
+        part_weights[static_cast<std::size_t>(best_to)] += vw;
+        --sizes[static_cast<std::size_t>(from)];
+        ++sizes[static_cast<std::size_t>(best_to)];
+        assignment[vs] = best_to;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+  return evaluate_partition(g, std::move(assignment), k);
+}
+
+Partition greedy_partition(const WeightedGraph& g,
+                           const PartitionOptions& options) {
+  const VertexId n = g.num_vertices();
+  const PartId k = options.k;
+  GRIDSE_CHECK(k <= n);
+  Rng rng(options.seed ^ 0x9e37u);
+
+  // Seed each part with a vertex far from previous seeds (BFS eccentricity
+  // heuristic), then grow regions: repeatedly give the lightest part its
+  // most-connected unassigned boundary vertex.
+  std::vector<PartId> assignment(static_cast<std::size_t>(n), -1);
+  std::vector<double> part_weights(static_cast<std::size_t>(k), 0.0);
+
+  std::vector<VertexId> seeds;
+  seeds.push_back(static_cast<VertexId>(rng.uniform_int(0, n - 1)));
+  while (static_cast<PartId>(seeds.size()) < k) {
+    // BFS multi-source distances from current seeds
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    std::vector<VertexId> queue(seeds.begin(), seeds.end());
+    for (const VertexId s : seeds) dist[static_cast<std::size_t>(s)] = 0;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const VertexId u = queue[qi];
+      for (const auto& [v, w] : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    VertexId far = 0;
+    int far_d = -1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[static_cast<std::size_t>(v)] > far_d &&
+          std::find(seeds.begin(), seeds.end(), v) == seeds.end()) {
+        far_d = dist[static_cast<std::size_t>(v)];
+        far = v;
+      }
+    }
+    seeds.push_back(far);
+  }
+  for (PartId p = 0; p < k; ++p) {
+    assignment[static_cast<std::size_t>(seeds[static_cast<std::size_t>(p)])] = p;
+    part_weights[static_cast<std::size_t>(p)] +=
+        g.vertex_weight(seeds[static_cast<std::size_t>(p)]);
+  }
+
+  VertexId assigned = k;
+  while (assigned < n) {
+    // lightest part picks next
+    PartId p = 0;
+    for (PartId q = 1; q < k; ++q) {
+      if (part_weights[static_cast<std::size_t>(q)] <
+          part_weights[static_cast<std::size_t>(p)]) {
+        p = q;
+      }
+    }
+    // best unassigned vertex by connection weight to part p; fall back to
+    // any unassigned vertex (disconnected graphs / exhausted frontier)
+    VertexId best = -1;
+    double best_conn = -1.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (assignment[static_cast<std::size_t>(v)] >= 0) continue;
+      double conn = 0.0;
+      for (const auto& [nbr, w] : g.neighbors(v)) {
+        if (assignment[static_cast<std::size_t>(nbr)] == p) conn += w;
+      }
+      if (conn > best_conn) {
+        best_conn = conn;
+        best = v;
+      }
+    }
+    if (best_conn <= 0.0) {
+      // frontier empty for this part: give it the heaviest unassigned vertex
+      // is counterproductive; just take any unassigned vertex
+      for (VertexId v = 0; v < n; ++v) {
+        if (assignment[static_cast<std::size_t>(v)] < 0) {
+          best = v;
+          break;
+        }
+      }
+    }
+    assignment[static_cast<std::size_t>(best)] = p;
+    part_weights[static_cast<std::size_t>(p)] += g.vertex_weight(best);
+    ++assigned;
+  }
+  return fm_refine(g, std::move(assignment), options);
+}
+
+}  // namespace gridse::graph::detail

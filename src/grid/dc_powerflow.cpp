@@ -1,0 +1,128 @@
+#include "grid/dc_powerflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "sparse/csr.hpp"
+#include "sparse/ldlt.hpp"
+#include "util/error.hpp"
+
+namespace gridse::grid {
+namespace {
+
+bool connected_without(const Network& network,
+                       const std::set<std::size_t>& outaged) {
+  const BusIndex n = network.num_buses();
+  if (n <= 1) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<BusIndex> q;
+  q.push(0);
+  seen[0] = true;
+  BusIndex count = 1;
+  while (!q.empty()) {
+    const BusIndex u = q.front();
+    q.pop();
+    for (const std::size_t bi : network.branches_at(u)) {
+      if (outaged.count(bi) > 0) continue;
+      const Branch& br = network.branch(bi);
+      const BusIndex v = (br.from == u) ? br.to : br.from;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+}  // namespace
+
+std::optional<DcPowerFlow> solve_dc_power_flow(
+    const Network& network, const std::vector<std::size_t>& outaged) {
+  network.validate();
+  const std::set<std::size_t> out(outaged.begin(), outaged.end());
+  for (const std::size_t bi : out) {
+    GRIDSE_CHECK_MSG(bi < network.num_branches(),
+                     "outaged branch index out of range");
+  }
+  if (!connected_without(network, out)) {
+    return std::nullopt;
+  }
+
+  const BusIndex n = network.num_buses();
+  const BusIndex slack = network.slack_bus();
+  // reduced index: all buses except slack
+  std::vector<std::int32_t> red(static_cast<std::size_t>(n), -1);
+  std::int32_t next = 0;
+  for (BusIndex i = 0; i < n; ++i) {
+    if (i != slack) red[static_cast<std::size_t>(i)] = next++;
+  }
+
+  // B' matrix over susceptances 1/x (taps/charging ignored in DC).
+  std::vector<sparse::Triplet<double>> triplets;
+  for (std::size_t bi = 0; bi < network.num_branches(); ++bi) {
+    if (out.count(bi) > 0) continue;
+    const Branch& br = network.branch(bi);
+    GRIDSE_CHECK_MSG(br.x != 0.0, "DC power flow requires nonzero reactance");
+    const double b = 1.0 / br.x;
+    const auto rf = red[static_cast<std::size_t>(br.from)];
+    const auto rt = red[static_cast<std::size_t>(br.to)];
+    if (rf >= 0) triplets.push_back({rf, rf, b});
+    if (rt >= 0) triplets.push_back({rt, rt, b});
+    if (rf >= 0 && rt >= 0) {
+      triplets.push_back({rf, rt, -b});
+      triplets.push_back({rt, rf, -b});
+    }
+  }
+  const auto dim = static_cast<sparse::Index>(n - 1);
+  const sparse::Csr bmat =
+      sparse::Csr::from_triplets(dim, dim, std::move(triplets));
+
+  std::vector<double> p(static_cast<std::size_t>(dim), 0.0);
+  for (BusIndex i = 0; i < n; ++i) {
+    const auto ri = red[static_cast<std::size_t>(i)];
+    if (ri < 0) continue;
+    p[static_cast<std::size_t>(ri)] = network.scheduled_injection(i).first;
+  }
+
+  sparse::SparseLdlt ldlt;
+  ldlt.factorize(bmat);
+  const std::vector<double> theta_red = ldlt.solve(p);
+
+  DcPowerFlow result;
+  result.theta.assign(static_cast<std::size_t>(n), 0.0);
+  for (BusIndex i = 0; i < n; ++i) {
+    const auto ri = red[static_cast<std::size_t>(i)];
+    if (ri >= 0) {
+      result.theta[static_cast<std::size_t>(i)] =
+          theta_red[static_cast<std::size_t>(ri)];
+    }
+  }
+  result.flows.assign(network.num_branches(), 0.0);
+  for (std::size_t bi = 0; bi < network.num_branches(); ++bi) {
+    if (out.count(bi) > 0) continue;
+    const Branch& br = network.branch(bi);
+    result.flows[bi] =
+        (result.theta[static_cast<std::size_t>(br.from)] -
+         result.theta[static_cast<std::size_t>(br.to)]) /
+        br.x;
+  }
+  return result;
+}
+
+DcPowerFlow assign_ratings_from_base_case(Network& network, double margin,
+                                          double min_rating) {
+  GRIDSE_CHECK_MSG(margin > 1.0, "rating margin must exceed 1");
+  const auto base = solve_dc_power_flow(network);
+  GRIDSE_CHECK_MSG(base.has_value(), "base case must be connected");
+  for (std::size_t bi = 0; bi < network.num_branches(); ++bi) {
+    network.set_branch_rating(
+        bi, std::max(min_rating, margin * std::abs(base->flows[bi])));
+  }
+  return *base;
+}
+
+}  // namespace gridse::grid

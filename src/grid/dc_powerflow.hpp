@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grid/network.hpp"
+
+namespace gridse::grid {
+
+/// DC (linearized, lossless) power-flow solution: bus angles and branch
+/// active flows. The workhorse of contingency screening (paper reference
+/// [2] runs "massive contingency analysis" on HPC clusters; the estimated
+/// state from DSE is its input).
+struct DcPowerFlow {
+  std::vector<double> theta;  ///< bus angles, radians (slack = 0)
+  /// Active flow on each branch, from -> to, p.u. Entries for outaged
+  /// branches are 0.
+  std::vector<double> flows;
+};
+
+/// Solve the DC power flow B'θ = P with the given branch subset removed.
+/// `outaged` lists branch indices treated as out of service. Returns
+/// nullopt when the outage islands the network (no unique solution).
+/// Injections come from the network's scheduled values; the slack balances.
+std::optional<DcPowerFlow> solve_dc_power_flow(
+    const Network& network, const std::vector<std::size_t>& outaged = {});
+
+/// Assign thermal ratings to every branch: `margin` times the absolute
+/// base-case DC flow, floored at `min_rating` so lightly loaded branches
+/// don't alarm on any redistribution. Mutates the network's branch ratings
+/// and returns the base-case solution.
+DcPowerFlow assign_ratings_from_base_case(Network& network,
+                                          double margin = 1.3,
+                                          double min_rating = 0.2);
+
+}  // namespace gridse::grid

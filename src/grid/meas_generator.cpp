@@ -1,0 +1,93 @@
+#include "grid/meas_generator.hpp"
+
+#include "util/error.hpp"
+
+namespace gridse::grid {
+
+MeasurementGenerator::MeasurementGenerator(const Network& network,
+                                           MeasurementPlan plan)
+    : network_(&network),
+      plan_(plan),
+      model_(network, StateIndex(network.num_buses(), network.slack_bus())) {
+  GRIDSE_CHECK_MSG(plan.noise_level >= 0.0, "noise level must be nonnegative");
+  GRIDSE_CHECK_MSG(plan.pmu_coverage >= 0.0 && plan.pmu_coverage <= 1.0,
+                   "pmu coverage must be in [0,1]");
+}
+
+MeasurementSet MeasurementGenerator::skeleton(double timestamp) const {
+  MeasurementSet set;
+  set.timestamp = timestamp;
+  // Floor keeps sigmas positive (WLS weights are 1/sigma²) even when a
+  // caller asks for a noise-free frame via noise_level = 0.
+  const double lvl = std::max(plan_.noise_level, 1e-6);
+  for (std::size_t bi = 0; bi < network_->num_branches(); ++bi) {
+    const Branch& br = network_->branch(bi);
+    for (const bool from_side : {true, false}) {
+      const BusIndex metered = from_side ? br.from : br.to;
+      if (plan_.branch_p_flows) {
+        set.items.push_back({MeasType::kPFlow, metered,
+                             static_cast<std::int32_t>(bi), from_side, 0.0,
+                             plan_.sigma_flow * lvl});
+      }
+      if (plan_.branch_q_flows) {
+        set.items.push_back({MeasType::kQFlow, metered,
+                             static_cast<std::int32_t>(bi), from_side, 0.0,
+                             plan_.sigma_flow * lvl});
+      }
+    }
+  }
+  for (BusIndex b = 0; b < network_->num_buses(); ++b) {
+    if (plan_.bus_p_injections) {
+      set.items.push_back(
+          {MeasType::kPInjection, b, -1, true, 0.0, plan_.sigma_injection * lvl});
+    }
+    if (plan_.bus_q_injections) {
+      set.items.push_back(
+          {MeasType::kQInjection, b, -1, true, 0.0, plan_.sigma_injection * lvl});
+    }
+    if (plan_.bus_voltage_mags) {
+      set.items.push_back(
+          {MeasType::kVMag, b, -1, true, 0.0, plan_.sigma_vmag * lvl});
+    }
+  }
+  if (!plan_.pmu_buses.empty()) {
+    for (const BusIndex b : plan_.pmu_buses) {
+      GRIDSE_CHECK_MSG(b >= 0 && b < network_->num_buses(),
+                       "PMU bus index out of range");
+      set.items.push_back(
+          {MeasType::kVAngle, b, -1, true, 0.0, plan_.sigma_pmu_angle * lvl});
+    }
+  } else if (plan_.pmu_coverage > 0.0) {
+    // Deterministic PMU placement: every ceil(1/coverage)-th bus carries a
+    // PMU, starting at the slack (which anchors the angle reference).
+    const auto stride = static_cast<BusIndex>(1.0 / plan_.pmu_coverage);
+    for (BusIndex b = network_->slack_bus(); b < network_->num_buses();
+         b += std::max<BusIndex>(stride, 1)) {
+      set.items.push_back(
+          {MeasType::kVAngle, b, -1, true, 0.0, plan_.sigma_pmu_angle * lvl});
+    }
+  }
+  return set;
+}
+
+MeasurementSet MeasurementGenerator::generate_noiseless(
+    const GridState& true_state, double timestamp) const {
+  MeasurementSet set = skeleton(timestamp);
+  const std::vector<double> truth = model_.evaluate(set, true_state);
+  for (std::size_t i = 0; i < set.items.size(); ++i) {
+    set.items[i].value = truth[i];
+  }
+  return set;
+}
+
+MeasurementSet MeasurementGenerator::generate(const GridState& true_state,
+                                              Rng& rng,
+                                              double timestamp) const {
+  MeasurementSet set = generate_noiseless(true_state, timestamp);
+  for (Measurement& m : set.items) {
+    m.value += rng.gaussian(m.sigma);
+  }
+  return set;
+}
+
+}  // namespace gridse::grid

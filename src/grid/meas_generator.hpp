@@ -1,0 +1,66 @@
+#pragma once
+
+#include "grid/meas_model.hpp"
+#include "grid/measurement.hpp"
+#include "grid/network.hpp"
+#include "grid/state.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::grid {
+
+/// What the synthetic SCADA/PMU layer telemeters and how noisy it is. The
+/// defaults give the classic redundancy mix: both-end branch flows, bus
+/// injections, and all voltage magnitudes.
+struct MeasurementPlan {
+  bool branch_p_flows = true;     ///< P flow at both branch ends
+  bool branch_q_flows = true;     ///< Q flow at both branch ends
+  bool bus_p_injections = true;   ///< P injection at every bus
+  bool bus_q_injections = true;   ///< Q injection at every bus
+  bool bus_voltage_mags = true;   ///< |V| at every bus
+  /// Fraction of buses carrying a PMU (angle measurement); 0 disables.
+  double pmu_coverage = 0.0;
+  /// Explicit PMU placement (global bus indices); when non-empty it
+  /// overrides `pmu_coverage`. DSE requires at least one PMU per subsystem
+  /// so each local estimation can reference its angles to the
+  /// interconnection.
+  std::vector<BusIndex> pmu_buses;
+
+  double sigma_flow = 0.008;       ///< std dev of flow measurements, p.u.
+  double sigma_injection = 0.010;  ///< std dev of injection measurements
+  double sigma_vmag = 0.004;       ///< std dev of |V| measurements
+  double sigma_pmu_angle = 0.002;  ///< std dev of PMU angles, radians
+
+  /// Global noise multiplier — the paper's per-time-frame noise level
+  /// x = f(δt) scales every sigma (§IV-B2).
+  double noise_level = 1.0;
+};
+
+/// Synthesizes measurement sets from a true operating state: the stand-in
+/// for SCADA field data in the paper's testbed. Noise is Gaussian, zero
+/// mean, drawn from the caller's deterministic Rng.
+class MeasurementGenerator {
+ public:
+  MeasurementGenerator(const Network& network, MeasurementPlan plan);
+
+  /// Generate one scan at `timestamp`, sampling noise from `rng`. The true
+  /// values are h(state) with the plan's sigmas (scaled by noise_level)
+  /// applied.
+  [[nodiscard]] MeasurementSet generate(const GridState& true_state, Rng& rng,
+                                        double timestamp = 0.0) const;
+
+  /// The noiseless skeleton (types/buses/sigmas with value = truth); used by
+  /// tests and by bad-data experiments that inject their own gross errors.
+  [[nodiscard]] MeasurementSet generate_noiseless(
+      const GridState& true_state, double timestamp = 0.0) const;
+
+  [[nodiscard]] const MeasurementPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] MeasurementSet skeleton(double timestamp) const;
+
+  const Network* network_;
+  MeasurementPlan plan_;
+  MeasurementModel model_;
+};
+
+}  // namespace gridse::grid

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "grid/measurement.hpp"
+#include "grid/network.hpp"
+#include "grid/state.hpp"
+#include "grid/ybus.hpp"
+#include "sparse/csr.hpp"
+
+namespace gridse::grid {
+
+/// The nonlinear states-to-measurements function h(x) and its Jacobian H —
+/// the paper's z = h(x) + e model (§II). Construct once per network; both
+/// entry points are pure functions of the supplied state.
+class MeasurementModel {
+ public:
+  /// `index` defines the reduced state vector (which bus is the angle
+  /// reference). The admittance matrix is built once here.
+  MeasurementModel(const Network& network, StateIndex index);
+
+  /// Evaluate h at `state` for every measurement in `set`, in order.
+  [[nodiscard]] std::vector<double> evaluate(const MeasurementSet& set,
+                                             const GridState& state) const;
+
+  /// Sparse Jacobian H = ∂h/∂x at `state`; rows follow `set` order, columns
+  /// follow the StateIndex layout.
+  [[nodiscard]] sparse::Csr jacobian(const MeasurementSet& set,
+                                     const GridState& state) const;
+
+  [[nodiscard]] const StateIndex& state_index() const { return index_; }
+  [[nodiscard]] const sparse::CsrComplex& ybus() const { return ybus_; }
+  [[nodiscard]] const Network& network() const { return *network_; }
+
+ private:
+  const Network* network_;
+  StateIndex index_;
+  sparse::CsrComplex ybus_;
+};
+
+}  // namespace gridse::grid

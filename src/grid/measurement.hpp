@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/network.hpp"
+
+namespace gridse::grid {
+
+/// Measurement kinds the estimator understands. The paper's data resources
+/// are "power flow-injections and voltage magnitudes" plus PMU phasor data
+/// (§II); pseudo-measurements carry neighbour solutions in DSE Step 2.
+enum class MeasType : std::uint8_t {
+  kPFlow,       ///< active power flow on a branch, measured at the from side
+  kQFlow,       ///< reactive power flow on a branch, from side
+  kPInjection,  ///< net active injection at a bus
+  kQInjection,  ///< net reactive injection at a bus
+  kVMag,        ///< voltage magnitude at a bus
+  kVAngle       ///< voltage angle at a bus (PMU / pseudo-measurement)
+};
+
+[[nodiscard]] const char* meas_type_name(MeasType type);
+
+/// One telemetered (or pseudo) measurement.
+struct Measurement {
+  MeasType type = MeasType::kVMag;
+  /// Bus the measurement refers to (for flows: the metering end).
+  BusIndex bus = -1;
+  /// Branch index for flow measurements; -1 otherwise.
+  std::int32_t branch = -1;
+  /// True for flows metered at the branch's `from` end, false for `to`.
+  bool at_from_side = true;
+  /// Telemetered value, p.u. (angles in radians).
+  double value = 0.0;
+  /// Measurement standard deviation; WLS weight is 1/sigma².
+  double sigma = 1.0;
+};
+
+/// A tagged set of measurements for one scan/time frame.
+struct MeasurementSet {
+  std::vector<Measurement> items;
+  /// Scan timestamp in seconds (the paper's time frame δt anchor).
+  double timestamp = 0.0;
+
+  [[nodiscard]] std::size_t size() const { return items.size(); }
+
+  /// WLS weights 1/sigma² in measurement order.
+  [[nodiscard]] std::vector<double> weights() const;
+
+  /// Telemetered values in measurement order.
+  [[nodiscard]] std::vector<double> values() const;
+};
+
+/// Validate measurement/branch/bus references against `network`;
+/// throws InvalidInput with a description of the first offending item.
+void validate_measurements(const Network& network, const MeasurementSet& set);
+
+}  // namespace gridse::grid

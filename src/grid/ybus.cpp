@@ -1,0 +1,42 @@
+#include "grid/ybus.hpp"
+
+namespace gridse::grid {
+
+BranchAdmittance branch_admittance(const Branch& branch) {
+  using C = std::complex<double>;
+  const C y = 1.0 / C(branch.r, branch.x);
+  const C ysh(0.0, branch.b_charging / 2.0);
+  const double t = branch.tap;
+  // complex tap: t * e^{j*shift}; from-side is the tapped side (MATPOWER
+  // convention)
+  const C tap = std::polar(t, branch.phase_shift);
+  BranchAdmittance a;
+  a.yff = (y + ysh) / (t * t);
+  a.yft = -y / std::conj(tap);
+  a.ytf = -y / tap;
+  a.ytt = y + ysh;
+  return a;
+}
+
+sparse::CsrComplex build_ybus(const Network& network) {
+  using C = std::complex<double>;
+  const auto n = network.num_buses();
+  std::vector<sparse::Triplet<C>> triplets;
+  triplets.reserve(network.num_branches() * 4 + static_cast<std::size_t>(n));
+  for (const Branch& br : network.branches()) {
+    const BranchAdmittance a = branch_admittance(br);
+    triplets.push_back({br.from, br.from, a.yff});
+    triplets.push_back({br.from, br.to, a.yft});
+    triplets.push_back({br.to, br.from, a.ytf});
+    triplets.push_back({br.to, br.to, a.ytt});
+  }
+  for (BusIndex i = 0; i < n; ++i) {
+    const Bus& b = network.bus(i);
+    if (b.gs != 0.0 || b.bs != 0.0) {
+      triplets.push_back({i, i, C(b.gs, b.bs)});
+    }
+  }
+  return sparse::CsrComplex::from_triplets(n, n, std::move(triplets));
+}
+
+}  // namespace gridse::grid

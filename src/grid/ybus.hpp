@@ -1,0 +1,28 @@
+#pragma once
+
+#include <complex>
+
+#include "grid/network.hpp"
+#include "sparse/csr.hpp"
+
+namespace gridse::grid {
+
+/// Two-port admittance parameters of one branch:
+///   [I_f]   [y_ff  y_ft] [V_f]
+///   [I_t] = [y_tf  y_tt] [V_t]
+/// including tap ratio, phase shift and line charging.
+struct BranchAdmittance {
+  std::complex<double> yff;
+  std::complex<double> yft;
+  std::complex<double> ytf;
+  std::complex<double> ytt;
+};
+
+/// Compute the two-port admittances for `branch`.
+BranchAdmittance branch_admittance(const Branch& branch);
+
+/// Assemble the complex bus admittance matrix Ybus (n×n, sparse) from the
+/// branch two-ports plus bus shunts.
+sparse::CsrComplex build_ybus(const Network& network);
+
+}  // namespace gridse::grid

@@ -1,0 +1,56 @@
+#include "io/case14.hpp"
+
+namespace gridse::io {
+
+const char* ieee14_text() {
+  // IEEE 14-bus test system, parameters as distributed in MATPOWER case14
+  // (bus loads in MW/MVAr on a 100 MVA base; branch impedances in p.u.).
+  return R"(# IEEE 14-bus test case
+case ieee14
+basemva 100
+# bus <id> <type> <Pd> <Qd> <Gs> <Bs> <Vset>
+bus 1  slack  0.0   0.0   0 0    1.060
+bus 2  pv    21.7  12.7   0 0    1.045
+bus 3  pv    94.2  19.0   0 0    1.010
+bus 4  pq    47.8  -3.9   0 0    1.0
+bus 5  pq     7.6   1.6   0 0    1.0
+bus 6  pv    11.2   7.5   0 0    1.070
+bus 7  pq     0.0   0.0   0 0    1.0
+bus 8  pv     0.0   0.0   0 0    1.090
+bus 9  pq    29.5  16.6   0 19.0 1.0
+bus 10 pq     9.0   5.8   0 0    1.0
+bus 11 pq     3.5   1.8   0 0    1.0
+bus 12 pq     6.1   1.6   0 0    1.0
+bus 13 pq    13.5   5.8   0 0    1.0
+bus 14 pq    14.9   5.0   0 0    1.0
+# gen <bus> <Pg> <Qg>
+gen 1 232.4 0
+gen 2  40.0 0
+# branch <from> <to> <r> <x> <b> [tap]
+branch 1  2  0.01938 0.05917 0.0528
+branch 1  5  0.05403 0.22304 0.0492
+branch 2  3  0.04699 0.19797 0.0438
+branch 2  4  0.05811 0.17632 0.0340
+branch 2  5  0.05695 0.17388 0.0346
+branch 3  4  0.06701 0.17103 0.0128
+branch 4  5  0.01335 0.04211 0.0
+branch 4  7  0.0     0.20912 0.0 0.978
+branch 4  9  0.0     0.55618 0.0 0.969
+branch 5  6  0.0     0.25202 0.0 0.932
+branch 6  11 0.09498 0.19890 0.0
+branch 6  12 0.12291 0.25581 0.0
+branch 6  13 0.06615 0.13027 0.0
+branch 7  8  0.0     0.17615 0.0
+branch 7  9  0.0     0.11001 0.0
+branch 9  10 0.03181 0.08450 0.0
+branch 9  14 0.12711 0.27038 0.0
+branch 10 11 0.08205 0.19207 0.0
+branch 12 13 0.22092 0.19988 0.0
+branch 13 14 0.17093 0.34802 0.0
+end
+)";
+}
+
+Case ieee14() { return parse_case(ieee14_text()); }
+
+}  // namespace gridse::io

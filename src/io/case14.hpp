@@ -1,0 +1,17 @@
+#pragma once
+
+#include "io/case_format.hpp"
+
+namespace gridse::io {
+
+/// The standard IEEE 14-bus test case (public data, MATPOWER `case14`
+/// parameter set). Ground truth for estimator validation: a 14-bus
+/// subsystem is also exactly the granularity the paper's weight model was
+/// calibrated on (g1 = 3.7579, g2 = 5.2464 "for a 14-bus subsystem").
+Case ieee14();
+
+/// The raw case text (exposed so parser tests can exercise a realistic
+/// input).
+const char* ieee14_text();
+
+}  // namespace gridse::io

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/network.hpp"
+
+namespace gridse::io {
+
+/// A parsed case: the network plus its metadata.
+struct Case {
+  std::string name;
+  double base_mva = 100.0;
+  grid::Network network;
+};
+
+/// Parse the GridSE text case format:
+///
+///   # comment
+///   case <name>
+///   basemva <MVA>
+///   bus <id> <slack|pv|pq> <Pd_MW> <Qd_MVAr> <Gs_MW> <Bs_MVAr> <Vset_pu>
+///   gen <bus_id> <Pg_MW> <Qg_MVAr>
+///   branch <from_id> <to_id> <r_pu> <x_pu> <b_pu> [tap [shift_deg]]
+///   end
+///
+/// Loads/shunts/generation are given in physical units and converted to
+/// per-unit on base_mva. Throws InvalidInput with a line number on errors.
+Case parse_case(const std::string& text);
+
+/// Serialize back to the text format (round-trips through parse_case).
+std::string serialize_case(const Case& c);
+
+/// Read a case from a file path. Throws InvalidInput when unreadable.
+Case load_case_file(const std::string& path);
+
+/// Write a case to a file path.
+void save_case_file(const Case& c, const std::string& path);
+
+}  // namespace gridse::io

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "grid/network.hpp"
+
+namespace gridse::io {
+
+/// Text format for a power-system decomposition (bus→subsystem membership):
+///
+///   # comment
+///   decomposition <name>
+///   bus <external_bus_id> <subsystem_id>
+///   ...
+///   end
+///
+/// Subsystem ids are 0-based and must form a contiguous range; every bus of
+/// the network must appear exactly once.
+///
+/// Parse `text` against `network`; returns membership indexed by internal
+/// bus index. Throws InvalidInput with a line number on malformed input.
+std::vector<int> parse_decomposition(const std::string& text,
+                                     const grid::Network& network);
+
+/// Serialize a membership vector (round-trips through parse_decomposition).
+std::string serialize_decomposition(const grid::Network& network,
+                                    std::span<const int> subsystem_of_bus,
+                                    const std::string& name = "unnamed");
+
+/// File variants.
+std::vector<int> load_decomposition_file(const std::string& path,
+                                         const grid::Network& network);
+void save_decomposition_file(const std::string& path,
+                             const grid::Network& network,
+                             std::span<const int> subsystem_of_bus,
+                             const std::string& name = "unnamed");
+
+}  // namespace gridse::io

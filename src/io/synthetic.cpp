@@ -1,0 +1,271 @@
+#include "io/synthetic.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace gridse::io {
+
+int GeneratedCase::num_subsystems() const {
+  int m = 0;
+  for (const int s : subsystem_of_bus) {
+    m = std::max(m, s + 1);
+  }
+  return m;
+}
+
+namespace {
+
+grid::Branch make_line(grid::BusIndex from, grid::BusIndex to, Rng& rng,
+                       bool tie_line) {
+  grid::Branch br;
+  br.from = from;
+  br.to = to;
+  // Tie lines model longer corridors: higher reactance, more charging.
+  br.x = tie_line ? rng.uniform(0.08, 0.22) : rng.uniform(0.02, 0.09);
+  br.r = br.x * rng.uniform(0.15, 0.35);
+  br.b_charging = rng.uniform(0.005, tie_line ? 0.06 : 0.04);
+  return br;
+}
+
+}  // namespace
+
+GeneratedCase generate_synthetic(const SyntheticSpec& spec) {
+  const int m = static_cast<int>(spec.subsystem_sizes.size());
+  if (m == 0) {
+    throw InvalidInput("synthetic spec: no subsystems");
+  }
+  for (const int s : spec.subsystem_sizes) {
+    if (s < 2) {
+      throw InvalidInput("synthetic spec: subsystems need at least 2 buses");
+    }
+  }
+  for (const auto& [a, b] : spec.decomposition_edges) {
+    if (a < 0 || a >= m || b < 0 || b >= m || a == b) {
+      throw InvalidInput("synthetic spec: bad decomposition edge (" +
+                         std::to_string(a) + "," + std::to_string(b) + ")");
+    }
+  }
+  if (spec.tie_lines_per_edge < 1) {
+    throw InvalidInput("synthetic spec: tie_lines_per_edge must be >= 1");
+  }
+
+  Rng rng(spec.seed);
+  GeneratedCase out;
+  out.kase.name = strfmt("synthetic_m%d", m);
+  out.kase.base_mva = 100.0;
+  out.decomposition_edges = spec.decomposition_edges;
+  grid::Network& net = out.kase.network;
+
+  // --- buses ----------------------------------------------------------------
+  std::vector<std::vector<grid::BusIndex>> subsystem_buses(
+      static_cast<std::size_t>(m));
+  int next_external = 1;
+  for (int s = 0; s < m; ++s) {
+    const int n = spec.subsystem_sizes[static_cast<std::size_t>(s)];
+    for (int i = 0; i < n; ++i) {
+      grid::Bus bus;
+      bus.external_id = next_external++;
+      bus.type = grid::BusType::kPQ;
+      const double pd = rng.uniform(0.5, 1.5) * spec.load_mean_mw / 100.0;
+      bus.p_load = pd;
+      bus.q_load = pd * rng.uniform(0.25, 0.40);
+      bus.name = strfmt("s%d_b%d", s + 1, i + 1);
+      const auto idx = net.add_bus(std::move(bus));
+      subsystem_buses[static_cast<std::size_t>(s)].push_back(idx);
+      out.subsystem_of_bus.push_back(s);
+    }
+  }
+
+  // --- generators ------------------------------------------------------------
+  // Per subsystem: pick roughly one PV bus per buses_per_generator buses and
+  // split ~92% of the subsystem load among them (the slack supplies losses
+  // and the remainder, keeping its injection moderate).
+  for (int s = 0; s < m; ++s) {
+    auto& buses = subsystem_buses[static_cast<std::size_t>(s)];
+    double subsystem_load = 0.0;
+    for (const auto bi : buses) {
+      subsystem_load += net.bus(bi).p_load;
+    }
+    const int gens = std::max<int>(
+        1, static_cast<int>(buses.size()) / std::max(1, spec.buses_per_generator));
+    std::vector<grid::BusIndex> shuffled = buses;
+    rng.shuffle(shuffled);
+    for (int g = 0; g < gens; ++g) {
+      const auto bi = shuffled[static_cast<std::size_t>(g)];
+      net.set_bus_type(bi, grid::BusType::kPV, rng.uniform(1.01, 1.05));
+      // Near-complete local coverage: only losses flow in over the tie
+      // lines, which keeps arbitrarily large interconnections power-flow
+      // feasible from a flat start.
+      net.add_generation(bi, 0.98 * subsystem_load / gens, 0.0);
+    }
+  }
+  // Global slack: first bus of subsystem 0 (re-typed even if PV landed there).
+  net.set_bus_type(subsystem_buses[0][0], grid::BusType::kSlack, 1.04);
+
+  // --- intra-subsystem branches ----------------------------------------------
+  for (int s = 0; s < m; ++s) {
+    const auto& buses = subsystem_buses[static_cast<std::size_t>(s)];
+    const int n = static_cast<int>(buses.size());
+    // random spanning tree: connect bus i to a random earlier bus
+    for (int i = 1; i < n; ++i) {
+      const int j = static_cast<int>(rng.uniform_int(0, i - 1));
+      net.add_branch(make_line(buses[static_cast<std::size_t>(j)],
+                               buses[static_cast<std::size_t>(i)], rng,
+                               /*tie_line=*/false));
+    }
+    // extra meshing edges
+    const int extra =
+        static_cast<int>(spec.extra_edge_fraction * static_cast<double>(n));
+    int attempts = 0;
+    int added = 0;
+    std::set<std::pair<int, int>> existing;
+    while (added < extra && attempts < extra * 20) {
+      ++attempts;
+      const int a = static_cast<int>(rng.uniform_int(0, n - 1));
+      const int b = static_cast<int>(rng.uniform_int(0, n - 1));
+      if (a == b) continue;
+      const auto key = std::minmax(a, b);
+      if (existing.count(key) > 0) continue;
+      const auto ba = buses[static_cast<std::size_t>(a)];
+      const auto bb = buses[static_cast<std::size_t>(b)];
+      bool dup = false;
+      for (const auto bri : net.branches_at(ba)) {
+        const grid::Branch& br = net.branch(bri);
+        if ((br.from == ba && br.to == bb) || (br.from == bb && br.to == ba)) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      existing.insert(key);
+      net.add_branch(make_line(ba, bb, rng, /*tie_line=*/false));
+      ++added;
+    }
+  }
+
+  // --- tie lines -------------------------------------------------------------
+  for (const auto& [a, b] : spec.decomposition_edges) {
+    const auto& ba = subsystem_buses[static_cast<std::size_t>(a)];
+    const auto& bb = subsystem_buses[static_cast<std::size_t>(b)];
+    std::set<std::pair<grid::BusIndex, grid::BusIndex>> used;
+    for (int t = 0; t < spec.tie_lines_per_edge; ++t) {
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        const auto u = ba[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ba.size()) - 1))];
+        const auto v = bb[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(bb.size()) - 1))];
+        if (used.count({u, v}) > 0) continue;
+        used.insert({u, v});
+        net.add_branch(make_line(u, v, rng, /*tie_line=*/true));
+        break;
+      }
+    }
+  }
+
+  net.validate();
+  return out;
+}
+
+GeneratedCase ieee118_dse(std::uint64_t seed) {
+  SyntheticSpec spec;
+  // Table I of the paper: vertex weights == bus counts per subsystem.
+  spec.subsystem_sizes = {14, 13, 13, 13, 13, 12, 14, 13, 13};
+  // Figure 3 decomposition edges (1-based in the paper).
+  const std::pair<int, int> edges1[] = {{1, 2}, {1, 4}, {1, 5}, {2, 3},
+                                        {2, 6}, {3, 6}, {4, 5}, {4, 7},
+                                        {5, 6}, {5, 7}, {5, 8}, {7, 9}};
+  for (const auto& [a, b] : edges1) {
+    spec.decomposition_edges.emplace_back(a - 1, b - 1);
+  }
+  spec.tie_lines_per_edge = 2;
+  spec.seed = seed;
+  GeneratedCase out = generate_synthetic(spec);
+  out.kase.name = "ieee118_dse";
+  return out;
+}
+
+GeneratedCase wecc37(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.seed = seed;
+  Rng rng(seed ^ 0x37ecc);
+  // 37 balancing authorities of uneven size (large coastal utilities,
+  // small inland ones).
+  for (int s = 0; s < 37; ++s) {
+    spec.subsystem_sizes.push_back(static_cast<int>(rng.uniform_int(8, 24)));
+  }
+  // Irregular backbone: a long north-south "coast" chain with an inland
+  // chain, cross-ties between them, plus a few long-range interties.
+  for (int s = 0; s + 1 < 19; ++s) {
+    spec.decomposition_edges.emplace_back(s, s + 1);  // coast chain 0..18
+  }
+  for (int s = 19; s + 1 < 37; ++s) {
+    spec.decomposition_edges.emplace_back(s, s + 1);  // inland chain 19..36
+  }
+  for (int s = 0; s < 18; ++s) {
+    if (s % 3 == 0) {
+      spec.decomposition_edges.emplace_back(s, 19 + s);  // cross ties
+    }
+  }
+  spec.decomposition_edges.emplace_back(0, 36);   // intertie loop closure
+  spec.decomposition_edges.emplace_back(9, 28);   // mid intertie
+  spec.decomposition_edges.emplace_back(4, 33);
+  spec.tie_lines_per_edge = 2;
+  GeneratedCase out = generate_synthetic(spec);
+  out.kase.name = "wecc37";
+  return out;
+}
+
+SyntheticSpec make_mesh_spec(int rows, int cols, int buses_per,
+                             std::uint64_t seed) {
+  if (rows < 1 || cols < 1 || buses_per < 2) {
+    throw InvalidInput("make_mesh_spec: bad dimensions");
+  }
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.subsystem_sizes.assign(static_cast<std::size_t>(rows * cols), buses_per);
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) spec.decomposition_edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) spec.decomposition_edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return spec;
+}
+
+SyntheticSpec make_ring_spec(int m, int buses_per, int chords,
+                             std::uint64_t seed) {
+  if (m < 3 || buses_per < 2 || chords < 0) {
+    throw InvalidInput("make_ring_spec: bad dimensions");
+  }
+  SyntheticSpec spec;
+  spec.seed = seed;
+  spec.subsystem_sizes.assign(static_cast<std::size_t>(m), buses_per);
+  for (int i = 0; i < m; ++i) {
+    spec.decomposition_edges.emplace_back(i, (i + 1) % m);
+  }
+  Rng rng(seed ^ 0xc0ffee);
+  std::set<std::pair<int, int>> used;
+  for (int i = 0; i < m; ++i) {
+    used.insert(std::minmax(i, (i + 1) % m));
+  }
+  int added = 0;
+  int attempts = 0;
+  while (added < chords && attempts < chords * 50) {
+    ++attempts;
+    const int a = static_cast<int>(rng.uniform_int(0, m - 1));
+    const int b = static_cast<int>(rng.uniform_int(0, m - 1));
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (used.count(key) > 0) continue;
+    used.insert(key);
+    spec.decomposition_edges.emplace_back(key.first, key.second);
+    ++added;
+  }
+  return spec;
+}
+
+}  // namespace gridse::io

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "io/case_format.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::io {
+
+/// Recipe for a synthetic interconnection built as a set of subsystems
+/// joined by tie lines — the shape the paper's DSE operates on. Every value
+/// is deterministic given `seed`.
+struct SyntheticSpec {
+  /// Bus count per subsystem; the vector length is the subsystem count m.
+  std::vector<int> subsystem_sizes;
+  /// Decomposition-graph edges (0-based subsystem indices). Tie lines are
+  /// created only between these pairs.
+  std::vector<std::pair<int, int>> decomposition_edges;
+  /// Physical tie lines materialized per decomposition edge.
+  int tie_lines_per_edge = 2;
+  /// Extra intra-subsystem branches beyond the spanning tree, as a fraction
+  /// of the subsystem bus count (controls meshing).
+  double extra_edge_fraction = 0.6;
+  /// Mean bus load in MW (Qd follows at a 0.25–0.40 power factor ratio).
+  double load_mean_mw = 25.0;
+  /// Roughly one PV generator per this many buses in each subsystem.
+  int buses_per_generator = 6;
+  std::uint64_t seed = 42;
+};
+
+/// A generated case plus the ground-truth decomposition used to build it.
+struct GeneratedCase {
+  Case kase;
+  /// subsystem_of_bus[internal bus index] = 0-based subsystem id.
+  std::vector<int> subsystem_of_bus;
+  /// The spec's decomposition edges (echoed for convenience).
+  std::vector<std::pair<int, int>> decomposition_edges;
+
+  [[nodiscard]] int num_subsystems() const;
+};
+
+/// Build a connected, power-flow-feasible network from `spec`. The result
+/// validates and converges from a flat start by construction (moderate
+/// loading, meshed topology). Throws InvalidInput on malformed specs.
+GeneratedCase generate_synthetic(const SyntheticSpec& spec);
+
+/// The paper's IEEE-118 DSE decomposition: 118 buses in 9 subsystems of
+/// sizes {14,13,13,13,13,12,14,13,13} (Table I / Figure 3) with tie lines
+/// along the 12 decomposition edges (1,2),(1,4),(1,5),(2,3),(2,6),(3,6),
+/// (4,5),(4,7),(5,6),(5,7),(5,8),(7,9). Branch parameters are synthetic
+/// (see DESIGN.md §2): the paper's experiments depend on this decomposition
+/// structure, not on the AEP impedance set.
+GeneratedCase ieee118_dse(std::uint64_t seed = 2012);
+
+/// The paper's stated ongoing work (§VI): a WECC-style interconnection with
+/// 37 balancing authorities ("This system has 37 balancing authorities.
+/// State estimation needs to be run on each of these distributed sites in
+/// real time"). 37 subsystems of realistic, uneven sizes (8–24 buses) on an
+/// irregular western-interconnect-like topology; deterministic per seed.
+GeneratedCase wecc37(std::uint64_t seed = 37);
+
+/// Spec helper for scaling studies: `rows × cols` subsystems arranged in a
+/// 2-D mesh (each subsystem tied to its grid neighbours), `buses_per`
+/// buses each.
+SyntheticSpec make_mesh_spec(int rows, int cols, int buses_per,
+                             std::uint64_t seed = 7);
+
+/// Spec helper: m subsystems on a ring with `chords` random long-range
+/// decomposition edges.
+SyntheticSpec make_ring_spec(int m, int buses_per, int chords,
+                             std::uint64_t seed = 7);
+
+}  // namespace gridse::io

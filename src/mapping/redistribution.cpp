@@ -1,0 +1,42 @@
+#include "mapping/redistribution.hpp"
+
+#include "util/error.hpp"
+
+namespace gridse::mapping {
+
+std::size_t RedistributionPlan::total_bytes() const {
+  std::size_t total = 0;
+  for (const RedistributionMove& m : moves) {
+    total += m.estimated_bytes;
+  }
+  return total;
+}
+
+RedistributionPlan plan_redistribution(const decomp::Decomposition& d,
+                                       std::span<const graph::PartId> before,
+                                       std::span<const graph::PartId> after,
+                                       std::size_t bytes_per_bus,
+                                       std::size_t solution_bytes_per_bus) {
+  GRIDSE_CHECK(static_cast<int>(before.size()) == d.num_subsystems());
+  GRIDSE_CHECK(before.size() == after.size());
+  RedistributionPlan plan;
+  for (const decomp::Subsystem& s : d.subsystems) {
+    const auto idx = static_cast<std::size_t>(s.id);
+    if (before[idx] == after[idx]) {
+      continue;
+    }
+    RedistributionMove move;
+    move.subsystem = s.id;
+    move.from_cluster = before[idx];
+    move.to_cluster = after[idx];
+    // Step 2 needs the raw measurements of the boundary + sensitive buses at
+    // the new host, and the subsystem's Step-1 solution for every bus.
+    move.estimated_bytes =
+        static_cast<std::size_t>(s.gs()) * bytes_per_bus +
+        s.buses.size() * solution_bytes_per_bus;
+    plan.moves.push_back(move);
+  }
+  return plan;
+}
+
+}  // namespace gridse::mapping

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "decomp/decomposition.hpp"
+#include "graph/partition.hpp"
+
+namespace gridse::mapping {
+
+/// A planned data movement caused by re-mapping a subsystem between DSE
+/// Step 1 and Step 2 (paper §IV-C: "some of the raw measurements data for a
+/// subsystem may need to be redistributed to another HPC cluster").
+struct RedistributionMove {
+  int subsystem = 0;
+  graph::PartId from_cluster = 0;
+  graph::PartId to_cluster = 0;
+  /// Estimated payload: raw measurements of the subsystem's boundary and
+  /// sensitive-internal buses plus its Step-1 solution.
+  std::size_t estimated_bytes = 0;
+};
+
+struct RedistributionPlan {
+  std::vector<RedistributionMove> moves;
+
+  [[nodiscard]] std::size_t total_bytes() const;
+  [[nodiscard]] bool empty() const { return moves.empty(); }
+};
+
+/// Diff two subsystem→cluster assignments into the move list, sizing each
+/// move at `bytes_per_bus` (a calibration constant for the raw-measurement
+/// footprint of one bus) times the subsystem's gs() bus count, plus
+/// `solution_bytes_per_bus` for the Step-1 state.
+RedistributionPlan plan_redistribution(
+    const decomp::Decomposition& d, std::span<const graph::PartId> before,
+    std::span<const graph::PartId> after, std::size_t bytes_per_bus = 4096,
+    std::size_t solution_bytes_per_bus = 16);
+
+}  // namespace gridse::mapping

@@ -1,0 +1,40 @@
+#include "mapping/weight_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridse::mapping {
+
+double noise_from_time_frame(double t, const WeightModelParams& params) {
+  GRIDSE_CHECK_MSG(params.noise_period_sec > 0.0,
+                   "noise period must be positive");
+  constexpr double kTwoPi = 6.28318530717958647692;
+  const double phase = kTwoPi * t / params.noise_period_sec;
+  const double x =
+      params.base_noise + params.noise_amplitude * std::sin(phase);
+  return std::max(x, 0.0);
+}
+
+double predicted_iterations(double noise, const WeightModelParams& params) {
+  GRIDSE_CHECK_MSG(noise >= 0.0, "noise level must be nonnegative");
+  return params.g1 * noise + params.g2;
+}
+
+double vertex_weight(int num_buses, double noise,
+                     const WeightModelParams& params) {
+  GRIDSE_CHECK_MSG(num_buses > 0, "vertex weight needs a positive bus count");
+  return static_cast<double>(num_buses) * predicted_iterations(noise, params);
+}
+
+double edge_weight(int gs1, int gs2) {
+  GRIDSE_CHECK_MSG(gs1 >= 0 && gs2 >= 0, "gs counts must be nonnegative");
+  return static_cast<double>(gs1 + gs2);
+}
+
+double edge_weight_upper_bound(int buses1, int buses2) {
+  GRIDSE_CHECK_MSG(buses1 > 0 && buses2 > 0, "bus counts must be positive");
+  return static_cast<double>(buses1 + buses2);
+}
+
+}  // namespace gridse::mapping

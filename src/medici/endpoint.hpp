@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gridse::medici {
+
+/// A MeDICi endpoint URL ("each state estimator or data source is uniquely
+/// identified by a URL", paper §IV-A), e.g. "tcp://127.0.0.1:6789".
+/// This prototype routes everything over loopback TCP, mirroring the
+/// single-lab-network testbed.
+struct EndpointUrl {
+  std::string protocol = "tcp";
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const EndpointUrl&) const = default;
+};
+
+/// Parse "tcp://host:port". Throws InvalidInput on malformed URLs or
+/// non-tcp protocols.
+EndpointUrl parse_endpoint(const std::string& url);
+
+/// A fresh loopback endpoint with a kernel-assigned free port. The port is
+/// reserved by binding briefly, then released — callers bind it again
+/// immediately. Collisions are possible in principle but not in the
+/// single-process testbed.
+EndpointUrl ephemeral_endpoint();
+
+}  // namespace gridse::medici

@@ -1,0 +1,179 @@
+#include "medici/medici_comm.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace gridse::medici {
+namespace {
+
+constexpr int kBarrierArriveTag = MediciWorld::kMaxUserTag + 1;
+constexpr int kBarrierReleaseTag = MediciWorld::kMaxUserTag + 2;
+
+}  // namespace
+
+class MediciCommunicatorImpl final : public runtime::Communicator {
+ public:
+  MediciCommunicatorImpl(MediciWorld* world, int rank)
+      : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return world_->size(); }
+
+  void send(int dest, int tag, std::vector<std::uint8_t> payload) override {
+    send_tagged(dest, tag, payload, /*allow_reserved=*/false);
+  }
+
+  runtime::Message recv(int source, int tag) override {
+    if (tag != runtime::kAnyTag && tag > MediciWorld::kMaxUserTag) {
+      throw CommError("medici recv: tag above kMaxUserTag is reserved");
+    }
+    return world_->clients_[static_cast<std::size_t>(rank_)]->recv(source, tag);
+  }
+
+  void barrier() override {
+    MwClient& me = *world_->clients_[static_cast<std::size_t>(rank_)];
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r) {
+        (void)me.recv(runtime::kAnySource, kBarrierArriveTag);
+      }
+      for (int r = 1; r < size(); ++r) {
+        send_tagged(r, kBarrierReleaseTag, {}, /*allow_reserved=*/true);
+      }
+    } else {
+      send_tagged(0, kBarrierArriveTag, {}, /*allow_reserved=*/true);
+      (void)me.recv(0, kBarrierReleaseTag);
+    }
+  }
+
+  [[nodiscard]] std::size_t bytes_sent() const override {
+    return world_->clients_[static_cast<std::size_t>(rank_)]->bytes_sent();
+  }
+
+ private:
+  void send_tagged(int dest, int tag, const std::vector<std::uint8_t>& payload,
+                   bool allow_reserved) {
+    if (dest < 0 || dest >= size()) {
+      throw CommError("medici send: bad destination rank " +
+                      std::to_string(dest));
+    }
+    if (tag < 0 || (!allow_reserved && tag > MediciWorld::kMaxUserTag)) {
+      throw CommError("medici send: bad tag " + std::to_string(tag));
+    }
+    const EndpointUrl& target =
+        world_->send_target_[static_cast<std::size_t>(rank_)]
+                            [static_cast<std::size_t>(dest)];
+    world_->clients_[static_cast<std::size_t>(rank_)]->send(
+        target, tag, payload, world_->link_model_);
+  }
+
+  MediciWorld* world_;
+  int rank_;
+};
+
+MediciWorld::MediciWorld(int size, TransportMode mode, NetModel relay_model,
+                         NetModel link_model)
+    : mode_(mode), link_model_(link_model) {
+  GRIDSE_CHECK_MSG(size > 0, "world size must be positive");
+  clients_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    clients_.push_back(std::make_unique<MwClient>(r));
+  }
+  send_target_.resize(static_cast<std::size_t>(size));
+  pipelines_.resize(static_cast<std::size_t>(size));
+  for (int s = 0; s < size; ++s) {
+    send_target_[static_cast<std::size_t>(s)].resize(
+        static_cast<std::size_t>(size));
+    pipelines_[static_cast<std::size_t>(s)].resize(
+        static_cast<std::size_t>(size));
+    for (int d = 0; d < size; ++d) {
+      if (s == d) {
+        send_target_[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] =
+            clients_[static_cast<std::size_t>(d)]->endpoint();
+        continue;
+      }
+      if (mode_ == TransportMode::kDirectTcp) {
+        send_target_[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] =
+            clients_[static_cast<std::size_t>(d)]->endpoint();
+      } else {
+        // One MeDICi pipeline per directed pair (paper §IV-C), from an
+        // ephemeral inbound endpoint to the destination's own URL.
+        auto pipeline = std::make_unique<MifPipeline>();
+        pipeline->set_relay_model(relay_model);
+        auto& conn = pipeline->add_mif_connector(EndpointProtocol::kTcp);
+        conn.set_property("tcpProtocol", "EOFProtocol");
+        auto& comp = pipeline->add_mif_component(
+            "SE_" + std::to_string(s) + "_to_" + std::to_string(d));
+        comp.set_in_name_endpoint("tcp://127.0.0.1:0");
+        comp.set_out_hal_endpoint(
+            clients_[static_cast<std::size_t>(d)]->endpoint().to_string());
+        pipeline->start();
+        send_target_[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] =
+            comp.inbound();  // ephemeral port resolved by start()
+        pipelines_[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] =
+            std::move(pipeline);
+      }
+    }
+  }
+}
+
+MediciWorld::~MediciWorld() {
+  // Pipelines stop before clients so relays do not log noisy warnings about
+  // vanished downstream endpoints.
+  for (auto& row : pipelines_) {
+    for (auto& p : row) {
+      if (p) p->stop();
+    }
+  }
+  for (auto& c : clients_) {
+    c->stop();
+  }
+}
+
+std::unique_ptr<runtime::Communicator> MediciWorld::communicator(int rank) {
+  GRIDSE_CHECK_MSG(rank >= 0 && rank < size(), "rank out of range");
+  return std::make_unique<MediciCommunicatorImpl>(this, rank);
+}
+
+void MediciWorld::run(
+    const std::function<void(runtime::Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size()));
+  threads.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        const auto comm = communicator(r);
+        fn(*comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+const EndpointUrl& MediciWorld::endpoint_of(int rank) const {
+  GRIDSE_CHECK_MSG(rank >= 0 && rank < size(), "rank out of range");
+  return clients_[static_cast<std::size_t>(rank)]->endpoint();
+}
+
+RelayStats MediciWorld::relay_stats() const {
+  RelayStats total;
+  for (const auto& row : pipelines_) {
+    for (const auto& p : row) {
+      if (!p) continue;
+      const RelayStats s = p->stats();
+      total.messages += s.messages;
+      total.bytes += s.bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace gridse::medici

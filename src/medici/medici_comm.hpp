@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "medici/mw_client.hpp"
+#include "medici/pipeline.hpp"
+#include "runtime/communicator.hpp"
+
+namespace gridse::medici {
+
+/// Transport selection for a MediciWorld.
+enum class TransportMode {
+  kViaMiddleware,  ///< all traffic hops through a MeDICi pipeline relay
+  kDirectTcp       ///< peers connect directly (the paper's "w/o MeDICi" mode)
+};
+
+/// A world of estimator endpoints wired the way the paper's prototype is
+/// (§IV-C): one MwClient per rank, and in middleware mode one MeDICi
+/// pipeline per directed pair of ranks. Exposes runtime::Communicator so the
+/// DSE driver runs unchanged over in-process channels, raw TCP, or MeDICi.
+class MediciWorld {
+ public:
+  /// `relay_model` paces the middleware hop (ignored in direct mode);
+  /// `link_model` paces the sender's own uplink in both modes (use
+  /// gige_network_model() to emulate the cross-network scenario).
+  MediciWorld(int size, TransportMode mode,
+              NetModel relay_model = medici_relay_model(),
+              NetModel link_model = unshaped_model());
+  ~MediciWorld();
+
+  MediciWorld(const MediciWorld&) = delete;
+  MediciWorld& operator=(const MediciWorld&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(clients_.size()); }
+  [[nodiscard]] TransportMode mode() const { return mode_; }
+
+  /// Communicator bound to `rank`; the world must outlive it.
+  [[nodiscard]] std::unique_ptr<runtime::Communicator> communicator(int rank);
+
+  /// Run `fn(comm)` on one thread per rank and join (first exception
+  /// rethrown).
+  void run(const std::function<void(runtime::Communicator&)>& fn);
+
+  /// The estimator's own URL (paper: "each state estimator … is uniquely
+  /// identified by a URL").
+  [[nodiscard]] const EndpointUrl& endpoint_of(int rank) const;
+
+  /// Total bytes relayed through all pipelines (0 in direct mode).
+  [[nodiscard]] RelayStats relay_stats() const;
+
+  static constexpr int kMaxUserTag = 1 << 20;
+
+ private:
+  friend class MediciCommunicatorImpl;
+
+  TransportMode mode_;
+  NetModel link_model_;
+  std::vector<std::unique_ptr<MwClient>> clients_;
+  /// pipelines_[src][dst] (middleware mode only; null on the diagonal).
+  std::vector<std::vector<std::unique_ptr<MifPipeline>>> pipelines_;
+  /// send_target_[src][dst]: where rank src writes for rank dst — the
+  /// pipeline inbound endpoint, or dst's own endpoint in direct mode.
+  std::vector<std::vector<EndpointUrl>> send_target_;
+};
+
+}  // namespace gridse::medici

@@ -1,0 +1,144 @@
+#include "medici/mw_client.hpp"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "medici/wire.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace gridse::medici {
+
+MwClient::MwClient(int id) : MwClient(id, EndpointUrl{}) {}
+
+MwClient::MwClient(int id, EndpointUrl listen)
+    : id_(id), endpoint_(std::move(listen)) {
+  std::uint16_t port = endpoint_.port;
+  listener_ = runtime::Socket::listen_loopback(port);
+  endpoint_.port = port;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+MwClient::~MwClient() { stop(); }
+
+void MwClient::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listener_.valid()) {
+    ::shutdown(listener_.fd(), SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    for (auto& [key, sock] : connections_) {
+      if (sock.valid()) {
+        ::shutdown(sock.fd(), SHUT_RDWR);
+      }
+    }
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    readers.swap(readers_);
+    for (const int fd : live_fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // wake readers blocked in recv
+    }
+    live_fds_.clear();
+  }
+  for (auto& r : readers) {
+    r.join();
+  }
+}
+
+void MwClient::accept_loop() {
+  for (;;) {
+    runtime::Socket conn;
+    try {
+      conn = listener_.accept();
+    } catch (const CommError&) {
+      return;
+    }
+    if (stopping_.load()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    live_fds_.push_back(conn.fd());
+    readers_.emplace_back(
+        [this, c = std::move(conn)]() mutable { read_loop(std::move(c)); });
+  }
+}
+
+void MwClient::read_loop(runtime::Socket conn) {
+  try {
+    for (;;) {
+      WireHeader header{};
+      std::uint8_t probe = 0;
+      if (conn.recv_some(&probe, 1) == 0) {
+        return;
+      }
+      std::memcpy(&header, &probe, 1);
+      conn.recv_all(reinterpret_cast<std::uint8_t*>(&header) + 1,
+                    sizeof header - 1);
+      runtime::Message m;
+      m.source = header.source;
+      m.tag = header.tag;
+      m.payload.resize(header.length);
+      if (header.length > 0) {
+        conn.recv_all(m.payload.data(), m.payload.size());
+      }
+      mailbox_.deliver(std::move(m));
+    }
+  } catch (const CommError& e) {
+    if (!stopping_.load()) {
+      GRIDSE_WARN << "mw client " << id_ << " reader ended: " << e.what();
+    }
+  }
+}
+
+void MwClient::send(const EndpointUrl& to, int tag,
+                    std::span<const std::uint8_t> payload,
+                    const NetModel& shape) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  const std::string key = to.to_string();
+  // One reconnect attempt: a cached connection may have gone stale (peer
+  // restarted); drop it and re-dial before giving up. A frame is written
+  // atomically per attempt, so the receiver never sees a torn message.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto it = connections_.find(key);
+    if (it == connections_.end() || !it->second.valid()) {
+      connections_[key] = runtime::Socket::connect_loopback(to.port);
+      it = connections_.find(key);
+    }
+    try {
+      const WireHeader header{payload.size(), id_, tag};
+      Pacer pacer(shape);
+      pacer.pace(sizeof header);
+      it->second.send_all(&header, sizeof header);
+      std::size_t off = 0;
+      while (off < payload.size()) {
+        const std::size_t n = std::min(kWireChunk, payload.size() - off);
+        pacer.pace(n);
+        it->second.send_all(payload.data() + off, n);
+        off += n;
+      }
+      bytes_sent_ += payload.size();
+      return;
+    } catch (const CommError&) {
+      connections_.erase(key);
+      if (attempt == 1) {
+        throw;
+      }
+      GRIDSE_DEBUG << "mw client " << id_ << ": reconnecting to " << key;
+    }
+  }
+}
+
+runtime::Message MwClient::recv(int source, int tag) {
+  return mailbox_.take(source, tag);
+}
+
+}  // namespace gridse::medici

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "medici/endpoint.hpp"
+#include "medici/netmodel.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/socket.hpp"
+
+namespace gridse::medici {
+
+/// The interface-layer middleware client of the paper (§IV-A): deployed on
+/// each site's master node, it "wraps the communication code for
+/// disseminating and retrieving data". One MwClient both serves this
+/// estimator's own endpoint (receiving deliveries) and opens outgoing
+/// connections — to a MeDICi pipeline's inbound endpoint (middleware mode)
+/// or straight to a peer's endpoint (direct TCP mode).
+class MwClient {
+ public:
+  /// Listen on an ephemeral loopback endpoint.
+  explicit MwClient(int id);
+  /// Listen on a caller-chosen endpoint (port may be 0 for ephemeral).
+  MwClient(int id, EndpointUrl listen);
+  ~MwClient();
+
+  MwClient(const MwClient&) = delete;
+  MwClient& operator=(const MwClient&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const EndpointUrl& endpoint() const { return endpoint_; }
+
+  /// MW_Client_Send of Fig. 6: frame the payload and write it to `to`
+  /// (paced by `shape`). Connections are cached per destination endpoint.
+  void send(const EndpointUrl& to, int tag,
+            std::span<const std::uint8_t> payload,
+            const NetModel& shape = {});
+
+  /// MW_Client_Recv of Fig. 6: block for the next message matching
+  /// (source, tag); wildcards as in runtime::Communicator.
+  runtime::Message recv(int source = runtime::kAnySource,
+                        int tag = runtime::kAnyTag);
+
+  /// Total payload bytes sent.
+  [[nodiscard]] std::size_t bytes_sent() const { return bytes_sent_; }
+
+  /// Messages queued but not yet received (non-blocking probe).
+  [[nodiscard]] std::size_t pending() const { return mailbox_.pending(); }
+
+  /// Stop serving (idempotent; also called by the destructor).
+  void stop();
+
+ private:
+  void accept_loop();
+  void read_loop(runtime::Socket conn);
+
+  int id_;
+  EndpointUrl endpoint_;
+  runtime::Socket listener_;
+  std::thread acceptor_;
+  std::vector<std::thread> readers_;
+  std::vector<int> live_fds_;  // accepted connections, shut down on stop()
+  std::mutex readers_mutex_;
+  runtime::Mailbox mailbox_;
+  std::map<std::string, runtime::Socket> connections_;
+  std::mutex send_mutex_;
+  std::size_t bytes_sent_ = 0;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace gridse::medici

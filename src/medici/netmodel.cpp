@@ -1,0 +1,52 @@
+#include "medici/netmodel.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace gridse::medici {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+NetModel gige_network_model() {
+  // Calibrated to the paper's Table IV direct-TCP rate: 2 GB / 17.75 s ≈
+  // 115 MB/s (a loaded gigabit lab network).
+  return {115.0 * 1024.0 * 1024.0, 1e-4};
+}
+
+NetModel medici_relay_model() {
+  // §V-B: "the data relaying rate through the middleware is around 0.4GB/s".
+  return {0.4 * 1024.0 * 1024.0 * 1024.0, 3e-4};
+}
+
+NetModel unshaped_model() { return {}; }
+
+Pacer::Pacer(NetModel model) : model_(model) {}
+
+void Pacer::pace(std::size_t chunk_bytes) {
+  if (model_.is_unshaped()) {
+    return;
+  }
+  const double now = now_seconds();
+  if (first_) {
+    first_ = false;
+    start_time_ = now;
+    credit_time_ = model_.latency_sec;
+  }
+  if (model_.bandwidth_bytes_per_sec > 0.0) {
+    credit_time_ += static_cast<double>(chunk_bytes) /
+                    model_.bandwidth_bytes_per_sec;
+  }
+  const double due = start_time_ + credit_time_;
+  if (due > now) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(due - now));
+  }
+}
+
+}  // namespace gridse::medici

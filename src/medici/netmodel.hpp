@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+namespace gridse::medici {
+
+/// Link shaping applied to a socket path to emulate the paper's network
+/// segments on loopback hardware (DESIGN.md §2): the lab GigE path between
+/// the workstation and the cluster (~115 MB/s as measured in Table IV) and
+/// the middleware's internal relay rate (~0.4 GB/s, §V-B).
+struct NetModel {
+  /// 0 = unshaped (raw loopback).
+  double bandwidth_bytes_per_sec = 0.0;
+  /// One-way latency added per message, seconds.
+  double latency_sec = 0.0;
+
+  [[nodiscard]] bool is_unshaped() const {
+    return bandwidth_bytes_per_sec <= 0.0 && latency_sec <= 0.0;
+  }
+};
+
+/// Paper-calibrated models.
+NetModel gige_network_model();      ///< ~115 MB/s, 0.1 ms (Table IV direct path)
+NetModel medici_relay_model();      ///< ~0.4 GB/s relay rate (§V-B)
+NetModel unshaped_model();          ///< raw loopback
+
+/// Rate limiter enforcing a NetModel on a byte stream. Call `pace` before
+/// sending each chunk; it sleeps just enough that the cumulative stream
+/// never exceeds the modelled bandwidth.
+class Pacer {
+ public:
+  explicit Pacer(NetModel model);
+
+  /// Account `chunk_bytes` and sleep as required. First call also pays the
+  /// latency charge.
+  void pace(std::size_t chunk_bytes);
+
+ private:
+  NetModel model_;
+  double credit_time_ = 0.0;  // seconds of transmission time owed
+  bool first_ = true;
+  double start_time_ = 0.0;
+};
+
+}  // namespace gridse::medici

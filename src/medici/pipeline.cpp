@@ -1,0 +1,75 @@
+#include "medici/pipeline.hpp"
+
+#include "util/error.hpp"
+
+namespace gridse::medici {
+
+void MifConnector::set_property(const std::string& name,
+                                const std::string& value) {
+  if (name == "tcpProtocol" && value != "EOFProtocol") {
+    throw InvalidInput("MifConnector: only the EOFProtocol framing is "
+                       "implemented");
+  }
+  properties_.emplace_back(name, value);
+}
+
+void MifComponent::set_in_name_endpoint(const std::string& url) {
+  inbound_ = parse_endpoint(url);
+}
+
+void MifComponent::set_out_hal_endpoint(const std::string& url) {
+  outbound_ = parse_endpoint(url);
+}
+
+MifPipeline::~MifPipeline() { stop(); }
+
+MifConnector& MifPipeline::add_mif_connector(EndpointProtocol protocol) {
+  GRIDSE_CHECK_MSG(!running_, "cannot reconfigure a running pipeline");
+  connectors_.push_back(std::make_unique<MifConnector>(protocol));
+  return *connectors_.back();
+}
+
+MifComponent& MifPipeline::add_mif_component(std::string name) {
+  GRIDSE_CHECK_MSG(!running_, "cannot reconfigure a running pipeline");
+  components_.push_back(std::make_unique<MifComponent>(std::move(name)));
+  return *components_.back();
+}
+
+void MifPipeline::start() {
+  GRIDSE_CHECK_MSG(!running_, "pipeline already started");
+  GRIDSE_CHECK_MSG(!connectors_.empty(),
+                   "pipeline needs a connector (add_mif_connector)");
+  GRIDSE_CHECK_MSG(!components_.empty(),
+                   "pipeline needs at least one component");
+  for (const auto& comp : components_) {
+    if (comp->outbound().port == 0) {
+      throw InvalidInput("component '" + comp->name() +
+                         "' has no outbound endpoint");
+    }
+    relays_.push_back(std::make_unique<Relay>(comp->inbound(),
+                                              comp->outbound(), relay_model_));
+    relays_.back()->start();
+    comp->inbound_ = relays_.back()->inbound();  // ephemeral port resolved
+  }
+  running_ = true;
+}
+
+void MifPipeline::stop() {
+  for (auto& relay : relays_) {
+    relay->stop();
+  }
+  relays_.clear();
+  running_ = false;
+}
+
+RelayStats MifPipeline::stats() const {
+  RelayStats total;
+  for (const auto& relay : relays_) {
+    const RelayStats s = relay->stats();
+    total.messages += s.messages;
+    total.bytes += s.bytes;
+  }
+  return total;
+}
+
+}  // namespace gridse::medici

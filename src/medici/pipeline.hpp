@@ -1,0 +1,92 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "medici/netmodel.hpp"
+#include "medici/router.hpp"
+
+namespace gridse::medici {
+
+enum class EndpointProtocol { kTcp };
+
+/// Connector facade mirroring the MifConnector of the paper's Fig. 7 sample
+/// code ("conn.setProperty(\"tcpProtocol\", new EOFProtocol())"); properties
+/// are recorded but only the TCP/EOF framing this prototype implements is
+/// accepted.
+class MifConnector {
+ public:
+  explicit MifConnector(EndpointProtocol protocol) : protocol_(protocol) {}
+
+  void set_property(const std::string& name, const std::string& value);
+  [[nodiscard]] EndpointProtocol protocol() const { return protocol_; }
+
+ private:
+  EndpointProtocol protocol_;
+  std::vector<std::pair<std::string, std::string>> properties_;
+};
+
+/// A pipeline component with inbound/outbound endpoints — the "SESocket"
+/// component of Fig. 7.
+class MifComponent {
+ public:
+  explicit MifComponent(std::string name) : name_(std::move(name)) {}
+
+  /// Fig. 7: SE.setInNameEndp("tcp://nwiceb.pnl.gov:6789")
+  void set_in_name_endpoint(const std::string& url);
+  /// Fig. 7: SE.setOutHalEndp("tcp://chinook.emsl.pnl.gov:7890")
+  void set_out_hal_endpoint(const std::string& url);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const EndpointUrl& inbound() const { return inbound_; }
+  [[nodiscard]] const EndpointUrl& outbound() const { return outbound_; }
+
+ private:
+  friend class MifPipeline;
+  std::string name_;
+  EndpointUrl inbound_;
+  EndpointUrl outbound_;
+};
+
+/// A MeDICi pipeline: one one-way communication channel between two state
+/// estimators (paper §IV-C). start() binds each component's inbound endpoint
+/// and relays everything to its outbound endpoint through a
+/// store-and-forward hop.
+class MifPipeline {
+ public:
+  MifPipeline() = default;
+  ~MifPipeline();
+
+  MifPipeline(const MifPipeline&) = delete;
+  MifPipeline& operator=(const MifPipeline&) = delete;
+
+  MifConnector& add_mif_connector(EndpointProtocol protocol);
+  MifComponent& add_mif_component(std::string name);
+
+  /// Pace relayed traffic with `model` (default: the paper-calibrated
+  /// ~0.4 GB/s relay rate; pass unshaped_model() for raw loopback).
+  void set_relay_model(NetModel model) { relay_model_ = model; }
+
+  /// Bind inbound endpoints and begin relaying. Components whose inbound
+  /// port is 0 get an ephemeral port (readable via their inbound() after
+  /// start). Throws CommError when a bind fails.
+  void start();
+
+  /// Stop all relays (idempotent).
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Aggregate stats across this pipeline's relays.
+  [[nodiscard]] RelayStats stats() const;
+
+ private:
+  std::vector<std::unique_ptr<MifConnector>> connectors_;
+  std::vector<std::unique_ptr<MifComponent>> components_;
+  std::vector<std::unique_ptr<Relay>> relays_;
+  NetModel relay_model_ = medici_relay_model();
+  bool running_ = false;
+};
+
+}  // namespace gridse::medici

@@ -1,0 +1,118 @@
+#include "medici/router.hpp"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "medici/wire.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace gridse::medici {
+
+Relay::Relay(EndpointUrl inbound, EndpointUrl outbound, NetModel shape)
+    : inbound_(std::move(inbound)),
+      outbound_(std::move(outbound)),
+      shape_(shape) {}
+
+Relay::~Relay() { stop(); }
+
+void Relay::start() {
+  std::uint16_t port = inbound_.port;
+  listener_ = runtime::Socket::listen_loopback(port);
+  inbound_.port = port;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Relay::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listener_.valid()) {
+    ::shutdown(listener_.fd(), SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+    for (const int fd : live_fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // wake workers blocked in recv
+    }
+    live_fds_.clear();
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+}
+
+RelayStats Relay::stats() const {
+  return {messages_.load(), bytes_.load()};
+}
+
+void Relay::accept_loop() {
+  for (;;) {
+    runtime::Socket conn;
+    try {
+      conn = listener_.accept();
+    } catch (const CommError&) {
+      return;  // listener shut down
+    }
+    if (stopping_.load()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    live_fds_.push_back(conn.fd());
+    workers_.emplace_back(
+        [this, c = std::move(conn)]() mutable { relay_connection(std::move(c)); });
+  }
+}
+
+void Relay::relay_connection(runtime::Socket upstream) {
+  runtime::Socket downstream;
+  std::vector<std::uint8_t> buffer;
+  try {
+    for (;;) {
+      // ---- store: read one complete message from the source -------------
+      WireHeader header{};
+      std::uint8_t probe = 0;
+      const std::size_t got = upstream.recv_some(&probe, 1);
+      if (got == 0) {
+        return;  // orderly close
+      }
+      std::memcpy(&header, &probe, 1);
+      upstream.recv_all(reinterpret_cast<std::uint8_t*>(&header) + 1,
+                        sizeof header - 1);
+      buffer.resize(header.length);
+      if (header.length > 0) {
+        upstream.recv_all(buffer.data(), buffer.size());
+      }
+
+      // ---- forward: connect lazily, then paced chunked write -------------
+      if (!downstream.valid()) {
+        downstream = runtime::Socket::connect_loopback(outbound_.port);
+      }
+      Pacer pacer(shape_);
+      pacer.pace(sizeof header);
+      downstream.send_all(&header, sizeof header);
+      std::size_t off = 0;
+      while (off < buffer.size()) {
+        const std::size_t n = std::min(kWireChunk, buffer.size() - off);
+        pacer.pace(n);
+        downstream.send_all(buffer.data() + off, n);
+        off += n;
+      }
+      messages_.fetch_add(1);
+      bytes_.fetch_add(buffer.size());
+    }
+  } catch (const CommError& e) {
+    if (!stopping_.load()) {
+      GRIDSE_WARN << "relay " << inbound_.to_string() << " -> "
+                  << outbound_.to_string() << " ended: " << e.what();
+    }
+  }
+}
+
+}  // namespace gridse::medici

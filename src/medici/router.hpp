@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "medici/endpoint.hpp"
+#include "medici/netmodel.hpp"
+#include "runtime/socket.hpp"
+
+namespace gridse::medici {
+
+struct RelayStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+};
+
+/// One one-way MeDICi relay ("MeDICi acts as a router to exchange data
+/// between the neighboring state estimators", paper §IV-C): accepts
+/// connections on the inbound endpoint, reads each framed message fully into
+/// memory (store-and-forward — this is where the measured middleware
+/// overhead comes from), then writes it to the outbound endpoint, paced by
+/// the relay NetModel.
+class Relay {
+ public:
+  /// `inbound` must be free to bind; `outbound` is connected lazily on the
+  /// first message of each inbound connection.
+  Relay(EndpointUrl inbound, EndpointUrl outbound, NetModel shape);
+  ~Relay();
+
+  Relay(const Relay&) = delete;
+  Relay& operator=(const Relay&) = delete;
+
+  /// Begin accepting. Throws CommError if the inbound endpoint cannot bind.
+  void start();
+
+  /// Stop accepting and join all relay threads (idempotent).
+  void stop();
+
+  [[nodiscard]] const EndpointUrl& inbound() const { return inbound_; }
+  [[nodiscard]] const EndpointUrl& outbound() const { return outbound_; }
+  [[nodiscard]] RelayStats stats() const;
+
+ private:
+  void accept_loop();
+  void relay_connection(runtime::Socket upstream);
+
+  EndpointUrl inbound_;
+  EndpointUrl outbound_;
+  NetModel shape_;
+  runtime::Socket listener_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::vector<int> live_fds_;  // accepted upstreams, shut down on stop()
+  std::mutex workers_mutex_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> messages_{0};
+  std::atomic<std::size_t> bytes_{0};
+};
+
+}  // namespace gridse::medici

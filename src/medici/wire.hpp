@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gridse::medici {
+
+/// Frame header shared by the MeDICi client, the pipeline relays, and the
+/// direct TCP path, so a relay is wire-transparent: u64 payload length,
+/// i32 logical source id, i32 tag, then the payload bytes.
+// Kept trivially copyable (no default member initializers) so the framing
+// code may assemble it from raw bytes with memcpy.
+struct WireHeader {
+  std::uint64_t length;
+  std::int32_t source;
+  std::int32_t tag;
+};
+static_assert(sizeof(WireHeader) == 16, "wire header must be tightly packed");
+
+/// Chunk size for paced/chunked socket writes.
+inline constexpr std::size_t kWireChunk = 256 * 1024;
+
+}  // namespace gridse::medici

@@ -1,0 +1,20 @@
+#include "runtime/cluster.hpp"
+
+#include "util/error.hpp"
+
+namespace gridse::runtime {
+
+SimulatedCluster::SimulatedCluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  GRIDSE_CHECK_MSG(spec_.worker_threads > 0,
+                   "cluster needs at least one worker thread");
+  workers_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(spec_.worker_threads));
+}
+
+std::vector<ClusterSpec> pnnl_testbed_specs(int worker_threads) {
+  return {{"Nwiceb", worker_threads},
+          {"Catamount", worker_threads},
+          {"Chinook", worker_threads}};
+}
+
+}  // namespace gridse::runtime

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace gridse::runtime {
+
+/// Static description of one HPC site (paper Fig. 1: a balancing-authority
+/// control center hosting an HPC platform).
+struct ClusterSpec {
+  std::string name;        ///< e.g. "Nwiceb", "Catamount", "Chinook"
+  int worker_threads = 4;  ///< worker processors behind the master node
+};
+
+/// A simulated HPC cluster: a named worker pool behind a master. The master
+/// node runs the interface layer (middleware client + data processor); the
+/// workers execute subsystem state estimations in parallel.
+class SimulatedCluster {
+ public:
+  explicit SimulatedCluster(ClusterSpec spec);
+
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
+  [[nodiscard]] ThreadPool& workers() { return *workers_; }
+
+ private:
+  ClusterSpec spec_;
+  std::unique_ptr<ThreadPool> workers_;
+};
+
+/// Construct the paper's three-cluster testbed (Nwiceb, Catamount, Chinook).
+std::vector<ClusterSpec> pnnl_testbed_specs(int worker_threads = 4);
+
+}  // namespace gridse::runtime

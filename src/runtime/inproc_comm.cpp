@@ -1,0 +1,119 @@
+#include "runtime/inproc_comm.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace gridse::runtime {
+
+namespace {
+
+class InprocCommunicatorImpl final : public Communicator {
+ public:
+  InprocCommunicatorImpl(InprocWorld* world, int rank,
+                         std::vector<Mailbox*> mailboxes,
+                         std::mutex* barrier_mutex,
+                         std::condition_variable* barrier_cv,
+                         int* barrier_count, std::uint64_t* barrier_generation)
+      : world_size_(static_cast<int>(mailboxes.size())),
+        rank_(rank),
+        mailboxes_(std::move(mailboxes)),
+        barrier_mutex_(barrier_mutex),
+        barrier_cv_(barrier_cv),
+        barrier_count_(barrier_count),
+        barrier_generation_(barrier_generation) {
+    (void)world;
+  }
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return world_size_; }
+
+  void send(int dest, int tag, std::vector<std::uint8_t> payload) override {
+    if (dest < 0 || dest >= world_size_) {
+      throw CommError("inproc send: bad destination rank " +
+                      std::to_string(dest));
+    }
+    if (tag < 0) {
+      throw CommError("inproc send: tags must be nonnegative");
+    }
+    bytes_sent_ += payload.size();
+    mailboxes_[static_cast<std::size_t>(dest)]->deliver(
+        Message{rank_, tag, std::move(payload)});
+  }
+
+  Message recv(int source, int tag) override {
+    return mailboxes_[static_cast<std::size_t>(rank_)]->take(source, tag);
+  }
+
+  void barrier() override {
+    std::unique_lock<std::mutex> lock(*barrier_mutex_);
+    const std::uint64_t gen = *barrier_generation_;
+    if (++*barrier_count_ == world_size_) {
+      *barrier_count_ = 0;
+      ++*barrier_generation_;
+      barrier_cv_->notify_all();
+    } else {
+      barrier_cv_->wait(lock, [&] { return *barrier_generation_ != gen; });
+    }
+  }
+
+  [[nodiscard]] std::size_t bytes_sent() const override { return bytes_sent_; }
+
+ private:
+  int world_size_;
+  int rank_;
+  std::vector<Mailbox*> mailboxes_;
+  std::mutex* barrier_mutex_;
+  std::condition_variable* barrier_cv_;
+  int* barrier_count_;
+  std::uint64_t* barrier_generation_;
+  std::size_t bytes_sent_ = 0;
+};
+
+}  // namespace
+
+InprocWorld::InprocWorld(int size) {
+  GRIDSE_CHECK_MSG(size > 0, "world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+InprocWorld::~InprocWorld() = default;
+
+std::unique_ptr<Communicator> InprocWorld::communicator(int rank) {
+  GRIDSE_CHECK_MSG(rank >= 0 && rank < size(), "rank out of range");
+  std::vector<Mailbox*> boxes;
+  boxes.reserve(mailboxes_.size());
+  for (const auto& mb : mailboxes_) {
+    boxes.push_back(mb.get());
+  }
+  return std::make_unique<InprocCommunicatorImpl>(
+      this, rank, std::move(boxes), &barrier_mutex_, &barrier_cv_,
+      &barrier_count_, &barrier_generation_);
+}
+
+void InprocWorld::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size()));
+  threads.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        const auto comm = communicator(r);
+        fn(*comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace gridse::runtime

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/communicator.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace gridse::runtime {
+
+/// A set of in-process ranks exchanging messages through shared mailboxes.
+/// Deterministic, allocation-only data path; the default substrate for the
+/// DSE driver and tests. Create the world, then either grab per-rank
+/// communicators and drive them from your own threads, or use run() to spawn
+/// one thread per rank.
+class InprocWorld {
+ public:
+  explicit InprocWorld(int size);
+  ~InprocWorld();
+
+  InprocWorld(const InprocWorld&) = delete;
+  InprocWorld& operator=(const InprocWorld&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  /// Communicator bound to `rank`. The world must outlive it.
+  [[nodiscard]] std::unique_ptr<Communicator> communicator(int rank);
+
+  /// Convenience: run `fn(comm)` on one thread per rank and join them all.
+  /// The first exception thrown by any rank is rethrown after the join.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  friend class InprocCommunicator;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // barrier state
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace gridse::runtime

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "runtime/message.hpp"
+
+namespace gridse::runtime {
+
+/// Thread-safe mailbox with (source, tag) selective receive — the shared
+/// receive engine behind both the in-process and the TCP communicators.
+class Mailbox {
+ public:
+  /// Deposit a message (any thread).
+  void deliver(Message message);
+
+  /// Block until a message matching (source, tag) exists; remove and return
+  /// the first match in arrival order. Wildcards: kAnySource / kAnyTag.
+  Message take(int source, int tag);
+
+  /// Non-blocking variant; returns false if no match is queued.
+  bool try_take(int source, int tag, Message& out);
+
+  /// Number of queued messages (diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  [[nodiscard]] static bool matches(const Message& m, int source, int tag) {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace gridse::runtime

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gridse::runtime {
+
+/// Wildcards for Communicator::recv.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// One tagged point-to-point message between ranks.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace gridse::runtime

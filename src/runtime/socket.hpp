@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gridse::runtime {
+
+/// Thin RAII wrapper over a loopback TCP socket. The middleware overhead
+/// experiments (paper Tables III/IV) run on this real-kernel-socket data
+/// path, not on a simulation.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Write exactly `size` bytes; throws CommError on failure.
+  void send_all(const void* data, std::size_t size) const;
+
+  /// Read exactly `size` bytes; throws CommError on EOF/failure.
+  void recv_all(void* data, std::size_t size) const;
+
+  /// Read up to `size` bytes; returns 0 on orderly EOF.
+  [[nodiscard]] std::size_t recv_some(void* data, std::size_t size) const;
+
+  void close();
+
+  /// Create a listening socket on 127.0.0.1 with an ephemeral port; returns
+  /// the socket and stores the chosen port in `port`.
+  static Socket listen_loopback(std::uint16_t& port, int backlog = 16);
+
+  /// Accept one connection (blocking).
+  [[nodiscard]] Socket accept() const;
+
+  /// Connect to 127.0.0.1:`port` (blocking).
+  static Socket connect_loopback(std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace gridse::runtime

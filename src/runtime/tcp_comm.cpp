@@ -1,0 +1,216 @@
+#include "runtime/tcp_comm.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace gridse::runtime {
+namespace {
+
+struct FrameHeader {
+  std::uint64_t length;
+  std::int32_t source;
+  std::int32_t tag;
+};
+
+constexpr int kBarrierArriveTag = TcpWorld::kMaxUserTag + 1;
+constexpr int kBarrierReleaseTag = TcpWorld::kMaxUserTag + 2;
+
+}  // namespace
+
+class TcpCommunicatorImpl final : public Communicator {
+ public:
+  TcpCommunicatorImpl(TcpWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return world_->size(); }
+
+  void send(int dest, int tag, std::vector<std::uint8_t> payload) override {
+    send_tagged(dest, tag, payload, /*allow_reserved=*/false);
+  }
+
+  Message recv(int source, int tag) override {
+    if (tag != kAnyTag && tag > TcpWorld::kMaxUserTag) {
+      throw CommError("tcp recv: tag above kMaxUserTag is reserved");
+    }
+    return world_->mailboxes_[static_cast<std::size_t>(rank_)]->take(source,
+                                                                     tag);
+  }
+
+  void barrier() override {
+    Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r) {
+        (void)box.take(kAnySource, kBarrierArriveTag);
+      }
+      for (int r = 1; r < size(); ++r) {
+        send_tagged(r, kBarrierReleaseTag, {}, /*allow_reserved=*/true);
+      }
+    } else {
+      send_tagged(0, kBarrierArriveTag, {}, /*allow_reserved=*/true);
+      (void)box.take(0, kBarrierReleaseTag);
+    }
+  }
+
+  [[nodiscard]] std::size_t bytes_sent() const override { return bytes_sent_; }
+
+ private:
+  void send_tagged(int dest, int tag, const std::vector<std::uint8_t>& payload,
+                   bool allow_reserved) {
+    if (dest < 0 || dest >= size()) {
+      throw CommError("tcp send: bad destination rank " + std::to_string(dest));
+    }
+    if (tag < 0 || (!allow_reserved && tag > TcpWorld::kMaxUserTag)) {
+      throw CommError("tcp send: bad tag " + std::to_string(tag));
+    }
+    if (dest == rank_) {
+      // loopback to self skips the socket (MPI-style self-send)
+      world_->mailboxes_[static_cast<std::size_t>(rank_)]->deliver(
+          Message{rank_, tag, payload});
+      bytes_sent_ += payload.size();
+      return;
+    }
+    auto& link = *world_->peer_links_[static_cast<std::size_t>(rank_)]
+                                     [static_cast<std::size_t>(dest)];
+    const FrameHeader header{payload.size(), rank_, tag};
+    std::lock_guard<std::mutex> lock(link.write_mutex);
+    link.socket.send_all(&header, sizeof header);
+    if (!payload.empty()) {
+      link.socket.send_all(payload.data(), payload.size());
+    }
+    bytes_sent_ += payload.size();
+  }
+
+  TcpWorld* world_;
+  int rank_;
+  std::size_t bytes_sent_ = 0;
+};
+
+TcpWorld::TcpWorld(int size) : size_(size) {
+  GRIDSE_CHECK_MSG(size > 0, "world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  peer_links_.resize(static_cast<std::size_t>(size));
+  for (auto& row : peer_links_) {
+    row.resize(static_cast<std::size_t>(size));
+  }
+  // Full mesh: for i < j, j connects to i's one-shot listener. Both ends are
+  // in this process, so setup is sequential and deterministic.
+  for (int i = 0; i < size; ++i) {
+    for (int j = i + 1; j < size; ++j) {
+      std::uint16_t port = 0;
+      Socket listener = Socket::listen_loopback(port, 1);
+      Socket client = Socket::connect_loopback(port);
+      Socket server = listener.accept();
+      auto link_i = std::make_shared<Link>();
+      link_i->socket = std::move(server);
+      auto link_j = std::make_shared<Link>();
+      link_j->socket = std::move(client);
+      peer_links_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          std::move(link_i);
+      peer_links_[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          std::move(link_j);
+    }
+  }
+  // One reader thread per rank demultiplexes its size-1 sockets.
+  readers_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    readers_.emplace_back([this, r] {
+      std::vector<pollfd> fds;
+      std::vector<int> peer_of_fd;
+      for (int p = 0; p < size_; ++p) {
+        if (p == r) continue;
+        fds.push_back({peer_links_[static_cast<std::size_t>(r)]
+                                  [static_cast<std::size_t>(p)]
+                                      ->socket.fd(),
+                       POLLIN, 0});
+        peer_of_fd.push_back(p);
+      }
+      std::size_t open_count = fds.size();
+      while (open_count > 0) {
+        const int rc = ::poll(fds.data(), fds.size(), -1);
+        if (rc < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+          if (fds[k].fd < 0 || (fds[k].revents & (POLLIN | POLLHUP)) == 0) {
+            continue;
+          }
+          const auto& link = peer_links_[static_cast<std::size_t>(r)]
+                                        [static_cast<std::size_t>(peer_of_fd[k])];
+          FrameHeader header{};
+          // Peek one byte first to distinguish orderly shutdown from a frame.
+          std::uint8_t probe = 0;
+          const std::size_t got = link->socket.recv_some(&probe, 1);
+          if (got == 0) {
+            fds[k].fd = -1;
+            --open_count;
+            continue;
+          }
+          std::memcpy(&header, &probe, 1);
+          link->socket.recv_all(reinterpret_cast<std::uint8_t*>(&header) + 1,
+                                sizeof header - 1);
+          Message m;
+          m.source = header.source;
+          m.tag = header.tag;
+          m.payload.resize(header.length);
+          if (header.length > 0) {
+            link->socket.recv_all(m.payload.data(), m.payload.size());
+          }
+          mailboxes_[static_cast<std::size_t>(r)]->deliver(std::move(m));
+        }
+      }
+    });
+  }
+}
+
+TcpWorld::~TcpWorld() {
+  shutting_down_ = true;
+  // Shut down every socket to wake the reader threads out of poll().
+  for (auto& row : peer_links_) {
+    for (auto& link : row) {
+      if (link && link->socket.valid()) {
+        ::shutdown(link->socket.fd(), SHUT_RDWR);
+      }
+    }
+  }
+  for (auto& t : readers_) {
+    t.join();
+  }
+}
+
+std::unique_ptr<Communicator> TcpWorld::communicator(int rank) {
+  GRIDSE_CHECK_MSG(rank >= 0 && rank < size_, "rank out of range");
+  return std::make_unique<TcpCommunicatorImpl>(this, rank);
+}
+
+void TcpWorld::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        const auto comm = communicator(r);
+        fn(*comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace gridse::runtime

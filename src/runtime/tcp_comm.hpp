@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/communicator.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/socket.hpp"
+
+namespace gridse::runtime {
+
+/// A world of ranks connected by a full mesh of real loopback TCP sockets —
+/// the cross-cluster data path of the paper's testbed, with actual kernel
+/// framing/copy costs. One process hosts all ranks (per DESIGN.md §2 this
+/// mirrors the homogeneous-lab-network setting); each rank owns a reader
+/// thread that demultiplexes incoming frames into its mailbox.
+///
+/// Wire format per message: u64 payload length, i32 source, i32 tag, bytes.
+class TcpWorld {
+ public:
+  explicit TcpWorld(int size);
+  ~TcpWorld();
+
+  TcpWorld(const TcpWorld&) = delete;
+  TcpWorld& operator=(const TcpWorld&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Communicator bound to `rank`; the world must outlive it. Reserved tag
+  /// space above kMaxUserTag implements the barrier.
+  [[nodiscard]] std::unique_ptr<Communicator> communicator(int rank);
+
+  /// Run `fn(comm)` on one thread per rank and join (first exception
+  /// rethrown).
+  void run(const std::function<void(Communicator&)>& fn);
+
+  static constexpr int kMaxUserTag = 1 << 20;
+
+ private:
+  friend class TcpCommunicatorImpl;
+
+  struct Link {
+    Socket socket;
+    std::mutex write_mutex;
+  };
+
+  /// peer_links_[rank][peer] — shared socket between rank and peer (null on
+  /// the diagonal).
+  std::vector<std::vector<std::shared_ptr<Link>>> peer_links_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::thread> readers_;
+  int size_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace gridse::runtime

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "sparse/preconditioner.hpp"
+
+namespace gridse::sparse {
+
+/// Options for the (preconditioned) conjugate gradient solver.
+struct CgOptions {
+  /// Relative residual tolerance: stop when ‖b − Ax‖₂ ≤ tol · ‖b‖₂.
+  double tolerance = 1e-10;
+  /// Hard iteration cap; 0 means "dimension of the system".
+  int max_iterations = 0;
+};
+
+/// Outcome of an iterative solve.
+struct CgReport {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;
+};
+
+/// Preconditioned conjugate gradient for SPD `a`. Solution is accumulated in
+/// `x` (its incoming content is the initial guess). This is the solver the
+/// paper's HPC state estimation uses for the gain-matrix system (§IV-C).
+CgReport pcg(const Csr& a, std::span<const double> b, std::span<double> x,
+             const Preconditioner& m, const CgOptions& options = {});
+
+/// Plain CG (identity preconditioner).
+CgReport cg(const Csr& a, std::span<const double> b, std::span<double> x,
+            const CgOptions& options = {});
+
+}  // namespace gridse::sparse

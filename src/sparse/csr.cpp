@@ -1,0 +1,11 @@
+// CsrMatrix is a header-only template; this translation unit forces the two
+// instantiations the library uses so template errors surface at library build
+// time rather than in every consumer.
+#include "sparse/csr.hpp"
+
+namespace gridse::sparse {
+
+template class CsrMatrix<double>;
+template class CsrMatrix<std::complex<double>>;
+
+}  // namespace gridse::sparse

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace gridse::sparse {
+
+/// Sparse simplicial LDLᵀ factorization of a symmetric matrix (up-looking,
+/// elimination-tree based). Serves as the direct-solver baseline against the
+/// paper's PCG in the solver ablation, and as the robust fallback for small
+/// subsystem gain matrices.
+class SparseLdlt {
+ public:
+  /// Factor `a` (must be structurally and numerically symmetric). When
+  /// `use_rcm` is set, a reverse Cuthill–McKee permutation is applied first
+  /// to reduce fill. Throws `ConvergenceFailure` on a zero pivot.
+  void factorize(const Csr& a, bool use_rcm = true);
+
+  /// Solve A x = b with the current factorization.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  [[nodiscard]] bool factored() const { return n_ > 0; }
+  [[nodiscard]] std::size_t factor_nnz() const { return lx_.size(); }
+
+ private:
+  Index n_ = 0;
+  // L in compressed-sparse-column form, unit diagonal implicit.
+  std::vector<Index> lp_;
+  std::vector<Index> li_;
+  std::vector<double> lx_;
+  std::vector<double> d_;
+  std::vector<Index> perm_;      // perm_[new] = old (identity when RCM off)
+  std::vector<Index> perm_inv_;  // perm_inv_[old] = new
+};
+
+}  // namespace gridse::sparse

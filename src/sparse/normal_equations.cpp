@@ -1,0 +1,61 @@
+#include "sparse/normal_equations.hpp"
+
+#include "util/error.hpp"
+
+namespace gridse::sparse {
+
+Csr normal_matrix(const Csr& h, std::span<const double> weights) {
+  GRIDSE_CHECK(static_cast<Index>(weights.size()) == h.rows());
+  // Outer-product accumulation: G = sum_k w_k h_kᵀ h_k over measurement rows.
+  // Row sparsity of H is tiny (a handful of incident buses per measurement),
+  // so the triplet count stays modest and from_triplets's duplicate folding
+  // finishes the job.
+  std::vector<Triplet<double>> triplets;
+  const auto col = h.col_idx();
+  const auto val = h.values();
+  for (Index r = 0; r < h.rows(); ++r) {
+    const auto [b, e] = h.row_range(r);
+    const double w = weights[static_cast<std::size_t>(r)];
+    for (Index i = b; i < e; ++i) {
+      for (Index j = b; j < e; ++j) {
+        triplets.push_back({col[static_cast<std::size_t>(i)],
+                            col[static_cast<std::size_t>(j)],
+                            w * val[static_cast<std::size_t>(i)] *
+                                val[static_cast<std::size_t>(j)]});
+      }
+    }
+  }
+  return Csr::from_triplets(h.cols(), h.cols(), std::move(triplets));
+}
+
+std::vector<double> normal_rhs(const Csr& h, std::span<const double> weights,
+                               std::span<const double> residual) {
+  GRIDSE_CHECK(static_cast<Index>(weights.size()) == h.rows());
+  GRIDSE_CHECK(static_cast<Index>(residual.size()) == h.rows());
+  std::vector<double> weighted(residual.size());
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    weighted[i] = weights[i] * residual[i];
+  }
+  std::vector<double> out(static_cast<std::size_t>(h.cols()));
+  h.multiply_transpose(weighted, out);
+  return out;
+}
+
+Csr add_diagonal(const Csr& g, double alpha) {
+  GRIDSE_CHECK(g.rows() == g.cols());
+  std::vector<Triplet<double>> triplets;
+  triplets.reserve(g.nnz() + static_cast<std::size_t>(g.rows()));
+  const auto col = g.col_idx();
+  const auto val = g.values();
+  for (Index r = 0; r < g.rows(); ++r) {
+    const auto [b, e] = g.row_range(r);
+    for (Index k = b; k < e; ++k) {
+      triplets.push_back({r, col[static_cast<std::size_t>(k)],
+                          val[static_cast<std::size_t>(k)]});
+    }
+    triplets.push_back({r, r, alpha});
+  }
+  return Csr::from_triplets(g.rows(), g.cols(), std::move(triplets));
+}
+
+}  // namespace gridse::sparse

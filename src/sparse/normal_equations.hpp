@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace gridse::sparse {
+
+/// Gain-matrix assembly for weighted least squares: G = Hᵀ W H where W is
+/// diagonal (measurement weights). G is the symmetric positive-definite
+/// matrix the paper's PCG solver targets (§IV-C, "Ax = b where the matrix A
+/// is the symmetric positive-definite gain matrix").
+Csr normal_matrix(const Csr& h, std::span<const double> weights);
+
+/// Right-hand side of the normal equations: g = Hᵀ W r.
+std::vector<double> normal_rhs(const Csr& h, std::span<const double> weights,
+                               std::span<const double> residual);
+
+/// G' = G + alpha I. Used to regularize Step-2 re-evaluation systems where
+/// pseudo-measurements may leave near-unobservable corners.
+Csr add_diagonal(const Csr& g, double alpha);
+
+}  // namespace gridse::sparse

@@ -1,0 +1,91 @@
+#include "sparse/ordering.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace gridse::sparse {
+
+std::vector<Index> reverse_cuthill_mckee(const Csr& a) {
+  GRIDSE_CHECK(a.rows() == a.cols());
+  const Index n = a.rows();
+  const auto col = a.col_idx();
+
+  std::vector<Index> degree(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    const auto [b, e] = a.row_range(i);
+    degree[static_cast<std::size_t>(i)] = e - b;
+  }
+
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(n));
+
+  while (static_cast<Index>(order.size()) < n) {
+    // pick the globally minimum-degree unvisited vertex as a
+    // pseudo-peripheral start for the next component
+    Index start = -1;
+    for (Index i = 0; i < n; ++i) {
+      if (visited[static_cast<std::size_t>(i)]) continue;
+      if (start < 0 || degree[static_cast<std::size_t>(i)] <
+                           degree[static_cast<std::size_t>(start)]) {
+        start = i;
+      }
+    }
+    GRIDSE_CHECK(start >= 0);
+    std::queue<Index> q;
+    q.push(start);
+    visited[static_cast<std::size_t>(start)] = true;
+    while (!q.empty()) {
+      const Index u = q.front();
+      q.pop();
+      order.push_back(u);
+      const auto [b, e] = a.row_range(u);
+      std::vector<Index> nbrs;
+      for (Index k = b; k < e; ++k) {
+        const Index v = col[static_cast<std::size_t>(k)];
+        if (v != u && !visited[static_cast<std::size_t>(v)]) {
+          visited[static_cast<std::size_t>(v)] = true;
+          nbrs.push_back(v);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](Index x, Index y) {
+        return degree[static_cast<std::size_t>(x)] <
+               degree[static_cast<std::size_t>(y)];
+      });
+      for (const Index v : nbrs) q.push(v);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Csr permute_symmetric(const Csr& a, std::span<const Index> perm) {
+  GRIDSE_CHECK(a.rows() == a.cols());
+  GRIDSE_CHECK(static_cast<Index>(perm.size()) == a.rows());
+  const auto inv = invert_permutation(perm);
+  std::vector<Triplet<double>> t;
+  t.reserve(a.nnz());
+  const auto col = a.col_idx();
+  const auto val = a.values();
+  for (Index r = 0; r < a.rows(); ++r) {
+    const auto [b, e] = a.row_range(r);
+    for (Index k = b; k < e; ++k) {
+      t.push_back({inv[static_cast<std::size_t>(r)],
+                   inv[static_cast<std::size_t>(col[static_cast<std::size_t>(k)])],
+                   val[static_cast<std::size_t>(k)]});
+    }
+  }
+  return Csr::from_triplets(a.rows(), a.cols(), std::move(t));
+}
+
+std::vector<Index> invert_permutation(std::span<const Index> perm) {
+  std::vector<Index> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<Index>(i);
+  }
+  return inv;
+}
+
+}  // namespace gridse::sparse

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace gridse::sparse {
+
+/// Reverse Cuthill–McKee fill-reducing ordering of a symmetric sparsity
+/// pattern. Returns perm such that perm[new_index] = old_index. Handles
+/// disconnected patterns by restarting BFS per component.
+std::vector<Index> reverse_cuthill_mckee(const Csr& a);
+
+/// Symmetric permutation B = P A Pᵀ where perm[new] = old.
+Csr permute_symmetric(const Csr& a, std::span<const Index> perm);
+
+/// Inverse of a permutation vector.
+std::vector<Index> invert_permutation(std::span<const Index> perm);
+
+}  // namespace gridse::sparse

@@ -1,0 +1,63 @@
+#include "sparse/vector_ops.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gridse::sparse {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  GRIDSE_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(std::span<const double> a) {
+  double m = 0.0;
+  for (const double v : a) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  GRIDSE_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) {
+    v *= alpha;
+  }
+}
+
+void copy(std::span<const double> x, std::span<double> y) {
+  GRIDSE_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i];
+  }
+}
+
+void set_zero(std::span<double> x) {
+  for (double& v : x) {
+    v = 0.0;
+  }
+}
+
+Vec subtract(std::span<const double> a, std::span<const double> b) {
+  GRIDSE_CHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] - b[i];
+  }
+  return out;
+}
+
+}  // namespace gridse::sparse

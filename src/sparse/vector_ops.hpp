@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gridse::sparse {
+
+/// Dense vector type used by all solvers.
+using Vec = std::vector<double>;
+
+/// Euclidean dot product; sizes must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double norm2(std::span<const double> a);
+
+/// Infinity norm (max |a_i|).
+double norm_inf(std::span<const double> a);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha
+void scale(double alpha, std::span<double> x);
+
+/// y = x
+void copy(std::span<const double> x, std::span<double> y);
+
+/// x = 0
+void set_zero(std::span<double> x);
+
+/// Elementwise subtraction: out = a - b.
+Vec subtract(std::span<const double> a, std::span<const double> b);
+
+}  // namespace gridse::sparse

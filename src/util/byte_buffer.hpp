@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gridse {
+
+/// Growable byte buffer with typed append; the writing half of the wire
+/// format used by the runtime and middleware layers. Values are encoded
+/// little-endian native (all communication stays on one host/architecture in
+/// this prototype, mirroring the paper's homogeneous cluster testbed).
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { bytes_.reserve(reserve_bytes); }
+
+  template <typename T>
+  void write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteWriter::write requires a trivially copyable type");
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write(static_cast<std::uint64_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    bytes_.insert(bytes_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteWriter::write_vector requires trivially copyable elements");
+    write(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  void write_raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+  /// Move the accumulated bytes out, leaving the writer empty.
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reading half of the wire format. Throws `InvalidInput` on truncation so a
+/// malformed frame can never silently yield garbage.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteReader::read requires a trivially copyable type");
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteReader::read_vector requires trivially copyable elements");
+    const auto n = read<std::uint64_t>();
+    require(n * sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), data_ + pos_, static_cast<std::size_t>(n) * sizeof(T));
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+
+ private:
+  void require(std::uint64_t n) const {
+    if (n > size_ - pos_) {
+      throw InvalidInput("ByteReader: truncated frame (need " +
+                         std::to_string(n) + " bytes, have " +
+                         std::to_string(size_ - pos_) + ")");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gridse

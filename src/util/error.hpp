@@ -1,0 +1,65 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gridse {
+
+/// Base exception for all library errors. Every throwing API documents the
+/// subclass it throws; catching `gridse::Error` catches everything the
+/// library can raise.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input data (case files, message payloads, bad dimensions).
+class InvalidInput : public Error {
+ public:
+  explicit InvalidInput(const std::string& what) : Error(what) {}
+};
+
+/// An iterative numerical procedure failed to converge within its budget.
+class ConvergenceFailure : public Error {
+ public:
+  explicit ConvergenceFailure(const std::string& what) : Error(what) {}
+};
+
+/// A communication-layer failure (socket error, closed channel, bad frame).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation; indicates a library bug, not a user error.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw InternalError(std::string("check failed: ") + expr + " at " + file +
+                      ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace gridse
+
+/// Internal invariant check that stays on in release builds; throws
+/// `gridse::InternalError` on failure.
+#define GRIDSE_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::gridse::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                   \
+  } while (false)
+
+#define GRIDSE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::gridse::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace gridse::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_write_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  if (lvl < level()) {
+    return;
+  }
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%10.4f] %s %s\n", secs, level_name(lvl),
+               message.c_str());
+}
+
+}  // namespace gridse::log

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gridse::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Thread-safe.
+void set_level(Level level);
+Level level();
+
+/// Emit one log line (already formatted) at `level`. Thread-safe; lines are
+/// never interleaved. Output goes to stderr so stdout stays clean for
+/// benchmark tables.
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style log statement builder; emits on destruction.
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace gridse::log
+
+#define GRIDSE_LOG(lvl)                                     \
+  if (::gridse::log::level() <= ::gridse::log::Level::lvl)  \
+  ::gridse::log::detail::LineBuilder(::gridse::log::Level::lvl)
+
+#define GRIDSE_DEBUG GRIDSE_LOG(kDebug)
+#define GRIDSE_INFO GRIDSE_LOG(kInfo)
+#define GRIDSE_WARN GRIDSE_LOG(kWarn)
+#define GRIDSE_ERROR GRIDSE_LOG(kError)

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gridse {
+
+/// Deterministic random source used throughout the library. Every consumer
+/// takes an explicit `Rng&` (or a seed) so runs are reproducible; nothing in
+/// the library reads global entropy.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Zero-mean Gaussian sample with the given standard deviation.
+  double gaussian(double stddev);
+
+  /// Gaussian with explicit mean.
+  double gaussian(double mean, double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child stream; used to give each subsystem or
+  /// worker its own deterministic sequence.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gridse

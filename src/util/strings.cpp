@@ -1,0 +1,64 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace gridse {
+
+std::vector<std::string> split(std::string_view s, char sep, bool keep_empty) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      if (i > start || keep_empty) {
+        out.emplace_back(s.substr(start, i - start));
+      }
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string format_bytes(std::size_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (b >= 1024.0 * 1024.0 * 1024.0) {
+    return strfmt("%.1f GB", b / (1024.0 * 1024.0 * 1024.0));
+  }
+  if (b >= 1024.0 * 1024.0) {
+    return strfmt("%.0f MB", b / (1024.0 * 1024.0));
+  }
+  if (b >= 1024.0) {
+    return strfmt("%.0f KB", b / 1024.0);
+  }
+  return strfmt("%zu B", bytes);
+}
+
+}  // namespace gridse

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridse {
+
+/// Split `s` on `sep`, dropping empty fields when `keep_empty` is false.
+std::vector<std::string> split(std::string_view s, char sep,
+                               bool keep_empty = false);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("512 MB", "2.0 GB").
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace gridse

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gridse {
+
+/// Minimal fixed-column text table used by the benchmark harness to print
+/// paper-style tables (Table I–IV) with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule, e.g.
+  ///   Data Size | Direct (s) | MeDICi (s)
+  ///   ----------+------------+-----------
+  ///   100MB     |   0.052    |   0.380
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (for EXPERIMENTS.md extraction).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridse

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gridse {
+
+/// Fixed-size worker pool. Used by the simulated cluster runtime to model
+/// the worker processors on each site (paper §IV-A: the data processor
+/// "dispatches the inputs to multiple worker processors on each site").
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves with the task's result (or
+  /// exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// Exceptions from tasks propagate out of this call (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace gridse

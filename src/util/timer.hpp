@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+namespace gridse {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch from zero.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed wall time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace gridse

@@ -1,0 +1,124 @@
+#include "apps/balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "runtime/inproc_comm.hpp"
+#include "runtime/tcp_comm.hpp"
+
+namespace gridse::apps {
+namespace {
+
+TEST(StaticBalancer, EveryTaskRunsExactlyOnce) {
+  runtime::InprocWorld world(4);
+  std::vector<std::atomic<int>> hits(100);
+  world.run([&](runtime::Communicator& c) {
+    run_static(c, 100, [&](int t) { hits[static_cast<std::size_t>(t)]++; });
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(DynamicBalancer, EveryTaskRunsExactlyOnce) {
+  runtime::InprocWorld world(4);
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<int> executed{0};
+  world.run([&](runtime::Communicator& c) {
+    const BalanceStats stats =
+        run_dynamic(c, 100, [&](int t) { hits[static_cast<std::size_t>(t)]++; });
+    executed.fetch_add(stats.tasks_executed);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(DynamicBalancer, SingleRankDegeneratesToLoop) {
+  runtime::InprocWorld world(1);
+  std::vector<int> order;
+  world.run([&](runtime::Communicator& c) {
+    const BalanceStats stats =
+        run_dynamic(c, 10, [&](int t) { order.push_back(t); });
+    EXPECT_EQ(stats.tasks_executed, 10);
+  });
+  EXPECT_EQ(order.size(), 10u);
+}
+
+TEST(DynamicBalancer, ZeroTasksTerminates) {
+  runtime::InprocWorld world(3);
+  world.run([&](runtime::Communicator& c) {
+    const BalanceStats stats =
+        run_dynamic(c, 0, [](int) { FAIL() << "no task should run"; });
+    EXPECT_EQ(stats.tasks_executed, 0);
+  });
+}
+
+TEST(DynamicBalancer, CounterRankExecutesNothing) {
+  runtime::InprocWorld world(3);
+  std::mutex mutex;
+  std::vector<int> per_rank(3, -1);
+  world.run([&](runtime::Communicator& c) {
+    const BalanceStats stats = run_dynamic(c, 20, [](int) {});
+    std::lock_guard<std::mutex> lock(mutex);
+    per_rank[static_cast<std::size_t>(c.rank())] = stats.tasks_executed;
+  });
+  EXPECT_EQ(per_rank[0], 0);
+  EXPECT_EQ(per_rank[1] + per_rank[2], 20);
+}
+
+TEST(DynamicBalancer, AdaptsToHeterogeneousCosts) {
+  // Rank 1 is artificially slow; dynamic balancing must route most tasks to
+  // rank 2, beating the static split on makespan for the same workload.
+  runtime::InprocWorld world(3);
+  std::mutex mutex;
+  std::vector<int> dynamic_counts(3, 0);
+  const auto task = [](runtime::Communicator& c) {
+    return [&c](int) {
+      if (c.rank() == 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    };
+  };
+  world.run([&](runtime::Communicator& c) {
+    const BalanceStats stats = run_dynamic(c, 60, task(c));
+    std::lock_guard<std::mutex> lock(mutex);
+    dynamic_counts[static_cast<std::size_t>(c.rank())] = stats.tasks_executed;
+  });
+  EXPECT_GT(dynamic_counts[2], dynamic_counts[1] * 3);
+}
+
+TEST(DynamicBalancer, WorksOverTcpTransport) {
+  runtime::TcpWorld world(3);
+  std::vector<std::atomic<int>> hits(30);
+  world.run([&](runtime::Communicator& c) {
+    run_dynamic(c, 30, [&](int t) { hits[static_cast<std::size_t>(t)]++; });
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(StaticBalancer, StatsAreConsistent) {
+  runtime::InprocWorld world(2);
+  std::mutex mutex;
+  std::vector<BalanceStats> stats(2);
+  world.run([&](runtime::Communicator& c) {
+    BalanceStats s = run_static(c, 11, [](int) {});
+    std::lock_guard<std::mutex> lock(mutex);
+    stats[static_cast<std::size_t>(c.rank())] = s;
+  });
+  EXPECT_EQ(stats[0].tasks_executed + stats[1].tasks_executed, 11);
+  EXPECT_GE(stats[0].total_seconds, stats[0].busy_seconds);
+}
+
+}  // namespace
+}  // namespace gridse::apps

@@ -1,0 +1,84 @@
+#include "apps/contingency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/case14.hpp"
+#include "util/error.hpp"
+#include "io/synthetic.hpp"
+
+namespace gridse::apps {
+namespace {
+
+class ContingencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kase_ = io::ieee14();
+    grid::assign_ratings_from_base_case(kase_.network, 1.3, 0.2);
+  }
+  io::Case kase_;
+};
+
+TEST_F(ContingencyTest, ScreensEveryBranch) {
+  const ContingencyReport report = screen_all_branches(kase_.network);
+  EXPECT_EQ(report.outcomes.size(), kase_.network.num_branches());
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    EXPECT_EQ(report.outcomes[i].outaged_branch, i);
+  }
+}
+
+TEST_F(ContingencyTest, RadialOutageIsIslanding) {
+  // bus 8 hangs on a single line: its outage must be flagged as islanding.
+  const auto idx8 = kase_.network.index_of(8);
+  const std::size_t radial = kase_.network.branches_at(idx8).front();
+  const ContingencyOutcome outcome =
+      evaluate_contingency(kase_.network, radial);
+  EXPECT_TRUE(outcome.islanding);
+  EXPECT_FALSE(outcome.secure());
+}
+
+TEST_F(ContingencyTest, TightRatingsProduceOverloads) {
+  // With margin barely above 1, outaging a heavy line must overload its
+  // parallel path.
+  auto tight = io::ieee14();
+  grid::assign_ratings_from_base_case(tight.network, 1.05, 0.01);
+  const ContingencyReport report = screen_all_branches(tight.network);
+  EXPECT_GT(report.insecure_cases, report.islanding_cases);
+}
+
+TEST_F(ContingencyTest, GenerousRatingsAreSecureExceptIslanding) {
+  auto loose = io::ieee14();
+  grid::assign_ratings_from_base_case(loose.network, 10.0, 5.0);
+  const ContingencyReport report = screen_all_branches(loose.network);
+  for (const ContingencyOutcome& o : report.outcomes) {
+    if (!o.islanding) {
+      EXPECT_TRUE(o.secure()) << "branch " << o.outaged_branch;
+    }
+  }
+  EXPECT_EQ(report.insecure_cases, report.islanding_cases);
+}
+
+TEST_F(ContingencyTest, WorstLoadingIsPopulated) {
+  const ContingencyReport report = screen_all_branches(kase_.network);
+  bool any_loading = false;
+  for (const ContingencyOutcome& o : report.outcomes) {
+    if (!o.islanding) {
+      any_loading |= o.worst_loading > 0.0;
+    }
+  }
+  EXPECT_TRUE(any_loading);
+}
+
+TEST_F(ContingencyTest, UnratedBranchesNeverAlarm) {
+  auto unrated = io::ieee14();  // ratings all 0 = unlimited
+  const ContingencyReport report = screen_all_branches(unrated.network);
+  for (const ContingencyOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.overloaded_branches.empty());
+  }
+}
+
+TEST_F(ContingencyTest, OutOfRangeBranchThrows) {
+  EXPECT_THROW(evaluate_contingency(kase_.network, 12345), InternalError);
+}
+
+}  // namespace
+}  // namespace gridse::apps

@@ -1,0 +1,211 @@
+#include "core/local_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomp/sensitivity.hpp"
+#include "util/error.hpp"
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::core {
+namespace {
+
+class LocalEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    generated_ = io::ieee118_dse();
+    d_ = decomp::decompose(generated_.kase.network,
+                           generated_.subsystem_of_bus);
+    decomp::analyze_sensitivity(generated_.kase.network, d_, {});
+    pf_ = grid::solve_power_flow(generated_.kase.network);
+    ASSERT_TRUE(pf_.converged);
+    grid::MeasurementPlan plan;
+    for (const decomp::Subsystem& s : d_.subsystems) {
+      plan.pmu_buses.push_back(s.buses.front());
+    }
+    gen_ = std::make_unique<grid::MeasurementGenerator>(
+        generated_.kase.network, plan);
+    Rng rng(33);
+    meas_ = gen_->generate(pf_.state, rng);
+  }
+
+  io::GeneratedCase generated_;
+  decomp::Decomposition d_;
+  grid::PowerFlowResult pf_;
+  std::unique_ptr<grid::MeasurementGenerator> gen_;
+  grid::MeasurementSet meas_;
+};
+
+TEST_F(LocalEstimatorTest, Step1ConvergesOnEverySubsystem) {
+  for (int s = 0; s < d_.num_subsystems(); ++s) {
+    LocalEstimator est(generated_.kase.network, d_, s, {});
+    const LocalSolveInfo info = est.run_step1(meas_);
+    EXPECT_TRUE(info.converged) << "subsystem " << s;
+    EXPECT_GT(info.num_measurements, 0u);
+    // Step-1 solution accuracy on own buses: internal buses should be close
+    // to the truth even before Step 2.
+    double max_vm_err = 0.0;
+    for (const BusStateRecord& rec : est.step1_all_states()) {
+      max_vm_err = std::max(
+          max_vm_err, std::abs(rec.vm - pf_.state.vm[static_cast<std::size_t>(
+                                            rec.bus)]));
+    }
+    EXPECT_LT(max_vm_err, 0.05) << "subsystem " << s;
+  }
+}
+
+TEST_F(LocalEstimatorTest, BoundaryStatesCoverGsBuses) {
+  LocalEstimator est(generated_.kase.network, d_, 2, {});
+  est.run_step1(meas_);
+  const auto records = est.step1_boundary_states();
+  EXPECT_EQ(static_cast<int>(records.size()), d_.subsystems[2].gs());
+}
+
+TEST_F(LocalEstimatorTest, Step2RequiresStep1) {
+  LocalEstimator est(generated_.kase.network, d_, 1, {});
+  EXPECT_THROW(est.run_step2(meas_, {}), InternalError);
+}
+
+TEST_F(LocalEstimatorTest, Step2ImprovesBoundaryAccuracy) {
+  // Aggregate over all subsystems: boundary-bus error after Step 2 with
+  // neighbour pseudo measurements must beat Step 1 alone.
+  std::vector<std::unique_ptr<LocalEstimator>> estimators;
+  for (int s = 0; s < d_.num_subsystems(); ++s) {
+    estimators.push_back(std::make_unique<LocalEstimator>(
+        generated_.kase.network, d_, s, LocalEstimatorOptions{}));
+    estimators.back()->run_step1(meas_);
+  }
+  double step1_err = 0.0;
+  double step2_err = 0.0;
+  int boundary_count = 0;
+  for (int s = 0; s < d_.num_subsystems(); ++s) {
+    std::vector<BusStateRecord> neighbor_states;
+    for (const int t : d_.neighbors_of(s)) {
+      const auto recs = estimators[static_cast<std::size_t>(t)]
+                            ->step1_boundary_states();
+      neighbor_states.insert(neighbor_states.end(), recs.begin(), recs.end());
+    }
+    const LocalSolveInfo info =
+        estimators[static_cast<std::size_t>(s)]->run_step2(meas_,
+                                                           neighbor_states);
+    EXPECT_TRUE(info.converged) << "subsystem " << s;
+
+    const auto before = estimators[static_cast<std::size_t>(s)]->step1_all_states();
+    const auto after = estimators[static_cast<std::size_t>(s)]->final_states();
+    const auto& boundary = d_.subsystems[static_cast<std::size_t>(s)].boundary_buses;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      if (std::find(boundary.begin(), boundary.end(), before[i].bus) ==
+          boundary.end()) {
+        continue;
+      }
+      const auto bi = static_cast<std::size_t>(before[i].bus);
+      step1_err += std::abs(before[i].vm - pf_.state.vm[bi]) +
+                   std::abs(before[i].theta - pf_.state.theta[bi]);
+      step2_err += std::abs(after[i].vm - pf_.state.vm[bi]) +
+                   std::abs(after[i].theta - pf_.state.theta[bi]);
+      ++boundary_count;
+    }
+  }
+  ASSERT_GT(boundary_count, 0);
+  EXPECT_LT(step2_err, step1_err);
+}
+
+TEST_F(LocalEstimatorTest, AdoptStep1MatchesLocalRun) {
+  LocalEstimator a(generated_.kase.network, d_, 3, {});
+  a.run_step1(meas_);
+  const auto records = a.step1_all_states();
+
+  LocalEstimator b(generated_.kase.network, d_, 3, {});
+  b.adopt_step1(records);
+  const auto adopted = b.step1_all_states();
+  ASSERT_EQ(adopted.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(adopted[i].theta, records[i].theta);
+    EXPECT_DOUBLE_EQ(adopted[i].vm, records[i].vm);
+  }
+}
+
+TEST_F(LocalEstimatorTest, AdoptStep1RejectsBadRecords) {
+  LocalEstimator est(generated_.kase.network, d_, 3, {});
+  // wrong subsystem's buses
+  LocalEstimator other(generated_.kase.network, d_, 4, {});
+  other.run_step1(meas_);
+  EXPECT_THROW(est.adopt_step1(other.step1_all_states()), InvalidInput);
+  // incomplete
+  LocalEstimator self(generated_.kase.network, d_, 3, {});
+  self.run_step1(meas_);
+  auto partial = self.step1_all_states();
+  partial.pop_back();
+  EXPECT_THROW(est.adopt_step1(partial), InvalidInput);
+}
+
+TEST_F(LocalEstimatorTest, MissingPmuIsDiagnosed) {
+  // Strip all angle measurements: subsystems without the slack bus must
+  // refuse to run.
+  grid::MeasurementSet no_pmu = meas_;
+  no_pmu.items.erase(
+      std::remove_if(no_pmu.items.begin(), no_pmu.items.end(),
+                     [](const grid::Measurement& m) {
+                       return m.type == grid::MeasType::kVAngle;
+                     }),
+      no_pmu.items.end());
+  // subsystem 8 does not contain the global slack (bus 0 is in subsystem 0)
+  LocalEstimator est(generated_.kase.network, d_, 8, {});
+  EXPECT_THROW(est.run_step1(no_pmu), InvalidInput);
+  // subsystem 0 hosts the slack and still works
+  LocalEstimator est0(generated_.kase.network, d_, 0, {});
+  EXPECT_TRUE(est0.run_step1(no_pmu).converged);
+}
+
+TEST_F(LocalEstimatorTest, RobustModeBoundsLocalBadData) {
+  // Corrupt one flow measurement inside subsystem 2 and compare the
+  // exported boundary states: Huber keeps them close to truth, plain WLS
+  // drags them off — gross local errors must not poison the neighbours.
+  grid::MeasurementSet bad = meas_;
+  const decomp::SubsystemModel local =
+      decomp::extract_local(generated_.kase.network, d_, 2);
+  std::size_t victim = SIZE_MAX;
+  for (std::size_t i = 0; i < bad.items.size(); ++i) {
+    const grid::Measurement& m = bad.items[i];
+    if (m.type == grid::MeasType::kPFlow &&
+        local.local_branch_of_global.count(static_cast<std::size_t>(m.branch)) >
+            0) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, SIZE_MAX);
+  bad.items[victim].value += 1.0;
+
+  const auto boundary_error = [&](const LocalEstimatorOptions& opts) {
+    LocalEstimator est(generated_.kase.network, d_, 2, opts);
+    EXPECT_TRUE(est.run_step1(bad).converged);
+    double err = 0.0;
+    for (const BusStateRecord& rec : est.step1_boundary_states()) {
+      const auto bi = static_cast<std::size_t>(rec.bus);
+      err += std::abs(rec.vm - pf_.state.vm[bi]) +
+             std::abs(rec.theta - pf_.state.theta[bi]);
+    }
+    return err;
+  };
+  LocalEstimatorOptions plain;
+  LocalEstimatorOptions robust;
+  robust.robust = true;
+  EXPECT_LT(boundary_error(robust), boundary_error(plain));
+}
+
+TEST_F(LocalEstimatorTest, FinalStatesFallBackToStep1) {
+  LocalEstimator est(generated_.kase.network, d_, 5, {});
+  est.run_step1(meas_);
+  const auto finals = est.final_states();
+  const auto step1 = est.step1_all_states();
+  ASSERT_EQ(finals.size(), step1.size());
+  for (std::size_t i = 0; i < finals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(finals[i].vm, step1[i].vm);
+  }
+}
+
+}  // namespace
+}  // namespace gridse::core

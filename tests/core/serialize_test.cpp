@@ -1,0 +1,88 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridse::core {
+namespace {
+
+TEST(Serialize, BusStatesRoundTrip) {
+  const std::vector<BusStateRecord> records{
+      {0, 0.1, 1.02}, {17, -0.25, 0.98}, {117, 0.0, 1.0}};
+  const auto bytes = encode_bus_states(records);
+  const auto back = decode_bus_states(bytes);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].bus, records[i].bus);
+    EXPECT_DOUBLE_EQ(back[i].theta, records[i].theta);
+    EXPECT_DOUBLE_EQ(back[i].vm, records[i].vm);
+  }
+}
+
+TEST(Serialize, EmptyBusStates) {
+  const auto bytes = encode_bus_states({});
+  EXPECT_TRUE(decode_bus_states(bytes).empty());
+}
+
+TEST(Serialize, BusStatesRejectTrailingGarbage) {
+  auto bytes = encode_bus_states({{1, 0.0, 1.0}});
+  bytes.push_back(0xff);
+  EXPECT_THROW(decode_bus_states(bytes), InvalidInput);
+}
+
+TEST(Serialize, MeasurementsRoundTrip) {
+  grid::MeasurementSet set;
+  set.timestamp = 42.5;
+  set.items.push_back({grid::MeasType::kPFlow, 3, 7, true, 0.5, 0.01});
+  set.items.push_back({grid::MeasType::kQFlow, 9, 7, false, -0.2, 0.02});
+  set.items.push_back({grid::MeasType::kVAngle, 0, -1, true, 0.05, 0.001});
+  const auto bytes = encode_measurements(set);
+  const grid::MeasurementSet back = decode_measurements(bytes);
+  EXPECT_DOUBLE_EQ(back.timestamp, 42.5);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.items[i].type, set.items[i].type);
+    EXPECT_EQ(back.items[i].bus, set.items[i].bus);
+    EXPECT_EQ(back.items[i].branch, set.items[i].branch);
+    EXPECT_EQ(back.items[i].at_from_side, set.items[i].at_from_side);
+    EXPECT_DOUBLE_EQ(back.items[i].value, set.items[i].value);
+    EXPECT_DOUBLE_EQ(back.items[i].sigma, set.items[i].sigma);
+  }
+}
+
+TEST(Serialize, MeasurementsRejectUnknownType) {
+  grid::MeasurementSet set;
+  set.items.push_back({grid::MeasType::kVMag, 0, -1, true, 1.0, 0.01});
+  auto bytes = encode_measurements(set);
+  // Corrupt the type byte of the first wire record. Layout after the
+  // timestamp (8) and the vector length (8) begins with the type byte.
+  bytes[16] = 0x7f;
+  EXPECT_THROW(decode_measurements(bytes), InvalidInput);
+}
+
+TEST(Serialize, StateRoundTrip) {
+  grid::GridState s(3);
+  s.theta = {0.1, -0.2, 0.3};
+  s.vm = {1.01, 0.99, 1.05};
+  const auto bytes = encode_state(s);
+  const grid::GridState back = decode_state(bytes);
+  EXPECT_EQ(back.theta, s.theta);
+  EXPECT_EQ(back.vm, s.vm);
+}
+
+TEST(Serialize, StateRejectsMismatchedArrays) {
+  ByteWriter w;
+  w.write_vector(std::vector<double>{1.0, 2.0});
+  w.write_vector(std::vector<double>{1.0});
+  EXPECT_THROW(decode_state(w.take()), InvalidInput);
+}
+
+TEST(Serialize, TruncatedFrameRejected) {
+  const auto bytes = encode_bus_states({{1, 0.5, 1.0}, {2, 0.1, 1.0}});
+  const std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 5);
+  EXPECT_THROW(decode_bus_states(cut), InvalidInput);
+}
+
+}  // namespace
+}  // namespace gridse::core

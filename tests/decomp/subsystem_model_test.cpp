@@ -1,0 +1,165 @@
+#include "decomp/subsystem_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "decomp/sensitivity.hpp"
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/synthetic.hpp"
+
+namespace gridse::decomp {
+namespace {
+
+void expect_index_roundtrip(const SubsystemModel& m) {
+  for (grid::BusIndex l = 0; l < m.network.num_buses(); ++l) {
+    const grid::BusIndex g = m.global_bus[static_cast<std::size_t>(l)];
+    EXPECT_EQ(m.local_of_global.at(g), l);
+  }
+}
+
+class SubsystemModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    generated_ = io::ieee118_dse();
+    d_ = decompose(generated_.kase.network, generated_.subsystem_of_bus);
+    analyze_sensitivity(generated_.kase.network, d_, {});
+    pf_ = grid::solve_power_flow(generated_.kase.network);
+    ASSERT_TRUE(pf_.converged);
+    grid::MeasurementPlan plan;
+    for (const Subsystem& s : d_.subsystems) {
+      plan.pmu_buses.push_back(s.buses.front());
+    }
+    gen_ = std::make_unique<grid::MeasurementGenerator>(generated_.kase.network,
+                                                        plan);
+    global_set_ = gen_->generate_noiseless(pf_.state);
+  }
+
+  io::GeneratedCase generated_;
+  Decomposition d_;
+  grid::PowerFlowResult pf_;
+  std::unique_ptr<grid::MeasurementGenerator> gen_;
+  grid::MeasurementSet global_set_;
+};
+
+TEST_F(SubsystemModelTest, LocalModelCoversExactlyTheSubsystem) {
+  for (int s = 0; s < d_.num_subsystems(); ++s) {
+    const SubsystemModel m = extract_local(generated_.kase.network, d_, s);
+    const Subsystem& sub = d_.subsystems[static_cast<std::size_t>(s)];
+    EXPECT_EQ(m.network.num_buses(),
+              static_cast<grid::BusIndex>(sub.buses.size()));
+    EXPECT_EQ(m.network.num_branches(), sub.internal_branches.size());
+    for (const bool own : m.own) {
+      EXPECT_TRUE(own);
+    }
+    expect_index_roundtrip(m);
+  }
+}
+
+TEST_F(SubsystemModelTest, ExtendedModelAddsNeighborBusesAndTies) {
+  for (int s = 0; s < d_.num_subsystems(); ++s) {
+    const SubsystemModel local = extract_local(generated_.kase.network, d_, s);
+    const SubsystemModel ext = extract_extended(generated_.kase.network, d_, s);
+    EXPECT_GT(ext.network.num_buses(), local.network.num_buses());
+    EXPECT_GT(ext.network.num_branches(), local.network.num_branches());
+    // every tie line of s must be present in the extended model
+    const Subsystem& sub = d_.subsystems[static_cast<std::size_t>(s)];
+    for (const std::size_t tie : sub.tie_branches) {
+      EXPECT_TRUE(ext.local_branch_of_global.count(tie) > 0)
+          << "subsystem " << s << " tie " << tie;
+    }
+  }
+}
+
+TEST_F(SubsystemModelTest, FilterKeepsOnlyEvaluableMeasurements) {
+  const SubsystemModel m = extract_local(generated_.kase.network, d_, 2);
+  const grid::MeasurementSet local = m.filter(global_set_, generated_.kase.network);
+  EXPECT_GT(local.size(), 0u);
+  grid::validate_measurements(m.network, local);
+  // no measurement may reference a bus outside the model
+  for (const grid::Measurement& meas : local.items) {
+    EXPECT_LT(meas.bus, m.network.num_buses());
+  }
+}
+
+TEST_F(SubsystemModelTest, FilteredInjectionValuesMatchLocalModel) {
+  // The h(x) of a filtered injection on the local network must equal the
+  // global measurement value (that is what remap() guarantees).
+  const SubsystemModel m = extract_local(generated_.kase.network, d_, 4);
+  const grid::MeasurementSet local = m.filter(global_set_, generated_.kase.network);
+  const grid::GridState local_state = m.gather_state(pf_.state);
+  const grid::StateIndex idx(m.network.num_buses(), 0);
+  const grid::MeasurementModel model(m.network, idx);
+  const auto h = model.evaluate(local, local_state);
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    EXPECT_NEAR(h[i], local.items[i].value, 1e-9)
+        << grid::meas_type_name(local.items[i].type) << " #" << i;
+  }
+}
+
+TEST_F(SubsystemModelTest, BoundaryInjectionsExcludedFromLocalModel) {
+  const int s = 0;
+  const SubsystemModel m = extract_local(generated_.kase.network, d_, s);
+  const grid::MeasurementSet local = m.filter(global_set_, generated_.kase.network);
+  const Subsystem& sub = d_.subsystems[static_cast<std::size_t>(s)];
+  const std::set<grid::BusIndex> boundary(sub.boundary_buses.begin(),
+                                          sub.boundary_buses.end());
+  for (const grid::Measurement& meas : local.items) {
+    if (meas.type == grid::MeasType::kPInjection ||
+        meas.type == grid::MeasType::kQInjection) {
+      const grid::BusIndex global = m.global_bus[static_cast<std::size_t>(meas.bus)];
+      EXPECT_TRUE(boundary.count(global) == 0)
+          << "boundary injection leaked into local set";
+    }
+  }
+}
+
+TEST_F(SubsystemModelTest, ExtendedModelIncludesOwnBoundaryInjections) {
+  const int s = 0;
+  const SubsystemModel ext = extract_extended(generated_.kase.network, d_, s);
+  const grid::MeasurementSet set = ext.filter(global_set_, generated_.kase.network);
+  const Subsystem& sub = d_.subsystems[static_cast<std::size_t>(s)];
+  int boundary_injections = 0;
+  for (const grid::Measurement& meas : set.items) {
+    if (meas.type != grid::MeasType::kPInjection) continue;
+    const grid::BusIndex global = ext.global_bus[static_cast<std::size_t>(meas.bus)];
+    if (std::find(sub.boundary_buses.begin(), sub.boundary_buses.end(),
+                  global) != sub.boundary_buses.end()) {
+      ++boundary_injections;
+    }
+  }
+  EXPECT_GT(boundary_injections, 0);
+}
+
+TEST_F(SubsystemModelTest, ScatterGatherRoundTrip) {
+  const SubsystemModel m = extract_local(generated_.kase.network, d_, 3);
+  const grid::GridState local = m.gather_state(pf_.state);
+  grid::GridState global(generated_.kase.network.num_buses());
+  m.scatter_state(local, global);
+  for (const grid::BusIndex g : m.global_bus) {
+    EXPECT_DOUBLE_EQ(global.theta[static_cast<std::size_t>(g)],
+                     pf_.state.theta[static_cast<std::size_t>(g)]);
+    EXPECT_DOUBLE_EQ(global.vm[static_cast<std::size_t>(g)],
+                     pf_.state.vm[static_cast<std::size_t>(g)]);
+  }
+}
+
+TEST_F(SubsystemModelTest, ScatterOwnOnlySkipsRemoteBuses) {
+  const SubsystemModel ext = extract_extended(generated_.kase.network, d_, 1);
+  grid::GridState local(ext.network.num_buses());
+  for (auto& v : local.vm) v = 9.0;  // sentinel
+  grid::GridState global(generated_.kase.network.num_buses());
+  ext.scatter_state(local, global, /*own_buses_only=*/true);
+  for (grid::BusIndex l = 0; l < ext.network.num_buses(); ++l) {
+    const grid::BusIndex g = ext.global_bus[static_cast<std::size_t>(l)];
+    if (ext.own[static_cast<std::size_t>(l)]) {
+      EXPECT_DOUBLE_EQ(global.vm[static_cast<std::size_t>(g)], 9.0);
+    } else {
+      EXPECT_DOUBLE_EQ(global.vm[static_cast<std::size_t>(g)], 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridse::decomp

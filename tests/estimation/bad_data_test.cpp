@@ -1,0 +1,124 @@
+#include "estimation/bad_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/case14.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::estimation {
+namespace {
+
+class BadDataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kase_ = io::ieee14();
+    pf_ = grid::solve_power_flow(kase_.network);
+    ASSERT_TRUE(pf_.converged);
+    grid::MeasurementGenerator gen(kase_.network, {});
+    Rng rng(21);
+    clean_ = gen.generate(pf_.state, rng);
+  }
+  io::Case kase_;
+  grid::PowerFlowResult pf_;
+  grid::MeasurementSet clean_;
+};
+
+TEST(ChiSquareQuantile, MatchesTabulatedValues) {
+  // Standard table values: χ²₀.₉₅ for various dof.
+  EXPECT_NEAR(chi_square_quantile(10, 0.95), 18.31, 0.15);
+  EXPECT_NEAR(chi_square_quantile(30, 0.95), 43.77, 0.2);
+  EXPECT_NEAR(chi_square_quantile(100, 0.95), 124.34, 0.4);
+  EXPECT_NEAR(chi_square_quantile(100, 0.99), 135.81, 0.5);
+}
+
+TEST(ChiSquareQuantile, RejectsBadArguments) {
+  EXPECT_THROW(chi_square_quantile(0, 0.95), InternalError);
+  EXPECT_THROW(chi_square_quantile(10, 0.0), InternalError);
+  EXPECT_THROW(chi_square_quantile(10, 1.0), InternalError);
+}
+
+TEST_F(BadDataTest, CleanDataPassesChiSquare) {
+  WlsEstimator est(kase_.network);
+  const WlsResult r = est.estimate(clean_);
+  const ChiSquareTest test =
+      chi_square_test(r, est.model().state_index().size());
+  EXPECT_FALSE(test.suspect_bad_data);
+  EXPECT_GT(test.degrees_of_freedom, 0);
+}
+
+TEST_F(BadDataTest, GrossErrorTripsChiSquare) {
+  grid::MeasurementSet bad = clean_;
+  bad.items[10].value += 1.0;  // enormous vs sigma ~ 0.01
+  WlsEstimator est(kase_.network);
+  const WlsResult r = est.estimate(bad);
+  const ChiSquareTest test =
+      chi_square_test(r, est.model().state_index().size());
+  EXPECT_TRUE(test.suspect_bad_data);
+}
+
+TEST_F(BadDataTest, LnrIdentifiesTheCorruptedMeasurement) {
+  for (const std::size_t victim : {3u, 40u, 90u}) {
+    grid::MeasurementSet bad = clean_;
+    bad.items[victim].value += 0.5;
+    WlsEstimator est(kase_.network);
+    const WlsResult r = est.estimate(bad);
+    const BadDataHit hit = largest_normalized_residual(est, bad, r);
+    EXPECT_EQ(hit.measurement_index, victim);
+    EXPECT_GT(hit.normalized_residual, 3.0);
+  }
+}
+
+TEST_F(BadDataTest, CleanDataHasSmallNormalizedResiduals) {
+  WlsEstimator est(kase_.network);
+  const WlsResult r = est.estimate(clean_);
+  const BadDataHit hit = largest_normalized_residual(est, clean_, r);
+  EXPECT_LT(hit.normalized_residual, 4.5);  // ~N(0,1) max over ~122 samples
+}
+
+TEST_F(BadDataTest, DetectAndRemoveScrubsSingleBadPoint) {
+  grid::MeasurementSet bad = clean_;
+  bad.items[25].value -= 0.6;
+  WlsEstimator est(kase_.network);
+  const BadDataScrub scrub = detect_and_remove(est, bad);
+  ASSERT_EQ(scrub.removed.size(), 1u);
+  EXPECT_EQ(scrub.removed[0], 25u);
+  EXPECT_TRUE(scrub.result.converged);
+  EXPECT_LT(grid::max_vm_error(scrub.result.state, pf_.state), 0.01);
+}
+
+TEST_F(BadDataTest, DetectAndRemoveScrubsMultipleBadPoints) {
+  grid::MeasurementSet bad = clean_;
+  bad.items[5].value += 0.5;
+  bad.items[60].value -= 0.7;
+  WlsEstimator est(kase_.network);
+  const BadDataScrub scrub = detect_and_remove(est, bad, 3.0, 5);
+  EXPECT_EQ(scrub.removed.size(), 2u);
+  const bool found5 = std::find(scrub.removed.begin(), scrub.removed.end(),
+                                5u) != scrub.removed.end();
+  const bool found60 = std::find(scrub.removed.begin(), scrub.removed.end(),
+                                 60u) != scrub.removed.end();
+  EXPECT_TRUE(found5);
+  EXPECT_TRUE(found60);
+}
+
+TEST_F(BadDataTest, DetectAndRemoveLeavesCleanDataAlone) {
+  WlsEstimator est(kase_.network);
+  const BadDataScrub scrub = detect_and_remove(est, clean_, 4.5);
+  EXPECT_TRUE(scrub.removed.empty());
+  EXPECT_EQ(scrub.cleaned.size(), clean_.size());
+}
+
+TEST_F(BadDataTest, RemovalCapIsRespected) {
+  grid::MeasurementSet bad = clean_;
+  for (const std::size_t i : {3u, 17u, 44u, 71u}) {
+    bad.items[i].value += 0.8;
+  }
+  WlsEstimator est(kase_.network);
+  const BadDataScrub scrub = detect_and_remove(est, bad, 3.0, /*max=*/2);
+  EXPECT_LE(scrub.removed.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gridse::estimation

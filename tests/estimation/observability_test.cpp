@@ -1,0 +1,80 @@
+#include "estimation/observability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/case14.hpp"
+
+namespace gridse::estimation {
+namespace {
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kase_ = io::ieee14();
+    pf_ = grid::solve_power_flow(kase_.network);
+    index_ = grid::StateIndex(kase_.network.num_buses(),
+                              kase_.network.slack_bus());
+    model_ = std::make_unique<grid::MeasurementModel>(kase_.network, index_);
+  }
+  io::Case kase_;
+  grid::PowerFlowResult pf_;
+  grid::StateIndex index_;
+  std::unique_ptr<grid::MeasurementModel> model_;
+};
+
+TEST_F(ObservabilityTest, FullPlanIsObservable) {
+  const grid::MeasurementGenerator gen(kase_.network, {});
+  const auto set = gen.generate_noiseless(pf_.state);
+  const ObservabilityReport rep = check_observability(*model_, set);
+  EXPECT_TRUE(rep.observable);
+  EXPECT_GT(rep.redundancy, 3.0);
+  EXPECT_GT(rep.min_pivot, 0.0);
+}
+
+TEST_F(ObservabilityTest, TooFewMeasurementsUnobservable) {
+  grid::MeasurementSet set;
+  for (int i = 0; i < 5; ++i) {
+    set.items.push_back({grid::MeasType::kVMag, static_cast<grid::BusIndex>(i),
+                         -1, true, 1.0, 0.01});
+  }
+  const ObservabilityReport rep = check_observability(*model_, set);
+  EXPECT_FALSE(rep.observable);
+}
+
+TEST_F(ObservabilityTest, VoltagesOnlyCannotObserveAngles) {
+  // One |V| at every bus plus padding duplicates: m >= n but the angle
+  // subspace is untouched, so the gain matrix is singular.
+  grid::MeasurementSet set;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (grid::BusIndex b = 0; b < kase_.network.num_buses(); ++b) {
+      set.items.push_back({grid::MeasType::kVMag, b, -1, true, 1.0, 0.01});
+    }
+  }
+  const ObservabilityReport report = check_observability(*model_, set);
+  EXPECT_FALSE(report.observable);
+}
+
+TEST_F(ObservabilityTest, FlowsAndVoltagesObserveEverything) {
+  grid::MeasurementPlan plan;
+  plan.bus_p_injections = false;
+  plan.bus_q_injections = false;
+  const grid::MeasurementGenerator gen(kase_.network, plan);
+  const auto set = gen.generate_noiseless(pf_.state);
+  const ObservabilityReport rep = check_observability(*model_, set);
+  EXPECT_TRUE(rep.observable);
+}
+
+TEST_F(ObservabilityTest, ReportCountsAreConsistent) {
+  const grid::MeasurementGenerator gen(kase_.network, {});
+  const auto set = gen.generate_noiseless(pf_.state);
+  const ObservabilityReport rep = check_observability(*model_, set);
+  EXPECT_EQ(rep.num_measurements, static_cast<std::int32_t>(set.size()));
+  EXPECT_EQ(rep.num_states, index_.size());
+  EXPECT_NEAR(rep.redundancy,
+              static_cast<double>(set.size()) / index_.size(), 1e-12);
+}
+
+}  // namespace
+}  // namespace gridse::estimation

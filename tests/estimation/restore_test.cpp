@@ -1,0 +1,106 @@
+#include "estimation/restore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "estimation/wls.hpp"
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/case14.hpp"
+#include "util/error.hpp"
+
+namespace gridse::estimation {
+namespace {
+
+class RestoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kase_ = io::ieee14();
+    pf_ = grid::solve_power_flow(kase_.network);
+    index_ = grid::StateIndex(kase_.network.num_buses(),
+                              kase_.network.slack_bus());
+    model_ = std::make_unique<grid::MeasurementModel>(kase_.network, index_);
+  }
+  io::Case kase_;
+  grid::PowerFlowResult pf_;
+  grid::StateIndex index_;
+  std::unique_ptr<grid::MeasurementModel> model_;
+};
+
+TEST_F(RestoreTest, AlreadyObservableSetUntouched) {
+  const grid::MeasurementGenerator gen(kase_.network, {});
+  const grid::MeasurementSet set = gen.generate_noiseless(pf_.state);
+  const RestorationResult r = restore_observability(*model_, set);
+  EXPECT_TRUE(r.observable);
+  EXPECT_TRUE(r.added.empty());
+  EXPECT_EQ(r.augmented.size(), set.size());
+}
+
+TEST_F(RestoreTest, VoltageOnlySetGetsAnglePseudos) {
+  // |V| everywhere observes magnitudes but no angles: restoration must add
+  // angle pseudo measurements until the gain matrix is regular.
+  grid::MeasurementSet set;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (grid::BusIndex b = 0; b < kase_.network.num_buses(); ++b) {
+      set.items.push_back({grid::MeasType::kVMag, b, -1, true, 1.0, 0.01});
+    }
+  }
+  const RestorationResult r = restore_observability(*model_, set);
+  EXPECT_TRUE(r.observable);
+  EXPECT_FALSE(r.added.empty());
+  for (const grid::Measurement& m : r.added) {
+    EXPECT_EQ(m.type, grid::MeasType::kVAngle);
+  }
+  // The augmented set must actually estimate.
+  const WlsEstimator est(kase_.network);
+  const WlsResult result = est.estimate(r.augmented);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST_F(RestoreTest, PartialFlowCoverageRestored) {
+  // Flows on the first five branches plus all magnitudes: a slice of the
+  // network is angle-unobservable; restoration fixes it and WLS converges.
+  const grid::MeasurementGenerator gen(kase_.network, {});
+  const grid::MeasurementSet full = gen.generate_noiseless(pf_.state);
+  grid::MeasurementSet partial;
+  for (const grid::Measurement& m : full.items) {
+    const bool keep_flow = (m.type == grid::MeasType::kPFlow ||
+                            m.type == grid::MeasType::kQFlow) &&
+                           m.branch < 5;
+    const bool keep_vmag = m.type == grid::MeasType::kVMag;
+    if (keep_flow || keep_vmag) partial.items.push_back(m);
+  }
+  // pad with duplicates of the magnitudes so m >= n (counting alone is not
+  // the problem here)
+  for (grid::BusIndex b = 0; b < kase_.network.num_buses(); ++b) {
+    partial.items.push_back({grid::MeasType::kVMag, b, -1, true,
+                             pf_.state.vm[static_cast<std::size_t>(b)], 0.01});
+  }
+  const ObservabilityReport before = check_observability(*model_, partial);
+  ASSERT_FALSE(before.observable);
+  const RestorationResult r = restore_observability(*model_, partial);
+  EXPECT_TRUE(r.observable);
+  const WlsEstimator est(kase_.network);
+  EXPECT_TRUE(est.estimate(r.augmented).converged);
+}
+
+TEST_F(RestoreTest, PseudoSigmaPropagates) {
+  grid::MeasurementSet set;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (grid::BusIndex b = 0; b < kase_.network.num_buses(); ++b) {
+      set.items.push_back({grid::MeasType::kVMag, b, -1, true, 1.0, 0.01});
+    }
+  }
+  const RestorationResult r = restore_observability(*model_, set, 0.42);
+  for (const grid::Measurement& m : r.added) {
+    EXPECT_DOUBLE_EQ(m.sigma, 0.42);
+  }
+}
+
+TEST_F(RestoreTest, RejectsBadArguments) {
+  const grid::MeasurementSet set;
+  EXPECT_THROW(restore_observability(*model_, set, 0.0), InternalError);
+  EXPECT_THROW(restore_observability(*model_, set, 0.1, 0), InternalError);
+}
+
+}  // namespace
+}  // namespace gridse::estimation

@@ -1,0 +1,114 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridse::graph {
+namespace {
+
+WeightedGraph paper_decomposition_graph() {
+  // Figure 3 of the paper: 9 subsystems, 12 edges.
+  WeightedGraph g(9);
+  const int sizes[] = {14, 13, 13, 13, 13, 12, 14, 13, 13};
+  for (VertexId v = 0; v < 9; ++v) {
+    g.set_vertex_weight(v, sizes[v]);
+  }
+  const std::pair<int, int> edges[] = {{1, 2}, {1, 4}, {1, 5}, {2, 3},
+                                       {2, 6}, {3, 6}, {4, 5}, {4, 7},
+                                       {5, 6}, {5, 7}, {5, 8}, {7, 9}};
+  for (const auto& [a, b] : edges) {
+    g.add_edge(a - 1, b - 1, 1.0);
+  }
+  return g;
+}
+
+TEST(WeightedGraph, ConstructionAndAccessors) {
+  const WeightedGraph g = paper_decomposition_graph();
+  EXPECT_EQ(g.num_vertices(), 9);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_DOUBLE_EQ(g.vertex_weight(0), 14.0);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 118.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 8));
+}
+
+TEST(WeightedGraph, RejectsSelfLoop) {
+  WeightedGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1, 1.0), InvalidInput);
+}
+
+TEST(WeightedGraph, RejectsDuplicateEdge) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.add_edge(0, 1, 2.0), InvalidInput);
+  EXPECT_THROW(g.add_edge(1, 0, 2.0), InvalidInput);
+}
+
+TEST(WeightedGraph, RejectsOutOfRange) {
+  WeightedGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2, 1.0), InvalidInput);
+  EXPECT_THROW(g.add_edge(-1, 0, 1.0), InvalidInput);
+}
+
+TEST(WeightedGraph, RejectsNegativeWeights) {
+  WeightedGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), InvalidInput);
+  EXPECT_THROW(g.set_vertex_weight(0, -1.0), InternalError);
+}
+
+TEST(WeightedGraph, SetEdgeWeightEitherDirection) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.set_edge_weight(1, 0, 7.5);
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 7.5);
+  for (const auto& [nbr, w] : g.neighbors(0)) {
+    if (nbr == 1) {
+      EXPECT_DOUBLE_EQ(w, 7.5);
+    }
+  }
+  EXPECT_THROW(g.set_edge_weight(0, 2, 1.0), InvalidInput);
+}
+
+TEST(WeightedGraph, UniformEdgeWeights) {
+  WeightedGraph g = paper_decomposition_graph();
+  g.set_uniform_edge_weights(3.0);
+  for (const Edge& e : g.edges()) {
+    EXPECT_DOUBLE_EQ(e.weight, 3.0);
+  }
+}
+
+TEST(WeightedGraph, Connectivity) {
+  EXPECT_TRUE(paper_decomposition_graph().connected());
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(g.connected());
+  EXPECT_TRUE(WeightedGraph(1).connected());
+  EXPECT_TRUE(WeightedGraph(0).connected());
+}
+
+TEST(WeightedGraph, DiameterOfPaperGraph) {
+  // The DSE iteration count is bounded by the decomposition diameter (§II).
+  // Longest shortest path in Fig. 3's graph is subsystem 9 to subsystem 3
+  // (9→7→4/5→1/6→3): four hops.
+  const WeightedGraph g = paper_decomposition_graph();
+  EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(WeightedGraph, DiameterOfPath) {
+  WeightedGraph g(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) {
+    g.add_edge(v, v + 1, 1.0);
+  }
+  EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(WeightedGraph, DiameterThrowsOnDisconnected) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)g.diameter(), InvalidInput);
+}
+
+}  // namespace
+}  // namespace gridse::graph

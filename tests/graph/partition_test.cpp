@@ -1,0 +1,67 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridse::graph {
+namespace {
+
+WeightedGraph square_graph() {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(3, 0, 4.0);
+  return g;
+}
+
+TEST(Partition, EvaluatesEdgeCut) {
+  const WeightedGraph g = square_graph();
+  const Partition p = evaluate_partition(g, {0, 0, 1, 1}, 2);
+  // crossing edges: (1,2) weight 2 and (3,0) weight 4
+  EXPECT_DOUBLE_EQ(p.edge_cut, 6.0);
+}
+
+TEST(Partition, EvaluatesBalance) {
+  WeightedGraph g = square_graph();
+  g.set_vertex_weight(0, 3.0);
+  g.set_vertex_weight(1, 1.0);
+  g.set_vertex_weight(2, 1.0);
+  g.set_vertex_weight(3, 1.0);
+  const Partition p = evaluate_partition(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(p.part_weights, (std::vector<double>{4.0, 2.0}));
+  EXPECT_DOUBLE_EQ(p.load_imbalance, 4.0 / 3.0);
+}
+
+TEST(Partition, PerfectBalanceIsOne) {
+  const WeightedGraph g = square_graph();
+  const Partition p = evaluate_partition(g, {0, 1, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(p.load_imbalance, 1.0);
+}
+
+TEST(Partition, OutOfRangePartThrows) {
+  const WeightedGraph g = square_graph();
+  EXPECT_THROW(evaluate_partition(g, {0, 0, 0, 2}, 2), InternalError);
+}
+
+TEST(Partition, ValidityChecks) {
+  const WeightedGraph g = square_graph();
+  EXPECT_TRUE(is_valid_partition(g, std::vector<PartId>{0, 1, 0, 1}, 2));
+  // empty part 1
+  EXPECT_FALSE(is_valid_partition(g, std::vector<PartId>{0, 0, 0, 0}, 2));
+  // wrong size
+  EXPECT_FALSE(is_valid_partition(g, std::vector<PartId>{0, 1}, 2));
+  // out of range
+  EXPECT_FALSE(is_valid_partition(g, std::vector<PartId>{0, 1, 0, 5}, 2));
+}
+
+TEST(Partition, MigrationCount) {
+  const std::vector<PartId> a{0, 1, 2, 0};
+  const std::vector<PartId> b{0, 2, 2, 1};
+  EXPECT_EQ(migration_count(a, b), 2);
+  EXPECT_EQ(migration_count(a, a), 0);
+}
+
+}  // namespace
+}  // namespace gridse::graph

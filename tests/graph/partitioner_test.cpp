@@ -1,0 +1,215 @@
+#include "graph/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::graph {
+namespace {
+
+WeightedGraph paper_graph(bool step2_edges) {
+  WeightedGraph g(9);
+  const int sizes[] = {14, 13, 13, 13, 13, 12, 14, 13, 13};
+  for (VertexId v = 0; v < 9; ++v) {
+    g.set_vertex_weight(v, sizes[v]);
+  }
+  const std::pair<int, int> edges[] = {{1, 2}, {1, 4}, {1, 5}, {2, 3},
+                                       {2, 6}, {3, 6}, {4, 5}, {4, 7},
+                                       {5, 6}, {5, 7}, {5, 8}, {7, 9}};
+  for (const auto& [a, b] : edges) {
+    const double w = step2_edges ? sizes[a - 1] + sizes[b - 1] : 1.0;
+    g.add_edge(a - 1, b - 1, w);
+  }
+  return g;
+}
+
+WeightedGraph random_connected(VertexId n, double extra_density, Rng& rng) {
+  WeightedGraph g(n);
+  for (VertexId v = 1; v < n; ++v) {
+    g.add_edge(static_cast<VertexId>(rng.uniform_int(0, v - 1)), v,
+               rng.uniform(1.0, 5.0));
+    g.set_vertex_weight(v, rng.uniform(1.0, 10.0));
+  }
+  const int extra = static_cast<int>(extra_density * n);
+  for (int e = 0; e < extra; ++e) {
+    const auto a = static_cast<VertexId>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<VertexId>(rng.uniform_int(0, n - 1));
+    if (a != b && !g.has_edge(a, b)) {
+      g.add_edge(a, b, rng.uniform(1.0, 5.0));
+    }
+  }
+  return g;
+}
+
+TEST(Partitioner, PaperStep1GraphBalancesWithinMetisThreshold) {
+  // Figure 4: 3 clusters, load-imbalance 1.035 with METIS. Our exhaustive
+  // search is optimal, so it must do at least as well.
+  const WeightedGraph g = paper_graph(/*step2_edges=*/false);
+  PartitionOptions opts;
+  opts.k = 3;
+  const Partition p = partition(g, opts);
+  EXPECT_TRUE(is_valid_partition(g, p.assignment, 3));
+  EXPECT_LE(p.load_imbalance, 1.035 + 1e-9);
+}
+
+TEST(Partitioner, PaperStep2GraphStaysBalancedAndCutsLess) {
+  const WeightedGraph g = paper_graph(/*step2_edges=*/true);
+  PartitionOptions opts;
+  opts.k = 3;
+  opts.imbalance_tolerance = 1.10;  // paper's Fig. 5 result is 1.079
+  const Partition p = partition(g, opts);
+  EXPECT_LE(p.load_imbalance, 1.10 + 1e-9);
+  // Any valid 3-way split of this graph cuts at least some edges; sanity
+  // bound from the paper's figure: the optimal cut is below the naive
+  // contiguous grouping's cut.
+  const Partition naive = evaluate_partition(
+      g, std::vector<PartId>{0, 0, 0, 1, 1, 1, 2, 2, 2}, 3);
+  EXPECT_LE(p.edge_cut, naive.edge_cut);
+}
+
+TEST(Partitioner, KOnePutsEverythingTogether) {
+  const WeightedGraph g = paper_graph(false);
+  PartitionOptions opts;
+  opts.k = 1;
+  const Partition p = partition(g, opts);
+  EXPECT_DOUBLE_EQ(p.edge_cut, 0.0);
+  EXPECT_DOUBLE_EQ(p.load_imbalance, 1.0);
+}
+
+TEST(Partitioner, KEqualsNIsSingletons) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  PartitionOptions opts;
+  opts.k = 4;
+  opts.imbalance_tolerance = 2.0;
+  const Partition p = partition(g, opts);
+  EXPECT_TRUE(is_valid_partition(g, p.assignment, 4));
+}
+
+TEST(Partitioner, RejectsBadK) {
+  const WeightedGraph g = paper_graph(false);
+  PartitionOptions opts;
+  opts.k = 0;
+  EXPECT_THROW(partition(g, opts), InvalidInput);
+  opts.k = 10;
+  EXPECT_THROW(partition(g, opts), InvalidInput);
+}
+
+TEST(Partitioner, ExhaustiveIsOptimalOnTinyGraph) {
+  // 4-cycle with one heavy edge; optimal 2-way cut avoids the heavy edge.
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 100.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 100.0);
+  g.add_edge(3, 0, 1.0);
+  PartitionOptions opts;
+  opts.k = 2;
+  const Partition p = detail::exhaustive_partition(g, opts);
+  EXPECT_DOUBLE_EQ(p.edge_cut, 2.0);
+  EXPECT_EQ(p.assignment[0], p.assignment[1]);
+  EXPECT_EQ(p.assignment[2], p.assignment[3]);
+  EXPECT_NE(p.assignment[0], p.assignment[2]);
+}
+
+class PartitionerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionerSweep, ProducesValidBalancedPartitions) {
+  const auto [n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 131 + k));
+  const WeightedGraph g = random_connected(n, 1.5, rng);
+  PartitionOptions opts;
+  opts.k = k;
+  opts.seed = 99;
+  opts.imbalance_tolerance = 1.2;  // loose: vertex weights vary 10x
+  const Partition p = partition(g, opts);
+  EXPECT_TRUE(is_valid_partition(g, p.assignment, k));
+  // Multilevel + refinement should land close to the tolerance even on
+  // heterogeneous weights; allow generous slack but catch gross failures.
+  EXPECT_LE(p.load_imbalance, 2.0);
+  // Edge cut must beat a random assignment on average.
+  std::vector<PartId> random_assign(static_cast<std::size_t>(n));
+  for (auto& a : random_assign) {
+    a = static_cast<PartId>(rng.uniform_int(0, k - 1));
+  }
+  if (is_valid_partition(g, random_assign, k)) {
+    const Partition randomp = evaluate_partition(g, random_assign, k);
+    EXPECT_LE(p.edge_cut, randomp.edge_cut * 1.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndK, PartitionerSweep,
+    ::testing::Combine(::testing::Values(9, 30, 100, 300),
+                       ::testing::Values(2, 3, 8)),
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_k" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(Partitioner, MultilevelNearOptimalWhereExhaustiveFeasible) {
+  // Cross-validate the multilevel heuristic against the provably optimal
+  // exhaustive search on graphs where both run.
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    Rng rng(seed);
+    const WeightedGraph g = random_connected(12, 1.2, rng);
+    PartitionOptions opts;
+    opts.k = 2;
+    opts.imbalance_tolerance = 1.3;
+    opts.seed = seed;
+    const Partition optimal = detail::exhaustive_partition(g, opts);
+    PartitionOptions ml_opts = opts;
+    ml_opts.exhaustive_budget = 0.0;  // force the multilevel path
+    const Partition heuristic = partition(g, ml_opts);
+    EXPECT_TRUE(is_valid_partition(g, heuristic.assignment, 2));
+    // The heuristic may lose some cut quality but must stay in the same
+    // league as the optimum (guards against gross regressions).
+    EXPECT_LE(heuristic.edge_cut, optimal.edge_cut * 2.0 + 5.0)
+        << "seed " << seed;
+  }
+}
+
+TEST(Repartition, RefinesFromPrevious) {
+  Rng rng(4242);
+  WeightedGraph g = random_connected(40, 1.0, rng);
+  PartitionOptions opts;
+  opts.k = 4;
+  opts.imbalance_tolerance = 1.3;
+  const Partition first = partition(g, opts);
+
+  // Perturb the vertex weights (a new time frame) and repartition.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    g.set_vertex_weight(v, g.vertex_weight(v) * rng.uniform(0.8, 1.25));
+  }
+  const Partition second = repartition(g, first.assignment, opts);
+  EXPECT_TRUE(is_valid_partition(g, second.assignment, 4));
+  // Adaptive repartitioning favours low migration.
+  EXPECT_LE(migration_count(first.assignment, second.assignment), 20);
+}
+
+TEST(Repartition, RejectsInvalidPrevious) {
+  const WeightedGraph g = paper_graph(false);
+  PartitionOptions opts;
+  opts.k = 3;
+  const std::vector<PartId> bogus(9, 0);  // parts 1 and 2 empty
+  EXPECT_THROW(repartition(g, bogus, opts), InvalidInput);
+}
+
+TEST(Repartition, RebalancesAfterWeightShift) {
+  // Make one part grossly overweight and verify repartitioning fixes it.
+  WeightedGraph g(6);
+  for (VertexId v = 0; v + 1 < 6; ++v) g.add_edge(v, v + 1, 1.0);
+  g.add_edge(5, 0, 1.0);
+  const std::vector<PartId> prev{0, 0, 0, 0, 1, 1};
+  for (VertexId v = 0; v < 6; ++v) g.set_vertex_weight(v, 1.0);
+  PartitionOptions opts;
+  opts.k = 2;
+  const Partition p = repartition(g, prev, opts);
+  EXPECT_LE(p.load_imbalance, opts.imbalance_tolerance + 1e-9);
+}
+
+}  // namespace
+}  // namespace gridse::graph

@@ -1,0 +1,144 @@
+#include "grid/meas_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/powerflow.hpp"
+#include "io/case14.hpp"
+
+namespace gridse::grid {
+namespace {
+
+class MeasGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kase_ = io::ieee14();
+    pf_ = solve_power_flow(kase_.network);
+    ASSERT_TRUE(pf_.converged);
+  }
+  io::Case kase_;
+  PowerFlowResult pf_;
+};
+
+TEST_F(MeasGeneratorTest, DefaultPlanCountsAddUp) {
+  const MeasurementGenerator gen(kase_.network, {});
+  const MeasurementSet set = gen.generate_noiseless(pf_.state);
+  // 20 branches * 2 ends * 2 types + 14 buses * (P + Q + V)
+  EXPECT_EQ(set.size(), 20u * 4u + 14u * 3u);
+  validate_measurements(kase_.network, set);
+}
+
+TEST_F(MeasGeneratorTest, PlanTogglesRespected) {
+  MeasurementPlan plan;
+  plan.branch_p_flows = false;
+  plan.branch_q_flows = false;
+  plan.bus_q_injections = false;
+  const MeasurementGenerator gen(kase_.network, plan);
+  const MeasurementSet set = gen.generate_noiseless(pf_.state);
+  EXPECT_EQ(set.size(), 14u * 2u);  // P injections + V mags only
+  for (const Measurement& m : set.items) {
+    EXPECT_TRUE(m.type == MeasType::kPInjection || m.type == MeasType::kVMag);
+  }
+}
+
+TEST_F(MeasGeneratorTest, ExplicitPmuPlacement) {
+  MeasurementPlan plan;
+  plan.pmu_buses = {0, 5, 9};
+  const MeasurementGenerator gen(kase_.network, plan);
+  const MeasurementSet set = gen.generate_noiseless(pf_.state);
+  int angles = 0;
+  for (const Measurement& m : set.items) {
+    if (m.type == MeasType::kVAngle) {
+      ++angles;
+      EXPECT_TRUE(m.bus == 0 || m.bus == 5 || m.bus == 9);
+    }
+  }
+  EXPECT_EQ(angles, 3);
+}
+
+TEST_F(MeasGeneratorTest, OutOfRangePmuRejected) {
+  MeasurementPlan plan;
+  plan.pmu_buses = {99};
+  const MeasurementGenerator gen(kase_.network, plan);
+  EXPECT_THROW(gen.generate_noiseless(pf_.state), InternalError);
+}
+
+TEST_F(MeasGeneratorTest, NoiseIsDeterministicPerSeed) {
+  const MeasurementGenerator gen(kase_.network, {});
+  Rng a(5);
+  Rng b(5);
+  const MeasurementSet s1 = gen.generate(pf_.state, a);
+  const MeasurementSet s2 = gen.generate(pf_.state, b);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.items[i].value, s2.items[i].value);
+  }
+}
+
+TEST_F(MeasGeneratorTest, NoiseScalesWithSigma) {
+  MeasurementPlan loud;
+  loud.noise_level = 4.0;
+  const MeasurementGenerator quiet_gen(kase_.network, {});
+  const MeasurementGenerator loud_gen(kase_.network, loud);
+  Rng ra(9);
+  Rng rb(9);
+  const MeasurementSet quiet = quiet_gen.generate(pf_.state, ra);
+  const MeasurementSet noisy = loud_gen.generate(pf_.state, rb);
+  const MeasurementSet truth = quiet_gen.generate_noiseless(pf_.state);
+  double quiet_dev = 0.0;
+  double noisy_dev = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    quiet_dev += std::abs(quiet.items[i].value - truth.items[i].value);
+    noisy_dev += std::abs(noisy.items[i].value - truth.items[i].value);
+  }
+  EXPECT_GT(noisy_dev, 2.0 * quiet_dev);
+}
+
+TEST_F(MeasGeneratorTest, ZeroNoiseLevelStillHasPositiveSigma) {
+  MeasurementPlan plan;
+  plan.noise_level = 0.0;
+  const MeasurementGenerator gen(kase_.network, plan);
+  const MeasurementSet set = gen.generate_noiseless(pf_.state);
+  for (const Measurement& m : set.items) {
+    EXPECT_GT(m.sigma, 0.0);
+  }
+  EXPECT_NO_THROW(set.weights());
+}
+
+TEST_F(MeasGeneratorTest, TimestampPropagates) {
+  const MeasurementGenerator gen(kase_.network, {});
+  Rng rng(1);
+  const MeasurementSet set = gen.generate(pf_.state, rng, 123.5);
+  EXPECT_DOUBLE_EQ(set.timestamp, 123.5);
+}
+
+TEST(MeasurementSet, WeightsAreInverseVariance) {
+  MeasurementSet set;
+  set.items.push_back({MeasType::kVMag, 0, -1, true, 1.0, 0.5});
+  const auto w = set.weights();
+  EXPECT_DOUBLE_EQ(w[0], 4.0);
+}
+
+TEST(MeasurementSet, NonPositiveSigmaThrows) {
+  MeasurementSet set;
+  set.items.push_back({MeasType::kVMag, 0, -1, true, 1.0, 0.0});
+  EXPECT_THROW(set.weights(), InternalError);
+}
+
+TEST(ValidateMeasurements, CatchesBadReferences) {
+  const auto c = io::ieee14();
+  MeasurementSet set;
+  // flow bus not matching branch end
+  set.items.push_back({MeasType::kPFlow, 5, 0, true, 0.0, 0.01});
+  EXPECT_THROW(validate_measurements(c.network, set), InvalidInput);
+  set.items.clear();
+  // branch out of range
+  set.items.push_back({MeasType::kPFlow, 0, 999, true, 0.0, 0.01});
+  EXPECT_THROW(validate_measurements(c.network, set), InvalidInput);
+  set.items.clear();
+  // injection with branch set
+  set.items.push_back({MeasType::kPInjection, 0, 3, true, 0.0, 0.01});
+  EXPECT_THROW(validate_measurements(c.network, set), InvalidInput);
+}
+
+}  // namespace
+}  // namespace gridse::grid

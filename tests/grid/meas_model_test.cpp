@@ -1,0 +1,155 @@
+#include "grid/meas_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/case14.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::grid {
+namespace {
+
+/// Property test: the analytic Jacobian must match central finite
+/// differences of h(x) at a realistic operating point, for every
+/// measurement type. This is the strongest single check of the whole
+/// measurement model.
+TEST(MeasModel, JacobianMatchesFiniteDifferences) {
+  const auto c = io::ieee14();
+  const PowerFlowResult pf = solve_power_flow(c.network);
+  ASSERT_TRUE(pf.converged);
+
+  MeasurementPlan plan;
+  plan.pmu_coverage = 0.25;
+  const MeasurementGenerator gen(c.network, plan);
+  const MeasurementSet set = gen.generate_noiseless(pf.state);
+
+  const StateIndex index(c.network.num_buses(), c.network.slack_bus());
+  const MeasurementModel model(c.network, index);
+  const sparse::Csr jac = model.jacobian(set, pf.state);
+
+  const double eps = 1e-6;
+  std::vector<double> x = index.pack(pf.state);
+  for (std::int32_t col = 0; col < index.size(); ++col) {
+    std::vector<double> xp = x;
+    std::vector<double> xm = x;
+    xp[static_cast<std::size_t>(col)] += eps;
+    xm[static_cast<std::size_t>(col)] -= eps;
+    const auto hp = model.evaluate(set, index.unpack(xp));
+    const auto hm = model.evaluate(set, index.unpack(xm));
+    for (std::size_t row = 0; row < set.size(); ++row) {
+      const double fd = (hp[row] - hm[row]) / (2.0 * eps);
+      const double an = jac.value_at(static_cast<sparse::Index>(row), col);
+      EXPECT_NEAR(an, fd, 1e-5)
+          << meas_type_name(set.items[row].type) << " row " << row << " col "
+          << col;
+    }
+  }
+}
+
+TEST(MeasModel, NoiselessMeasurementsMatchTruthExactly) {
+  const auto c = io::ieee14();
+  const PowerFlowResult pf = solve_power_flow(c.network);
+  const MeasurementGenerator gen(c.network, {});
+  const MeasurementSet set = gen.generate_noiseless(pf.state);
+  const StateIndex index(c.network.num_buses(), c.network.slack_bus());
+  const MeasurementModel model(c.network, index);
+  const auto h = model.evaluate(set, pf.state);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_NEAR(h[i], set.items[i].value, 1e-12);
+  }
+}
+
+TEST(MeasModel, InjectionsMatchPowerFlowInjections) {
+  const auto c = io::ieee14();
+  const PowerFlowResult pf = solve_power_flow(c.network);
+  const auto ybus = build_ybus(c.network);
+  const auto [p_ref, q_ref] = bus_injections(ybus, pf.state);
+
+  MeasurementSet set;
+  for (BusIndex b = 0; b < c.network.num_buses(); ++b) {
+    set.items.push_back({MeasType::kPInjection, b, -1, true, 0.0, 0.01});
+    set.items.push_back({MeasType::kQInjection, b, -1, true, 0.0, 0.01});
+  }
+  const StateIndex index(c.network.num_buses(), c.network.slack_bus());
+  const MeasurementModel model(c.network, index);
+  const auto h = model.evaluate(set, pf.state);
+  for (BusIndex b = 0; b < c.network.num_buses(); ++b) {
+    EXPECT_NEAR(h[static_cast<std::size_t>(2 * b)],
+                p_ref[static_cast<std::size_t>(b)], 1e-10);
+    EXPECT_NEAR(h[static_cast<std::size_t>(2 * b + 1)],
+                q_ref[static_cast<std::size_t>(b)], 1e-10);
+  }
+}
+
+TEST(MeasModel, FlowsBalanceWithLosses) {
+  // P_ft + P_tf = series loss >= 0 on every branch at the PF solution.
+  const auto c = io::ieee14();
+  const PowerFlowResult pf = solve_power_flow(c.network);
+  const StateIndex index(c.network.num_buses(), c.network.slack_bus());
+  const MeasurementModel model(c.network, index);
+  for (std::size_t bi = 0; bi < c.network.num_branches(); ++bi) {
+    const Branch& br = c.network.branch(bi);
+    MeasurementSet set;
+    set.items.push_back({MeasType::kPFlow, br.from,
+                         static_cast<std::int32_t>(bi), true, 0.0, 0.01});
+    set.items.push_back({MeasType::kPFlow, br.to,
+                         static_cast<std::int32_t>(bi), false, 0.0, 0.01});
+    const auto h = model.evaluate(set, pf.state);
+    EXPECT_GE(h[0] + h[1], -1e-10) << "branch " << bi;
+  }
+}
+
+TEST(MeasModel, FlowsSumToInjectionAtBus) {
+  // Sum of from-side flows over branches at a bus equals its injection
+  // (net of shunt) — Kirchhoff consistency of the two h(x) families.
+  const auto c = io::ieee14();
+  const PowerFlowResult pf = solve_power_flow(c.network);
+  const StateIndex index(c.network.num_buses(), c.network.slack_bus());
+  const MeasurementModel model(c.network, index);
+
+  const BusIndex bus = c.network.index_of(5);  // no shunt at bus 5
+  MeasurementSet set;
+  for (const std::size_t bi : c.network.branches_at(bus)) {
+    const Branch& br = c.network.branch(bi);
+    set.items.push_back({MeasType::kPFlow, bus, static_cast<std::int32_t>(bi),
+                         br.from == bus, 0.0, 0.01});
+  }
+  set.items.push_back({MeasType::kPInjection, bus, -1, true, 0.0, 0.01});
+  const auto h = model.evaluate(set, pf.state);
+  double flow_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < h.size(); ++i) flow_sum += h[i];
+  EXPECT_NEAR(flow_sum, h.back(), 1e-10);
+}
+
+TEST(MeasModel, JacobianSparsityIsLocal) {
+  // A flow measurement touches at most 4 state entries; V/angle exactly 1.
+  const auto c = io::ieee14();
+  const PowerFlowResult pf = solve_power_flow(c.network);
+  MeasurementPlan plan;
+  const MeasurementGenerator gen(c.network, plan);
+  const MeasurementSet set = gen.generate_noiseless(pf.state);
+  const StateIndex index(c.network.num_buses(), c.network.slack_bus());
+  const MeasurementModel model(c.network, index);
+  const sparse::Csr jac = model.jacobian(set, pf.state);
+  for (std::size_t row = 0; row < set.size(); ++row) {
+    const auto [b, e] = jac.row_range(static_cast<sparse::Index>(row));
+    const int nnz = e - b;
+    switch (set.items[row].type) {
+      case MeasType::kVMag:
+      case MeasType::kVAngle:
+        EXPECT_EQ(nnz, 1);
+        break;
+      case MeasType::kPFlow:
+      case MeasType::kQFlow:
+        EXPECT_LE(nnz, 4);
+        EXPECT_GE(nnz, 3);  // one angle may be the reference
+        break;
+      default:
+        break;  // injections touch the bus neighbourhood
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridse::grid

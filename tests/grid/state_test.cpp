@@ -1,0 +1,72 @@
+#include "grid/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridse::grid {
+namespace {
+
+TEST(GridState, FlatStart) {
+  const GridState s(5);
+  EXPECT_EQ(s.num_buses(), 5);
+  for (const double th : s.theta) EXPECT_DOUBLE_EQ(th, 0.0);
+  for (const double v : s.vm) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(StateIndex, LayoutSkipsReferenceAngle) {
+  const StateIndex idx(4, 2);
+  EXPECT_EQ(idx.size(), 7);
+  EXPECT_EQ(idx.theta_index(0), 0);
+  EXPECT_EQ(idx.theta_index(1), 1);
+  EXPECT_EQ(idx.theta_index(2), -1);  // reference
+  EXPECT_EQ(idx.theta_index(3), 2);
+  EXPECT_EQ(idx.vm_index(0), 3);
+  EXPECT_EQ(idx.vm_index(3), 6);
+}
+
+TEST(StateIndex, PackUnpackRoundTrip) {
+  const StateIndex idx(3, 0);
+  GridState s(3);
+  s.theta = {0.5, -0.1, 0.2};
+  s.vm = {1.02, 0.98, 1.01};
+  const auto x = idx.pack(s);
+  EXPECT_EQ(x.size(), 5u);
+  const GridState back = idx.unpack(x, /*reference_angle=*/0.5);
+  EXPECT_DOUBLE_EQ(back.theta[0], 0.5);
+  EXPECT_DOUBLE_EQ(back.theta[1], -0.1);
+  EXPECT_DOUBLE_EQ(back.theta[2], 0.2);
+  EXPECT_EQ(back.vm, s.vm);
+}
+
+TEST(StateIndex, UnpackPinsReferenceAngle) {
+  const StateIndex idx(2, 1);
+  const std::vector<double> x{0.3, 1.0, 1.0};
+  const GridState s = idx.unpack(x, 0.7);
+  EXPECT_DOUBLE_EQ(s.theta[1], 0.7);
+  EXPECT_DOUBLE_EQ(s.theta[0], 0.3);
+}
+
+TEST(StateIndex, WrongSizeThrows) {
+  const StateIndex idx(3, 0);
+  EXPECT_THROW(idx.unpack(std::vector<double>(4)), InternalError);
+  EXPECT_THROW(idx.pack(GridState(2)), InternalError);
+}
+
+TEST(StateErrors, MaxErrors) {
+  GridState a(2);
+  GridState b(2);
+  a.theta = {0.0, 0.1};
+  b.theta = {0.02, 0.05};
+  a.vm = {1.0, 1.0};
+  b.vm = {1.03, 0.99};
+  EXPECT_NEAR(max_angle_error(a, b), 0.05, 1e-12);
+  EXPECT_NEAR(max_vm_error(a, b), 0.03, 1e-12);
+}
+
+TEST(StateErrors, SizeMismatchThrows) {
+  EXPECT_THROW(max_vm_error(GridState(2), GridState(3)), InternalError);
+}
+
+}  // namespace
+}  // namespace gridse::grid

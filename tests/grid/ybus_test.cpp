@@ -1,0 +1,116 @@
+#include "grid/ybus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/case14.hpp"
+
+namespace gridse::grid {
+namespace {
+
+using C = std::complex<double>;
+
+TEST(BranchAdmittance, PlainLine) {
+  Branch b;
+  b.r = 0.0;
+  b.x = 0.1;
+  b.b_charging = 0.02;
+  const BranchAdmittance a = branch_admittance(b);
+  const C y = 1.0 / C(0.0, 0.1);
+  EXPECT_NEAR(std::abs(a.yff - (y + C(0.0, 0.01))), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(a.ytt - a.yff), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(a.yft + y), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(a.ytf + y), 0.0, 1e-12);
+}
+
+TEST(BranchAdmittance, TapChanger) {
+  Branch b;
+  b.r = 0.01;
+  b.x = 0.1;
+  b.tap = 0.95;
+  const BranchAdmittance a = branch_admittance(b);
+  const C y = 1.0 / C(0.01, 0.1);
+  EXPECT_NEAR(std::abs(a.yff - y / (0.95 * 0.95)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(a.ytt - y), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(a.yft + y / 0.95), 0.0, 1e-12);
+}
+
+TEST(BranchAdmittance, PhaseShifterBreaksSymmetry) {
+  Branch b;
+  b.r = 0.0;
+  b.x = 0.1;
+  b.phase_shift = 0.1;
+  const BranchAdmittance a = branch_admittance(b);
+  EXPECT_GT(std::abs(a.yft - a.ytf), 1e-6);
+  // magnitudes stay equal
+  EXPECT_NEAR(std::abs(a.yft), std::abs(a.ytf), 1e-12);
+}
+
+TEST(Ybus, RowSumsVanishForShuntFreeNetwork) {
+  // Without shunts/charging, each Ybus row sums to zero (KCL structure).
+  Network n;
+  for (int i = 1; i <= 3; ++i) {
+    Bus b;
+    b.external_id = i;
+    b.type = i == 1 ? BusType::kSlack : BusType::kPQ;
+    n.add_bus(b);
+  }
+  Branch br;
+  br.x = 0.1;
+  br.r = 0.01;
+  br.from = 0;
+  br.to = 1;
+  n.add_branch(br);
+  br.from = 1;
+  br.to = 2;
+  n.add_branch(br);
+  const auto y = build_ybus(n);
+  for (sparse::Index r = 0; r < 3; ++r) {
+    C sum{};
+    const auto [b, e] = y.row_range(r);
+    for (auto k = b; k < e; ++k) {
+      sum += y.values()[static_cast<std::size_t>(k)];
+    }
+    EXPECT_NEAR(std::abs(sum), 0.0, 1e-12);
+  }
+}
+
+TEST(Ybus, SymmetricWithoutPhaseShifters) {
+  const auto c = io::ieee14();
+  const auto y = build_ybus(c.network);
+  for (sparse::Index i = 0; i < y.rows(); ++i) {
+    for (sparse::Index j = 0; j < y.cols(); ++j) {
+      EXPECT_NEAR(std::abs(y.value_at(i, j) - y.value_at(j, i)), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Ybus, Ieee14KnownDiagonal) {
+  // Spot-check Y(7,7) (bus 8, only branch 7-8 with x=0.17615): diagonal is
+  // 1/(j0.17615) = -j5.677.
+  const auto c = io::ieee14();
+  const auto y = build_ybus(c.network);
+  const auto idx = c.network.index_of(8);
+  const C y88 = y.value_at(idx, idx);
+  EXPECT_NEAR(y88.real(), 0.0, 1e-9);
+  EXPECT_NEAR(y88.imag(), -1.0 / 0.17615, 1e-6);
+}
+
+TEST(Ybus, ShuntAppearsOnDiagonal) {
+  // IEEE 14 bus 9 has a 0.19 p.u. shunt susceptance.
+  const auto c = io::ieee14();
+  const auto y = build_ybus(c.network);
+  const auto idx9 = c.network.index_of(9);
+  // Remove branch contributions by rebuilding without the shunt: simply
+  // verify the imaginary part is 0.19 larger than the no-shunt sum of
+  // branch admittances.
+  C branch_sum{};
+  for (const std::size_t bi : c.network.branches_at(idx9)) {
+    const Branch& br = c.network.branch(bi);
+    const BranchAdmittance a = branch_admittance(br);
+    branch_sum += (br.from == idx9) ? a.yff : a.ytt;
+  }
+  EXPECT_NEAR(y.value_at(idx9, idx9).imag() - branch_sum.imag(), 0.19, 1e-12);
+}
+
+}  // namespace
+}  // namespace gridse::grid

@@ -1,0 +1,175 @@
+#include "io/case_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/case14.hpp"
+#include "util/error.hpp"
+
+namespace gridse::io {
+namespace {
+
+TEST(CaseFormat, ParsesMinimalCase) {
+  const Case c = parse_case(R"(
+case tiny
+basemva 100
+bus 1 slack 0 0 0 0 1.0
+bus 2 pq 50 10 0 0 1.0
+branch 1 2 0.01 0.1 0.02
+end
+)");
+  EXPECT_EQ(c.name, "tiny");
+  EXPECT_EQ(c.network.num_buses(), 2);
+  EXPECT_EQ(c.network.num_branches(), 1u);
+  EXPECT_DOUBLE_EQ(c.network.bus(1).p_load, 0.5);
+  EXPECT_DOUBLE_EQ(c.network.bus(1).q_load, 0.1);
+}
+
+TEST(CaseFormat, CommentsAndBlankLinesIgnored) {
+  const Case c = parse_case(R"(
+# leading comment
+case commented   # trailing comment
+
+basemva 100
+bus 1 slack 0 0 0 0 1.0
+bus 2 pq 1 0 0 0 1.0   # bus comment
+branch 1 2 0 0.1 0
+end
+)");
+  EXPECT_EQ(c.network.num_buses(), 2);
+}
+
+TEST(CaseFormat, GenAccumulatesOnBus) {
+  const Case c = parse_case(R"(
+case gens
+basemva 100
+bus 1 slack 0 0 0 0 1.0
+bus 2 pv 10 0 0 0 1.02
+gen 2 30 5
+gen 2 20 5
+branch 1 2 0 0.1 0
+end
+)");
+  EXPECT_DOUBLE_EQ(c.network.bus(1).p_gen, 0.5);
+  EXPECT_DOUBLE_EQ(c.network.bus(1).q_gen, 0.1);
+}
+
+TEST(CaseFormat, TapDefaultsAndZeroMeansOne) {
+  const Case c = parse_case(R"(
+case taps
+basemva 100
+bus 1 slack 0 0 0 0 1.0
+bus 2 pq 1 0 0 0 1.0
+bus 3 pq 1 0 0 0 1.0
+branch 1 2 0 0.1 0
+branch 2 3 0 0.1 0 0
+branch 1 3 0 0.1 0 0.95
+end
+)");
+  EXPECT_DOUBLE_EQ(c.network.branch(0).tap, 1.0);
+  EXPECT_DOUBLE_EQ(c.network.branch(1).tap, 1.0);
+  EXPECT_DOUBLE_EQ(c.network.branch(2).tap, 0.95);
+}
+
+TEST(CaseFormat, PhaseShiftParsedInDegrees) {
+  const Case c = parse_case(R"(
+case shift
+basemva 100
+bus 1 slack 0 0 0 0 1.0
+bus 2 pq 1 0 0 0 1.0
+branch 1 2 0 0.1 0 1.0 30
+end
+)");
+  EXPECT_NEAR(c.network.branch(0).phase_shift, 0.5235988, 1e-6);
+}
+
+TEST(CaseFormat, ErrorsCarryLineNumbers) {
+  try {
+    parse_case("case x\nbasemva 100\nbus 1 slack 0 0 0 zero 1.0\nend\n");
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(CaseFormat, RejectsMalformedInput) {
+  EXPECT_THROW(parse_case("bus 1 slack 0 0 0 0 1.0\n"), InvalidInput);  // no end
+  EXPECT_THROW(parse_case("case x\nend\nmore\n"), InvalidInput);
+  EXPECT_THROW(parse_case("frob 1 2\nend\n"), InvalidInput);
+  EXPECT_THROW(parse_case("case x\nbasemva 0\nend\n"), InvalidInput);
+  EXPECT_THROW(parse_case("case x\nbus 1 superbus 0 0 0 0 1\nend\n"),
+               InvalidInput);
+  // branch to unknown bus
+  EXPECT_THROW(parse_case(R"(
+case x
+bus 1 slack 0 0 0 0 1.0
+bus 2 pq 1 0 0 0 1.0
+branch 1 9 0 0.1 0
+end
+)"),
+               InvalidInput);
+}
+
+TEST(CaseFormat, RejectsDisconnectedNetwork) {
+  EXPECT_THROW(parse_case(R"(
+case x
+basemva 100
+bus 1 slack 0 0 0 0 1.0
+bus 2 pq 1 0 0 0 1.0
+bus 3 pq 1 0 0 0 1.0
+branch 1 2 0 0.1 0
+end
+)"),
+               InvalidInput);
+}
+
+TEST(CaseFormat, SerializeParseRoundTrip) {
+  const Case original = ieee14();
+  const Case round = parse_case(serialize_case(original));
+  ASSERT_EQ(round.network.num_buses(), original.network.num_buses());
+  ASSERT_EQ(round.network.num_branches(), original.network.num_branches());
+  for (grid::BusIndex i = 0; i < original.network.num_buses(); ++i) {
+    const grid::Bus& a = original.network.bus(i);
+    const grid::Bus& b = round.network.bus(i);
+    EXPECT_EQ(a.external_id, b.external_id);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_NEAR(a.p_load, b.p_load, 1e-9);
+    EXPECT_NEAR(a.bs, b.bs, 1e-9);
+    EXPECT_NEAR(a.p_gen, b.p_gen, 1e-9);
+  }
+  for (std::size_t i = 0; i < original.network.num_branches(); ++i) {
+    const grid::Branch& a = original.network.branch(i);
+    const grid::Branch& b = round.network.branch(i);
+    EXPECT_NEAR(a.r, b.r, 1e-9);
+    EXPECT_NEAR(a.x, b.x, 1e-9);
+    EXPECT_NEAR(a.b_charging, b.b_charging, 1e-9);
+    EXPECT_NEAR(a.tap, b.tap, 1e-9);
+  }
+}
+
+TEST(CaseFormat, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "gridse_case14.txt";
+  const Case original = ieee14();
+  save_case_file(original, path.string());
+  const Case loaded = load_case_file(path.string());
+  EXPECT_EQ(loaded.network.num_buses(), original.network.num_buses());
+  std::filesystem::remove(path);
+}
+
+TEST(CaseFormat, MissingFileThrows) {
+  EXPECT_THROW(load_case_file("/nonexistent/path/case.txt"), InvalidInput);
+}
+
+TEST(Ieee14, IsTheStandardSystem) {
+  const Case c = ieee14();
+  EXPECT_EQ(c.name, "ieee14");
+  EXPECT_EQ(c.network.num_buses(), 14);
+  EXPECT_EQ(c.network.num_branches(), 20u);
+  EXPECT_EQ(c.network.slack_bus(), c.network.index_of(1));
+  c.network.validate();
+}
+
+}  // namespace
+}  // namespace gridse::io

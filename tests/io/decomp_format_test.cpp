@@ -1,0 +1,76 @@
+#include "io/decomp_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "decomp/decomposition.hpp"
+#include "io/case14.hpp"
+#include "io/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace gridse::io {
+namespace {
+
+TEST(DecompFormat, ParsesMinimal) {
+  const Case c = ieee14();
+  std::string text = "decomposition halves\n";
+  for (int b = 1; b <= 14; ++b) {
+    text += "bus " + std::to_string(b) + " " + (b <= 7 ? "0" : "1") + "\n";
+  }
+  text += "end\n";
+  const auto membership = parse_decomposition(text, c.network);
+  ASSERT_EQ(membership.size(), 14u);
+  EXPECT_EQ(membership[static_cast<std::size_t>(c.network.index_of(1))], 0);
+  EXPECT_EQ(membership[static_cast<std::size_t>(c.network.index_of(14))], 1);
+}
+
+TEST(DecompFormat, RoundTripsIeee118Decomposition) {
+  const GeneratedCase g = ieee118_dse();
+  const std::string text = serialize_decomposition(
+      g.kase.network, g.subsystem_of_bus, "ieee118_9way");
+  const auto back = parse_decomposition(text, g.kase.network);
+  EXPECT_EQ(back, g.subsystem_of_bus);
+  // and it still decomposes cleanly
+  const decomp::Decomposition d = decomp::decompose(g.kase.network, back);
+  EXPECT_EQ(d.num_subsystems(), 9);
+}
+
+TEST(DecompFormat, FileRoundTrip) {
+  const GeneratedCase g = ieee118_dse();
+  const auto path =
+      std::filesystem::temp_directory_path() / "gridse_decomp_test.txt";
+  save_decomposition_file(path.string(), g.kase.network, g.subsystem_of_bus);
+  const auto back = load_decomposition_file(path.string(), g.kase.network);
+  EXPECT_EQ(back, g.subsystem_of_bus);
+  std::filesystem::remove(path);
+}
+
+TEST(DecompFormat, RejectsMalformedInput) {
+  const Case c = ieee14();
+  // missing end
+  EXPECT_THROW(parse_decomposition("bus 1 0\n", c.network), InvalidInput);
+  // unknown bus
+  EXPECT_THROW(parse_decomposition("bus 99 0\nend\n", c.network),
+               InvalidInput);
+  // double assignment
+  EXPECT_THROW(parse_decomposition("bus 1 0\nbus 1 1\nend\n", c.network),
+               InvalidInput);
+  // negative subsystem
+  EXPECT_THROW(parse_decomposition("bus 1 -2\nend\n", c.network),
+               InvalidInput);
+  // bad token
+  EXPECT_THROW(parse_decomposition("zone 1 0\nend\n", c.network),
+               InvalidInput);
+  // incomplete coverage
+  EXPECT_THROW(parse_decomposition("bus 1 0\nend\n", c.network), InvalidInput);
+}
+
+TEST(DecompFormat, MissingFileThrows) {
+  const Case c = ieee14();
+  EXPECT_THROW(load_decomposition_file("/no/such/file", c.network),
+               InvalidInput);
+}
+
+}  // namespace
+}  // namespace gridse::io

@@ -1,0 +1,156 @@
+#include "io/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "grid/powerflow.hpp"
+#include "util/error.hpp"
+
+namespace gridse::io {
+namespace {
+
+TEST(Ieee118Dse, MatchesPaperDecompositionStructure) {
+  const GeneratedCase g = ieee118_dse();
+  EXPECT_EQ(g.kase.network.num_buses(), 118);
+  EXPECT_EQ(g.num_subsystems(), 9);
+  // Table I bus counts
+  std::vector<int> counts(9, 0);
+  for (const int s : g.subsystem_of_bus) ++counts[static_cast<std::size_t>(s)];
+  EXPECT_EQ(counts, (std::vector<int>{14, 13, 13, 13, 13, 12, 14, 13, 13}));
+  // Figure 3 edges
+  EXPECT_EQ(g.decomposition_edges.size(), 12u);
+}
+
+TEST(Ieee118Dse, DeterministicPerSeed) {
+  const GeneratedCase a = ieee118_dse(7);
+  const GeneratedCase b = ieee118_dse(7);
+  ASSERT_EQ(a.kase.network.num_branches(), b.kase.network.num_branches());
+  for (std::size_t i = 0; i < a.kase.network.num_branches(); ++i) {
+    EXPECT_DOUBLE_EQ(a.kase.network.branch(i).x, b.kase.network.branch(i).x);
+  }
+  const GeneratedCase c = ieee118_dse(8);
+  bool any_differs = false;
+  for (std::size_t i = 0;
+       i < std::min(a.kase.network.num_branches(), c.kase.network.num_branches());
+       ++i) {
+    any_differs |= a.kase.network.branch(i).x != c.kase.network.branch(i).x;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Synthetic, TieLinesOnlyBetweenDeclaredNeighbors) {
+  const GeneratedCase g = ieee118_dse();
+  std::set<std::pair<int, int>> allowed;
+  for (const auto& [a, b] : g.decomposition_edges) {
+    allowed.insert(std::minmax(a, b));
+  }
+  for (std::size_t bi = 0; bi < g.kase.network.num_branches(); ++bi) {
+    const grid::Branch& br = g.kase.network.branch(bi);
+    const int sa = g.subsystem_of_bus[static_cast<std::size_t>(br.from)];
+    const int sb = g.subsystem_of_bus[static_cast<std::size_t>(br.to)];
+    if (sa != sb) {
+      EXPECT_TRUE(allowed.count(std::minmax(sa, sb)) > 0)
+          << "tie between " << sa << " and " << sb << " not in Fig. 3";
+    }
+  }
+}
+
+TEST(Synthetic, MeshSpecShape) {
+  const SyntheticSpec spec = make_mesh_spec(3, 4, 10);
+  EXPECT_EQ(spec.subsystem_sizes.size(), 12u);
+  // 3x4 mesh: 3*3 horizontal + 2*4 vertical = 17 edges
+  EXPECT_EQ(spec.decomposition_edges.size(), 17u);
+  const GeneratedCase g = generate_synthetic(spec);
+  EXPECT_EQ(g.kase.network.num_buses(), 120);
+  g.kase.network.validate();
+}
+
+TEST(Synthetic, RingSpecShape) {
+  const SyntheticSpec spec = make_ring_spec(8, 6, 3);
+  EXPECT_EQ(spec.subsystem_sizes.size(), 8u);
+  EXPECT_EQ(spec.decomposition_edges.size(), 8u + 3u);
+  const GeneratedCase g = generate_synthetic(spec);
+  g.kase.network.validate();
+}
+
+class SyntheticPowerFlowSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SyntheticPowerFlowSweep, GeneratedCasesSolve) {
+  const auto [m, buses] = GetParam();
+  const SyntheticSpec spec = make_ring_spec(m, buses, m / 3);
+  const GeneratedCase g = generate_synthetic(spec);
+  const grid::PowerFlowResult pf = grid::solve_power_flow(g.kase.network);
+  EXPECT_TRUE(pf.converged) << "m=" << m << " buses=" << buses;
+  for (const double v : pf.state.vm) {
+    EXPECT_GT(v, 0.75);
+    EXPECT_LT(v, 1.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyntheticPowerFlowSweep,
+                         ::testing::Combine(::testing::Values(3, 6, 12),
+                                            ::testing::Values(8, 14, 25)),
+                         [](const auto& param_info) {
+                           return "m" + std::to_string(std::get<0>(param_info.param)) +
+                                  "_b" + std::to_string(std::get<1>(param_info.param));
+                         });
+
+TEST(Wecc37, MatchesThePapersFutureWorkScenario) {
+  const GeneratedCase g = wecc37();
+  EXPECT_EQ(g.num_subsystems(), 37);  // "This system has 37 balancing
+                                      //  authorities" (paper §VI)
+  g.kase.network.validate();
+  EXPECT_EQ(g.kase.name, "wecc37");
+  // Uneven subsystem sizes in the 8..24 range.
+  std::vector<int> counts(37, 0);
+  for (const int s : g.subsystem_of_bus) ++counts[static_cast<std::size_t>(s)];
+  int smallest = 1000;
+  int largest = 0;
+  for (const int c : counts) {
+    smallest = std::min(smallest, c);
+    largest = std::max(largest, c);
+  }
+  EXPECT_GE(smallest, 8);
+  EXPECT_LE(largest, 24);
+  EXPECT_GT(largest, smallest);  // uneven by construction
+  const grid::PowerFlowResult pf = grid::solve_power_flow(g.kase.network);
+  EXPECT_TRUE(pf.converged);
+}
+
+TEST(Wecc37, DeterministicPerSeed) {
+  const GeneratedCase a = wecc37(5);
+  const GeneratedCase b = wecc37(5);
+  EXPECT_EQ(a.kase.network.num_buses(), b.kase.network.num_buses());
+  EXPECT_EQ(a.kase.network.num_branches(), b.kase.network.num_branches());
+}
+
+TEST(Synthetic, RejectsBadSpecs) {
+  SyntheticSpec empty;
+  EXPECT_THROW(generate_synthetic(empty), InvalidInput);
+
+  SyntheticSpec tiny;
+  tiny.subsystem_sizes = {1};
+  EXPECT_THROW(generate_synthetic(tiny), InvalidInput);
+
+  SyntheticSpec bad_edge;
+  bad_edge.subsystem_sizes = {5, 5};
+  bad_edge.decomposition_edges = {{0, 7}};
+  EXPECT_THROW(generate_synthetic(bad_edge), InvalidInput);
+
+  EXPECT_THROW(make_mesh_spec(0, 2, 5), InvalidInput);
+  EXPECT_THROW(make_ring_spec(2, 5, 0), InvalidInput);
+}
+
+TEST(Synthetic, SubsystemMembershipMatchesSpecSizes) {
+  const SyntheticSpec spec = make_mesh_spec(2, 2, 7);
+  const GeneratedCase g = generate_synthetic(spec);
+  std::vector<int> counts(4, 0);
+  for (const int s : g.subsystem_of_bus) ++counts[static_cast<std::size_t>(s)];
+  EXPECT_EQ(counts, (std::vector<int>{7, 7, 7, 7}));
+}
+
+}  // namespace
+}  // namespace gridse::io

@@ -1,0 +1,68 @@
+#include "mapping/redistribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomp/sensitivity.hpp"
+#include "util/error.hpp"
+#include "io/synthetic.hpp"
+
+namespace gridse::mapping {
+namespace {
+
+class RedistributionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    generated_ = io::ieee118_dse();
+    d_ = decomp::decompose(generated_.kase.network, generated_.subsystem_of_bus);
+    decomp::analyze_sensitivity(generated_.kase.network, d_, {});
+  }
+  io::GeneratedCase generated_;
+  decomp::Decomposition d_;
+};
+
+TEST_F(RedistributionTest, NoChangesMeansEmptyPlan) {
+  const std::vector<graph::PartId> a{0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const RedistributionPlan plan = plan_redistribution(d_, a, a);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.total_bytes(), 0u);
+}
+
+TEST_F(RedistributionTest, RecordsEachMovedSubsystem) {
+  const std::vector<graph::PartId> before{0, 0, 0, 1, 1, 1, 2, 2, 2};
+  std::vector<graph::PartId> after = before;
+  after[3] = 2;  // the paper's subsystem-4 re-mapping
+  after[4] = 0;  // and subsystem-5
+  const RedistributionPlan plan = plan_redistribution(d_, before, after);
+  ASSERT_EQ(plan.moves.size(), 2u);
+  EXPECT_EQ(plan.moves[0].subsystem, 3);
+  EXPECT_EQ(plan.moves[0].from_cluster, 1);
+  EXPECT_EQ(plan.moves[0].to_cluster, 2);
+  EXPECT_EQ(plan.moves[1].subsystem, 4);
+  EXPECT_GT(plan.total_bytes(), 0u);
+}
+
+TEST_F(RedistributionTest, BytesScaleWithGsAndCalibration) {
+  const std::vector<graph::PartId> before{0, 0, 0, 1, 1, 1, 2, 2, 2};
+  std::vector<graph::PartId> after = before;
+  after[4] = 0;
+  const RedistributionPlan small = plan_redistribution(d_, before, after, 100, 1);
+  const RedistributionPlan big = plan_redistribution(d_, before, after, 1000, 1);
+  ASSERT_EQ(small.moves.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(big.moves[0].estimated_bytes) /
+                  static_cast<double>(small.moves[0].estimated_bytes),
+              10.0, 0.5);
+  // gs governs the raw-measurement part of the payload
+  const int gs = d_.subsystems[4].gs();
+  EXPECT_EQ(small.moves[0].estimated_bytes,
+            static_cast<std::size_t>(gs) * 100 + d_.subsystems[4].buses.size());
+}
+
+TEST_F(RedistributionTest, SizeMismatchThrows) {
+  const std::vector<graph::PartId> nine(9, 0);
+  const std::vector<graph::PartId> eight(8, 0);
+  EXPECT_THROW(plan_redistribution(d_, eight, nine), InternalError);
+  EXPECT_THROW(plan_redistribution(d_, nine, eight), InternalError);
+}
+
+}  // namespace
+}  // namespace gridse::mapping

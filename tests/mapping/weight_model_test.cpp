@@ -1,0 +1,72 @@
+#include "mapping/weight_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridse::mapping {
+namespace {
+
+TEST(WeightModel, PaperCalibrationForFourteenBusSubsystem) {
+  // §IV-B2: "for a 14-bus subsystem, empirical studies show that
+  // g1 = 3.7579 and g2 = 5.2464".
+  const WeightModelParams params;
+  EXPECT_DOUBLE_EQ(params.g1, 3.7579);
+  EXPECT_DOUBLE_EQ(params.g2, 5.2464);
+  // Expression (2) at x = 1: Ni = g1 + g2 ≈ 9 iterations.
+  EXPECT_NEAR(predicted_iterations(1.0, params), 9.0043, 1e-4);
+  // Expression (4): Wv = Nb * Ni.
+  EXPECT_NEAR(vertex_weight(14, 1.0, params), 14.0 * 9.0043, 1e-3);
+}
+
+TEST(WeightModel, IterationsGrowWithNoise) {
+  const WeightModelParams params;
+  EXPECT_LT(predicted_iterations(0.5, params),
+            predicted_iterations(1.0, params));
+  EXPECT_LT(predicted_iterations(1.0, params),
+            predicted_iterations(2.0, params));
+}
+
+TEST(WeightModel, NoiseProfileIsPeriodicAndNonNegative) {
+  const WeightModelParams params;
+  for (double t = 0.0; t < 1000.0; t += 13.0) {
+    const double x = noise_from_time_frame(t, params);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, params.base_noise + params.noise_amplitude + 1e-12);
+    EXPECT_NEAR(noise_from_time_frame(t + params.noise_period_sec, params), x,
+                1e-9);
+  }
+}
+
+TEST(WeightModel, NoiseVariesAcrossTimeFrames) {
+  const WeightModelParams params;
+  const double a = noise_from_time_frame(0.0, params);
+  const double b = noise_from_time_frame(params.noise_period_sec / 4.0, params);
+  EXPECT_GT(std::abs(a - b), 0.1);
+}
+
+TEST(WeightModel, EdgeWeightIsGsSum) {
+  EXPECT_DOUBLE_EQ(edge_weight(5, 7), 12.0);
+  EXPECT_DOUBLE_EQ(edge_weight(0, 0), 0.0);
+}
+
+TEST(WeightModel, EdgeWeightUpperBoundMatchesTableI) {
+  // Table I: edge (1,2) weight 27 = 14 + 13 buses, edge (2,3) = 26, etc.
+  EXPECT_DOUBLE_EQ(edge_weight_upper_bound(14, 13), 27.0);
+  EXPECT_DOUBLE_EQ(edge_weight_upper_bound(13, 13), 26.0);
+  EXPECT_DOUBLE_EQ(edge_weight_upper_bound(13, 12), 25.0);
+}
+
+TEST(WeightModel, RejectsBadArguments) {
+  const WeightModelParams params;
+  EXPECT_THROW(predicted_iterations(-1.0, params), InternalError);
+  EXPECT_THROW(vertex_weight(0, 1.0, params), InternalError);
+  EXPECT_THROW(edge_weight(-1, 2), InternalError);
+  EXPECT_THROW(edge_weight_upper_bound(0, 5), InternalError);
+  WeightModelParams bad;
+  bad.noise_period_sec = 0.0;
+  EXPECT_THROW(noise_from_time_frame(1.0, bad), InternalError);
+}
+
+}  // namespace
+}  // namespace gridse::mapping

@@ -1,0 +1,139 @@
+#include "medici/mw_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace gridse::medici {
+namespace {
+
+TEST(MwClient, HasUniqueUrl) {
+  MwClient a(0);
+  MwClient b(1);
+  EXPECT_NE(a.endpoint().port, 0);
+  EXPECT_NE(a.endpoint().port, b.endpoint().port);
+  EXPECT_EQ(a.endpoint().protocol, "tcp");
+}
+
+TEST(MwClient, DirectSendRecv) {
+  MwClient sender(0);
+  MwClient receiver(1);
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  sender.send(receiver.endpoint(), /*tag=*/5, payload);
+  const runtime::Message m = receiver.recv();
+  EXPECT_EQ(m.source, 0);
+  EXPECT_EQ(m.tag, 5);
+  EXPECT_EQ(m.payload, payload);
+}
+
+TEST(MwClient, SelectiveRecvBySourceAndTag) {
+  MwClient a(10);
+  MwClient b(20);
+  MwClient dest(30);
+  a.send(dest.endpoint(), 1, std::vector<std::uint8_t>{11});
+  b.send(dest.endpoint(), 2, std::vector<std::uint8_t>{22});
+  const runtime::Message from_b = dest.recv(20, 2);
+  EXPECT_EQ(from_b.payload[0], 22);
+  const runtime::Message from_a = dest.recv(10, runtime::kAnyTag);
+  EXPECT_EQ(from_a.payload[0], 11);
+}
+
+TEST(MwClient, ConnectionsAreReusedAcrossSends) {
+  MwClient sender(0);
+  MwClient receiver(1);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    sender.send(receiver.endpoint(), 1, std::vector<std::uint8_t>{i});
+  }
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(receiver.recv(0, 1).payload[0], i);  // ordered: same connection
+  }
+  EXPECT_EQ(sender.bytes_sent(), 50u);
+}
+
+TEST(MwClient, LargePayloadChunkedCorrectly) {
+  MwClient sender(0);
+  MwClient receiver(1);
+  std::vector<std::uint8_t> payload(3 << 20);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  sender.send(receiver.endpoint(), 9, payload);
+  const runtime::Message m = receiver.recv(0, 9);
+  EXPECT_EQ(m.payload, payload);
+}
+
+TEST(MwClient, ManySendersOneReceiver) {
+  MwClient receiver(99);
+  constexpr int kSenders = 6;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSenders; ++s) {
+    threads.emplace_back([s, ep = receiver.endpoint()] {
+      MwClient sender(s);
+      for (int i = 0; i < 20; ++i) {
+        sender.send(ep, 1, std::vector<std::uint8_t>{static_cast<std::uint8_t>(s)});
+      }
+    });
+  }
+  int received = 0;
+  for (int i = 0; i < kSenders * 20; ++i) {
+    const runtime::Message m = receiver.recv();
+    EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(m.source));
+    ++received;
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(received, kSenders * 20);
+}
+
+TEST(MwClient, StopIsIdempotent) {
+  MwClient c(0);
+  c.stop();
+  c.stop();
+}
+
+TEST(MwClient, ReconnectsAfterPeerRestart) {
+  // Failure injection: the destination estimator restarts on the same URL
+  // (a control-center failover). The sender's cached connection goes stale;
+  // MW_Client_Send must re-dial instead of failing permanently.
+  MwClient sender(0);
+  EndpointUrl addr;
+  {
+    MwClient first(1);
+    addr = first.endpoint();
+    sender.send(addr, 1, std::vector<std::uint8_t>{1});
+    EXPECT_EQ(first.recv(0, 1).payload[0], 1);
+    first.stop();
+  }
+  // restart a new receiver on the SAME endpoint
+  MwClient second(2, addr);
+  ASSERT_EQ(second.endpoint().port, addr.port);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  bool delivered = false;
+  for (std::uint8_t i = 0; i < 5 && !delivered; ++i) {
+    try {
+      sender.send(addr, 2, std::vector<std::uint8_t>{i});
+    } catch (const CommError&) {
+      continue;  // transient: stale socket detected on this attempt
+    }
+    runtime::Message m;
+    // poll briefly: the pre-restart attempt may have been absorbed by the
+    // dying socket's buffer
+    for (int spin = 0; spin < 50; ++spin) {
+      // Mailbox has no timed take; use a short sleep + non-blocking probe
+      // via a second send marker instead: simply wait then break if pending.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (second.pending() > 0) break;
+    }
+    if (second.pending() > 0) {
+      m = second.recv(0, 2);
+      EXPECT_EQ(m.source, 0);
+      delivered = true;
+    }
+  }
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace gridse::medici

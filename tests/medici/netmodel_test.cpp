@@ -1,0 +1,58 @@
+#include "medici/netmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.hpp"
+
+namespace gridse::medici {
+namespace {
+
+TEST(NetModel, CalibratedModelsMatchPaperRates) {
+  const NetModel gige = gige_network_model();
+  EXPECT_NEAR(gige.bandwidth_bytes_per_sec / (1024.0 * 1024.0), 115.0, 1.0);
+  const NetModel relay = medici_relay_model();
+  EXPECT_NEAR(relay.bandwidth_bytes_per_sec / (1024.0 * 1024.0 * 1024.0), 0.4,
+              0.01);
+  EXPECT_TRUE(unshaped_model().is_unshaped());
+  EXPECT_FALSE(gige.is_unshaped());
+}
+
+TEST(Pacer, UnshapedNeverSleeps) {
+  Pacer pacer(unshaped_model());
+  Timer t;
+  for (int i = 0; i < 1000; ++i) {
+    pacer.pace(1 << 20);
+  }
+  EXPECT_LT(t.millis(), 50.0);
+}
+
+TEST(Pacer, EnforcesBandwidth) {
+  // 10 MB at 100 MB/s must take >= ~100 ms.
+  NetModel model;
+  model.bandwidth_bytes_per_sec = 100.0 * 1024 * 1024;
+  Pacer pacer(model);
+  Timer t;
+  const std::size_t chunk = 256 * 1024;
+  for (std::size_t sent = 0; sent < 10ull * 1024 * 1024; sent += chunk) {
+    pacer.pace(chunk);
+  }
+  const double expected = 10.0 / 100.0;  // seconds
+  EXPECT_GE(t.seconds(), expected * 0.9);
+  EXPECT_LE(t.seconds(), expected * 1.8);
+}
+
+TEST(Pacer, LatencyChargedOnce) {
+  NetModel model;
+  model.latency_sec = 0.05;
+  Pacer pacer(model);
+  Timer t;
+  pacer.pace(10);
+  EXPECT_GE(t.seconds(), 0.045);
+  const double after_first = t.seconds();
+  pacer.pace(10);
+  pacer.pace(10);
+  EXPECT_LT(t.seconds() - after_first, 0.02);
+}
+
+}  // namespace
+}  // namespace gridse::medici

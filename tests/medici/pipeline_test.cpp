@@ -1,0 +1,173 @@
+#include "medici/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "medici/mw_client.hpp"
+#include "util/error.hpp"
+
+namespace gridse::medici {
+namespace {
+
+TEST(MifPipeline, MirrorsFigure7ConstructionSequence) {
+  // The paper's Fig. 7 sample, transcribed: create pipeline, add TCP
+  // connector with the EOF protocol, add the SE component, set endpoints,
+  // start.
+  MwClient destination(1);
+
+  MifPipeline pipeline;
+  MifConnector& conn = pipeline.add_mif_connector(EndpointProtocol::kTcp);
+  conn.set_property("tcpProtocol", "EOFProtocol");
+  MifComponent& se = pipeline.add_mif_component("SESocket");
+  se.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se.set_out_hal_endpoint(destination.endpoint().to_string());
+  pipeline.set_relay_model(unshaped_model());
+  pipeline.start();
+  ASSERT_TRUE(pipeline.running());
+  ASSERT_NE(se.inbound().port, 0);  // ephemeral port resolved
+
+  // A source estimator sends to the pipeline inbound; MeDICi relays to the
+  // destination estimator.
+  MwClient source(0);
+  source.send(se.inbound(), 3, std::vector<std::uint8_t>{5, 6, 7});
+  const runtime::Message m = destination.recv(0, 3);
+  EXPECT_EQ(m.payload, (std::vector<std::uint8_t>{5, 6, 7}));
+
+  const RelayStats stats = pipeline.stats();
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, 3u);
+  pipeline.stop();
+  EXPECT_FALSE(pipeline.running());
+}
+
+TEST(MifPipeline, RelayPreservesSourceAndTag) {
+  MwClient destination(7);
+  MifPipeline pipeline;
+  pipeline.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& se = pipeline.add_mif_component("SE");
+  se.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se.set_out_hal_endpoint(destination.endpoint().to_string());
+  pipeline.set_relay_model(unshaped_model());
+  pipeline.start();
+
+  MwClient source(42);
+  source.send(se.inbound(), 17, std::vector<std::uint8_t>{1});
+  const runtime::Message m = destination.recv();
+  EXPECT_EQ(m.source, 42);
+  EXPECT_EQ(m.tag, 17);
+}
+
+TEST(MifPipeline, ManyMessagesThroughOneRelay) {
+  MwClient destination(1);
+  MifPipeline pipeline;
+  pipeline.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& se = pipeline.add_mif_component("SE");
+  se.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se.set_out_hal_endpoint(destination.endpoint().to_string());
+  pipeline.set_relay_model(unshaped_model());
+  pipeline.start();
+
+  MwClient source(0);
+  for (std::uint8_t i = 0; i < 64; ++i) {
+    source.send(se.inbound(), 1, std::vector<std::uint8_t>{i});
+  }
+  for (std::uint8_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(destination.recv(0, 1).payload[0], i);
+  }
+  EXPECT_EQ(pipeline.stats().messages, 64u);
+}
+
+TEST(MifPipeline, TwoHopRelayChain) {
+  // MeDICi pipelines compose: source -> relay A -> relay B -> destination
+  // (a wide-area path crossing two middleware nodes). Source id and tag must
+  // survive both store-and-forward hops.
+  MwClient destination(9);
+
+  MifPipeline hop_b;
+  hop_b.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& se_b = hop_b.add_mif_component("SE_hopB");
+  se_b.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se_b.set_out_hal_endpoint(destination.endpoint().to_string());
+  hop_b.set_relay_model(unshaped_model());
+  hop_b.start();
+
+  MifPipeline hop_a;
+  hop_a.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& se_a = hop_a.add_mif_component("SE_hopA");
+  se_a.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se_a.set_out_hal_endpoint(se_b.inbound().to_string());
+  hop_a.set_relay_model(unshaped_model());
+  hop_a.start();
+
+  MwClient source(3);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    source.send(se_a.inbound(), 21, std::vector<std::uint8_t>{i});
+  }
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const runtime::Message m = destination.recv(3, 21);
+    EXPECT_EQ(m.payload[0], i);
+  }
+  EXPECT_EQ(hop_a.stats().messages, 10u);
+  EXPECT_EQ(hop_b.stats().messages, 10u);
+}
+
+TEST(MifPipeline, SurvivesSenderReconnect) {
+  // A new upstream connection per scan must keep working (the relay accepts
+  // any number of connections over its lifetime).
+  MwClient destination(1);
+  MifPipeline pipeline;
+  pipeline.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& se = pipeline.add_mif_component("SE");
+  se.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se.set_out_hal_endpoint(destination.endpoint().to_string());
+  pipeline.set_relay_model(unshaped_model());
+  pipeline.start();
+
+  for (std::uint8_t round = 0; round < 3; ++round) {
+    MwClient source(round);  // fresh client = fresh connection
+    source.send(se.inbound(), 1, std::vector<std::uint8_t>{round});
+    const runtime::Message m = destination.recv(round, 1);
+    EXPECT_EQ(m.payload[0], round);
+  }
+  EXPECT_EQ(pipeline.stats().messages, 3u);
+}
+
+TEST(MifPipeline, StartValidatesConfiguration) {
+  {
+    MifPipeline p;
+    EXPECT_THROW(p.start(), InternalError);  // no connector/component
+  }
+  {
+    MifPipeline p;
+    p.add_mif_connector(EndpointProtocol::kTcp);
+    EXPECT_THROW(p.start(), InternalError);  // no component
+  }
+  {
+    MifPipeline p;
+    p.add_mif_connector(EndpointProtocol::kTcp);
+    MifComponent& c = p.add_mif_component("SE");
+    c.set_in_name_endpoint("tcp://127.0.0.1:0");
+    EXPECT_THROW(p.start(), InvalidInput);  // no outbound endpoint
+  }
+}
+
+TEST(MifPipeline, ConnectorRejectsUnknownProtocolValue) {
+  MifPipeline p;
+  MifConnector& conn = p.add_mif_connector(EndpointProtocol::kTcp);
+  EXPECT_THROW(conn.set_property("tcpProtocol", "LengthPrefixed"),
+               InvalidInput);
+}
+
+TEST(MifPipeline, ReconfigureWhileRunningRejected) {
+  MwClient destination(1);
+  MifPipeline p;
+  p.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& c = p.add_mif_component("SE");
+  c.set_in_name_endpoint("tcp://127.0.0.1:0");
+  c.set_out_hal_endpoint(destination.endpoint().to_string());
+  p.start();
+  EXPECT_THROW(p.add_mif_component("another"), InternalError);
+  EXPECT_THROW(p.start(), InternalError);
+}
+
+}  // namespace
+}  // namespace gridse::medici

@@ -1,0 +1,100 @@
+// Failure injection at the middleware layer: dead endpoints, vanished
+// downstreams, and senders targeting nothing must degrade with clean errors
+// — never hangs or crashes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "medici/mw_client.hpp"
+#include "medici/pipeline.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace gridse::medici {
+namespace {
+
+class RelayFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { log::set_level(log::Level::kOff); }
+  void TearDown() override { log::set_level(log::Level::kWarn); }
+};
+
+TEST_F(RelayFailureTest, SendToDeadEndpointThrowsCommError) {
+  EndpointUrl dead;
+  {
+    MwClient ghost(9);
+    dead = ghost.endpoint();
+  }  // ghost gone; port free but unbound
+  MwClient sender(0);
+  EXPECT_THROW(
+      sender.send(dead, 1, std::vector<std::uint8_t>{1, 2, 3}),
+      CommError);
+}
+
+TEST_F(RelayFailureTest, RelayToVanishedDownstreamDoesNotCrash) {
+  // Pipeline whose outbound endpoint dies before the first message: the
+  // relay worker must swallow the failure (logged) and the process must
+  // stay healthy for other traffic.
+  EndpointUrl doomed;
+  {
+    MwClient victim(1);
+    doomed = victim.endpoint();
+  }
+  MifPipeline pipeline;
+  pipeline.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& se = pipeline.add_mif_component("SE");
+  se.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se.set_out_hal_endpoint(doomed.to_string());
+  pipeline.set_relay_model(unshaped_model());
+  pipeline.start();
+
+  MwClient source(0);
+  source.send(se.inbound(), 1, std::vector<std::uint8_t>{1});
+  // give the relay a moment to hit the dead downstream
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // an unrelated healthy pipeline still works afterwards
+  MwClient destination(2);
+  MifPipeline healthy;
+  healthy.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& ok = healthy.add_mif_component("SE2");
+  ok.set_in_name_endpoint("tcp://127.0.0.1:0");
+  ok.set_out_hal_endpoint(destination.endpoint().to_string());
+  healthy.set_relay_model(unshaped_model());
+  healthy.start();
+  source.send(ok.inbound(), 2, std::vector<std::uint8_t>{9});
+  EXPECT_EQ(destination.recv(0, 2).payload[0], 9);
+}
+
+TEST_F(RelayFailureTest, StopDuringActiveConnectionJoinsCleanly) {
+  MwClient destination(1);
+  MifPipeline pipeline;
+  pipeline.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& se = pipeline.add_mif_component("SE");
+  se.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se.set_out_hal_endpoint(destination.endpoint().to_string());
+  pipeline.set_relay_model(unshaped_model());
+  pipeline.start();
+
+  MwClient source(0);
+  source.send(se.inbound(), 1, std::vector<std::uint8_t>{1});
+  (void)destination.recv(0, 1);
+  // stop with the upstream connection still open: must not hang
+  pipeline.stop();
+  SUCCEED();
+}
+
+TEST_F(RelayFailureTest, ClientStopWhilePeerHoldsConnection) {
+  MwClient sender(0);
+  auto receiver = std::make_unique<MwClient>(1);
+  sender.send(receiver->endpoint(), 1, std::vector<std::uint8_t>{1});
+  (void)receiver->recv(0, 1);
+  // receiver goes away while the sender still caches the connection
+  receiver.reset();
+  // sender can still be destroyed / stopped without issue
+  sender.stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gridse::medici

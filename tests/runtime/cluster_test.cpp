@@ -1,0 +1,37 @@
+#include "runtime/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace gridse::runtime {
+namespace {
+
+TEST(SimulatedCluster, RunsWorkOnWorkers) {
+  SimulatedCluster cluster({"TestCluster", 4});
+  EXPECT_EQ(cluster.name(), "TestCluster");
+  EXPECT_EQ(cluster.workers().size(), 4u);
+  std::atomic<int> done{0};
+  cluster.workers().parallel_for(16, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(SimulatedCluster, RejectsZeroWorkers) {
+  EXPECT_THROW(SimulatedCluster({"bad", 0}), InternalError);
+}
+
+TEST(PnnlTestbed, HasThePapersThreeClusters) {
+  const auto specs = pnnl_testbed_specs(2);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "Nwiceb");
+  EXPECT_EQ(specs[1].name, "Catamount");
+  EXPECT_EQ(specs[2].name, "Chinook");
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.worker_threads, 2);
+  }
+}
+
+}  // namespace
+}  // namespace gridse::runtime

@@ -1,0 +1,140 @@
+#include "runtime/inproc_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace gridse::runtime {
+namespace {
+
+TEST(InprocWorld, SizeAndRanks) {
+  InprocWorld world(3);
+  EXPECT_EQ(world.size(), 3);
+  const auto c = world.communicator(2);
+  EXPECT_EQ(c->rank(), 2);
+  EXPECT_EQ(c->size(), 3);
+  EXPECT_THROW(world.communicator(3), InternalError);
+}
+
+TEST(InprocWorld, PointToPoint) {
+  InprocWorld world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, {1, 2, 3});
+    } else {
+      const Message m = c.recv(0, 7);
+      EXPECT_EQ(m.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+      EXPECT_EQ(m.source, 0);
+    }
+  });
+}
+
+TEST(InprocWorld, RingPassesLargePayload) {
+  InprocWorld world(5);
+  world.run([](Communicator& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    std::vector<std::uint8_t> data(1 << 18, static_cast<std::uint8_t>(c.rank()));
+    c.send(next, 1, data);
+    const Message m = c.recv(prev, 1);
+    ASSERT_EQ(m.payload.size(), data.size());
+    EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(prev));
+  });
+}
+
+TEST(InprocWorld, MessagesFromSameSenderStayOrdered) {
+  InprocWorld world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      for (std::uint8_t i = 0; i < 100; ++i) {
+        c.send(1, 3, {i});
+      }
+    } else {
+      for (std::uint8_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(c.recv(0, 3).payload[0], i);
+      }
+    }
+  });
+}
+
+TEST(InprocWorld, SelectiveReceiveByTag) {
+  InprocWorld world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 10, {10});
+      c.send(1, 20, {20});
+    } else {
+      // receive out of order by tag selection
+      EXPECT_EQ(c.recv(0, 20).payload[0], 20);
+      EXPECT_EQ(c.recv(0, 10).payload[0], 10);
+    }
+  });
+}
+
+TEST(InprocWorld, BarrierSynchronizes) {
+  InprocWorld world(4);
+  std::atomic<int> before{0};
+  std::atomic<int> failures{0};
+  world.run([&](Communicator& c) {
+    before.fetch_add(1);
+    c.barrier();
+    if (before.load() != 4) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(InprocWorld, RepeatedBarriers) {
+  InprocWorld world(3);
+  world.run([](Communicator& c) {
+    for (int i = 0; i < 20; ++i) {
+      c.barrier();
+    }
+  });
+}
+
+TEST(InprocWorld, SendToBadRankThrows) {
+  InprocWorld world(2);
+  const auto c = world.communicator(0);
+  EXPECT_THROW(c->send(5, 1, {}), CommError);
+  EXPECT_THROW(c->send(0, -2, {}), CommError);
+}
+
+TEST(InprocWorld, ExceptionsPropagateFromRun) {
+  InprocWorld world(2);
+  EXPECT_THROW(world.run([](Communicator& c) {
+    if (c.rank() == 1) {
+      throw InvalidInput("rank 1 exploded");
+    }
+  }),
+               InvalidInput);
+}
+
+TEST(InprocWorld, BytesSentAccumulates) {
+  InprocWorld world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<std::uint8_t>(100));
+      c.send(1, 1, std::vector<std::uint8_t>(28));
+      EXPECT_EQ(c.bytes_sent(), 128u);
+    } else {
+      (void)c.recv(0, 1);
+      (void)c.recv(0, 1);
+    }
+  });
+}
+
+TEST(InprocWorld, SelfSendWorks) {
+  InprocWorld world(1);
+  world.run([](Communicator& c) {
+    c.send(0, 4, {9});
+    EXPECT_EQ(c.recv(0, 4).payload[0], 9);
+  });
+}
+
+}  // namespace
+}  // namespace gridse::runtime

@@ -1,0 +1,94 @@
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace gridse::runtime {
+namespace {
+
+Message make(int source, int tag, std::uint8_t byte = 0) {
+  return Message{source, tag, {byte}};
+}
+
+TEST(Mailbox, DeliverThenTake) {
+  Mailbox box;
+  box.deliver(make(1, 5, 42));
+  const Message m = box.take(1, 5);
+  EXPECT_EQ(m.source, 1);
+  EXPECT_EQ(m.tag, 5);
+  EXPECT_EQ(m.payload[0], 42);
+}
+
+TEST(Mailbox, SelectiveReceiveSkipsNonMatching) {
+  Mailbox box;
+  box.deliver(make(1, 5, 1));
+  box.deliver(make(2, 7, 2));
+  const Message m = box.take(2, 7);
+  EXPECT_EQ(m.payload[0], 2);
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(Mailbox, WildcardsMatchAnything) {
+  Mailbox box;
+  box.deliver(make(3, 9, 7));
+  const Message m = box.take(kAnySource, kAnyTag);
+  EXPECT_EQ(m.source, 3);
+  EXPECT_EQ(m.tag, 9);
+}
+
+TEST(Mailbox, FifoWithinMatchingStream) {
+  Mailbox box;
+  box.deliver(make(1, 5, 1));
+  box.deliver(make(1, 5, 2));
+  box.deliver(make(1, 5, 3));
+  EXPECT_EQ(box.take(1, 5).payload[0], 1);
+  EXPECT_EQ(box.take(1, 5).payload[0], 2);
+  EXPECT_EQ(box.take(1, 5).payload[0], 3);
+}
+
+TEST(Mailbox, TryTakeNonBlocking) {
+  Mailbox box;
+  Message out;
+  EXPECT_FALSE(box.try_take(1, 1, out));
+  box.deliver(make(1, 1, 9));
+  EXPECT_TRUE(box.try_take(1, 1, out));
+  EXPECT_EQ(out.payload[0], 9);
+  EXPECT_FALSE(box.try_take(1, 1, out));
+}
+
+TEST(Mailbox, TakeBlocksUntilDelivery) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    box.deliver(make(4, 2, 11));
+  });
+  const Message m = box.take(4, 2);  // must block then wake
+  EXPECT_EQ(m.payload[0], 11);
+  producer.join();
+}
+
+TEST(Mailbox, ConcurrentProducersAllDelivered) {
+  Mailbox box;
+  constexpr int kThreads = 8;
+  constexpr int kEach = 50;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&box, t] {
+      for (int i = 0; i < kEach; ++i) {
+        box.deliver(make(t, 1));
+      }
+    });
+  }
+  int received = 0;
+  for (int i = 0; i < kThreads * kEach; ++i) {
+    (void)box.take(kAnySource, 1);
+    ++received;
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(received, kThreads * kEach);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace gridse::runtime

@@ -1,0 +1,167 @@
+#include "runtime/tcp_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/socket.hpp"
+#include "util/error.hpp"
+
+namespace gridse::runtime {
+namespace {
+
+TEST(Socket, ListenConnectSendRecv) {
+  std::uint16_t port = 0;
+  Socket listener = Socket::listen_loopback(port);
+  ASSERT_GT(port, 0);
+  Socket client = Socket::connect_loopback(port);
+  Socket server = listener.accept();
+
+  const char msg[] = "hello sockets";
+  client.send_all(msg, sizeof msg);
+  char buf[sizeof msg] = {};
+  server.recv_all(buf, sizeof msg);
+  EXPECT_STREQ(buf, msg);
+}
+
+TEST(Socket, RecvAllDetectsClosedPeer) {
+  std::uint16_t port = 0;
+  Socket listener = Socket::listen_loopback(port);
+  Socket client = Socket::connect_loopback(port);
+  Socket server = listener.accept();
+  client.close();
+  char buf[4];
+  EXPECT_THROW(server.recv_all(buf, 4), CommError);
+}
+
+TEST(Socket, RecvSomeReturnsZeroOnEof) {
+  std::uint16_t port = 0;
+  Socket listener = Socket::listen_loopback(port);
+  Socket client = Socket::connect_loopback(port);
+  Socket server = listener.accept();
+  client.close();
+  char buf[4];
+  EXPECT_EQ(server.recv_some(buf, 4), 0u);
+}
+
+TEST(Socket, MoveTransfersOwnership) {
+  std::uint16_t port = 0;
+  Socket a = Socket::listen_loopback(port);
+  const int fd = a.fd();
+  Socket b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_EQ(b.fd(), fd);
+}
+
+TEST(Socket, BindingBusyPortFails) {
+  std::uint16_t port = 0;
+  Socket first = Socket::listen_loopback(port);
+  std::uint16_t same = port;
+  EXPECT_THROW((void)Socket::listen_loopback(same), CommError);
+}
+
+TEST(Socket, ConnectToDeadPortFails) {
+  // Grab a free port, close the listener, then connect: must refuse.
+  std::uint16_t port = 0;
+  {
+    Socket probe = Socket::listen_loopback(port);
+  }
+  EXPECT_THROW((void)Socket::connect_loopback(port), CommError);
+}
+
+TEST(TcpWorld, SingleRankWorld) {
+  TcpWorld world(1);
+  world.run([](Communicator& c) {
+    EXPECT_EQ(c.size(), 1);
+    c.send(0, 1, {7});
+    EXPECT_EQ(c.recv(0, 1).payload[0], 7);
+    c.barrier();
+  });
+}
+
+TEST(TcpWorld, PointToPointOverRealSockets) {
+  TcpWorld world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 5, {7, 8, 9});
+    } else {
+      const Message m = c.recv(0, 5);
+      EXPECT_EQ(m.payload, (std::vector<std::uint8_t>{7, 8, 9}));
+    }
+  });
+}
+
+TEST(TcpWorld, AllToAllExchange) {
+  TcpWorld world(4);
+  world.run([](Communicator& c) {
+    for (int dest = 0; dest < c.size(); ++dest) {
+      if (dest == c.rank()) continue;
+      c.send(dest, 2, {static_cast<std::uint8_t>(c.rank())});
+    }
+    int received = 0;
+    for (int src = 0; src < c.size(); ++src) {
+      if (src == c.rank()) continue;
+      const Message m = c.recv(src, 2);
+      EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(src));
+      ++received;
+    }
+    EXPECT_EQ(received, 3);
+  });
+}
+
+TEST(TcpWorld, LargeMessageSurvivesFraming) {
+  TcpWorld world(2);
+  world.run([](Communicator& c) {
+    std::vector<std::uint8_t> data(4 << 20);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 31);
+    }
+    if (c.rank() == 0) {
+      c.send(1, 1, data);
+    } else {
+      const Message m = c.recv(0, 1);
+      ASSERT_EQ(m.payload.size(), data.size());
+      EXPECT_EQ(m.payload, data);
+    }
+  });
+}
+
+TEST(TcpWorld, EmptyPayloadDelivered) {
+  TcpWorld world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 3, {});
+    } else {
+      EXPECT_TRUE(c.recv(0, 3).payload.empty());
+    }
+  });
+}
+
+TEST(TcpWorld, BarrierAndOrdering) {
+  TcpWorld world(3);
+  world.run([](Communicator& c) {
+    for (int round = 0; round < 5; ++round) {
+      if (c.rank() == 0) {
+        c.send(1, 9, {static_cast<std::uint8_t>(round)});
+      } else if (c.rank() == 1) {
+        EXPECT_EQ(c.recv(0, 9).payload[0], static_cast<std::uint8_t>(round));
+      }
+      c.barrier();
+    }
+  });
+}
+
+TEST(TcpWorld, SelfSendShortCircuits) {
+  TcpWorld world(2);
+  world.run([](Communicator& c) {
+    c.send(c.rank(), 4, {42});
+    EXPECT_EQ(c.recv(c.rank(), 4).payload[0], 42);
+  });
+}
+
+TEST(TcpWorld, ReservedTagRejected) {
+  TcpWorld world(2);
+  const auto c = world.communicator(0);
+  EXPECT_THROW(c->send(1, TcpWorld::kMaxUserTag + 1, {}), CommError);
+}
+
+}  // namespace
+}  // namespace gridse::runtime

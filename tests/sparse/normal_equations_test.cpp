@@ -1,0 +1,99 @@
+#include "sparse/normal_equations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/dense.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::sparse {
+namespace {
+
+Csr random_tall(Index rows, Index cols, Rng& rng) {
+  std::vector<Triplet<double>> t;
+  for (Index r = 0; r < rows; ++r) {
+    // a few entries per row, like a measurement Jacobian
+    const int k = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < k; ++i) {
+      t.push_back({r, static_cast<Index>(rng.uniform_int(0, cols - 1)),
+                   rng.uniform(-2, 2)});
+    }
+  }
+  return Csr::from_triplets(rows, cols, std::move(t));
+}
+
+TEST(NormalEquations, MatchesDenseHtWH) {
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Index m = static_cast<Index>(rng.uniform_int(5, 40));
+    const Index n = static_cast<Index>(rng.uniform_int(2, 10));
+    const Csr h = random_tall(m, n, rng);
+    std::vector<double> w(static_cast<std::size_t>(m));
+    for (auto& v : w) v = rng.uniform(0.5, 10.0);
+
+    const Csr g = normal_matrix(h, w);
+    ASSERT_EQ(g.rows(), n);
+    ASSERT_EQ(g.cols(), n);
+
+    const auto hd = h.to_dense();
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        double want = 0.0;
+        for (Index r = 0; r < m; ++r) {
+          want += w[static_cast<std::size_t>(r)] *
+                  hd[static_cast<std::size_t>(r) * n + i] *
+                  hd[static_cast<std::size_t>(r) * n + j];
+        }
+        EXPECT_NEAR(g.value_at(i, j), want, 1e-10);
+      }
+    }
+  }
+}
+
+TEST(NormalEquations, GainMatrixIsSymmetric) {
+  Rng rng(19);
+  const Csr h = random_tall(30, 8, rng);
+  std::vector<double> w(30, 2.0);
+  const Csr g = normal_matrix(h, w);
+  for (Index i = 0; i < 8; ++i) {
+    for (Index j = 0; j < 8; ++j) {
+      EXPECT_NEAR(g.value_at(i, j), g.value_at(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(NormalEquations, RhsMatchesDense) {
+  Rng rng(23);
+  const Csr h = random_tall(20, 6, rng);
+  std::vector<double> w(20);
+  std::vector<double> r(20);
+  for (auto& v : w) v = rng.uniform(0.5, 4.0);
+  for (auto& v : r) v = rng.uniform(-1, 1);
+  const auto rhs = normal_rhs(h, w, r);
+  const auto hd = h.to_dense();
+  for (Index c = 0; c < 6; ++c) {
+    double want = 0.0;
+    for (Index row = 0; row < 20; ++row) {
+      want += hd[static_cast<std::size_t>(row) * 6 + c] *
+              w[static_cast<std::size_t>(row)] * r[static_cast<std::size_t>(row)];
+    }
+    EXPECT_NEAR(rhs[static_cast<std::size_t>(c)], want, 1e-10);
+  }
+}
+
+TEST(NormalEquations, WeightSizeMismatchThrows) {
+  Rng rng(29);
+  const Csr h = random_tall(10, 4, rng);
+  std::vector<double> w(9, 1.0);
+  EXPECT_THROW(normal_matrix(h, w), InternalError);
+}
+
+TEST(NormalEquations, AddDiagonal) {
+  const Csr g = Csr::from_triplets(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}});
+  const Csr g2 = add_diagonal(g, 0.5);
+  EXPECT_DOUBLE_EQ(g2.value_at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(g2.value_at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g2.value_at(1, 1), 0.5);  // structurally absent before
+}
+
+}  // namespace
+}  // namespace gridse::sparse

@@ -1,0 +1,119 @@
+#include "sparse/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace gridse::sparse {
+namespace {
+
+Csr path_graph_matrix(Index n) {
+  std::vector<Triplet<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0});
+    if (i + 1 < n) {
+      t.push_back({i, i + 1, -1.0});
+      t.push_back({i + 1, i, -1.0});
+    }
+  }
+  return Csr::from_triplets(n, n, std::move(t));
+}
+
+int bandwidth(const Csr& a) {
+  int bw = 0;
+  for (Index r = 0; r < a.rows(); ++r) {
+    const auto [b, e] = a.row_range(r);
+    for (Index k = b; k < e; ++k) {
+      bw = std::max(bw,
+                    std::abs(r - a.col_idx()[static_cast<std::size_t>(k)]));
+    }
+  }
+  return bw;
+}
+
+TEST(Rcm, ProducesValidPermutation) {
+  Rng rng(3);
+  std::vector<Triplet<double>> t;
+  const Index n = 25;
+  for (Index i = 0; i < n; ++i) t.push_back({i, i, 1.0});
+  for (int e = 0; e < 60; ++e) {
+    const auto i = static_cast<Index>(rng.uniform_int(0, n - 1));
+    const auto j = static_cast<Index>(rng.uniform_int(0, n - 1));
+    if (i == j) continue;
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  }
+  const Csr a = Csr::from_triplets(n, n, std::move(t));
+  const auto perm = reverse_cuthill_mckee(a);
+  ASSERT_EQ(perm.size(), static_cast<std::size_t>(n));
+  std::set<Index> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), n - 1);
+}
+
+TEST(Rcm, RecoversBandOnShuffledPath) {
+  // Take a path graph (bandwidth 1), shuffle it, and check RCM restores a
+  // small bandwidth.
+  const Index n = 50;
+  const Csr path = path_graph_matrix(n);
+  Rng rng(7);
+  std::vector<Index> shuffle_perm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) shuffle_perm[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(shuffle_perm);
+  const Csr shuffled = permute_symmetric(path, shuffle_perm);
+  EXPECT_GT(bandwidth(shuffled), 5);
+
+  const auto rcm = reverse_cuthill_mckee(shuffled);
+  const Csr restored = permute_symmetric(shuffled, rcm);
+  EXPECT_LE(bandwidth(restored), 2);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // two disjoint triangles
+  std::vector<Triplet<double>> t;
+  const auto add_edge = [&t](Index i, Index j) {
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  };
+  for (Index i = 0; i < 6; ++i) t.push_back({i, i, 1.0});
+  add_edge(0, 1);
+  add_edge(1, 2);
+  add_edge(0, 2);
+  add_edge(3, 4);
+  add_edge(4, 5);
+  add_edge(3, 5);
+  const Csr a = Csr::from_triplets(6, 6, std::move(t));
+  const auto perm = reverse_cuthill_mckee(a);
+  std::set<Index> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Permutation, InvertRoundTrips) {
+  const std::vector<Index> perm{2, 0, 3, 1};
+  const auto inv = invert_permutation(perm);
+  EXPECT_EQ(inv, (std::vector<Index>{1, 3, 0, 2}));
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[i])], static_cast<Index>(i));
+  }
+}
+
+TEST(Permutation, SymmetricPermutePreservesValues) {
+  const Csr a = path_graph_matrix(5);
+  const std::vector<Index> perm{4, 3, 2, 1, 0};
+  const Csr b = permute_symmetric(a, perm);
+  // B[new_i][new_j] = A[perm[new_i]][perm[new_j]]
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(
+          b.value_at(i, j),
+          a.value_at(perm[static_cast<std::size_t>(i)],
+                     perm[static_cast<std::size_t>(j)]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridse::sparse

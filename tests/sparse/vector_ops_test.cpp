@@ -1,0 +1,60 @@
+#include "sparse/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridse::sparse {
+namespace {
+
+TEST(VectorOps, Dot) {
+  const Vec a{1, 2, 3};
+  const Vec b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(VectorOps, DotSizeMismatchThrows) {
+  const Vec a{1, 2};
+  const Vec b{1};
+  EXPECT_THROW(dot(a, b), InternalError);
+}
+
+TEST(VectorOps, Norm2) {
+  const Vec a{3, 4};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec{}), 0.0);
+}
+
+TEST(VectorOps, NormInf) {
+  const Vec a{-7, 3, 5};
+  EXPECT_DOUBLE_EQ(norm_inf(a), 7.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const Vec x{1, 2};
+  Vec y{10, 20};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vec{12, 24}));
+}
+
+TEST(VectorOps, Scale) {
+  Vec x{1, -2, 3};
+  scale(-2.0, x);
+  EXPECT_EQ(x, (Vec{-2, 4, -6}));
+}
+
+TEST(VectorOps, CopyAndZero) {
+  const Vec x{1, 2, 3};
+  Vec y(3);
+  copy(x, y);
+  EXPECT_EQ(y, x);
+  set_zero(y);
+  EXPECT_EQ(y, (Vec{0, 0, 0}));
+}
+
+TEST(VectorOps, Subtract) {
+  EXPECT_EQ(subtract(Vec{5, 7}, Vec{2, 3}), (Vec{3, 4}));
+}
+
+}  // namespace
+}  // namespace gridse::sparse

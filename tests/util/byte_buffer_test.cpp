@@ -1,0 +1,105 @@
+#include "util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace gridse {
+namespace {
+
+TEST(ByteBuffer, RoundTripsScalars) {
+  ByteWriter w;
+  w.write<std::int32_t>(-42);
+  w.write<double>(3.14159);
+  w.write<std::uint8_t>(255);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<std::int32_t>(), -42);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.14159);
+  EXPECT_EQ(r.read<std::uint8_t>(), 255);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, RoundTripsStrings) {
+  ByteWriter w;
+  w.write_string("hello world");
+  w.write_string("");
+  w.write_string(std::string("\0binary\0", 8));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), std::string("\0binary\0", 8));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, RoundTripsVectors) {
+  ByteWriter w;
+  const std::vector<double> doubles{1.5, -2.25, 0.0, 1e300};
+  const std::vector<std::int16_t> shorts{-1, 0, 32767};
+  w.write_vector(doubles);
+  w.write_vector(shorts);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_vector<double>(), doubles);
+  EXPECT_EQ(r.read_vector<std::int16_t>(), shorts);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, RoundTripsEmptyVector) {
+  ByteWriter w;
+  w.write_vector(std::vector<double>{});
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.read_vector<double>().empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, TruncatedScalarThrows) {
+  ByteWriter w;
+  w.write<std::int16_t>(7);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read<std::int64_t>(), InvalidInput);
+}
+
+TEST(ByteBuffer, TruncatedVectorThrows) {
+  ByteWriter w;
+  w.write<std::uint64_t>(1000);  // claims 1000 doubles follow
+  w.write<double>(1.0);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read_vector<double>(), InvalidInput);
+}
+
+TEST(ByteBuffer, TruncatedStringThrows) {
+  ByteWriter w;
+  w.write<std::uint64_t>(std::numeric_limits<std::uint64_t>::max());
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read_string(), InvalidInput);
+}
+
+TEST(ByteBuffer, RemainingTracksPosition) {
+  ByteWriter w;
+  w.write<std::uint32_t>(1);
+  w.write<std::uint32_t>(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.read<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.read<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteBuffer, TakeMovesBytesOut) {
+  ByteWriter w;
+  w.write<std::uint32_t>(0xdeadbeef);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(ByteBuffer, WriteRawAppendsVerbatim) {
+  ByteWriter w;
+  const std::uint8_t raw[] = {1, 2, 3};
+  w.write_raw(raw, sizeof raw);
+  EXPECT_EQ(w.bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace gridse

@@ -1,0 +1,54 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridse {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(split("a b c", ' '),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, DropsEmptyFieldsByDefault) {
+  EXPECT_EQ(split("a   b", ' '), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split("  a  ", ' '), (std::vector<std::string>{"a"}));
+}
+
+TEST(Split, KeepsEmptyFieldsWhenAsked) {
+  EXPECT_EQ(split("a,,b", ',', /*keep_empty=*/true),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Split, EmptyInput) {
+  EXPECT_TRUE(split("", ' ').empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("branch 1 2", "branch"));
+  EXPECT_FALSE(starts_with("bra", "branch"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strfmt("%.3f", 2.0 / 3.0), "0.667");
+  EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(FormatBytes, PicksHumanUnits) {
+  EXPECT_EQ(format_bytes(100), "100 B");
+  EXPECT_EQ(format_bytes(100 * 1024), "100 KB");
+  EXPECT_EQ(format_bytes(100ull * 1024 * 1024), "100 MB");
+  EXPECT_EQ(format_bytes(2ull * 1024 * 1024 * 1024), "2.0 GB");
+}
+
+}  // namespace
+}  // namespace gridse

@@ -1,0 +1,44 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace gridse {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Name  | Value"), std::string::npos);
+  EXPECT_NE(s.find("alpha | 1"), std::string::npos);
+  EXPECT_NE(s.find("b     | 22"), std::string::npos);
+  EXPECT_NE(s.find("------+------"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InternalError);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), InternalError);
+}
+
+TEST(TextTable, NoRowsStillRendersHeader) {
+  TextTable t({"x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find('x'), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridse

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gridse {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.018);
+  EXPECT_LT(s, 1.0);
+  EXPECT_NEAR(t.millis(), t.seconds() * 1e3, 5.0);
+}
+
+TEST(Timer, ResetRestartsFromZero) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, Monotonic) {
+  Timer t;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = t.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(ErrorHierarchy, SubtypesCatchAsBase) {
+  EXPECT_THROW(throw InvalidInput("x"), Error);
+  EXPECT_THROW(throw ConvergenceFailure("x"), Error);
+  EXPECT_THROW(throw CommError("x"), Error);
+  EXPECT_THROW(throw InternalError("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(ErrorHierarchy, WhatCarriesTheMessage) {
+  try {
+    throw InvalidInput("the exact message");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "the exact message");
+  }
+}
+
+TEST(CheckMacro, PassesAndFails) {
+  GRIDSE_CHECK(1 + 1 == 2);  // no throw
+  try {
+    GRIDSE_CHECK_MSG(false, "broken invariant");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("broken invariant"), std::string::npos);
+    EXPECT_NE(what.find("timer_error_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gridse

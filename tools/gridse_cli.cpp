@@ -1,0 +1,262 @@
+// gridse_cli — command-line front end for the GridSE library.
+//
+//   gridse_cli info <case>
+//   gridse_cli se <case> [--noise X] [--seed N] [--solver pcg|ldlt|dense]
+//                        [--precond none|jacobi|ssor|ic0]
+//   gridse_cli dse <builtin-case> [--clusters K] [--transport T] [--cycles N]
+//   gridse_cli contingency <case> [--margin M]
+//   gridse_cli partition <builtin-case> [--clusters K]
+//
+// <case> is a case-file path or a builtin name: ieee14, ieee118, wecc37.
+// dse/partition need the builtin cases (they carry a decomposition).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/contingency.hpp"
+#include "core/architecture.hpp"
+#include "estimation/bad_data.hpp"
+#include "grid/dc_powerflow.hpp"
+#include "grid/powerflow.hpp"
+#include "io/case14.hpp"
+#include "io/case_format.hpp"
+#include "io/decomp_format.hpp"
+#include "io/matpower.hpp"
+#include "io/synthetic.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace gridse;
+
+struct Args {
+  std::string command;
+  std::string target;
+  std::map<std::string, std::string> options;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  if (argc >= 3 && argv[2][0] != '-') args.target = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.options[key.substr(2)] = argv[++i];
+    }
+  }
+  return args;
+}
+
+double opt_double(const Args& a, const std::string& key, double fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : std::stod(it->second);
+}
+
+int opt_int(const Args& a, const std::string& key, int fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : std::stoi(it->second);
+}
+
+std::string opt_str(const Args& a, const std::string& key,
+                    const std::string& fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : it->second;
+}
+
+/// Resolve a builtin generated case (with decomposition), if the name is one.
+std::optional<io::GeneratedCase> builtin_generated(const std::string& name,
+                                                   std::uint64_t seed) {
+  if (name == "ieee118") return io::ieee118_dse(seed == 0 ? 2012 : seed);
+  if (name == "wecc37") return io::wecc37(seed == 0 ? 37 : seed);
+  return std::nullopt;
+}
+
+/// Resolve any case (builtin, MATPOWER .m file, or GridSE case file).
+io::Case resolve_case(const std::string& name, std::uint64_t seed) {
+  if (name == "ieee14") return io::ieee14();
+  if (const auto gen = builtin_generated(name, seed)) return gen->kase;
+  if (name.size() > 2 && name.rfind(".m") == name.size() - 2) {
+    return io::load_matpower_file(name);
+  }
+  return io::load_case_file(name);
+}
+
+int cmd_info(const Args& args) {
+  const io::Case c = resolve_case(args.target, 0);
+  std::printf("case %s: %d buses, %zu branches, base %g MVA\n",
+              c.name.c_str(), c.network.num_buses(), c.network.num_branches(),
+              c.base_mva);
+  int pv = 0;
+  int pq = 0;
+  double load = 0.0;
+  double gen = 0.0;
+  for (const grid::Bus& b : c.network.buses()) {
+    if (b.type == grid::BusType::kPV) ++pv;
+    if (b.type == grid::BusType::kPQ) ++pq;
+    load += b.p_load;
+    gen += b.p_gen;
+  }
+  std::printf("  bus types: 1 slack, %d PV, %d PQ\n", pv, pq);
+  std::printf("  total load %.1f MW, scheduled generation %.1f MW\n",
+              load * c.base_mva, gen * c.base_mva);
+  const grid::PowerFlowResult pf = grid::solve_power_flow(c.network);
+  std::printf("  power flow: %s in %d iterations\n",
+              pf.converged ? "converged" : "DID NOT CONVERGE", pf.iterations);
+  return pf.converged ? 0 : 1;
+}
+
+int cmd_se(const Args& args) {
+  const io::Case c = resolve_case(args.target, 0);
+  const grid::PowerFlowResult pf = grid::solve_power_flow(c.network);
+  grid::MeasurementPlan plan;
+  plan.noise_level = opt_double(args, "noise", 1.0);
+  grid::MeasurementGenerator gen(c.network, plan);
+  Rng rng(static_cast<std::uint64_t>(opt_int(args, "seed", 1)));
+  const grid::MeasurementSet meas = gen.generate(pf.state, rng);
+
+  estimation::WlsOptions opts;
+  const std::string solver = opt_str(args, "solver", "pcg");
+  opts.solver = solver == "ldlt"    ? estimation::LinearSolver::kLdlt
+                : solver == "dense" ? estimation::LinearSolver::kDense
+                                    : estimation::LinearSolver::kPcg;
+  opts.preconditioner =
+      sparse::parse_preconditioner(opt_str(args, "precond", "ic0"));
+
+  const estimation::WlsEstimator estimator(c.network, opts);
+  const estimation::WlsResult result = estimator.estimate(meas);
+  std::printf("WLS (%s): %s, %d iterations (%d inner), J = %.2f\n",
+              solver.c_str(), result.converged ? "converged" : "FAILED",
+              result.iterations, result.inner_iterations, result.objective);
+  std::printf("max |V| error %.3e pu, max angle error %.3e rad vs truth\n",
+              grid::max_vm_error(result.state, pf.state),
+              grid::max_angle_error(result.state, pf.state));
+  const estimation::ChiSquareTest chi = estimation::chi_square_test(
+      result, estimator.model().state_index().size());
+  std::printf("chi-square: %.1f vs %.1f -> %s\n", chi.objective, chi.threshold,
+              chi.suspect_bad_data ? "bad data suspected" : "clean");
+  return result.converged ? 0 : 1;
+}
+
+int cmd_dse(const Args& args) {
+  auto generated = builtin_generated(args.target, 0);
+  if (!generated) {
+    // A file case works too when a decomposition file accompanies it.
+    const std::string decomp_path = opt_str(args, "decomp", "");
+    if (decomp_path.empty()) {
+      std::fprintf(stderr, "dse needs a builtin decomposed case (ieee118, "
+                           "wecc37) or --decomp <file> with a case file\n");
+      return 2;
+    }
+    io::GeneratedCase from_file;
+    from_file.kase = io::load_case_file(args.target);
+    from_file.subsystem_of_bus =
+        io::load_decomposition_file(decomp_path, from_file.kase.network);
+    generated = std::move(from_file);
+  }
+  core::SystemConfig config;
+  config.mapping.num_clusters = opt_int(args, "clusters", 3);
+  const std::string transport = opt_str(args, "transport", "inproc");
+  config.transport = transport == "tcp"      ? core::Transport::kTcp
+                     : transport == "medici" ? core::Transport::kMedici
+                     : transport == "direct" ? core::Transport::kMediciDirect
+                                             : core::Transport::kInproc;
+  config.dse.step2_rounds = opt_int(args, "rounds", 1);
+  core::DseSystem system(*generated, config);
+  const int cycles = opt_int(args, "cycles", 1);
+  for (int i = 0; i < cycles; ++i) {
+    const core::CycleReport rep = system.run_cycle(i * 30.0);
+    std::printf("cycle %d: %s | imbalance %.3f | %zu bytes | %.1f ms | "
+                "max |V| err %.2e\n",
+                i + 1, rep.dse.all_converged ? "converged" : "FAILED",
+                rep.map_step1.partition.load_imbalance, rep.dse.bytes_sent,
+                rep.dse.total_seconds * 1e3, rep.max_vm_error);
+  }
+  return 0;
+}
+
+int cmd_contingency(const Args& args) {
+  io::Case c = resolve_case(args.target, 0);
+  grid::assign_ratings_from_base_case(c.network,
+                                      opt_double(args, "margin", 1.3), 0.1);
+  const apps::ContingencyReport report = apps::screen_all_branches(c.network);
+  std::printf("N-1 screening of %zu branch outages: %d insecure "
+              "(%d islanding)\n",
+              report.outcomes.size(), report.insecure_cases,
+              report.islanding_cases);
+  for (const apps::ContingencyOutcome& o : report.outcomes) {
+    if (!o.secure() && !o.islanding) {
+      std::printf("  outage %zu -> %zu overload(s), worst %.0f%%\n",
+                  o.outaged_branch, o.overloaded_branches.size(),
+                  o.worst_loading * 100.0);
+    }
+  }
+  return 0;
+}
+
+int cmd_partition(const Args& args) {
+  const auto generated = builtin_generated(args.target, 0);
+  if (!generated) {
+    std::fprintf(stderr, "partition needs a builtin decomposed case "
+                         "(ieee118, wecc37)\n");
+    return 2;
+  }
+  decomp::Decomposition d =
+      decomp::decompose(generated->kase.network, generated->subsystem_of_bus);
+  decomp::analyze_sensitivity(generated->kase.network, d, {});
+  mapping::MappingOptions opts;
+  opts.num_clusters = opt_int(args, "clusters", 3);
+  const mapping::ClusterMapper mapper(d, opts);
+  const mapping::MappingResult r = mapper.map_before_step1(0.0);
+  std::printf("%d subsystems onto %d clusters: imbalance %.3f, cut %.1f\n",
+              d.num_subsystems(), opts.num_clusters,
+              r.partition.load_imbalance, r.partition.edge_cut);
+  for (graph::PartId k = 0; k < opts.num_clusters; ++k) {
+    std::printf("  cluster %d:", k);
+    for (int s = 0; s < d.num_subsystems(); ++s) {
+      if (r.partition.assignment[static_cast<std::size_t>(s)] == k) {
+        std::printf(" %d", s + 1);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gridse_cli <command> <case> [options]\n"
+      "  commands: info | se | dse | contingency | partition\n"
+      "  cases: ieee14 | ieee118 | wecc37 | <path to case file>\n"
+      "  se options:   --noise X --seed N --solver pcg|ldlt|dense "
+      "--precond none|jacobi|ssor|ic0\n"
+      "  dse options:  --clusters K --transport inproc|tcp|medici|direct "
+      "--cycles N --rounds R\n"
+      "  contingency:  --margin M\n"
+      "  partition:    --clusters K\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "se") return cmd_se(args);
+    if (args.command == "dse") return cmd_dse(args);
+    if (args.command == "contingency") return cmd_contingency(args);
+    if (args.command == "partition") return cmd_partition(args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
