@@ -1,0 +1,20 @@
+#include "analysis/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gridse::analysis::detail {
+
+void assert_failed(const char* expr, const char* file, int line,
+                   const std::string& message) {
+  std::fprintf(stderr,
+               "==gridse-assert== FAILED: %s\n==gridse-assert==   at %s:%d\n",
+               expr, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, "==gridse-assert==   %s\n", message.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gridse::analysis::detail

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <string>
+
+#include "analysis/debug_sync.hpp"
+
+namespace gridse::analysis::detail {
+
+/// Print a formatted invariant-violation report and abort. Unlike
+/// GRIDSE_CHECK (util/error.hpp), which throws and stays on in release,
+/// these assertions are debug-build teeth: aborting keeps the failing stack
+/// intact for a debugger or a sanitizer report.
+[[noreturn]] void assert_failed(const char* expr, const char* file, int line,
+                                const std::string& message);
+
+}  // namespace gridse::analysis::detail
+
+#if GRIDSE_DEBUG_SYNC
+
+/// Debug-build invariant with stream-formatted diagnostics:
+///   GRIDSE_ASSERT(count <= cap, "count " << count << " exceeds " << cap);
+#define GRIDSE_ASSERT(expr, ...)                                             \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream gridse_assert_os_;                                  \
+      gridse_assert_os_ << __VA_ARGS__;                                      \
+      ::gridse::analysis::detail::assert_failed(#expr, __FILE__, __LINE__,   \
+                                                gridse_assert_os_.str());    \
+    }                                                                        \
+  } while (false)
+
+/// Assert the calling thread holds `mutex` (an analysis::Mutex). Place at
+/// every *_locked helper and data-structure invariant point.
+#define GRIDSE_ASSERT_HELD(mutex)                                            \
+  do {                                                                       \
+    if (!(mutex).held_by_current_thread()) {                                 \
+      ::gridse::analysis::detail::assert_failed(                             \
+          #mutex " held by current thread", __FILE__, __LINE__,              \
+          "lock \"" + (mutex).name() + "\" is not held");                    \
+    }                                                                        \
+  } while (false)
+
+#else  // !GRIDSE_DEBUG_SYNC — compiled out; operands stay name-checked only.
+
+#define GRIDSE_ASSERT(expr, ...)     \
+  do {                               \
+    (void)sizeof(!(expr));           \
+  } while (false)
+
+#define GRIDSE_ASSERT_HELD(mutex)    \
+  do {                               \
+    (void)sizeof(&(mutex));          \
+  } while (false)
+
+#endif  // GRIDSE_DEBUG_SYNC

@@ -1,0 +1,282 @@
+#include "analysis/debug_sync.hpp"
+
+#if GRIDSE_DEBUG_SYNC
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace gridse::analysis {
+namespace {
+
+struct Held {
+  const Mutex* mutex;
+  std::source_location site;
+  std::chrono::steady_clock::time_point since;
+};
+
+/// Acquisition stack of the calling thread, innermost lock last.
+std::vector<Held>& held_stack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+std::string describe_site(const std::source_location& site) {
+  std::ostringstream os;
+  os << site.file_name() << ":" << site.line();
+  return os.str();
+}
+
+/// Render the caller's current stack plus the lock being acquired — used
+/// both as the stored witness for new edges and as the "acquire" half of a
+/// violation report.
+std::string describe_acquisition(const std::string& acquiring,
+                                 const std::source_location& site) {
+  std::ostringstream os;
+  os << "  thread " << std::this_thread::get_id() << " acquiring \""
+     << acquiring << "\" at " << describe_site(site) << " while holding:\n";
+  const auto& stack = held_stack();
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    os << "    #" << (stack.size() - 1 - i) << " \""
+       << stack[i].mutex->name() << "\" acquired at "
+       << describe_site(stack[i].site) << "\n";
+  }
+  if (stack.empty()) {
+    os << "    (no other locks)\n";
+  }
+  return os.str();
+}
+
+/// Directed lock-order graph keyed by mutex name. edges[a][b] holds the
+/// formatted acquisition stack recorded the first time b was taken while a
+/// was held.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::map<std::string, std::string>> edges;
+};
+
+Registry& registry() {
+  static auto* r = new Registry;  // leaked: outlives static-destruction races
+  return *r;
+}
+
+std::atomic<long long> g_max_hold_ms{0};
+
+/// DFS for a path from `from` to `to`; fills `path` with the node sequence
+/// (from ... to) when found. Caller holds registry().mu.
+bool find_path(const std::map<std::string, std::map<std::string, std::string>>&
+                   edges,
+               const std::string& from, const std::string& to,
+               std::set<std::string>& visited, std::vector<std::string>& path) {
+  path.push_back(from);
+  if (from == to) {
+    return true;
+  }
+  visited.insert(from);
+  const auto it = edges.find(from);
+  if (it != edges.end()) {
+    for (const auto& edge : it->second) {
+      const std::string& next = edge.first;
+      if (visited.count(next) != 0) continue;
+      if (find_path(edges, next, to, visited, path)) {
+        return true;
+      }
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+[[noreturn]] void report_cycle(const std::string& acquiring,
+                               const std::source_location& site,
+                               const std::vector<std::string>& path) {
+  std::ostringstream os;
+  os << "==gridse-debug-sync== POTENTIAL DEADLOCK: lock-order inversion\n";
+  os << describe_acquisition(acquiring, site);
+  os << "  but the opposite order was previously established:\n";
+  const auto& edges = registry().edges;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    os << "  edge \"" << path[i] << "\" -> \"" << path[i + 1]
+       << "\" recorded by:\n"
+       << edges.at(path[i]).at(path[i + 1]);
+  }
+  os << "==gridse-debug-sync== aborting\n";
+  std::fputs(os.str().c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void report_recursion(const Mutex& mutex,
+                                   const std::source_location& site) {
+  std::ostringstream os;
+  os << "==gridse-debug-sync== SELF-DEADLOCK: recursive acquisition of \""
+     << mutex.name() << "\"\n"
+     << describe_acquisition(mutex.name(), site)
+     << "==gridse-debug-sync== aborting\n";
+  std::fputs(os.str().c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Record held->acquiring edges (and run the cycle check) for the calling
+/// thread. `check_cycles` is false for try_lock: a failed try backs off, so
+/// an inverted order through it cannot deadlock, but the edge still feeds
+/// future checks.
+void note_acquisition(const Mutex& mutex, const std::source_location& site,
+                      bool check_cycles) {
+  const auto& stack = held_stack();
+  for (const auto& held : stack) {
+    if (held.mutex == &mutex) {
+      report_recursion(mutex, site);
+    }
+  }
+  if (stack.empty()) {
+    return;
+  }
+  const std::string& acquiring = mutex.name();
+  std::lock_guard<std::mutex> lock(registry().mu);
+  auto& edges = registry().edges;
+  for (const auto& held : stack) {
+    const std::string& holder = held.mutex->name();
+    if (holder == acquiring) {
+      continue;  // same-name instances: not tracked (see header)
+    }
+    auto& out = edges[holder];
+    if (out.count(acquiring) != 0) {
+      continue;  // known-good order
+    }
+    if (check_cycles) {
+      std::set<std::string> visited;
+      std::vector<std::string> path;
+      if (find_path(edges, acquiring, holder, visited, path)) {
+        report_cycle(acquiring, site, path);
+      }
+    }
+    out.emplace(acquiring, describe_acquisition(acquiring, site));
+  }
+}
+
+void check_hold_time(const Held& held) {
+  const long long limit = g_max_hold_ms.load(std::memory_order_relaxed);
+  if (limit <= 0) {
+    return;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - held.since)
+                           .count();
+  if (elapsed <= limit) {
+    return;
+  }
+  std::ostringstream os;
+  os << "==gridse-debug-sync== EXCESSIVE HOLD TIME: \""
+     << held.mutex->name() << "\" held for " << elapsed << " ms (limit "
+     << limit << " ms), acquired at " << describe_site(held.site)
+     << " by thread " << std::this_thread::get_id()
+     << "\n==gridse-debug-sync== aborting\n";
+  std::fputs(os.str().c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Pop the stack entry for `mutex` (normally the innermost) and run the
+/// hold-time check on it.
+void note_release(const Mutex& mutex) {
+  auto& stack = held_stack();
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i].mutex == &mutex) {
+      check_hold_time(stack[i]);
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "==gridse-debug-sync== unlock of \"%s\" not held by this "
+               "thread\n==gridse-debug-sync== aborting\n",
+               mutex.name().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void push_held(const Mutex& mutex, const std::source_location& site) {
+  held_stack().push_back(
+      Held{&mutex, site, std::chrono::steady_clock::now()});
+}
+
+}  // namespace
+
+Mutex::Mutex(const char* name) : name_(name) {}
+
+Mutex::~Mutex() {
+  if (held_by_current_thread()) {
+    std::fprintf(stderr,
+                 "==gridse-debug-sync== \"%s\" destroyed while held\n"
+                 "==gridse-debug-sync== aborting\n",
+                 name_.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+void Mutex::lock(std::source_location site) {
+  // Check the order graph *before* blocking so an inversion is reported
+  // even on the interleaving that would deadlock.
+  note_acquisition(*this, site, /*check_cycles=*/true);
+  impl_.lock();
+  push_held(*this, site);
+}
+
+bool Mutex::try_lock(std::source_location site) {
+  if (!impl_.try_lock()) {
+    return false;
+  }
+  note_acquisition(*this, site, /*check_cycles=*/false);
+  push_held(*this, site);
+  return true;
+}
+
+void Mutex::unlock() {
+  note_release(*this);
+  impl_.unlock();
+}
+
+bool Mutex::held_by_current_thread() const {
+  for (const auto& held : held_stack()) {
+    if (held.mutex == this) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Mutex::prepare_wait() { note_release(*this); }
+
+void Mutex::finish_wait(std::source_location site) { push_held(*this, site); }
+
+void ConditionVariable::wait(UniqueLock& lock, std::source_location site) {
+  Mutex& m = lock.mutex();
+  m.prepare_wait();
+  std::unique_lock<std::mutex> native(m.native(), std::adopt_lock);
+  impl_.wait(native);
+  native.release();
+  m.finish_wait(site);
+}
+
+void set_max_hold_time(std::chrono::milliseconds limit) {
+  g_max_hold_ms.store(limit.count(), std::memory_order_relaxed);
+}
+
+namespace detail {
+void reset_lock_graph_for_testing() {
+  std::lock_guard<std::mutex> lock(registry().mu);
+  registry().edges.clear();
+}
+}  // namespace detail
+
+}  // namespace gridse::analysis
+
+#endif  // GRIDSE_DEBUG_SYNC

@@ -1,0 +1,299 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <source_location>
+#include <string>
+
+/// GRIDSE_DEBUG_SYNC selects between the checked synchronization layer
+/// (lock-order graph, hold-time limits, held-lock assertions) and thin
+/// zero-overhead wrappers around std::mutex. The build system defines it
+/// globally (option GRIDSE_DEBUG_SYNC, default ON); the fallback here keeps
+/// standalone compiles of a single header sensible.
+#ifndef GRIDSE_DEBUG_SYNC
+#ifdef NDEBUG
+#define GRIDSE_DEBUG_SYNC 0
+#else
+#define GRIDSE_DEBUG_SYNC 1
+#endif
+#endif
+
+namespace gridse::analysis {
+
+#if GRIDSE_DEBUG_SYNC
+
+/// Drop-in std::mutex replacement that participates in deadlock detection.
+///
+/// Every acquisition is recorded on a per-thread stack of held locks, and
+/// every (held, acquired) pair adds an edge to a global lock-order graph
+/// keyed by mutex *name* — so all instances of, say, "Mailbox::mutex_"
+/// share one node and an inversion between any two call sites is caught the
+/// first time both orders have been exercised, without needing the actual
+/// interleaving that deadlocks. On detecting a cycle the process prints the
+/// current acquisition stack plus the recorded witness stack of every edge
+/// on the conflicting path, then aborts.
+///
+/// Known limitation: edges between two *instances* sharing one name (e.g.
+/// locking two Mailboxes at once) are not tracked; keep such designs behind
+/// an explicit address-order discipline.
+class Mutex {
+ public:
+  explicit Mutex(const char* name = "unnamed");
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock(std::source_location site = std::source_location::current());
+  bool try_lock(std::source_location site = std::source_location::current());
+  void unlock();
+
+  /// True iff the calling thread currently holds this mutex. Drives
+  /// GRIDSE_ASSERT_HELD; debug builds only.
+  [[nodiscard]] bool held_by_current_thread() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Underlying mutex, for interop with std APIs (condition variables use
+  /// this via the adopt/release dance in ConditionVariable).
+  [[nodiscard]] std::mutex& native() { return impl_; }
+
+ private:
+  friend class ConditionVariable;
+
+  /// Pop this mutex from the tracking stack without unlocking (the wait is
+  /// about to release it); runs the hold-time check.
+  void prepare_wait();
+  /// Re-push after the wait reacquired the lock.
+  void finish_wait(std::source_location site);
+
+  std::mutex impl_;
+  std::string name_;
+};
+
+/// RAII scoped lock, std::lock_guard shaped.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex,
+                     std::source_location site = std::source_location::current())
+      : mutex_(mutex) {
+    mutex_.lock(site);
+  }
+  ~LockGuard() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Movable-free owning lock, std::unique_lock shaped; pairs with
+/// ConditionVariable.
+class UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex,
+                      std::source_location site = std::source_location::current())
+      : mutex_(&mutex) {
+    mutex_->lock(site);
+    owns_ = true;
+  }
+  ~UniqueLock() {
+    if (owns_) mutex_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock(std::source_location site = std::source_location::current()) {
+    mutex_->lock(site);
+    owns_ = true;
+  }
+  void unlock() {
+    mutex_->unlock();
+    owns_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const { return owns_; }
+  [[nodiscard]] Mutex& mutex() { return *mutex_; }
+
+ private:
+  Mutex* mutex_;
+  bool owns_ = false;
+};
+
+/// Condition variable over analysis::Mutex. Keeps the per-thread lock stack
+/// truthful across the unlock/relock inside wait.
+class ConditionVariable {
+ public:
+  void notify_one() { impl_.notify_one(); }
+  void notify_all() { impl_.notify_all(); }
+
+  void wait(UniqueLock& lock,
+            std::source_location site = std::source_location::current());
+
+  template <typename Predicate>
+  void wait(UniqueLock& lock, Predicate pred,
+            std::source_location site = std::source_location::current()) {
+    while (!pred()) {
+      wait(lock, site);
+    }
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock, const std::chrono::time_point<Clock, Duration>& deadline,
+      std::source_location site = std::source_location::current()) {
+    Mutex& m = lock.mutex();
+    m.prepare_wait();
+    std::unique_lock<std::mutex> native(m.native(), std::adopt_lock);
+    const std::cv_status status = impl_.wait_until(native, deadline);
+    native.release();
+    m.finish_wait(site);
+    return status;
+  }
+
+  template <typename Clock, typename Duration, typename Predicate>
+  bool wait_until(UniqueLock& lock,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred,
+                  std::source_location site = std::source_location::current()) {
+    while (!pred()) {
+      if (wait_until(lock, deadline, site) == std::cv_status::timeout) {
+        return pred();
+      }
+    }
+    return true;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(
+      UniqueLock& lock, const std::chrono::duration<Rep, Period>& timeout,
+      std::source_location site = std::source_location::current()) {
+    return wait_until(lock, std::chrono::steady_clock::now() + timeout, site);
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred,
+                std::source_location site = std::source_location::current()) {
+    return wait_until(lock, std::chrono::steady_clock::now() + timeout,
+                      std::move(pred), site);
+  }
+
+ private:
+  std::condition_variable impl_;
+};
+
+/// Abort any thread that holds one analysis::Mutex longer than `limit`
+/// (0 disables, the default). A long hold under a contended lock is the
+/// latency bug the paper's per-site pipelines cannot absorb.
+void set_max_hold_time(std::chrono::milliseconds limit);
+
+namespace detail {
+/// Drop all recorded lock-order edges. Test isolation only: death tests
+/// deliberately record inverted orders in their (forked) child processes,
+/// and unit tests for the checker itself need a clean graph.
+void reset_lock_graph_for_testing();
+}  // namespace detail
+
+#else  // !GRIDSE_DEBUG_SYNC — plain std::mutex, zero overhead.
+
+class Mutex {
+ public:
+  explicit Mutex(const char* /*name*/ = "unnamed") {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() { impl_.lock(); }
+  bool try_lock() { return impl_.try_lock(); }
+  void unlock() { impl_.unlock(); }
+  [[nodiscard]] std::mutex& native() { return impl_; }
+
+ private:
+  std::mutex impl_;
+};
+
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) : guard_(mutex.native()) {}
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> guard_;
+};
+
+class UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) : mutex_(&mutex), lock_(mutex.native()) {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() { lock_.lock(); }
+  void unlock() { lock_.unlock(); }
+  [[nodiscard]] bool owns_lock() const { return lock_.owns_lock(); }
+  [[nodiscard]] Mutex& mutex() { return *mutex_; }
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  Mutex* mutex_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+class ConditionVariable {
+ public:
+  void notify_one() { impl_.notify_one(); }
+  void notify_all() { impl_.notify_all(); }
+
+  void wait(UniqueLock& lock) { impl_.wait(lock.native()); }
+
+  template <typename Predicate>
+  void wait(UniqueLock& lock, Predicate pred) {
+    impl_.wait(lock.native(), std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return impl_.wait_until(lock.native(), deadline);
+  }
+
+  template <typename Clock, typename Duration, typename Predicate>
+  bool wait_until(UniqueLock& lock,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred) {
+    return impl_.wait_until(lock.native(), deadline, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return impl_.wait_for(lock.native(), timeout);
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(UniqueLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred) {
+    return impl_.wait_for(lock.native(), timeout, std::move(pred));
+  }
+
+ private:
+  std::condition_variable impl_;
+};
+
+inline void set_max_hold_time(std::chrono::milliseconds /*limit*/) {}
+
+namespace detail {
+inline void reset_lock_graph_for_testing() {}
+}  // namespace detail
+
+#endif  // GRIDSE_DEBUG_SYNC
+
+}  // namespace gridse::analysis

@@ -1,0 +1,59 @@
+#pragma once
+
+/// ThreadSanitizer annotation shims. Real annotations when the TU is
+/// compiled with -fsanitize=thread (gcc defines __SANITIZE_THREAD__, clang
+/// exposes __has_feature(thread_sanitizer)); no-ops otherwise, so callers
+/// never need their own #ifdefs.
+///
+/// Use sparingly: these teach TSan about happens-before edges it cannot see
+/// (e.g. ordering established through a file descriptor or a syscall), and
+/// a wrong annotation silences real races.
+
+#if defined(__SANITIZE_THREAD__)
+#define GRIDSE_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GRIDSE_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef GRIDSE_TSAN_ENABLED
+#define GRIDSE_TSAN_ENABLED 0
+#endif
+
+#if GRIDSE_TSAN_ENABLED
+
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line, const volatile void* p);
+void AnnotateHappensAfter(const char* file, int line, const volatile void* p);
+void AnnotateIgnoreReadsBegin(const char* file, int line);
+void AnnotateIgnoreReadsEnd(const char* file, int line);
+void AnnotateIgnoreWritesBegin(const char* file, int line);
+void AnnotateIgnoreWritesEnd(const char* file, int line);
+}
+
+/// Declare that all memory effects before this call are visible to the
+/// thread that later runs GRIDSE_TSAN_HAPPENS_AFTER on the same address.
+#define GRIDSE_TSAN_HAPPENS_BEFORE(addr) \
+  AnnotateHappensBefore(__FILE__, __LINE__, (const volatile void*)(addr))
+#define GRIDSE_TSAN_HAPPENS_AFTER(addr) \
+  AnnotateHappensAfter(__FILE__, __LINE__, (const volatile void*)(addr))
+
+/// Bracket deliberately racy diagnostic reads (approximate counters).
+#define GRIDSE_TSAN_IGNORE_READS_BEGIN() \
+  AnnotateIgnoreReadsBegin(__FILE__, __LINE__)
+#define GRIDSE_TSAN_IGNORE_READS_END() AnnotateIgnoreReadsEnd(__FILE__, __LINE__)
+#define GRIDSE_TSAN_IGNORE_WRITES_BEGIN() \
+  AnnotateIgnoreWritesBegin(__FILE__, __LINE__)
+#define GRIDSE_TSAN_IGNORE_WRITES_END() \
+  AnnotateIgnoreWritesEnd(__FILE__, __LINE__)
+
+#else
+
+#define GRIDSE_TSAN_HAPPENS_BEFORE(addr) ((void)0)
+#define GRIDSE_TSAN_HAPPENS_AFTER(addr) ((void)0)
+#define GRIDSE_TSAN_IGNORE_READS_BEGIN() ((void)0)
+#define GRIDSE_TSAN_IGNORE_READS_END() ((void)0)
+#define GRIDSE_TSAN_IGNORE_WRITES_BEGIN() ((void)0)
+#define GRIDSE_TSAN_IGNORE_WRITES_END() ((void)0)
+
+#endif  // GRIDSE_TSAN_ENABLED

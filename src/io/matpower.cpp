@@ -122,7 +122,10 @@ Case parse_matpower(const std::string& text) {
       const std::size_t eq = clean.find('=', fpos);
       if (eq != std::string::npos) {
         const std::size_t end = clean.find_first_of("\r\n", eq);
-        const auto name = trim(clean.substr(eq + 1, end - eq - 1));
+        // Bind the substring before trimming: trim() returns a view, and a
+        // view into the temporary would dangle past the full expression.
+        const std::string raw = clean.substr(eq + 1, end - eq - 1);
+        const auto name = trim(raw);
         if (!name.empty()) c.name = std::string(name);
       }
     }

@@ -31,6 +31,15 @@ class MediciCommunicatorImpl final : public runtime::Communicator {
     return world_->clients_[static_cast<std::size_t>(rank_)]->recv(source, tag);
   }
 
+  std::optional<runtime::Message> recv_for(
+      int source, int tag, std::chrono::milliseconds timeout) override {
+    if (tag != runtime::kAnyTag && tag > MediciWorld::kMaxUserTag) {
+      throw CommError("medici recv: tag above kMaxUserTag is reserved");
+    }
+    return world_->clients_[static_cast<std::size_t>(rank_)]->recv_for(
+        source, tag, timeout);
+  }
+
   void barrier() override {
     MwClient& me = *world_->clients_[static_cast<std::size_t>(rank_)];
     if (rank_ == 0) {

@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "analysis/assert.hpp"
 #include "medici/wire.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -30,7 +31,7 @@ void MwClient::stop() {
     ::shutdown(listener_.fd(), SHUT_RDWR);
   }
   {
-    std::lock_guard<std::mutex> lock(send_mutex_);
+    analysis::LockGuard lock(send_mutex_);
     for (auto& [key, sock] : connections_) {
       if (sock.valid()) {
         ::shutdown(sock.fd(), SHUT_RDWR);
@@ -42,7 +43,7 @@ void MwClient::stop() {
   }
   std::vector<std::thread> readers;
   {
-    std::lock_guard<std::mutex> lock(readers_mutex_);
+    analysis::LockGuard lock(readers_mutex_);
     readers.swap(readers_);
     for (const int fd : live_fds_) {
       ::shutdown(fd, SHUT_RDWR);  // wake readers blocked in recv
@@ -65,7 +66,7 @@ void MwClient::accept_loop() {
     if (stopping_.load()) {
       return;
     }
-    std::lock_guard<std::mutex> lock(readers_mutex_);
+    analysis::LockGuard lock(readers_mutex_);
     live_fds_.push_back(conn.fd());
     readers_.emplace_back(
         [this, c = std::move(conn)]() mutable { read_loop(std::move(c)); });
@@ -99,33 +100,41 @@ void MwClient::read_loop(runtime::Socket conn) {
   }
 }
 
+void MwClient::send_attempt_locked(const std::string& key,
+                                   const EndpointUrl& to, int tag,
+                                   std::span<const std::uint8_t> payload,
+                                   const NetModel& shape) {
+  GRIDSE_ASSERT_HELD(send_mutex_);
+  auto it = connections_.find(key);
+  if (it == connections_.end() || !it->second.valid()) {
+    connections_[key] = runtime::Socket::connect_loopback(to.port);
+    it = connections_.find(key);
+  }
+  const WireHeader header{payload.size(), id_, tag};
+  Pacer pacer(shape);
+  pacer.pace(sizeof header);
+  it->second.send_all(&header, sizeof header);
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t n = std::min(kWireChunk, payload.size() - off);
+    pacer.pace(n);
+    it->second.send_all(payload.data() + off, n);
+    off += n;
+  }
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+}
+
 void MwClient::send(const EndpointUrl& to, int tag,
                     std::span<const std::uint8_t> payload,
                     const NetModel& shape) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  analysis::LockGuard lock(send_mutex_);
   const std::string key = to.to_string();
   // One reconnect attempt: a cached connection may have gone stale (peer
   // restarted); drop it and re-dial before giving up. A frame is written
   // atomically per attempt, so the receiver never sees a torn message.
   for (int attempt = 0; attempt < 2; ++attempt) {
-    auto it = connections_.find(key);
-    if (it == connections_.end() || !it->second.valid()) {
-      connections_[key] = runtime::Socket::connect_loopback(to.port);
-      it = connections_.find(key);
-    }
     try {
-      const WireHeader header{payload.size(), id_, tag};
-      Pacer pacer(shape);
-      pacer.pace(sizeof header);
-      it->second.send_all(&header, sizeof header);
-      std::size_t off = 0;
-      while (off < payload.size()) {
-        const std::size_t n = std::min(kWireChunk, payload.size() - off);
-        pacer.pace(n);
-        it->second.send_all(payload.data() + off, n);
-        off += n;
-      }
-      bytes_sent_ += payload.size();
+      send_attempt_locked(key, to, tag, payload, shape);
       return;
     } catch (const CommError&) {
       connections_.erase(key);
@@ -139,6 +148,11 @@ void MwClient::send(const EndpointUrl& to, int tag,
 
 runtime::Message MwClient::recv(int source, int tag) {
   return mailbox_.take(source, tag);
+}
+
+std::optional<runtime::Message> MwClient::recv_for(
+    int source, int tag, std::chrono::milliseconds timeout) {
+  return mailbox_.take_for(source, tag, timeout);
 }
 
 }  // namespace gridse::medici

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <map>
-#include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "analysis/debug_sync.hpp"
 #include "medici/endpoint.hpp"
 #include "medici/netmodel.hpp"
 #include "runtime/mailbox.hpp"
@@ -44,8 +47,14 @@ class MwClient {
   runtime::Message recv(int source = runtime::kAnySource,
                         int tag = runtime::kAnyTag);
 
+  /// Bounded recv; nullopt if nothing matching arrived within `timeout`.
+  std::optional<runtime::Message> recv_for(int source, int tag,
+                                           std::chrono::milliseconds timeout);
+
   /// Total payload bytes sent.
-  [[nodiscard]] std::size_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::size_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
   /// Messages queued but not yet received (non-blocking probe).
   [[nodiscard]] std::size_t pending() const { return mailbox_.pending(); }
@@ -56,6 +65,11 @@ class MwClient {
  private:
   void accept_loop();
   void read_loop(runtime::Socket conn);
+  /// One framed write attempt on the cached connection; requires
+  /// send_mutex_ held (the connection cache and the wire are shared).
+  void send_attempt_locked(const std::string& key, const EndpointUrl& to,
+                           int tag, std::span<const std::uint8_t> payload,
+                           const NetModel& shape);
 
   int id_;
   EndpointUrl endpoint_;
@@ -63,11 +77,11 @@ class MwClient {
   std::thread acceptor_;
   std::vector<std::thread> readers_;
   std::vector<int> live_fds_;  // accepted connections, shut down on stop()
-  std::mutex readers_mutex_;
+  analysis::Mutex readers_mutex_{"MwClient::readers_mutex_"};
   runtime::Mailbox mailbox_;
   std::map<std::string, runtime::Socket> connections_;
-  std::mutex send_mutex_;
-  std::size_t bytes_sent_ = 0;
+  analysis::Mutex send_mutex_{"MwClient::send_mutex_"};
+  std::atomic<std::size_t> bytes_sent_{0};
   std::atomic<bool> stopping_{false};
 };
 

@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "analysis/assert.hpp"
 #include "medici/wire.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -36,7 +37,12 @@ void Relay::stop() {
   }
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    analysis::LockGuard lock(workers_mutex_);
+    GRIDSE_ASSERT(live_fds_.size() == workers_.size(),
+                  "fd bookkeeping out of sync: " << live_fds_.size()
+                                                 << " fds for "
+                                                 << workers_.size()
+                                                 << " workers");
     workers.swap(workers_);
     for (const int fd : live_fds_) {
       ::shutdown(fd, SHUT_RDWR);  // wake workers blocked in recv
@@ -63,7 +69,8 @@ void Relay::accept_loop() {
     if (stopping_.load()) {
       return;
     }
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    analysis::LockGuard lock(workers_mutex_);
+    GRIDSE_ASSERT_HELD(workers_mutex_);
     live_fds_.push_back(conn.fd());
     workers_.emplace_back(
         [this, c = std::move(conn)]() mutable { relay_connection(std::move(c)); });

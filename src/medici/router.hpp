@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/debug_sync.hpp"
 #include "medici/endpoint.hpp"
 #include "medici/netmodel.hpp"
 #include "runtime/socket.hpp"
@@ -53,7 +54,7 @@ class Relay {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
   std::vector<int> live_fds_;  // accepted upstreams, shut down on stop()
-  std::mutex workers_mutex_;
+  analysis::Mutex workers_mutex_{"Relay::workers_mutex_"};
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> messages_{0};
   std::atomic<std::size_t> bytes_{0};

@@ -1,5 +1,6 @@
 #include "runtime/cluster.hpp"
 
+#include "analysis/assert.hpp"
 #include "util/error.hpp"
 
 namespace gridse::runtime {
@@ -7,9 +8,12 @@ namespace gridse::runtime {
 SimulatedCluster::SimulatedCluster(ClusterSpec spec) : spec_(std::move(spec)) {
   GRIDSE_CHECK_MSG(spec_.worker_threads > 0,
                    "cluster needs at least one worker thread");
+  GRIDSE_ASSERT(!spec_.name.empty(), "cluster spec needs a site name");
   workers_ = std::make_unique<ThreadPool>(
       static_cast<std::size_t>(spec_.worker_threads));
 }
+
+void SimulatedCluster::shutdown() { workers_->shutdown(); }
 
 std::vector<ClusterSpec> pnnl_testbed_specs(int worker_threads) {
   return {{"Nwiceb", worker_threads},

@@ -26,6 +26,10 @@ class SimulatedCluster {
   [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
   [[nodiscard]] ThreadPool& workers() { return *workers_; }
 
+  /// Stop the site's worker pool (idempotent). Further submissions to
+  /// workers() throw; models taking the site offline.
+  void shutdown();
+
  private:
   ClusterSpec spec_;
   std::unique_ptr<ThreadPool> workers_;

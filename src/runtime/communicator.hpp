@@ -1,5 +1,8 @@
 #pragma once
 
+#include <chrono>
+#include <optional>
+
 #include "runtime/message.hpp"
 
 namespace gridse::runtime {
@@ -26,6 +29,11 @@ class Communicator {
   /// Block until a message matching (source, tag) is available and return
   /// it. Matching is FIFO within a (source, tag) stream.
   virtual Message recv(int source, int tag) = 0;
+
+  /// Bounded recv: wait at most `timeout`, returning nullopt if no match
+  /// arrived — the DSE step's defence against a lost peer.
+  virtual std::optional<Message> recv_for(int source, int tag,
+                                          std::chrono::milliseconds timeout) = 0;
 
   /// Collective barrier across all ranks.
   virtual void barrier() = 0;

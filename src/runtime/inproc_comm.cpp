@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "analysis/assert.hpp"
 #include "util/error.hpp"
 
 namespace gridse::runtime {
@@ -12,8 +13,8 @@ class InprocCommunicatorImpl final : public Communicator {
  public:
   InprocCommunicatorImpl(InprocWorld* world, int rank,
                          std::vector<Mailbox*> mailboxes,
-                         std::mutex* barrier_mutex,
-                         std::condition_variable* barrier_cv,
+                         analysis::Mutex* barrier_mutex,
+                         analysis::ConditionVariable* barrier_cv,
                          int* barrier_count, std::uint64_t* barrier_generation)
       : world_size_(static_cast<int>(mailboxes.size())),
         rank_(rank),
@@ -45,8 +46,17 @@ class InprocCommunicatorImpl final : public Communicator {
     return mailboxes_[static_cast<std::size_t>(rank_)]->take(source, tag);
   }
 
+  std::optional<Message> recv_for(int source, int tag,
+                                  std::chrono::milliseconds timeout) override {
+    return mailboxes_[static_cast<std::size_t>(rank_)]->take_for(source, tag,
+                                                                 timeout);
+  }
+
   void barrier() override {
-    std::unique_lock<std::mutex> lock(*barrier_mutex_);
+    analysis::UniqueLock lock(*barrier_mutex_);
+    GRIDSE_ASSERT(*barrier_count_ < world_size_,
+                  "barrier count " << *barrier_count_ << " exceeds world size "
+                                   << world_size_);
     const std::uint64_t gen = *barrier_generation_;
     if (++*barrier_count_ == world_size_) {
       *barrier_count_ = 0;
@@ -63,8 +73,8 @@ class InprocCommunicatorImpl final : public Communicator {
   int world_size_;
   int rank_;
   std::vector<Mailbox*> mailboxes_;
-  std::mutex* barrier_mutex_;
-  std::condition_variable* barrier_cv_;
+  analysis::Mutex* barrier_mutex_;
+  analysis::ConditionVariable* barrier_cv_;
   int* barrier_count_;
   std::uint64_t* barrier_generation_;
   std::size_t bytes_sent_ = 0;

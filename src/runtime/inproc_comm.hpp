@@ -1,10 +1,10 @@
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "analysis/debug_sync.hpp"
 #include "runtime/communicator.hpp"
 #include "runtime/mailbox.hpp"
 
@@ -38,8 +38,8 @@ class InprocWorld {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // barrier state
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
+  analysis::Mutex barrier_mutex_{"InprocWorld::barrier_mutex_"};
+  analysis::ConditionVariable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
 };

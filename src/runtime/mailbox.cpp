@@ -1,43 +1,77 @@
 #include "runtime/mailbox.hpp"
 
+#include "analysis/assert.hpp"
+
 namespace gridse::runtime {
 
 void Mailbox::deliver(Message message) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    analysis::LockGuard lock(mutex_);
     queue_.push_back(std::move(message));
   }
   cv_.notify_all();
 }
 
+std::deque<Message>::iterator Mailbox::find_match_locked(int source, int tag) {
+  GRIDSE_ASSERT_HELD(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      return it;
+    }
+  }
+  return queue_.end();
+}
+
 Message Mailbox::take(int source, int tag) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  analysis::UniqueLock lock(mutex_);
   for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (matches(*it, source, tag)) {
-        Message m = std::move(*it);
-        queue_.erase(it);
-        return m;
-      }
+    const auto it = find_match_locked(source, tag);
+    if (it != queue_.end()) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
     }
     cv_.wait(lock);
   }
 }
 
-bool Mailbox::try_take(int source, int tag, Message& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (matches(*it, source, tag)) {
-      out = std::move(*it);
+std::optional<Message> Mailbox::take_for(int source, int tag,
+                                         std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  analysis::UniqueLock lock(mutex_);
+  for (;;) {
+    const auto it = find_match_locked(source, tag);
+    if (it != queue_.end()) {
+      Message m = std::move(*it);
       queue_.erase(it);
-      return true;
+      return m;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last scan: a deliver may have raced the timeout.
+      const auto last = find_match_locked(source, tag);
+      if (last == queue_.end()) {
+        return std::nullopt;
+      }
+      Message m = std::move(*last);
+      queue_.erase(last);
+      return m;
     }
   }
-  return false;
+}
+
+bool Mailbox::try_take(int source, int tag, Message& out) {
+  analysis::LockGuard lock(mutex_);
+  const auto it = find_match_locked(source, tag);
+  if (it == queue_.end()) {
+    return false;
+  }
+  out = std::move(*it);
+  queue_.erase(it);
+  return true;
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  analysis::LockGuard lock(mutex_);
   return queue_.size();
 }
 

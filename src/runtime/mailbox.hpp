@@ -1,9 +1,10 @@
 #pragma once
 
-#include <condition_variable>
+#include <chrono>
 #include <deque>
-#include <mutex>
+#include <optional>
 
+#include "analysis/debug_sync.hpp"
 #include "runtime/message.hpp"
 
 namespace gridse::runtime {
@@ -19,6 +20,11 @@ class Mailbox {
   /// the first match in arrival order. Wildcards: kAnySource / kAnyTag.
   Message take(int source, int tag);
 
+  /// Bounded take: wait at most `timeout` for a match. Returns nullopt on
+  /// timeout, so a lost peer cannot hang a DSE step forever.
+  std::optional<Message> take_for(int source, int tag,
+                                  std::chrono::milliseconds timeout);
+
   /// Non-blocking variant; returns false if no match is queued.
   bool try_take(int source, int tag, Message& out);
 
@@ -31,8 +37,12 @@ class Mailbox {
            (tag == kAnyTag || m.tag == tag);
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  /// First queued match, or end(); requires mutex_ held.
+  [[nodiscard]] std::deque<Message>::iterator find_match_locked(int source,
+                                                                int tag);
+
+  mutable analysis::Mutex mutex_{"Mailbox::mutex_"};
+  analysis::ConditionVariable cv_;
   std::deque<Message> queue_;
 };
 

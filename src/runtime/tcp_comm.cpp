@@ -20,6 +20,10 @@ struct FrameHeader {
 constexpr int kBarrierArriveTag = TcpWorld::kMaxUserTag + 1;
 constexpr int kBarrierReleaseTag = TcpWorld::kMaxUserTag + 2;
 
+/// A barrier message that takes this long is a dead peer, not a slow one;
+/// failing loudly beats a silently hung DSE step.
+constexpr std::chrono::milliseconds kBarrierTimeout{120'000};
+
 }  // namespace
 
 class TcpCommunicatorImpl final : public Communicator {
@@ -41,24 +45,40 @@ class TcpCommunicatorImpl final : public Communicator {
                                                                      tag);
   }
 
+  std::optional<Message> recv_for(int source, int tag,
+                                  std::chrono::milliseconds timeout) override {
+    if (tag != kAnyTag && tag > TcpWorld::kMaxUserTag) {
+      throw CommError("tcp recv: tag above kMaxUserTag is reserved");
+    }
+    return world_->mailboxes_[static_cast<std::size_t>(rank_)]->take_for(
+        source, tag, timeout);
+  }
+
   void barrier() override {
     Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
     if (rank_ == 0) {
       for (int r = 1; r < size(); ++r) {
-        (void)box.take(kAnySource, kBarrierArriveTag);
+        barrier_take(box, kAnySource, kBarrierArriveTag);
       }
       for (int r = 1; r < size(); ++r) {
         send_tagged(r, kBarrierReleaseTag, {}, /*allow_reserved=*/true);
       }
     } else {
       send_tagged(0, kBarrierArriveTag, {}, /*allow_reserved=*/true);
-      (void)box.take(0, kBarrierReleaseTag);
+      barrier_take(box, 0, kBarrierReleaseTag);
     }
   }
 
   [[nodiscard]] std::size_t bytes_sent() const override { return bytes_sent_; }
 
  private:
+  void barrier_take(Mailbox& box, int source, int tag) {
+    if (!box.take_for(source, tag, kBarrierTimeout)) {
+      throw CommError("tcp barrier: rank " + std::to_string(rank_) +
+                      " timed out waiting for a peer (lost rank?)");
+    }
+  }
+
   void send_tagged(int dest, int tag, const std::vector<std::uint8_t>& payload,
                    bool allow_reserved) {
     if (dest < 0 || dest >= size()) {
@@ -77,7 +97,7 @@ class TcpCommunicatorImpl final : public Communicator {
     auto& link = *world_->peer_links_[static_cast<std::size_t>(rank_)]
                                      [static_cast<std::size_t>(dest)];
     const FrameHeader header{payload.size(), rank_, tag};
-    std::lock_guard<std::mutex> lock(link.write_mutex);
+    analysis::LockGuard lock(link.write_mutex);
     link.socket.send_all(&header, sizeof header);
     if (!payload.empty()) {
       link.socket.send_all(payload.data(), payload.size());
@@ -172,7 +192,6 @@ TcpWorld::TcpWorld(int size) : size_(size) {
 }
 
 TcpWorld::~TcpWorld() {
-  shutting_down_ = true;
   // Shut down every socket to wake the reader threads out of poll().
   for (auto& row : peer_links_) {
     for (auto& link : row) {

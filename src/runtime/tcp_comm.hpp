@@ -2,10 +2,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "analysis/debug_sync.hpp"
 #include "runtime/communicator.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/socket.hpp"
@@ -44,7 +44,7 @@ class TcpWorld {
 
   struct Link {
     Socket socket;
-    std::mutex write_mutex;
+    analysis::Mutex write_mutex{"TcpWorld::Link::write_mutex"};
   };
 
   /// peer_links_[rank][peer] — shared socket between rank and peer (null on
@@ -53,7 +53,6 @@ class TcpWorld {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::thread> readers_;
   int size_ = 0;
-  bool shutting_down_ = false;
 };
 
 }  // namespace gridse::runtime

@@ -94,7 +94,10 @@ class ByteReader {
     const auto n = read<std::uint64_t>();
     require(n * sizeof(T));
     std::vector<T> v(static_cast<std::size_t>(n));
-    std::memcpy(v.data(), data_ + pos_, static_cast<std::size_t>(n) * sizeof(T));
+    if (n != 0) {  // empty vector: v.data() may be null, and memcpy(null,..) is UB
+      std::memcpy(v.data(), data_ + pos_,
+                  static_cast<std::size_t>(n) * sizeof(T));
+    }
     pos_ += static_cast<std::size_t>(n) * sizeof(T);
     return v;
   }

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdio>
 
+#include "analysis/debug_sync.hpp"
+
 namespace gridse::log {
 namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
-std::mutex g_write_mutex;
+analysis::Mutex g_write_mutex{"log::g_write_mutex"};
 
 const char* level_name(Level level) {
   switch (level) {
@@ -40,7 +42,7 @@ void write(Level lvl, const std::string& message) {
   static const Clock::time_point start = Clock::now();
   const double secs =
       std::chrono::duration<double>(Clock::now() - start).count();
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  analysis::LockGuard lock(g_write_mutex);
   std::fprintf(stderr, "[%10.4f] %s %s\n", secs, level_name(lvl),
                message.c_str());
 }

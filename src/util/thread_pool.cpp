@@ -2,11 +2,9 @@
 
 #include <algorithm>
 
-#include "util/error.hpp"
-
 namespace gridse {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
   GRIDSE_CHECK_MSG(num_threads > 0, "thread pool needs at least one worker");
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -14,13 +12,17 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    analysis::LockGuard lock(mutex_);
     stopping_ = true;
+    workers.swap(workers_);  // claim them: makes concurrent shutdowns safe
   }
   cv_.notify_all();
-  for (auto& w : workers_) {
+  for (auto& w : workers) {
     w.join();
   }
 }
@@ -29,8 +31,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      analysis::UniqueLock lock(mutex_);
+      cv_.wait(lock, [this] {
+        GRIDSE_ASSERT_HELD(mutex_);
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         return;  // stopping_ and drained
       }

@@ -1,13 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "analysis/assert.hpp"
+#include "analysis/debug_sync.hpp"
+#include "util/error.hpp"
 
 namespace gridse {
 
@@ -23,14 +25,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; the future resolves with the task's result (or
-  /// exception).
+  /// exception). Throws InternalError once shutdown() has begun — a task
+  /// enqueued into a stopping pool would silently never run.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      analysis::LockGuard lock(mutex_);
+      if (stopping_) {
+        throw InternalError("ThreadPool::submit after shutdown began");
+      }
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -41,15 +47,20 @@ class ThreadPool {
   /// Exceptions from tasks propagate out of this call (first one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
-  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  /// Drain the queue and join all workers (idempotent; also run by the
+  /// destructor). After this returns, submit() throws.
+  void shutdown();
+
+  [[nodiscard]] std::size_t size() const { return num_threads_; }
 
  private:
   void worker_loop();
 
+  std::size_t num_threads_;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  analysis::Mutex mutex_{"ThreadPool::mutex_"};
+  analysis::ConditionVariable cv_;
   bool stopping_ = false;
 };
 

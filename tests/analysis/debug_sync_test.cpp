@@ -1,0 +1,223 @@
+#include "analysis/debug_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "analysis/assert.hpp"
+#include "analysis/tsan.hpp"
+
+namespace gridse::analysis {
+namespace {
+
+TEST(DebugSync, LockGuardExcludes) {
+  Mutex mu("test_counter_mu");
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        LockGuard lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(DebugSync, ConditionVariableWaitWakes) {
+  Mutex mu("test_cv_mu");
+  ConditionVariable cv;
+  bool ready = false;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    {
+      LockGuard lock(mu);
+      ready = true;
+    }
+    cv.notify_all();
+  });
+  {
+    UniqueLock lock(mu);
+    cv.wait(lock, [&] { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(DebugSync, WaitForTimesOut) {
+  Mutex mu("test_timeout_mu");
+  ConditionVariable cv;
+  UniqueLock lock(mu);
+  const bool woke = cv.wait_for(lock, std::chrono::milliseconds(10),
+                                [] { return false; });
+  EXPECT_FALSE(woke);
+}
+
+TEST(DebugSync, ConsistentNestingIsAccepted) {
+  detail::reset_lock_graph_for_testing();
+  Mutex outer("test_nest_outer");
+  Mutex inner("test_nest_inner");
+  for (int i = 0; i < 3; ++i) {
+    LockGuard lo(outer);
+    LockGuard li(inner);
+  }
+  SUCCEED();
+}
+
+TEST(DebugSync, TryLockReportsContention) {
+  Mutex mu("test_try_mu");
+  ASSERT_TRUE(mu.try_lock());
+  std::thread contender([&] { EXPECT_FALSE(mu.try_lock()); });
+  contender.join();
+  mu.unlock();
+}
+
+TEST(DebugSync, TsanShimsAreCallable) {
+  [[maybe_unused]] int token = 0;  // macros no-op outside TSan builds
+  GRIDSE_TSAN_HAPPENS_BEFORE(&token);
+  GRIDSE_TSAN_HAPPENS_AFTER(&token);
+  GRIDSE_TSAN_IGNORE_READS_BEGIN();
+  GRIDSE_TSAN_IGNORE_READS_END();
+  SUCCEED();
+}
+
+#if GRIDSE_DEBUG_SYNC
+
+TEST(DebugSync, HeldByCurrentThreadTracksOwnership) {
+  Mutex mu("test_held_mu");
+  EXPECT_FALSE(mu.held_by_current_thread());
+  {
+    LockGuard lock(mu);
+    EXPECT_TRUE(mu.held_by_current_thread());
+    std::thread other([&] { EXPECT_FALSE(mu.held_by_current_thread()); });
+    other.join();
+  }
+  EXPECT_FALSE(mu.held_by_current_thread());
+}
+
+TEST(DebugSync, AssertHeldPassesWhenHeld) {
+  Mutex mu("test_assert_held_mu");
+  LockGuard lock(mu);
+  GRIDSE_ASSERT_HELD(mu);
+  SUCCEED();
+}
+
+TEST(DebugSync, WaitReleasesOwnershipWhileBlocked) {
+  Mutex mu("test_wait_release_mu");
+  ConditionVariable cv;
+  std::atomic<bool> checked{false};
+  std::thread waiter([&] {
+    UniqueLock lock(mu);
+    cv.wait(lock, [&] { return checked.load(); });
+    EXPECT_TRUE(mu.held_by_current_thread());
+  });
+  // While the waiter blocks, this thread can take the lock — and the
+  // waiter's thread no longer counts as holding it.
+  while (!checked.load()) {
+    LockGuard lock(mu);
+    checked.store(true);
+  }
+  cv.notify_all();
+  waiter.join();
+}
+
+using DebugSyncDeathTest = ::testing::Test;
+
+TEST(DebugSyncDeathTest, LockOrderInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        detail::reset_lock_graph_for_testing();
+        Mutex a("order_a");
+        Mutex b("order_b");
+        {
+          LockGuard la(a);
+          LockGuard lb(b);  // records order_a -> order_b
+        }
+        {
+          LockGuard lb(b);
+          LockGuard la(a);  // inversion: must abort, not deadlock later
+        }
+      },
+      // Both stacks must appear: the acquire stack (order_a while holding
+      // order_b) and the recorded witness (order_b while holding order_a).
+      "POTENTIAL DEADLOCK: lock-order inversion(.|\n)*"
+      "acquiring \"order_a\"(.|\n)*while holding:(.|\n)*\"order_b\"(.|\n)*"
+      "previously established(.|\n)*edge \"order_a\" -> \"order_b\"(.|\n)*"
+      "acquiring \"order_b\"(.|\n)*while holding:(.|\n)*\"order_a\"");
+}
+
+TEST(DebugSyncDeathTest, TransitiveInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        detail::reset_lock_graph_for_testing();
+        Mutex a("chain_a");
+        Mutex b("chain_b");
+        Mutex c("chain_c");
+        {
+          LockGuard la(a);
+          LockGuard lb(b);
+        }
+        {
+          LockGuard lb(b);
+          LockGuard lc(c);
+        }
+        {
+          LockGuard lc(c);
+          LockGuard la(a);  // closes the cycle a -> b -> c -> a
+        }
+      },
+      "POTENTIAL DEADLOCK(.|\n)*\"chain_a\" -> \"chain_b\"(.|\n)*"
+      "\"chain_b\" -> \"chain_c\"");
+}
+
+TEST(DebugSyncDeathTest, RecursiveAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu("recursive_mu");
+        mu.lock();
+        mu.lock();
+      },
+      "SELF-DEADLOCK: recursive acquisition of \"recursive_mu\"");
+}
+
+TEST(DebugSyncDeathTest, ExcessiveHoldTimeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        set_max_hold_time(std::chrono::milliseconds(5));
+        Mutex mu("slow_mu");
+        mu.lock();
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        mu.unlock();
+      },
+      "EXCESSIVE HOLD TIME(.|\n)*\"slow_mu\" held for");
+}
+
+TEST(DebugSyncDeathTest, AssertFormatsDiagnostics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const int want = 3;
+  EXPECT_DEATH(GRIDSE_ASSERT(want == 4, "want is " << want << ", not 4"),
+               "==gridse-assert== FAILED: want == 4(.|\n)*want is 3, not 4");
+}
+
+TEST(DebugSyncDeathTest, AssertHeldAbortsWhenNotHeld) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu("unheld_mu");
+        GRIDSE_ASSERT_HELD(mu);
+      },
+      "lock \"unheld_mu\" is not held");
+}
+
+#endif  // GRIDSE_DEBUG_SYNC
+
+}  // namespace
+}  // namespace gridse::analysis

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 namespace gridse::runtime {
@@ -68,6 +69,34 @@ TEST(Mailbox, TakeBlocksUntilDelivery) {
   producer.join();
 }
 
+TEST(Mailbox, TakeForReturnsMatchImmediately) {
+  Mailbox box;
+  box.deliver(make(1, 5, 42));
+  const auto m = box.take_for(1, 5, std::chrono::milliseconds(0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload[0], 42);
+}
+
+TEST(Mailbox, TakeForTimesOutOnLostPeer) {
+  Mailbox box;
+  box.deliver(make(1, 5, 1));  // wrong tag: must not satisfy the take
+  const auto m = box.take_for(1, 6, std::chrono::milliseconds(20));
+  EXPECT_FALSE(m.has_value());
+  EXPECT_EQ(box.pending(), 1u);  // non-matching message left queued
+}
+
+TEST(Mailbox, TakeForWakesOnLateDelivery) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.deliver(make(4, 2, 11));
+  });
+  const auto m = box.take_for(4, 2, std::chrono::seconds(10));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload[0], 11);
+  producer.join();
+}
+
 TEST(Mailbox, ConcurrentProducersAllDelivered) {
   Mailbox box;
   constexpr int kThreads = 8;
@@ -87,6 +116,83 @@ TEST(Mailbox, ConcurrentProducersAllDelivered) {
   }
   for (auto& p : producers) p.join();
   EXPECT_EQ(received, kThreads * kEach);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+// N producers x M selective consumers, disjoint tag selectors with a
+// kAnySource wildcard each: every message has exactly one eligible consumer,
+// so the whole load must drain with no message lost or double-taken. This is
+// the contention pattern TSan exercises hardest (deliver scans vs erase).
+TEST(Mailbox, StressSelectiveConsumersDisjointTags) {
+  Mailbox box;
+  constexpr int kSources = 3;
+  constexpr int kTags = 3;
+  constexpr int kEach = 40;  // per (source, tag) pair
+  std::vector<std::thread> consumers;
+  std::vector<int> taken(kTags, 0);
+  for (int t = 0; t < kTags; ++t) {
+    consumers.emplace_back([&box, &taken, t] {
+      for (int i = 0; i < kSources * kEach; ++i) {
+        const Message m = box.take(kAnySource, /*tag=*/t + 1);
+        ASSERT_EQ(m.tag, t + 1);
+        ++taken[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kSources; ++s) {
+    producers.emplace_back([&box, s] {
+      for (int i = 0; i < kEach; ++i) {
+        for (int t = 0; t < kTags; ++t) {
+          box.deliver(make(s, t + 1, static_cast<std::uint8_t>(i)));
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  for (auto& c : consumers) c.join();
+  for (int t = 0; t < kTags; ++t) {
+    EXPECT_EQ(taken[static_cast<std::size_t>(t)], kSources * kEach);
+  }
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+// Full-wildcard consumer pool racing specific-selector consumers: wildcard
+// takes may claim any message, so consumers coordinate through an atomic
+// budget instead of fixed counts, and take_for keeps losers from hanging
+// once the budget is spent.
+TEST(Mailbox, StressWildcardAndSpecificConsumersShareLoad) {
+  Mailbox box;
+  constexpr int kProducers = 4;
+  constexpr int kEach = 60;
+  constexpr int kTotal = kProducers * kEach;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&box, &consumed, c] {
+      // Even consumers use full wildcards; odd ones pin a source.
+      const int source = (c % 2 == 0) ? kAnySource : c / 2;
+      while (consumed.load() < kTotal) {
+        const auto m = box.take_for(source, kAnyTag,
+                                    std::chrono::milliseconds(20));
+        if (m.has_value()) {
+          ASSERT_TRUE(source == kAnySource || m->source == source);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kEach; ++i) {
+        box.deliver(make(p, 1 + (i % 3)));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(consumed.load(), kTotal);
   EXPECT_EQ(box.pending(), 0u);
 }
 

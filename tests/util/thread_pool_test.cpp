@@ -76,5 +76,57 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), InternalError);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a double join
+  SUCCEED();
+}
+
+TEST(ThreadPool, ShutdownDrainsAcceptedTasks) {
+  std::atomic<int> executed{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&executed] { executed.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(executed.load(), 100);
+}
+
+// The shutdown race class from the issue: submitters hammering the pool
+// while shutdown begins must either get their task executed or get a clean
+// InternalError — never a task silently swallowed by a dying pool.
+TEST(ThreadPool, StressShutdownWhileSubmitting) {
+  std::atomic<int> accepted{0};
+  std::atomic<int> executed{0};
+  std::atomic<int> rejected{0};
+  ThreadPool pool(3);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (;;) {
+        try {
+          pool.submit([&executed] { executed.fetch_add(1); });
+          accepted.fetch_add(1);
+        } catch (const InternalError&) {
+          rejected.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pool.shutdown();
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(rejected.load(), 4);            // every submitter saw the stop
+  EXPECT_EQ(executed.load(), accepted.load());  // accepted => executed
+}
+
 }  // namespace
 }  // namespace gridse
