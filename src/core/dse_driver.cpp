@@ -4,6 +4,7 @@
 #include <memory>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -63,6 +64,7 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   }
 
   const std::size_t bytes_before = comm.bytes_sent();
+  OBS_SPAN("dse.run");
   Timer total_timer;
   DseResult result;
 
@@ -96,50 +98,60 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   Timer step1_timer;
   std::map<int, LocalSolveInfo> step1_info;
   {
+    OBS_SPAN("dse.step1");
     std::mutex info_mutex;
     pool.parallel_for(hosted1.size(), [&](std::size_t i) {
       const int s = hosted1[i];
       const LocalSolveInfo info =
           estimators.at(s)->run_step1(global_measurements);
+      OBS_HISTOGRAM_OBSERVE("dse.step1.subsystem_seconds", info.seconds);
+      OBS_COUNTER_ADD("dse.step1.subsystems", 1);
       std::lock_guard<std::mutex> lock(info_mutex);
       step1_info[s] = info;
     });
+    comm.barrier();
   }
-  comm.barrier();
   result.step1_seconds = step1_timer.seconds();
 
   // --- Re-mapping redistribution + pseudo-measurement exchange ---------------
   Timer exchange_timer;
-  // Ship Step-1 solutions (plus the raw boundary/sensitive measurements the
-  // new host will need) for subsystems that move clusters between steps.
-  for (const int s : hosted1) {
-    const graph::PartId dest = step2_assignment[static_cast<std::size_t>(s)];
-    if (dest == rank) continue;
-    ByteWriter w;
-    const auto states = estimators.at(s)->step1_all_states();
-    w.write_vector(states);
-    if (options_.ship_redistribution) {
-      const grid::MeasurementSet local_set =
-          estimators.at(s)->local_model().filter(global_measurements,
-                                                 *network_);
-      const auto meas_bytes = encode_measurements(local_set);
-      w.write_vector(meas_bytes);
-    } else {
-      w.write_vector(std::vector<std::uint8_t>{});
+  {
+    OBS_SPAN("dse.exchange.redistribute");
+    // Ship Step-1 solutions (plus the raw boundary/sensitive measurements
+    // the new host will need) for subsystems that move clusters between
+    // steps.
+    for (const int s : hosted1) {
+      const graph::PartId dest = step2_assignment[static_cast<std::size_t>(s)];
+      if (dest == rank) continue;
+      ByteWriter w;
+      const auto states = estimators.at(s)->step1_all_states();
+      w.write_vector(states);
+      if (options_.ship_redistribution) {
+        const grid::MeasurementSet local_set =
+            estimators.at(s)->local_model().filter(global_measurements,
+                                                   *network_);
+        const auto meas_bytes = encode_measurements(local_set);
+        w.write_vector(meas_bytes);
+      } else {
+        w.write_vector(std::vector<std::uint8_t>{});
+      }
+      auto payload = w.take();
+      OBS_COUNTER_ADD("dse.redistribute.messages", 1);
+      OBS_COUNTER_ADD("dse.redistribute.bytes", payload.size());
+      comm.send(dest, redist_tag(s), std::move(payload));
     }
-    comm.send(dest, redist_tag(s), w.take());
-  }
-  for (const int s : hosted2) {
-    const graph::PartId src = step1_assignment[static_cast<std::size_t>(s)];
-    if (src == rank) continue;
-    const runtime::Message msg = comm.recv(src, redist_tag(s));
-    ByteReader r(msg.payload);
-    const auto states = r.read_vector<BusStateRecord>();
-    (void)r.read_vector<std::uint8_t>();  // raw measurements: costed payload
-    estimators.at(s)->adopt_step1(states);
-  }
+    for (const int s : hosted2) {
+      const graph::PartId src = step1_assignment[static_cast<std::size_t>(s)];
+      if (src == rank) continue;
+      const runtime::Message msg = comm.recv(src, redist_tag(s));
+      ByteReader r(msg.payload);
+      const auto states = r.read_vector<BusStateRecord>();
+      (void)r.read_vector<std::uint8_t>();  // raw measurements: costed payload
+      estimators.at(s)->adopt_step1(states);
+    }
 
-  comm.barrier();
+    comm.barrier();
+  }
   result.exchange_seconds = exchange_timer.seconds();
 
   // --- Step-2 exchange/re-evaluation rounds ----------------------------------
@@ -155,50 +167,59 @@ DseResult DseDriver::run(runtime::Communicator& comm,
     // the rounds from mixing.
     Timer round_exchange_timer;
     std::map<int, std::vector<BusStateRecord>> neighbor_records;
-    for (const int s : hosted2) {
-      const auto records = estimators.at(s)->current_boundary_states();
-      const auto payload = encode_bus_states(records);
-      for (const int t : decomposition_->neighbors_of(s)) {
-        const graph::PartId dest =
-            step2_assignment[static_cast<std::size_t>(t)];
-        if (dest == rank) {
-          auto& sink = neighbor_records[t];
-          sink.insert(sink.end(), records.begin(), records.end());
-        } else {
-          comm.send(dest, pseudo_tag(s, t, m), payload);
+    {
+      OBS_SPAN("dse.exchange.pseudo");
+      for (const int s : hosted2) {
+        const auto records = estimators.at(s)->current_boundary_states();
+        const auto payload = encode_bus_states(records);
+        for (const int t : decomposition_->neighbors_of(s)) {
+          const graph::PartId dest =
+              step2_assignment[static_cast<std::size_t>(t)];
+          if (dest == rank) {
+            auto& sink = neighbor_records[t];
+            sink.insert(sink.end(), records.begin(), records.end());
+          } else {
+            OBS_COUNTER_ADD("dse.pseudo.messages", 1);
+            OBS_COUNTER_ADD("dse.pseudo.bytes", payload.size());
+            comm.send(dest, pseudo_tag(s, t, m), payload);
+          }
         }
       }
-    }
-    for (const int t : hosted2) {
-      for (const int s : decomposition_->neighbors_of(t)) {
-        const graph::PartId src =
-            step2_assignment[static_cast<std::size_t>(s)];
-        if (src == rank) continue;  // already merged locally above
-        const runtime::Message msg = comm.recv(src, pseudo_tag(s, t, m));
-        const auto records = decode_bus_states(msg.payload);
-        auto& sink = neighbor_records[t];
-        sink.insert(sink.end(), records.begin(), records.end());
+      for (const int t : hosted2) {
+        for (const int s : decomposition_->neighbors_of(t)) {
+          const graph::PartId src =
+              step2_assignment[static_cast<std::size_t>(s)];
+          if (src == rank) continue;  // already merged locally above
+          const runtime::Message msg = comm.recv(src, pseudo_tag(s, t, m));
+          const auto records = decode_bus_states(msg.payload);
+          auto& sink = neighbor_records[t];
+          sink.insert(sink.end(), records.begin(), records.end());
+        }
       }
     }
     result.exchange_seconds += round_exchange_timer.seconds();
 
     Timer step2_timer;
     {
+      OBS_SPAN("dse.step2");
       std::mutex info_mutex;
       pool.parallel_for(hosted2.size(), [&](std::size_t i) {
         const int s = hosted2[i];
         const LocalSolveInfo info = estimators.at(s)->run_step2(
             global_measurements, neighbor_records[s]);
+        OBS_HISTOGRAM_OBSERVE("dse.step2.subsystem_seconds", info.seconds);
+        OBS_COUNTER_ADD("dse.step2.subsystems", 1);
         std::lock_guard<std::mutex> lock(info_mutex);
         step2_info[s] = info;
       });
+      comm.barrier();
     }
-    comm.barrier();
     result.step2_seconds += step2_timer.seconds();
   }
 
   // --- Final step: combine subsystem solutions --------------------------------
   Timer combine_timer;
+  OBS_SPAN("dse.combine");
   bool local_ok = true;
   for (const auto& [s, info] : step1_info) local_ok &= info.converged;
   for (const auto& [s, info] : step2_info) local_ok &= info.converged;
@@ -214,6 +235,8 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   const auto combine_payload = w.take();
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank) continue;
+    OBS_COUNTER_ADD("dse.combine.messages", 1);
+    OBS_COUNTER_ADD("dse.combine.bytes", combine_payload.size());
     comm.send(r, kCombineTag, combine_payload);
   }
   result.state = grid::GridState(network_->num_buses());

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/ldlt.hpp"
 #include "sparse/normal_equations.hpp"
@@ -26,6 +27,8 @@ WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set) const {
 
 WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set,
                                  const grid::GridState& initial) const {
+  OBS_SPAN("wls.estimate");
+  OBS_COUNTER_ADD("wls.solves", 1);
   grid::validate_measurements(*network_, set);
   const grid::StateIndex& index = model_.state_index();
   if (static_cast<std::int32_t>(set.size()) < index.size()) {
@@ -62,7 +65,9 @@ WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set,
         cg_opts.tolerance = options_.cg_tolerance;
         const sparse::CgReport rep = sparse::pcg(gain, rhs, dx, *precond, cg_opts);
         result.inner_iterations += rep.iterations;
+        OBS_COUNTS_OBSERVE("wls.pcg.iterations", rep.iterations);
         if (!rep.converged) {
+          OBS_COUNTER_ADD("wls.pcg.nonconverged", 1);
           GRIDSE_WARN << "WLS inner PCG did not converge (rel res "
                       << rep.relative_residual << ")";
         }
@@ -100,6 +105,7 @@ WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set,
     }
   }
 
+  OBS_COUNTS_OBSERVE("wls.gauss_newton_iterations", result.iterations);
   result.state = index.unpack(x, ref_angle);
   const std::vector<double> h = model_.evaluate(set, result.state);
   result.residuals = sparse::subtract(z, h);

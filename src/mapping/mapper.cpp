@@ -1,5 +1,6 @@
 #include "mapping/mapper.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace gridse::mapping {
@@ -48,6 +49,10 @@ graph::WeightedGraph ClusterMapper::weighted_graph(double noise,
 
 MappingResult ClusterMapper::map_before_step1(
     double time_frame_sec, const std::vector<graph::PartId>* previous) const {
+  OBS_SPAN("mapping.map_before_step1");
+  if (previous != nullptr) {
+    OBS_COUNTER_ADD("mapping.repartitions", 1);
+  }
   MappingResult result;
   result.noise_level = noise_from_time_frame(time_frame_sec, params_);
   result.predicted_iterations =
@@ -68,6 +73,8 @@ MappingResult ClusterMapper::map_before_step1(
 
 MappingResult ClusterMapper::map_before_step2(
     double time_frame_sec, const std::vector<graph::PartId>& step1) const {
+  OBS_SPAN("mapping.map_before_step2");
+  OBS_COUNTER_ADD("mapping.repartitions", 1);
   MappingResult result;
   result.noise_level = noise_from_time_frame(time_frame_sec, params_);
   result.predicted_iterations =

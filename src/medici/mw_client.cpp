@@ -6,8 +6,10 @@
 
 #include "analysis/assert.hpp"
 #include "medici/wire.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace gridse::medici {
 
@@ -91,6 +93,8 @@ void MwClient::read_loop(runtime::Socket conn) {
       if (header.length > 0) {
         conn.recv_all(m.payload.data(), m.payload.size());
       }
+      OBS_COUNTER_ADD("medici.client.recv.messages", 1);
+      OBS_COUNTER_ADD("medici.client.recv.bytes", m.payload.size());
       mailbox_.deliver(std::move(m));
     }
   } catch (const CommError& e) {
@@ -127,6 +131,7 @@ void MwClient::send_attempt_locked(const std::string& key,
 void MwClient::send(const EndpointUrl& to, int tag,
                     std::span<const std::uint8_t> payload,
                     const NetModel& shape) {
+  OBS_SPAN("medici.client.send");
   analysis::LockGuard lock(send_mutex_);
   const std::string key = to.to_string();
   // One reconnect attempt: a cached connection may have gone stale (peer
@@ -135,6 +140,15 @@ void MwClient::send(const EndpointUrl& to, int tag,
   for (int attempt = 0; attempt < 2; ++attempt) {
     try {
       send_attempt_locked(key, to, tag, payload, shape);
+#if GRIDSE_OBS
+      // Per-endpoint traffic accounting (paper Table IV is per link). The
+      // names are dynamic, so this resolves through the registry map rather
+      // than a cached handle; a send already paid for syscalls.
+      auto& registry = obs::MetricsRegistry::global();
+      registry.counter("medici.endpoint.messages.to." + key).add(1);
+      registry.counter("medici.endpoint.bytes.to." + key)
+          .add(payload.size());
+#endif
       return;
     } catch (const CommError&) {
       connections_.erase(key);
@@ -147,7 +161,15 @@ void MwClient::send(const EndpointUrl& to, int tag,
 }
 
 runtime::Message MwClient::recv(int source, int tag) {
+#if GRIDSE_OBS
+  Timer wait_timer;
+  runtime::Message m = mailbox_.take(source, tag);
+  OBS_HISTOGRAM_OBSERVE("medici.client.recv.wait_seconds",
+                        wait_timer.seconds());
+  return m;
+#else
   return mailbox_.take(source, tag);
+#endif
 }
 
 std::optional<runtime::Message> MwClient::recv_for(

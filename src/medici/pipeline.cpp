@@ -1,5 +1,6 @@
 #include "medici/pipeline.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace gridse::medici {
@@ -50,6 +51,7 @@ void MifPipeline::start() {
                                               comp->outbound(), relay_model_));
     relays_.back()->start();
     comp->inbound_ = relays_.back()->inbound();  // ephemeral port resolved
+    OBS_COUNTER_ADD("medici.pipeline.relays_started", 1);
   }
   running_ = true;
 }

@@ -6,6 +6,7 @@
 
 #include "analysis/assert.hpp"
 #include "medici/wire.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -98,21 +99,26 @@ void Relay::relay_connection(runtime::Socket upstream) {
       }
 
       // ---- forward: connect lazily, then paced chunked write -------------
-      if (!downstream.valid()) {
-        downstream = runtime::Socket::connect_loopback(outbound_.port);
-      }
-      Pacer pacer(shape_);
-      pacer.pace(sizeof header);
-      downstream.send_all(&header, sizeof header);
-      std::size_t off = 0;
-      while (off < buffer.size()) {
-        const std::size_t n = std::min(kWireChunk, buffer.size() - off);
-        pacer.pace(n);
-        downstream.send_all(buffer.data() + off, n);
-        off += n;
+      {
+        OBS_SPAN("medici.relay.forward");
+        if (!downstream.valid()) {
+          downstream = runtime::Socket::connect_loopback(outbound_.port);
+        }
+        Pacer pacer(shape_);
+        pacer.pace(sizeof header);
+        downstream.send_all(&header, sizeof header);
+        std::size_t off = 0;
+        while (off < buffer.size()) {
+          const std::size_t n = std::min(kWireChunk, buffer.size() - off);
+          pacer.pace(n);
+          downstream.send_all(buffer.data() + off, n);
+          off += n;
+        }
       }
       messages_.fetch_add(1);
       bytes_.fetch_add(buffer.size());
+      OBS_COUNTER_ADD("medici.relay.messages", 1);
+      OBS_COUNTER_ADD("medici.relay.bytes", buffer.size());
     }
   } catch (const CommError& e) {
     if (!stopping_.load()) {

@@ -1,0 +1,357 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace gridse::obs {
+namespace {
+
+/// Shortest round-trippable-enough representation; deterministic across
+/// runs for the golden-file exporter test.
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_histogram_json(std::ostringstream& out,
+                           const HistogramSnapshot& h) {
+  out << "{\"count\":" << h.count << ",\"sum\":" << fmt_double(h.sum)
+      << ",\"min\":" << fmt_double(h.min) << ",\"max\":" << fmt_double(h.max)
+      << ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [bound, count] : h.buckets) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"le\":" << fmt_double(bound) << ",\"count\":" << count << "}";
+  }
+  out << "]}";
+}
+
+/// Left-pad `s` to `width` (right-align numbers the way the paper's tables
+/// do).
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace
+
+// --- Histogram --------------------------------------------------------------
+
+int Histogram::bucket_index(double value) const {
+  double bound = spec_.first_bound;
+  int i = 0;
+  while (i < kNumBuckets - 1 && value > bound) {
+    bound *= spec_.growth;
+    ++i;
+  }
+  return i;
+}
+
+void Histogram::observe(double value) {
+  buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  double seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  const double m = min_.load(std::memory_order_relaxed);
+  return m == std::numeric_limits<double>::infinity() ? 0.0 : m;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::bucket_count(int bucket) const {
+  return buckets_[static_cast<std::size_t>(bucket)].load(
+      std::memory_order_relaxed);
+}
+
+double Histogram::bucket_bound(int bucket) const {
+  if (bucket >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double bound = spec_.first_bound;
+  for (int i = 0; i < bucket; ++i) {
+    bound *= spec_.growth;
+  }
+  return bound;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  analysis::LockGuard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  analysis::LockGuard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      HistogramSpec spec) {
+  analysis::LockGuard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(spec);
+  return *slot;
+}
+
+void MetricsRegistry::record_span(const std::string& name,
+                                  const std::string& parent, double seconds) {
+  SpanData* data = nullptr;
+  {
+    analysis::LockGuard lock(mutex_);
+    auto& slot = spans_[name];
+    if (!slot) slot = std::make_unique<SpanData>();
+    if (!slot->parent_set) {
+      slot->parent = parent;
+      slot->parent_set = true;
+    }
+    data = slot.get();
+  }
+  data->count.add(1);
+  data->total_seconds.fetch_add(seconds, std::memory_order_relaxed);
+  data->latency.observe(seconds);
+}
+
+void MetricsRegistry::reset() {
+  analysis::LockGuard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : spans_) {
+    s->count.reset();
+    s->total_seconds.store(0.0, std::memory_order_relaxed);
+    s->latency.reset();
+    s->parent.clear();
+    s->parent_set = false;
+  }
+}
+
+namespace {
+
+HistogramSnapshot snapshot_histogram(const Histogram& h) {
+  HistogramSnapshot snap;
+  snap.count = h.count();
+  snap.sum = h.sum();
+  snap.min = h.min();
+  snap.max = h.max();
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    const std::uint64_t c = h.bucket_count(b);
+    if (c > 0) {
+      snap.buckets.emplace_back(h.bucket_bound(b), c);
+    }
+  }
+  return snap;
+}
+
+}  // namespace
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  analysis::LockGuard lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->value();
+    snap.gauge_maxima[name] = g->max();
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = snapshot_histogram(*h);
+  }
+  for (const auto& [name, s] : spans_) {
+    SpanSnapshot span;
+    span.parent = s->parent;
+    span.count = s->count.value();
+    span.total_seconds = s->total_seconds.load(std::memory_order_relaxed);
+    span.latency = snapshot_histogram(s->latency);
+    snap.spans[name] = std::move(span);
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const { return snapshot_to_json(snapshot()); }
+
+std::string MetricsRegistry::to_table() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream out;
+
+  std::size_t name_width = 4;
+  for (const auto& [name, v] : snap.counters) {
+    name_width = std::max(name_width, name.size());
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    name_width = std::max(name_width, name.size());
+  }
+  for (const auto& [name, v] : snap.histograms) {
+    name_width = std::max(name_width, name.size());
+  }
+  for (const auto& [name, v] : snap.spans) {
+    name_width = std::max(name_width, name.size());
+  }
+  const auto cell = [&](const std::string& s) {
+    return s + std::string(name_width > s.size() ? name_width - s.size() : 0,
+                           ' ');
+  };
+
+  if (!snap.spans.empty()) {
+    out << "spans (seconds)\n";
+    out << cell("name") << "  " << pad("count", 8) << "  " << pad("total", 12)
+        << "  " << pad("mean", 12) << "  " << pad("max", 12)
+        << "  parent\n";
+    for (const auto& [name, s] : snap.spans) {
+      const double mean =
+          s.count == 0 ? 0.0
+                       : s.total_seconds / static_cast<double>(s.count);
+      out << cell(name) << "  " << pad(std::to_string(s.count), 8) << "  "
+          << pad(fmt_double(s.total_seconds), 12) << "  "
+          << pad(fmt_double(mean), 12) << "  "
+          << pad(fmt_double(s.latency.max), 12) << "  "
+          << (s.parent.empty() ? "-" : s.parent) << "\n";
+    }
+    out << "\n";
+  }
+  if (!snap.counters.empty()) {
+    out << "counters\n";
+    for (const auto& [name, v] : snap.counters) {
+      out << cell(name) << "  " << pad(std::to_string(v), 16) << "\n";
+    }
+    out << "\n";
+  }
+  if (!snap.gauges.empty()) {
+    out << "gauges (value / max)\n";
+    for (const auto& [name, v] : snap.gauges) {
+      out << cell(name) << "  " << pad(fmt_double(v), 12) << "  "
+          << pad(fmt_double(snap.gauge_maxima.at(name)), 12) << "\n";
+    }
+    out << "\n";
+  }
+  if (!snap.histograms.empty()) {
+    out << "histograms\n";
+    out << cell("name") << "  " << pad("count", 8) << "  " << pad("mean", 12)
+        << "  " << pad("min", 12) << "  " << pad("max", 12) << "\n";
+    for (const auto& [name, h] : snap.histograms) {
+      const double mean =
+          h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+      out << cell(name) << "  " << pad(std::to_string(h.count), 8) << "  "
+          << pad(fmt_double(mean), 12) << "  " << pad(fmt_double(h.min), 12)
+          << "  " << pad(fmt_double(h.max), 12) << "\n";
+    }
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string snapshot_to_json(const Snapshot& snapshot, int indent) {
+  const std::string pad0(static_cast<std::size_t>(indent), ' ');
+  const std::string pad1(static_cast<std::size_t>(indent) + 2, ' ');
+  const std::string pad2(static_cast<std::size_t>(indent) + 4, ' ');
+  std::ostringstream out;
+  out << "{\n";
+
+  out << pad1 << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n" : ",\n") << pad2 << "\"" << json_escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad1) << "},\n";
+
+  out << pad1 << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n" : ",\n") << pad2 << "\"" << json_escape(name)
+        << "\": {\"value\": " << fmt_double(value)
+        << ", \"max\": " << fmt_double(snapshot.gauge_maxima.at(name)) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad1) << "},\n";
+
+  out << pad1 << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << (first ? "\n" : ",\n") << pad2 << "\"" << json_escape(name)
+        << "\": ";
+    append_histogram_json(out, h);
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad1) << "},\n";
+
+  out << pad1 << "\"spans\": {";
+  first = true;
+  for (const auto& [name, s] : snapshot.spans) {
+    out << (first ? "\n" : ",\n") << pad2 << "\"" << json_escape(name)
+        << "\": {\"parent\": \"" << json_escape(s.parent)
+        << "\", \"count\": " << s.count
+        << ", \"total_seconds\": " << fmt_double(s.total_seconds)
+        << ", \"latency\": ";
+    append_histogram_json(out, s.latency);
+    out << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad1) << "}\n";
+
+  out << pad0 << "}";
+  return out.str();
+}
+
+}  // namespace gridse::obs

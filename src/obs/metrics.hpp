@@ -1,0 +1,214 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/debug_sync.hpp"
+
+/// GRIDSE_OBS selects between the live observability layer (metrics registry
+/// + trace spans accumulating real values) and near-no-op stubs: the macros
+/// in obs/obs.hpp expand to nothing and instrumented hot paths carry no
+/// timing calls. The build system defines it globally (option GRIDSE_OBS,
+/// default ON); the fallback here keeps standalone compiles of a single
+/// header sensible.
+#ifndef GRIDSE_OBS
+#define GRIDSE_OBS 1
+#endif
+
+namespace gridse::obs {
+
+/// Whether the instrumentation macros are live in this build.
+inline constexpr bool kEnabled = GRIDSE_OBS != 0;
+
+/// Monotonically increasing event count. All operations are lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value plus running maximum (e.g. queue depth high-water
+/// mark). All operations are lock-free.
+class Gauge {
+ public:
+  void set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+    update_max(value);
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  void update_max(double value) {
+    double seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Bucket layout of a histogram: bucket i counts observations in
+/// (first_bound·growthⁱ⁻¹, first_bound·growthⁱ]; bucket 0 is everything
+/// ≤ first_bound and the last bucket absorbs overflow.
+struct HistogramSpec {
+  double first_bound = 1e-6;  ///< default: latency buckets from 1 µs
+  double growth = 2.0;        ///< ×2 per bucket → 1 µs … ~2000 s span
+
+  /// Buckets suited to small integer counts (iterations, messages).
+  [[nodiscard]] static HistogramSpec counts() { return {1.0, 2.0}; }
+  /// Buckets suited to wall-clock seconds (the default).
+  [[nodiscard]] static HistogramSpec latency() { return {}; }
+};
+
+/// Fixed-bucket histogram with exponentially growing bucket bounds. observe()
+/// is lock-free: a handful of relaxed atomic updates plus a short multiply
+/// loop to locate the bucket.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 32;
+
+  explicit Histogram(HistogramSpec spec = {}) : spec_(spec) {}
+
+  void observe(double value);
+
+  [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t bucket_count(int bucket) const;
+  /// Inclusive upper bound of `bucket` (infinity for the last bucket).
+  [[nodiscard]] double bucket_bound(int bucket) const;
+
+  void reset();
+
+ private:
+  [[nodiscard]] int bucket_index(double value) const;
+
+  HistogramSpec spec_;
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  /// +inf when empty; min() maps that back to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+/// Value-only copy of a histogram, for export and assertions.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// (inclusive upper bound, count) for every non-empty bucket, in order.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// Aggregate of one span name: how often it ran, where in the taxonomy it
+/// sits, and its latency distribution.
+struct SpanSnapshot {
+  std::string parent;  ///< enclosing span name at first use ("" = root)
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  HistogramSnapshot latency;
+};
+
+/// Point-in-time copy of a whole registry.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, double> gauge_maxima;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanSnapshot> spans;
+};
+
+/// Thread-safe, per-run home of every metric. Lookup by name takes a lock;
+/// the returned references are stable for the registry's lifetime, so hot
+/// paths resolve once (the obs.hpp macros cache in a function-local static)
+/// and then touch only atomics. reset() zeroes values in place — cached
+/// references stay valid across runs.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, HistogramSpec spec = {});
+
+  /// Record one completed span occurrence. `parent` is the name of the
+  /// enclosing span ("" at top level); the first recorded parent is kept as
+  /// the span's canonical position in the taxonomy.
+  void record_span(const std::string& name, const std::string& parent,
+                   double seconds);
+
+  /// Zero every value, keeping registrations (and handles) intact.
+  void reset();
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Snapshot rendered as JSON (schema: docs/OBSERVABILITY.md).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Snapshot rendered as aligned human-readable tables.
+  [[nodiscard]] std::string to_table() const;
+
+  /// The process-wide registry the OBS_* macros write to.
+  static MetricsRegistry& global();
+
+ private:
+  struct SpanData {
+    std::string parent;
+    bool parent_set = false;
+    Counter count;
+    std::atomic<double> total_seconds{0.0};
+    Histogram latency{HistogramSpec::latency()};
+  };
+
+  mutable analysis::Mutex mutex_{"MetricsRegistry::mutex_"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SpanData>> spans_;
+};
+
+/// Render a snapshot as JSON without going through a registry (the report
+/// tool embeds snapshots into larger documents).
+[[nodiscard]] std::string snapshot_to_json(const Snapshot& snapshot,
+                                           int indent = 0);
+
+}  // namespace gridse::obs

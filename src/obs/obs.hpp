@@ -1,0 +1,71 @@
+#pragma once
+
+// Instrumentation entry points for the GridSE hot path. Call sites use only
+// these macros so a GRIDSE_OBS=OFF build compiles the entire layer out: the
+// macros expand to a no-op statement whose arguments sit in an unevaluated
+// sizeof, so they cost no code, no clock reads, and no symbol references —
+// while still being type-checked.
+//
+// Naming convention (docs/OBSERVABILITY.md): dot-separated, lower_snake
+// segments, `<subsystem>.<component>.<quantity>[.<unit>]`, e.g.
+// `dse.step1.subsystem_seconds`, `medici.relay.bytes`. Span names are the
+// taxonomy itself: `dse.run` > `dse.step1` > `wls.estimate`.
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+#define GRIDSE_OBS_CONCAT_INNER(a, b) a##b
+#define GRIDSE_OBS_CONCAT(a, b) GRIDSE_OBS_CONCAT_INNER(a, b)
+
+#if GRIDSE_OBS
+
+/// Time the rest of the enclosing scope as span `name` (a string literal).
+#define OBS_SPAN(name) \
+  ::gridse::obs::ScopedSpan GRIDSE_OBS_CONCAT(gridse_obs_span_, __LINE__)(name)
+
+/// Bump counter `name` (resolved once per call site) by `delta`.
+#define OBS_COUNTER_ADD(name, delta)                                       \
+  do {                                                                     \
+    static ::gridse::obs::Counter& gridse_obs_handle =                     \
+        ::gridse::obs::MetricsRegistry::global().counter(name);            \
+    gridse_obs_handle.add(static_cast<std::uint64_t>(delta));              \
+  } while (0)
+
+/// Set gauge `name` (also tracks the running maximum).
+#define OBS_GAUGE_SET(name, value)                                         \
+  do {                                                                     \
+    static ::gridse::obs::Gauge& gridse_obs_handle =                       \
+        ::gridse::obs::MetricsRegistry::global().gauge(name);              \
+    gridse_obs_handle.set(static_cast<double>(value));                     \
+  } while (0)
+
+/// Record `value` into latency-bucketed histogram `name`.
+#define OBS_HISTOGRAM_OBSERVE(name, value)                                 \
+  do {                                                                     \
+    static ::gridse::obs::Histogram& gridse_obs_handle =                   \
+        ::gridse::obs::MetricsRegistry::global().histogram(name);          \
+    gridse_obs_handle.observe(static_cast<double>(value));                 \
+  } while (0)
+
+/// Record `value` into count-bucketed histogram `name` (iterations,
+/// messages — anything whose natural scale starts at 1, not 1 µs).
+#define OBS_COUNTS_OBSERVE(name, value)                                    \
+  do {                                                                     \
+    static ::gridse::obs::Histogram& gridse_obs_handle =                   \
+        ::gridse::obs::MetricsRegistry::global().histogram(                \
+            name, ::gridse::obs::HistogramSpec::counts());                 \
+    gridse_obs_handle.observe(static_cast<double>(value));                 \
+  } while (0)
+
+#else  // !GRIDSE_OBS — statements that type-check but never evaluate.
+
+#define OBS_SPAN(name) ((void)sizeof(name))
+#define OBS_COUNTER_ADD(name, delta) \
+  ((void)sizeof(name), (void)sizeof(delta))
+#define OBS_GAUGE_SET(name, value) ((void)sizeof(name), (void)sizeof(value))
+#define OBS_HISTOGRAM_OBSERVE(name, value) \
+  ((void)sizeof(name), (void)sizeof(value))
+#define OBS_COUNTS_OBSERVE(name, value) \
+  ((void)sizeof(name), (void)sizeof(value))
+
+#endif  // GRIDSE_OBS

@@ -1,0 +1,37 @@
+#include "obs/span.hpp"
+
+namespace gridse::obs {
+namespace {
+
+/// Innermost active span of this thread; spans form an intrusive stack.
+thread_local ScopedSpan* t_top = nullptr;
+thread_local int t_depth = 0;
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name, MetricsRegistry* registry)
+    : name_(name),
+      parent_(t_top != nullptr ? t_top->name_ : nullptr),
+      registry_(registry != nullptr ? registry : &MetricsRegistry::global()),
+      prev_(t_top),
+      start_(std::chrono::steady_clock::now()) {
+  t_top = this;
+  ++t_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  t_top = prev_;
+  --t_depth;
+  registry_->record_span(name_, parent_ != nullptr ? parent_ : "", seconds);
+}
+
+const char* ScopedSpan::current_name() {
+  return t_top != nullptr ? t_top->name_ : nullptr;
+}
+
+int ScopedSpan::depth() { return t_depth; }
+
+}  // namespace gridse::obs

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace gridse::obs {
+
+/// RAII trace span: times the enclosing scope and records the duration —
+/// plus its position in the span tree — into a MetricsRegistry on
+/// destruction. Spans nest per thread: a span opened while another is active
+/// on the same thread records that span as its parent, which is how
+/// `dse.step1.wls` ends up attributed under `dse.step1` without the call
+/// sites knowing about each other.
+///
+/// `name` must outlive the span (string literals at the OBS_SPAN call sites
+/// satisfy this for free).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, MetricsRegistry* registry = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Name of the innermost active span on this thread (nullptr when none).
+  [[nodiscard]] static const char* current_name();
+
+  /// Number of active spans on this thread.
+  [[nodiscard]] static int depth();
+
+ private:
+  const char* name_;
+  const char* parent_;
+  MetricsRegistry* registry_;
+  ScopedSpan* prev_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gridse::obs

@@ -1,14 +1,22 @@
 #include "runtime/mailbox.hpp"
 
 #include "analysis/assert.hpp"
+#include "obs/obs.hpp"
+#include "util/timer.hpp"
 
 namespace gridse::runtime {
 
 void Mailbox::deliver(Message message) {
+  std::size_t depth = 0;
   {
     analysis::LockGuard lock(mutex_);
     queue_.push_back(std::move(message));
+    depth = queue_.size();
   }
+  // Depth high-water mark is the backlog signal of the paper's data
+  // processor; recorded outside the lock so the gauge never extends the
+  // critical section.
+  OBS_GAUGE_SET("runtime.mailbox.depth", depth);
   cv_.notify_all();
 }
 
@@ -23,12 +31,19 @@ std::deque<Message>::iterator Mailbox::find_match_locked(int source, int tag) {
 }
 
 Message Mailbox::take(int source, int tag) {
+#if GRIDSE_OBS
+  const Timer wait_timer;
+#endif
   analysis::UniqueLock lock(mutex_);
   for (;;) {
     const auto it = find_match_locked(source, tag);
     if (it != queue_.end()) {
       Message m = std::move(*it);
       queue_.erase(it);
+#if GRIDSE_OBS
+      OBS_HISTOGRAM_OBSERVE("runtime.mailbox.wait_seconds",
+                            wait_timer.seconds());
+#endif
       return m;
     }
     cv_.wait(lock);

@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -55,6 +56,7 @@ class TcpCommunicatorImpl final : public Communicator {
   }
 
   void barrier() override {
+    OBS_SPAN("runtime.tcp.barrier");
     Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
     if (rank_ == 0) {
       for (int r = 1; r < size(); ++r) {

@@ -29,7 +29,7 @@ void ThreadPool::shutdown() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       analysis::UniqueLock lock(mutex_);
       cv_.wait(lock, [this] {
@@ -42,7 +42,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+#if GRIDSE_OBS
+    OBS_HISTOGRAM_OBSERVE(
+        "runtime.pool.queue_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      task.enqueued)
+            .count());
+#endif
+    task.fn();
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -9,6 +10,7 @@
 
 #include "analysis/assert.hpp"
 #include "analysis/debug_sync.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace gridse {
@@ -37,7 +39,12 @@ class ThreadPool {
       if (stopping_) {
         throw InternalError("ThreadPool::submit after shutdown began");
       }
-      queue_.emplace([task] { (*task)(); });
+      queue_.emplace(QueuedTask{[task] { (*task)(); }
+#if GRIDSE_OBS
+                                ,
+                                std::chrono::steady_clock::now()
+#endif
+      });
     }
     cv_.notify_one();
     return result;
@@ -54,11 +61,21 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return num_threads_; }
 
  private:
+  /// A queued task plus (when observability is on) its enqueue time, so
+  /// worker pickup can report queue wait — the "dispatch to worker
+  /// processors" latency of the paper's data processor.
+  struct QueuedTask {
+    std::function<void()> fn;
+#if GRIDSE_OBS
+    std::chrono::steady_clock::time_point enqueued;
+#endif
+  };
+
   void worker_loop();
 
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   analysis::Mutex mutex_{"ThreadPool::mutex_"};
   analysis::ConditionVariable cv_;
   bool stopping_ = false;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# In a GRIDSE_OBS=OFF build the instrumented libraries must carry no
+# reference to the observability layer at all — the macros expand to
+# unevaluated sizeof, so even an undefined symbol against
+# gridse::obs::MetricsRegistry in libgridse_core.a means the compile-out
+# leaked. (The report tool still links obs on purpose; only the hot-path
+# archives passed in here are checked.)
+#
+# Usage: check_off_symbols.sh <archive>...
+set -euo pipefail
+
+status=0
+for archive in "$@"; do
+  if symbols=$(nm -C "${archive}" 2>/dev/null | grep "gridse::obs::"); then
+    echo "FAIL: ${archive} references the obs layer in an OBS=OFF build:" >&2
+    echo "${symbols}" | head -20 >&2
+    status=1
+  else
+    echo "ok: ${archive} is free of gridse::obs symbols"
+  fi
+done
+exit "${status}"

@@ -1,0 +1,87 @@
+// Golden-file test for the JSON exporter: the schema is consumed by the CI
+// bench-smoke merge script and external dashboards, so its exact shape is a
+// contract. A failure here means a deliberate schema change — update the
+// golden string AND docs/OBSERVABILITY.md together.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace gridse::obs {
+namespace {
+
+TEST(ExportGolden, EmptyRegistry) {
+  const MetricsRegistry reg;
+  EXPECT_EQ(reg.to_json(),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {},\n"
+            "  \"spans\": {}\n"
+            "}");
+}
+
+TEST(ExportGolden, PopulatedRegistry) {
+  MetricsRegistry reg;
+  reg.counter("dse.messages").add(3);
+  Gauge& depth = reg.gauge("mailbox.depth");
+  depth.set(2.0);
+  depth.set(5.0);
+  depth.set(1.0);
+  Histogram& iters = reg.histogram("iters", HistogramSpec::counts());
+  iters.observe(1.0);
+  iters.observe(3.0);
+  iters.observe(3.0);
+  reg.record_span("dse.step1", "dse.run", 0.5);
+
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"dse.messages\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"mailbox.depth\": {\"value\": 1, \"max\": 5}\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"iters\": {\"count\":3,\"sum\":7,\"min\":1,\"max\":3,"
+      "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":4,\"count\":2}]}\n"
+      "  },\n"
+      "  \"spans\": {\n"
+      "    \"dse.step1\": {\"parent\": \"dse.run\", \"count\": 1, "
+      "\"total_seconds\": 0.5, \"latency\": {\"count\":1,\"sum\":0.5,"
+      "\"min\":0.5,\"max\":0.5,\"buckets\":[{\"le\":0.524288,\"count\":1}]}}\n"
+      "  }\n"
+      "}";
+  EXPECT_EQ(reg.to_json(), expected);
+}
+
+TEST(ExportGolden, EscapesMetricNames) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\with\ncontrol").add(1);
+  EXPECT_EQ(reg.to_json(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"weird\\\"name\\\\with\\ncontrol\": 1\n"
+            "  },\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {},\n"
+            "  \"spans\": {}\n"
+            "}");
+}
+
+TEST(ExportGolden, IndentShiftsNestedLines) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  const std::string json = snapshot_to_json(reg.snapshot(), 2);
+  EXPECT_EQ(json,
+            "{\n"
+            "    \"counters\": {\n"
+            "      \"c\": 1\n"
+            "    },\n"
+            "    \"gauges\": {},\n"
+            "    \"histograms\": {},\n"
+            "    \"spans\": {}\n"
+            "  }");
+}
+
+}  // namespace
+}  // namespace gridse::obs

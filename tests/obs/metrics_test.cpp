@@ -1,0 +1,214 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
+
+namespace gridse::obs {
+namespace {
+
+TEST(Counter, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksLastValueAndMax) {
+  Gauge g;
+  g.set(2.0);
+  g.set(5.0);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max(), 5.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // +inf sentinel maps back to 0
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, CountsSpecBucketsSmallIntegers) {
+  Histogram h(HistogramSpec::counts());
+  h.observe(1.0);  // bucket 0: ≤ 1
+  h.observe(3.0);  // bucket 2: (2, 4]
+  h.observe(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_NEAR(h.mean(), 7.0 / 3.0, 1e-12);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_bound(0), 1.0);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_bound(2), 4.0);
+}
+
+TEST(Histogram, OverflowLandsInLastBucket) {
+  Histogram h(HistogramSpec::counts());
+  h.observe(1e30);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_TRUE(std::isinf(h.bucket_bound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(Histogram, ResetRestoresEmptyState) {
+  Histogram h;
+  h.observe(0.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(0.25);  // min tracking survives a reset
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+}
+
+TEST(MetricsRegistry, ReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = reg.histogram("h");
+  Histogram& h2 = reg.histogram("h", HistogramSpec::counts());
+  EXPECT_EQ(&h1, &h2);  // first registration wins; spec is not re-applied
+  EXPECT_DOUBLE_EQ(h1.spec().first_bound, HistogramSpec::latency().first_bound);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("events");
+  c.add(7);
+  reg.gauge("depth").set(3.0);
+  reg.histogram("lat").observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // the cached reference still works
+  c.add(1);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("events"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 0.0);
+  EXPECT_EQ(snap.histograms.at("lat").count, 0u);
+}
+
+TEST(MetricsRegistry, SnapshotDropsEmptyBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("iters", HistogramSpec::counts());
+  h.observe(1.0);
+  h.observe(8.0);
+  const HistogramSnapshot snap = reg.snapshot().histograms.at("iters");
+  ASSERT_EQ(snap.buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.buckets[0].first, 1.0);
+  EXPECT_EQ(snap.buckets[0].second, 1u);
+  EXPECT_DOUBLE_EQ(snap.buckets[1].first, 8.0);
+  EXPECT_EQ(snap.buckets[1].second, 1u);
+}
+
+TEST(ScopedSpan, NestsAndRecordsParent) {
+  MetricsRegistry reg;
+  EXPECT_EQ(ScopedSpan::current_name(), nullptr);
+  EXPECT_EQ(ScopedSpan::depth(), 0);
+  {
+    ScopedSpan outer("outer", &reg);
+    EXPECT_STREQ(ScopedSpan::current_name(), "outer");
+    EXPECT_EQ(ScopedSpan::depth(), 1);
+    {
+      ScopedSpan inner("inner", &reg);
+      EXPECT_STREQ(ScopedSpan::current_name(), "inner");
+      EXPECT_EQ(ScopedSpan::depth(), 2);
+    }
+    EXPECT_STREQ(ScopedSpan::current_name(), "outer");
+    EXPECT_EQ(ScopedSpan::depth(), 1);
+  }
+  EXPECT_EQ(ScopedSpan::current_name(), nullptr);
+  EXPECT_EQ(ScopedSpan::depth(), 0);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.spans.at("outer").parent, "");
+  EXPECT_EQ(snap.spans.at("outer").count, 1u);
+  EXPECT_GE(snap.spans.at("outer").total_seconds, 0.0);
+  EXPECT_EQ(snap.spans.at("inner").parent, "outer");
+  EXPECT_EQ(snap.spans.at("inner").count, 1u);
+}
+
+TEST(ScopedSpan, SiblingsShareTheSameParent) {
+  MetricsRegistry reg;
+  {
+    ScopedSpan outer("run", &reg);
+    { ScopedSpan a("a", &reg); }
+    { ScopedSpan b("b", &reg); }
+    { ScopedSpan a_again("a", &reg); }
+  }
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.spans.at("a").parent, "run");
+  EXPECT_EQ(snap.spans.at("a").count, 2u);
+  EXPECT_EQ(snap.spans.at("b").parent, "run");
+}
+
+TEST(ObsMacros, EnabledFlagMatchesBuildDefine) {
+  EXPECT_EQ(kEnabled, GRIDSE_OBS != 0);
+}
+
+#if GRIDSE_OBS
+
+TEST(ObsMacros, WriteThroughToGlobalRegistry) {
+  MetricsRegistry::global().counter("test.macro.counter").reset();
+  int evals = 0;
+  OBS_COUNTER_ADD("test.macro.counter", (++evals, 2));
+  OBS_COUNTER_ADD("test.macro.counter", 3);
+  EXPECT_EQ(evals, 1);  // arguments evaluate exactly once when live
+  EXPECT_EQ(MetricsRegistry::global().counter("test.macro.counter").value(),
+            5u);
+
+  OBS_GAUGE_SET("test.macro.gauge", 4);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().gauge("test.macro.gauge").value(),
+                   4.0);
+
+  OBS_COUNTS_OBSERVE("test.macro.hist", 3);
+  EXPECT_GE(MetricsRegistry::global().histogram("test.macro.hist").count(),
+            1u);
+
+  {
+    OBS_SPAN("test.macro.span");
+    EXPECT_STREQ(ScopedSpan::current_name(), "test.macro.span");
+  }
+  EXPECT_GE(
+      MetricsRegistry::global().snapshot().spans.at("test.macro.span").count,
+      1u);
+}
+
+#else  // !GRIDSE_OBS
+
+TEST(ObsMacros, OffModeNeverEvaluatesArguments) {
+  int evals = 0;
+  OBS_COUNTER_ADD("test.macro.counter", ++evals);
+  OBS_GAUGE_SET("test.macro.gauge", ++evals);
+  OBS_HISTOGRAM_OBSERVE("test.macro.hist", ++evals);
+  OBS_COUNTS_OBSERVE("test.macro.hist2", ++evals);
+  EXPECT_EQ(evals, 0);
+  {
+    OBS_SPAN("test.macro.span");
+    EXPECT_EQ(ScopedSpan::depth(), 0);  // no span object is created
+  }
+  // Nothing reached the global registry.
+  const Snapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.count("test.macro.counter"), 0u);
+  EXPECT_EQ(snap.spans.count("test.macro.span"), 0u);
+}
+
+#endif  // GRIDSE_OBS
+
+}  // namespace
+}  // namespace gridse::obs

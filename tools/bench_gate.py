@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Merge bench-smoke outputs into BENCH_ci.json and gate regressions.
+
+Inputs: the google-benchmark JSON from bench_pcg_solvers and the
+obs_report.json published by gridse_report. Output: one merged document
+(schema "gridse-bench-ci/1") with two metric classes:
+
+* "enforced" — deterministic given the seeded inputs: solver iteration
+  counts and exchange byte counts. A growth beyond --tolerance (default
+  25%) over the committed BENCH_baseline.json fails the job; these moving
+  means the algorithm changed, not that the runner was busy.
+* "advisory" — wall-clock numbers. Republished for trend dashboards but
+  never gated: shared CI runners are too noisy for time-based gates.
+
+Run with --baseline pointing at a missing file to (re)generate a baseline:
+the merged output is then copied verbatim as the new reference.
+"""
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def merge(bench, report):
+    """Build the BENCH_ci.json document from the two inputs."""
+    doc = {
+        "schema": "gridse-bench-ci/1",
+        "case": report.get("case"),
+        "transport": report.get("transport"),
+        "cycles": report.get("cycles", 1),
+        "benchmarks": {},
+        "enforced": {},
+        "advisory": {},
+    }
+
+    for b in bench.get("benchmarks", []):
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "real_time": b.get("real_time"),
+            "cpu_time": b.get("cpu_time"),
+            "time_unit": b.get("time_unit"),
+        }
+        if "cg_iters" in b:
+            entry["cg_iters"] = b["cg_iters"]
+            doc["enforced"][f"bench.{name}.cg_iters"] = b["cg_iters"]
+        doc["benchmarks"][name] = entry
+        doc["advisory"][f"bench.{name}.real_time_{b.get('time_unit', 'ns')}"] = b.get(
+            "real_time"
+        )
+
+    metrics = report.get("metrics", {})
+    cycles = max(1, doc["cycles"])
+
+    for hist_name in ("wls.pcg.iterations", "wls.gauss_newton_iterations"):
+        hist = metrics.get("histograms", {}).get(hist_name)
+        if hist and hist.get("count"):
+            doc["enforced"][f"obs.{hist_name}.mean"] = hist["sum"] / hist["count"]
+            doc["enforced"][f"obs.{hist_name}.max"] = hist["max"]
+
+    for counter in ("dse.pseudo.bytes", "dse.combine.bytes", "dse.pseudo.messages",
+                    "dse.combine.messages", "dse.redistribute.bytes"):
+        value = metrics.get("counters", {}).get(counter)
+        if value is not None:
+            doc["enforced"][f"obs.{counter}.per_cycle"] = value / cycles
+
+    for span_name, span in metrics.get("spans", {}).items():
+        doc["advisory"][f"obs.span.{span_name}.total_seconds"] = span[
+            "total_seconds"
+        ]
+
+    for row in report.get("cycle_rows", []):
+        if row.get("cycle") == 1:
+            for key in ("step1_seconds", "exchange_seconds", "step2_seconds",
+                        "combine_seconds", "total_seconds"):
+                doc["advisory"][f"obs.cycle1.{key}"] = row.get(key)
+            doc["enforced"]["obs.cycle1.bytes_sent"] = row.get("bytes_sent")
+
+    return doc
+
+
+def gate(doc, baseline, tolerance):
+    """Compare enforced metrics against the baseline; return failure lines."""
+    failures = []
+    base = baseline.get("enforced", {})
+    for key, current in sorted(doc["enforced"].items()):
+        if key not in base:
+            print(f"bench_gate: new enforced metric (no baseline): {key}")
+            continue
+        reference = base[key]
+        if reference <= 0:
+            continue
+        growth = (current - reference) / reference
+        marker = "FAIL" if growth > tolerance else "ok"
+        print(f"bench_gate: [{marker}] {key}: {reference:g} -> {current:g} "
+              f"({growth:+.1%})")
+        if growth > tolerance:
+            failures.append(
+                f"{key} regressed {growth:+.1%} ({reference:g} -> {current:g}),"
+                f" tolerance {tolerance:.0%}"
+            )
+    for key in sorted(base):
+        if key not in doc["enforced"]:
+            failures.append(f"enforced metric disappeared from outputs: {key}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", required=True,
+                        help="google-benchmark JSON from bench_pcg_solvers")
+    parser.add_argument("--obs-report", required=True,
+                        help="obs_report.json from gridse_report")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_baseline.json (created if absent)")
+    parser.add_argument("--out", required=True,
+                        help="merged BENCH_ci.json to write")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional growth of enforced metrics")
+    args = parser.parse_args()
+
+    doc = merge(load(args.benchmarks), load(args.obs_report))
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_gate: wrote {args.out} "
+          f"({len(doc['enforced'])} enforced, {len(doc['advisory'])} advisory)")
+
+    try:
+        baseline = load(args.baseline)
+    except FileNotFoundError:
+        shutil.copyfile(args.out, args.baseline)
+        print(f"bench_gate: no baseline found; seeded {args.baseline}")
+        return 0
+
+    failures = gate(doc, baseline, args.tolerance)
+    if failures:
+        for line in failures:
+            print(f"bench_gate: FAIL: {line}", file=sys.stderr)
+        return 1
+    print("bench_gate: all enforced metrics within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI benchmark smoke: run the curated benchmark subset against a release
+# build, capture the observability report of a full DSE run, merge
+# everything into BENCH_ci.json at the repo root, and gate the
+# deterministic solver/traffic metrics against the committed baseline
+# (BENCH_baseline.json).
+#
+# Usage: tools/bench_smoke.sh [build-dir] [out-dir]
+#
+# The curated subset mirrors the paper's evaluation:
+#   bench_table3_local_overhead   — local DSE overhead rows (Table III)
+#   bench_table4_network_overhead — networked overhead rows (Table IV)
+#   bench_pcg_solvers             — PCG/LDLt solver ablation (§IV-C), the
+#                                   only google-benchmark binary here, so
+#                                   the only one that emits benchmark JSON
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-release}"
+out_dir="${2:-${repo_root}/bench-out}"
+mkdir -p "${out_dir}"
+
+echo "bench_smoke: Table III local overhead..." >&2
+"${build_dir}/bench/bench_table3_local_overhead" \
+  | tee "${out_dir}/table3_local_overhead.txt"
+
+echo "bench_smoke: Table IV network overhead..." >&2
+"${build_dir}/bench/bench_table4_network_overhead" \
+  | tee "${out_dir}/table4_network_overhead.txt"
+
+echo "bench_smoke: PCG solver ablation (benchmark JSON)..." >&2
+"${build_dir}/bench/bench_pcg_solvers" \
+  --benchmark_out="${out_dir}/pcg_benchmarks.json" \
+  --benchmark_out_format=json
+
+echo "bench_smoke: DSE observability report (ieee118)..." >&2
+"${build_dir}/tools/gridse_report" --case ieee118 --cycles 3 \
+  --out "${out_dir}/obs_report.json"
+
+python3 "${repo_root}/tools/bench_gate.py" \
+  --benchmarks "${out_dir}/pcg_benchmarks.json" \
+  --obs-report "${out_dir}/obs_report.json" \
+  --baseline "${repo_root}/BENCH_baseline.json" \
+  --out "${repo_root}/BENCH_ci.json"
