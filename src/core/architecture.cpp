@@ -1,15 +1,34 @@
 #include "core/architecture.hpp"
 
+#include <cstdlib>
 #include <mutex>
 
 #include "grid/powerflow.hpp"
 #include "medici/medici_comm.hpp"
+#if GRIDSE_OBS
+#include "obs/trace/trace.hpp"
+#endif
 #include "runtime/inproc_comm.hpp"
 #include "runtime/tcp_comm.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace gridse::core {
+#if GRIDSE_OBS
+namespace {
+
+/// Where per-rank trace files go: the config wins, then GRIDSE_TRACE_DIR,
+/// then nowhere (tracing stays in memory and is dropped).
+std::string resolve_trace_dir(const std::string& configured) {
+  if (!configured.empty()) {
+    return configured;
+  }
+  const char* env = std::getenv("GRIDSE_TRACE_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace
+#endif
 
 DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
     : generated_(std::move(generated)),
@@ -36,6 +55,25 @@ DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
   }
   generator_ = std::make_unique<grid::MeasurementGenerator>(
       generated_.kase.network, config_.plan);
+}
+
+DseSystem::~DseSystem() {
+#if GRIDSE_OBS
+  const std::string dir = resolve_trace_dir(config_.trace_dir);
+  if (dir.empty()) {
+    return;
+  }
+  try {
+    const obs::trace::FlushStats stats = obs::trace::write_trace_files(dir);
+    if (!stats.files.empty()) {
+      GRIDSE_INFO << "wrote " << stats.records << " trace records and "
+                  << stats.events << " events to " << stats.files.size()
+                  << " file(s) under " << dir;
+    }
+  } catch (const std::exception& e) {
+    GRIDSE_WARN << "trace flush to " << dir << " failed: " << e.what();
+  }
+#endif
 }
 
 CycleReport DseSystem::run_cycle(double time_sec) {

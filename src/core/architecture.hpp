@@ -3,6 +3,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/dse_driver.hpp"
 #include "core/hierarchical.hpp"
@@ -30,6 +31,11 @@ struct SystemConfig {
   grid::MeasurementPlan plan;  ///< SCADA/PMU synthesis (PMUs auto-placed)
   Transport transport = Transport::kInproc;
   std::uint64_t seed = 1;
+  /// Directory for per-rank distributed-trace files, flushed when the
+  /// system is destroyed (see docs/OBSERVABILITY.md). Empty = take the
+  /// GRIDSE_TRACE_DIR environment variable; both empty = no trace files.
+  /// Ignored (no files, no overhead) when built with GRIDSE_OBS=OFF.
+  std::string trace_dir;
   /// Optional system-load multiplier per frame time (e.g. a diurnal curve).
   /// When set, each run_cycle re-solves the power flow at the scaled
   /// operating point, so the DSE tracks a moving state — the paper's
@@ -60,6 +66,12 @@ class DseSystem {
   /// placed at the lowest-numbered bus of every subsystem (each local
   /// estimation needs a synchronized angle reference).
   DseSystem(io::GeneratedCase generated, SystemConfig config);
+
+  /// Flushes the distributed trace (if a trace directory is configured).
+  ~DseSystem();
+
+  DseSystem(const DseSystem&) = delete;
+  DseSystem& operator=(const DseSystem&) = delete;
 
   /// Execute one full cycle at time-frame anchor `time_sec`:
   /// power-flow truth → measurements → map (Step 1, repartitioned from the

@@ -186,6 +186,16 @@ DseResult DseDriver::run(runtime::Communicator& comm,
         }
       }
       for (const int t : hosted2) {
+#if GRIDSE_OBS
+        // Step-2 fan-in wait: how long each subsystem blocks for its
+        // neighbours' pseudo-measurements (the paper's exchange-phase
+        // bottleneck). One global histogram plus a per-subsystem breakdown;
+        // per-subsystem names are dynamic, so they resolve through the
+        // registry map (this path already paid for a blocking recv).
+        Timer fanin_timer;
+        obs::Histogram& fanin_hist = obs::MetricsRegistry::global().histogram(
+            "exchange.fanin_wait_seconds.subsystem." + std::to_string(t));
+#endif
         for (const int s : decomposition_->neighbors_of(t)) {
           const graph::PartId src =
               step2_assignment[static_cast<std::size_t>(s)];
@@ -195,6 +205,11 @@ DseResult DseDriver::run(runtime::Communicator& comm,
           auto& sink = neighbor_records[t];
           sink.insert(sink.end(), records.begin(), records.end());
         }
+#if GRIDSE_OBS
+        const double fanin_wait = fanin_timer.seconds();
+        OBS_HISTOGRAM_OBSERVE("exchange.fanin_wait_seconds", fanin_wait);
+        fanin_hist.observe(fanin_wait);
+#endif
       }
     }
     result.exchange_seconds += round_exchange_timer.seconds();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "sparse/ldlt.hpp"
 #include "sparse/normal_equations.hpp"
 #include "util/error.hpp"
@@ -125,6 +126,10 @@ BadDataScrub detect_and_remove(const WlsEstimator& estimator,
       break;
     }
     scrub.removed.push_back(original[hit.measurement_index]);
+    OBS_EVENT("bad_data.rejection",
+              OBS_ATTR("measurement", original[hit.measurement_index]),
+              OBS_ATTR("normalized_residual", hit.normalized_residual),
+              OBS_ATTR("round", round));
     scrub.cleaned.items.erase(scrub.cleaned.items.begin() +
                               static_cast<std::ptrdiff_t>(hit.measurement_index));
     original.erase(original.begin() +

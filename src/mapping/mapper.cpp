@@ -52,6 +52,8 @@ MappingResult ClusterMapper::map_before_step1(
   OBS_SPAN("mapping.map_before_step1");
   if (previous != nullptr) {
     OBS_COUNTER_ADD("mapping.repartitions", 1);
+    OBS_EVENT("mapping.repartition", OBS_ATTR("step", 1),
+              OBS_ATTR("time_frame_sec", time_frame_sec));
   }
   MappingResult result;
   result.noise_level = noise_from_time_frame(time_frame_sec, params_);
@@ -75,6 +77,8 @@ MappingResult ClusterMapper::map_before_step2(
     double time_frame_sec, const std::vector<graph::PartId>& step1) const {
   OBS_SPAN("mapping.map_before_step2");
   OBS_COUNTER_ADD("mapping.repartitions", 1);
+  OBS_EVENT("mapping.repartition", OBS_ATTR("step", 2),
+            OBS_ATTR("time_frame_sec", time_frame_sec));
   MappingResult result;
   result.noise_level = noise_from_time_frame(time_frame_sec, params_);
   result.predicted_iterations =

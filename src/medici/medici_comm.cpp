@@ -2,6 +2,10 @@
 
 #include <thread>
 
+#include "obs/obs.hpp"
+#if GRIDSE_OBS
+#include "obs/trace/trace.hpp"
+#endif
 #include "util/error.hpp"
 
 namespace gridse::medici {
@@ -41,6 +45,8 @@ class MediciCommunicatorImpl final : public runtime::Communicator {
   }
 
   void barrier() override {
+    OBS_EVENT("barrier.enter", OBS_ATTR("rank", rank_),
+              OBS_ATTR("transport", "medici"));
     MwClient& me = *world_->clients_[static_cast<std::size_t>(rank_)];
     if (rank_ == 0) {
       for (int r = 1; r < size(); ++r) {
@@ -53,6 +59,8 @@ class MediciCommunicatorImpl final : public runtime::Communicator {
       send_tagged(0, kBarrierArriveTag, {}, /*allow_reserved=*/true);
       (void)me.recv(0, kBarrierReleaseTag);
     }
+    OBS_EVENT("barrier.exit", OBS_ATTR("rank", rank_),
+              OBS_ATTR("transport", "medici"));
   }
 
   [[nodiscard]] std::size_t bytes_sent() const override {
@@ -152,6 +160,9 @@ void MediciWorld::run(
   for (int r = 0; r < size(); ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
       try {
+#if GRIDSE_OBS
+        obs::trace::set_thread_rank(r);
+#endif
         const auto comm = communicator(r);
         fn(*comm);
       } catch (...) {

@@ -2,11 +2,12 @@
 
 #include <sys/socket.h>
 
-#include <cstring>
-
 #include "analysis/assert.hpp"
 #include "medici/wire.hpp"
 #include "obs/obs.hpp"
+#if GRIDSE_OBS
+#include "obs/trace/trace.hpp"
+#endif
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -77,22 +78,15 @@ void MwClient::accept_loop() {
 
 void MwClient::read_loop(runtime::Socket conn) {
   try {
-    for (;;) {
-      WireHeader header{};
-      std::uint8_t probe = 0;
-      if (conn.recv_some(&probe, 1) == 0) {
-        return;
-      }
-      std::memcpy(&header, &probe, 1);
-      conn.recv_all(reinterpret_cast<std::uint8_t*>(&header) + 1,
-                    sizeof header - 1);
+    WireFrame frame;
+    while (read_frame(conn, frame)) {
       runtime::Message m;
-      m.source = header.source;
-      m.tag = header.tag;
-      m.payload.resize(header.length);
-      if (header.length > 0) {
-        conn.recv_all(m.payload.data(), m.payload.size());
-      }
+      m.source = frame.source;
+      m.tag = frame.tag;
+      m.payload = std::move(frame.payload);
+#if GRIDSE_OBS
+      m.trace = frame.trace;  // zeroed (invalid) for legacy v1 frames
+#endif
       OBS_COUNTER_ADD("medici.client.recv.messages", 1);
       OBS_COUNTER_ADD("medici.client.recv.bytes", m.payload.size());
       mailbox_.deliver(std::move(m));
@@ -107,24 +101,16 @@ void MwClient::read_loop(runtime::Socket conn) {
 void MwClient::send_attempt_locked(const std::string& key,
                                    const EndpointUrl& to, int tag,
                                    std::span<const std::uint8_t> payload,
-                                   const NetModel& shape) {
+                                   const NetModel& shape,
+                                   const runtime::TraceContext* trace) {
   GRIDSE_ASSERT_HELD(send_mutex_);
   auto it = connections_.find(key);
   if (it == connections_.end() || !it->second.valid()) {
     connections_[key] = runtime::Socket::connect_loopback(to.port);
     it = connections_.find(key);
   }
-  const WireHeader header{payload.size(), id_, tag};
   Pacer pacer(shape);
-  pacer.pace(sizeof header);
-  it->second.send_all(&header, sizeof header);
-  std::size_t off = 0;
-  while (off < payload.size()) {
-    const std::size_t n = std::min(kWireChunk, payload.size() - off);
-    pacer.pace(n);
-    it->second.send_all(payload.data() + off, n);
-    off += n;
-  }
+  write_frame(it->second, id_, tag, payload, trace, pacer);
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
 }
 
@@ -132,6 +118,13 @@ void MwClient::send(const EndpointUrl& to, int tag,
                     std::span<const std::uint8_t> payload,
                     const NetModel& shape) {
   OBS_SPAN("medici.client.send");
+  const runtime::TraceContext* trace = nullptr;
+#if GRIDSE_OBS
+  runtime::TraceContext ctx = obs::trace::on_send("medici.client.send");
+  if (ctx.valid()) {
+    trace = &ctx;
+  }
+#endif
   analysis::LockGuard lock(send_mutex_);
   const std::string key = to.to_string();
   // One reconnect attempt: a cached connection may have gone stale (peer
@@ -139,7 +132,7 @@ void MwClient::send(const EndpointUrl& to, int tag,
   // atomically per attempt, so the receiver never sees a torn message.
   for (int attempt = 0; attempt < 2; ++attempt) {
     try {
-      send_attempt_locked(key, to, tag, payload, shape);
+      send_attempt_locked(key, to, tag, payload, shape, trace);
 #if GRIDSE_OBS
       // Per-endpoint traffic accounting (paper Table IV is per link). The
       // names are dynamic, so this resolves through the registry map rather
@@ -155,6 +148,8 @@ void MwClient::send(const EndpointUrl& to, int tag,
       if (attempt == 1) {
         throw;
       }
+      OBS_EVENT("medici.client.reconnect", OBS_ATTR("endpoint", key),
+                OBS_ATTR("client", id_));
       GRIDSE_DEBUG << "mw client " << id_ << ": reconnecting to " << key;
     }
   }
@@ -164,8 +159,9 @@ runtime::Message MwClient::recv(int source, int tag) {
 #if GRIDSE_OBS
   Timer wait_timer;
   runtime::Message m = mailbox_.take(source, tag);
-  OBS_HISTOGRAM_OBSERVE("medici.client.recv.wait_seconds",
-                        wait_timer.seconds());
+  const double wait = wait_timer.seconds();
+  OBS_HISTOGRAM_OBSERVE("medici.client.recv.wait_seconds", wait);
+  obs::trace::on_consume("medici.client.recv", m.trace, wait);
   return m;
 #else
   return mailbox_.take(source, tag);

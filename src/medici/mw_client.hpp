@@ -67,9 +67,11 @@ class MwClient {
   void read_loop(runtime::Socket conn);
   /// One framed write attempt on the cached connection; requires
   /// send_mutex_ held (the connection cache and the wire are shared).
+  /// `trace` may be nullptr for an untraced (v1) frame.
   void send_attempt_locked(const std::string& key, const EndpointUrl& to,
                            int tag, std::span<const std::uint8_t> payload,
-                           const NetModel& shape);
+                           const NetModel& shape,
+                           const runtime::TraceContext* trace);
 
   int id_;
   EndpointUrl endpoint_;

@@ -2,13 +2,15 @@
 
 #include <sys/socket.h>
 
-#include <cstring>
-
 #include "analysis/assert.hpp"
 #include "medici/wire.hpp"
 #include "obs/obs.hpp"
+#if GRIDSE_OBS
+#include "obs/trace/trace.hpp"
+#endif
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace gridse::medici {
 
@@ -80,45 +82,33 @@ void Relay::accept_loop() {
 
 void Relay::relay_connection(runtime::Socket upstream) {
   runtime::Socket downstream;
-  std::vector<std::uint8_t> buffer;
+  WireFrame frame;
   try {
-    for (;;) {
-      // ---- store: read one complete message from the source -------------
-      WireHeader header{};
-      std::uint8_t probe = 0;
-      const std::size_t got = upstream.recv_some(&probe, 1);
-      if (got == 0) {
-        return;  // orderly close
-      }
-      std::memcpy(&header, &probe, 1);
-      upstream.recv_all(reinterpret_cast<std::uint8_t*>(&header) + 1,
-                        sizeof header - 1);
-      buffer.resize(header.length);
-      if (header.length > 0) {
-        upstream.recv_all(buffer.data(), buffer.size());
-      }
-
-      // ---- forward: connect lazily, then paced chunked write -------------
+    // ---- store-and-forward: read one complete message, then write it ----
+    while (read_frame(upstream, frame)) {
+#if GRIDSE_OBS
+      Timer forward_timer;
+#endif
       {
         OBS_SPAN("medici.relay.forward");
         if (!downstream.valid()) {
           downstream = runtime::Socket::connect_loopback(outbound_.port);
         }
         Pacer pacer(shape_);
-        pacer.pace(sizeof header);
-        downstream.send_all(&header, sizeof header);
-        std::size_t off = 0;
-        while (off < buffer.size()) {
-          const std::size_t n = std::min(kWireChunk, buffer.size() - off);
-          pacer.pace(n);
-          downstream.send_all(buffer.data() + off, n);
-          off += n;
-        }
+        // Forward the trace block verbatim so the consumer still sees the
+        // original sender's span as its parent; the hop itself is recorded
+        // as a relay trace record, not a new context.
+        write_frame(downstream, frame.source, frame.tag, frame.payload,
+                    frame.has_trace ? &frame.trace : nullptr, pacer);
       }
+#if GRIDSE_OBS
+      obs::trace::on_relay("medici.relay.forward", frame.trace,
+                           forward_timer.seconds());
+#endif
       messages_.fetch_add(1);
-      bytes_.fetch_add(buffer.size());
+      bytes_.fetch_add(frame.payload.size());
       OBS_COUNTER_ADD("medici.relay.messages", 1);
-      OBS_COUNTER_ADD("medici.relay.bytes", buffer.size());
+      OBS_COUNTER_ADD("medici.relay.bytes", frame.payload.size());
     }
   } catch (const CommError& e) {
     if (!stopping_.load()) {

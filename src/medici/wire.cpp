@@ -1,0 +1,118 @@
+#include "medici/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace gridse::medici {
+namespace {
+
+WireHeader make_header(std::int32_t source, std::int32_t tag,
+                       std::size_t payload_size, bool has_trace) {
+  if (payload_size > runtime::kTraceLengthMask) {
+    throw CommError("wire: payload too large for the length field");
+  }
+  WireHeader header{payload_size, source, tag};
+  if (has_trace) {
+    header.length |= runtime::kTraceLengthFlag;
+  }
+  return header;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(std::int32_t source, std::int32_t tag,
+                                       std::span<const std::uint8_t> payload,
+                                       const runtime::TraceContext* trace) {
+  const WireHeader header =
+      make_header(source, tag, payload.size(), trace != nullptr);
+  std::vector<std::uint8_t> out;
+  out.reserve(sizeof header + (trace != nullptr ? kWireTraceSize : 0) +
+              payload.size());
+  const auto* hbytes = reinterpret_cast<const std::uint8_t*>(&header);
+  out.insert(out.end(), hbytes, hbytes + sizeof header);
+  if (trace != nullptr) {
+    const auto* tbytes = reinterpret_cast<const std::uint8_t*>(trace);
+    out.insert(out.end(), tbytes, tbytes + kWireTraceSize);
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::size_t decode_frame(std::span<const std::uint8_t> bytes,
+                         WireFrame& out) {
+  if (bytes.size() < sizeof(WireHeader)) {
+    throw CommError("wire: truncated frame header");
+  }
+  WireHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof header);
+  out.source = header.source;
+  out.tag = header.tag;
+  out.has_trace = (header.length & runtime::kTraceLengthFlag) != 0;
+  const std::uint64_t payload_len = header.length & runtime::kTraceLengthMask;
+  std::size_t offset = sizeof header;
+  if (out.has_trace) {
+    if (bytes.size() < offset + kWireTraceSize) {
+      throw CommError("wire: truncated trace-context block");
+    }
+    std::memcpy(&out.trace, bytes.data() + offset, kWireTraceSize);
+    offset += kWireTraceSize;
+  } else {
+    out.trace = {};
+  }
+  if (bytes.size() - offset < payload_len) {
+    throw CommError("wire: truncated payload");
+  }
+  out.payload.assign(bytes.data() + offset,
+                     bytes.data() + offset + payload_len);
+  return offset + static_cast<std::size_t>(payload_len);
+}
+
+bool read_frame(const runtime::Socket& socket, WireFrame& out) {
+  WireHeader header{};
+  // Peek one byte first to distinguish orderly shutdown from a frame.
+  std::uint8_t probe = 0;
+  if (socket.recv_some(&probe, 1) == 0) {
+    return false;
+  }
+  std::memcpy(&header, &probe, 1);
+  socket.recv_all(reinterpret_cast<std::uint8_t*>(&header) + 1,
+                  sizeof header - 1);
+  out.source = header.source;
+  out.tag = header.tag;
+  out.has_trace = (header.length & runtime::kTraceLengthFlag) != 0;
+  if (out.has_trace) {
+    socket.recv_all(&out.trace, kWireTraceSize);
+  } else {
+    out.trace = {};
+  }
+  const std::uint64_t payload_len = header.length & runtime::kTraceLengthMask;
+  out.payload.resize(payload_len);
+  if (payload_len > 0) {
+    socket.recv_all(out.payload.data(), out.payload.size());
+  }
+  return true;
+}
+
+void write_frame(const runtime::Socket& socket, std::int32_t source,
+                 std::int32_t tag, std::span<const std::uint8_t> payload,
+                 const runtime::TraceContext* trace, Pacer& pacer) {
+  const WireHeader header =
+      make_header(source, tag, payload.size(), trace != nullptr);
+  pacer.pace(sizeof header);
+  socket.send_all(&header, sizeof header);
+  if (trace != nullptr) {
+    pacer.pace(kWireTraceSize);
+    socket.send_all(trace, kWireTraceSize);
+  }
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t n = std::min(kWireChunk, payload.size() - off);
+    pacer.pace(n);
+    socket.send_all(payload.data() + off, n);
+    off += n;
+  }
+}
+
+}  // namespace gridse::medici

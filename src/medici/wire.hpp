@@ -1,6 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
+
+#include "medici/netmodel.hpp"
+#include "runtime/socket.hpp"
+#include "runtime/trace_context.hpp"
 
 namespace gridse::medici {
 
@@ -16,7 +22,54 @@ struct WireHeader {
 };
 static_assert(sizeof(WireHeader) == 16, "wire header must be tightly packed");
 
+/// Wire format version. v2 adds an optional trace-context block: when bit
+/// 63 of `length` (runtime::kTraceLengthFlag) is set, a serialized
+/// runtime::TraceContext sits between the header and the payload, and the
+/// true payload length is `length & runtime::kTraceLengthMask`. v1 frames
+/// never set the bit, so they parse unchanged; v2 readers skip the block
+/// when the flag is clear, which keeps the formats interoperable in both
+/// directions for untraced traffic.
+inline constexpr int kWireVersion = 2;
+
+/// Size of the serialized trace-context block.
+inline constexpr std::size_t kWireTraceSize = sizeof(runtime::TraceContext);
+
 /// Chunk size for paced/chunked socket writes.
 inline constexpr std::size_t kWireChunk = 256 * 1024;
+
+/// One decoded frame: addressing, the optional trace context, and the
+/// payload bytes.
+struct WireFrame {
+  std::int32_t source = -1;
+  std::int32_t tag = 0;
+  bool has_trace = false;
+  runtime::TraceContext trace{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize one frame (header [+ trace block] + payload) into a buffer;
+/// `trace` may be nullptr for a legacy v1 frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    std::int32_t source, std::int32_t tag,
+    std::span<const std::uint8_t> payload,
+    const runtime::TraceContext* trace = nullptr);
+
+/// Decode one frame from the front of `bytes` into `out`; returns the
+/// number of bytes consumed. Throws gridse::CommError when the input is
+/// shorter than the encoded frame (truncated header, trace block, or
+/// payload).
+std::size_t decode_frame(std::span<const std::uint8_t> bytes, WireFrame& out);
+
+/// Blocking read of one frame from `socket` into `out`. Returns false on an
+/// orderly peer close before the first header byte (the EOF-protocol probe);
+/// throws gridse::CommError on a mid-frame close.
+bool read_frame(const runtime::Socket& socket, WireFrame& out);
+
+/// Write one frame to `socket`, paced by `pacer` in kWireChunk slices;
+/// `trace` may be nullptr for a legacy v1 frame. The caller serializes
+/// access to the socket (one frame is written atomically per call).
+void write_frame(const runtime::Socket& socket, std::int32_t source,
+                 std::int32_t tag, std::span<const std::uint8_t> payload,
+                 const runtime::TraceContext* trace, Pacer& pacer);
 
 }  // namespace gridse::medici

@@ -13,6 +13,9 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#if GRIDSE_OBS
+#include "obs/trace/event_log.hpp"
+#endif
 
 #define GRIDSE_OBS_CONCAT_INNER(a, b) a##b
 #define GRIDSE_OBS_CONCAT(a, b) GRIDSE_OBS_CONCAT_INNER(a, b)
@@ -57,6 +60,14 @@
     gridse_obs_handle.observe(static_cast<double>(value));                 \
   } while (0)
 
+/// Record a discrete occurrence into the structured event log (see
+/// docs/OBSERVABILITY.md): OBS_EVENT("name", OBS_ATTR("key", value), ...).
+/// The name must be a string literal.
+#define OBS_EVENT(...) ::gridse::obs::EventLog::global().emit(__VA_ARGS__)
+
+/// One key/value attribute of an OBS_EVENT.
+#define OBS_ATTR(key, value) ::gridse::obs::event_attr(key, value)
+
 #else  // !GRIDSE_OBS — statements that type-check but never evaluate.
 
 #define OBS_SPAN(name) ((void)sizeof(name))
@@ -67,5 +78,9 @@
   ((void)sizeof(name), (void)sizeof(value))
 #define OBS_COUNTS_OBSERVE(name, value) \
   ((void)sizeof(name), (void)sizeof(value))
+// Arguments are stringified, not expanded: OBS_ATTR(...) inside never
+// evaluates and pulls in no obs symbols.
+#define OBS_EVENT(...) ((void)sizeof(#__VA_ARGS__))
+#define OBS_ATTR(key, value) 0
 
 #endif  // GRIDSE_OBS

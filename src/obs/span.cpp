@@ -1,5 +1,7 @@
 #include "obs/span.hpp"
 
+#include "obs/trace/trace.hpp"
+
 namespace gridse::obs {
 namespace {
 
@@ -14,22 +16,28 @@ ScopedSpan::ScopedSpan(const char* name, MetricsRegistry* registry)
       parent_(t_top != nullptr ? t_top->name_ : nullptr),
       registry_(registry != nullptr ? registry : &MetricsRegistry::global()),
       prev_(t_top),
+      id_(trace::Tracer::global().next_id()),
+      parent_id_(t_top != nullptr ? t_top->id_ : 0),
       start_(std::chrono::steady_clock::now()) {
   t_top = this;
   ++t_depth;
 }
 
 ScopedSpan::~ScopedSpan() {
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start_).count();
   t_top = prev_;
   --t_depth;
   registry_->record_span(name_, parent_ != nullptr ? parent_ : "", seconds);
+  trace::on_span_end(name_, id_, parent_id_, start_, end);
 }
 
 const char* ScopedSpan::current_name() {
   return t_top != nullptr ? t_top->name_ : nullptr;
+}
+
+std::uint64_t ScopedSpan::current_id() {
+  return t_top != nullptr ? t_top->id_ : 0;
 }
 
 int ScopedSpan::depth() { return t_depth; }

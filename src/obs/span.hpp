@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 #include "obs/metrics.hpp"
 
@@ -26,6 +27,10 @@ class ScopedSpan {
   /// Name of the innermost active span on this thread (nullptr when none).
   [[nodiscard]] static const char* current_name();
 
+  /// Span id of the innermost active span on this thread (0 when none);
+  /// this is the parent id a message minted here carries onto the wire.
+  [[nodiscard]] static std::uint64_t current_id();
+
   /// Number of active spans on this thread.
   [[nodiscard]] static int depth();
 
@@ -34,6 +39,8 @@ class ScopedSpan {
   const char* parent_;
   MetricsRegistry* registry_;
   ScopedSpan* prev_;
+  std::uint64_t id_;
+  std::uint64_t parent_id_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridse::obs::trace {
+
+/// One parsed line of a per-rank trace file (schema gridse-trace/1).
+struct CollectedRecord {
+  std::string kind;  ///< span | send | consume | relay | event
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t flow_id = 0;
+  std::uint64_t clock = 0;
+  std::uint64_t ts_ns = 0;  ///< steady-clock ns of the writing process
+  std::uint64_t dur_ns = 0;
+  std::string attrs_json;  ///< raw attrs object for events ("" when none)
+};
+
+/// One rank's trace file: the header metadata plus every record.
+struct RankTrace {
+  int rank = -1;
+  std::string trace_hi;  ///< hex string, e.g. "0x0123..."
+  std::string trace_lo;
+  std::uint64_t anchor_steady_ns = 0;
+  std::uint64_t anchor_wall_ns = 0;
+  std::vector<CollectedRecord> records;
+};
+
+/// Parse one trace_rank_*.jsonl file. Throws gridse::InvalidInput on a
+/// missing file, a bad schema header, or a malformed record line.
+[[nodiscard]] RankTrace load_rank_trace(const std::string& path);
+
+/// Merge per-rank traces into one Chrome/Perfetto trace JSON document: one
+/// process per rank (plus a synthetic "middleware" process for rank -1),
+/// one track per subsystem, complete ("X") slices for spans and message
+/// hops, flow events (s/t/f) stitching each send to its relay hops and
+/// final consume, instant events for the event log, and DSE phase labels
+/// (Step1/Exchange/Step2/Combine) in the slice args. Timestamps from
+/// different processes are aligned via each file's steady/wall anchor pair.
+[[nodiscard]] std::string merge_to_chrome_json(
+    const std::vector<RankTrace>& ranks);
+
+/// Structural validation of a merged trace document: parseable JSON, a
+/// traceEvents array, well-formed slice/flow/metadata events, non-negative
+/// durations, and no flow step/finish without a matching start. Returns
+/// human-readable problems; empty means valid.
+[[nodiscard]] std::vector<std::string> validate_chrome_trace(
+    std::string_view json_text);
+
+/// Text critical-path summary: per-phase totals per rank with the slowest
+/// rank called out, receive-side fan-in wait statistics, and flow-matching
+/// counts — the data behind the paper's Figures 4–5.
+[[nodiscard]] std::string critical_path_summary(
+    const std::vector<RankTrace>& ranks);
+
+}  // namespace gridse::obs::trace

@@ -1,0 +1,72 @@
+#include "obs/trace/event_log.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/trace/json_mini.hpp"
+#include "obs/trace/trace.hpp"
+
+namespace gridse::obs {
+namespace {
+
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+EventAttr event_attr(const char* key, double value) {
+  return {key, fmt_double(value)};
+}
+
+EventAttr event_attr(const char* key, bool value) {
+  return {key, value ? "true" : "false"};
+}
+
+EventAttr event_attr(const char* key, const char* value) {
+  return {key, "\"" + jsonm::escape(value) + "\""};
+}
+
+EventAttr event_attr(const char* key, const std::string& value) {
+  return {key, "\"" + jsonm::escape(value) + "\""};
+}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::emit_impl(const char* name, std::vector<EventAttr> attrs) {
+  if (!trace::Tracer::global().enabled()) {
+    return;
+  }
+  Event event{name, trace::thread_rank(), trace::thread_ordinal(),
+              trace::steady_now_ns(), std::move(attrs)};
+  analysis::LockGuard lock(mutex_);
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    static Counter& dropped_counter =
+        MetricsRegistry::global().counter("trace.events.dropped");
+    dropped_counter.add(1);
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<Event> EventLog::drain() {
+  analysis::LockGuard lock(mutex_);
+  std::vector<Event> out(events_.begin(), events_.end());
+  events_.clear();
+  return out;
+}
+
+void EventLog::reset(std::size_t capacity) {
+  analysis::LockGuard lock(mutex_);
+  events_.clear();
+  capacity_ = capacity;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gridse::obs

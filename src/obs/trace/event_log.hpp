@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "analysis/debug_sync.hpp"
+
+namespace gridse::obs {
+
+/// One rendered event attribute: the value is already JSON (numbers and
+/// booleans unquoted, strings escaped and quoted) so flushing is a string
+/// join, not a type dispatch.
+struct EventAttr {
+  const char* key;
+  std::string value;
+};
+
+[[nodiscard]] EventAttr event_attr(const char* key, double value);
+[[nodiscard]] EventAttr event_attr(const char* key, bool value);
+[[nodiscard]] EventAttr event_attr(const char* key, const char* value);
+[[nodiscard]] EventAttr event_attr(const char* key, const std::string& value);
+template <typename T>
+  requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+[[nodiscard]] EventAttr event_attr(const char* key, T value) {
+  return {key, std::to_string(value)};
+}
+
+/// A discrete occurrence spans can't represent: barrier entry/exit, a send
+/// retry, a bad-data rejection, a mapper repartition decision. Stamped with
+/// the emitting thread's rank/ordinal and a steady-clock timestamp so the
+/// collector can place it on the right timeline.
+struct Event {
+  const char* name;
+  int rank;
+  std::uint32_t tid;
+  std::uint64_t ts_ns;
+  std::vector<EventAttr> attrs;
+};
+
+/// Process-wide structured event log behind the OBS_EVENT macro. Bounded:
+/// once full, the oldest events are dropped (counted in `dropped()` and the
+/// `trace.events.dropped` metric). Drained into events.jsonl by
+/// trace::write_trace_files().
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  static EventLog& global();
+
+  /// Record `name` with zero or more event_attr(...) attributes. No-op when
+  /// the global Tracer is disabled.
+  template <typename... Attrs>
+  void emit(const char* name, Attrs&&... attrs) {
+    std::vector<EventAttr> list;
+    list.reserve(sizeof...(attrs));
+    (list.push_back(std::forward<Attrs>(attrs)), ...);
+    emit_impl(name, std::move(list));
+  }
+
+  /// Copy out everything recorded so far (oldest first) and empty the log.
+  [[nodiscard]] std::vector<Event> drain();
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Discard all events and set a new capacity (tests).
+  void reset(std::size_t capacity = kDefaultCapacity);
+
+ private:
+  void emit_impl(const char* name, std::vector<EventAttr> attrs);
+
+  mutable analysis::Mutex mutex_{"EventLog::mutex_"};
+  std::deque<Event> events_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace gridse::obs

@@ -1,0 +1,359 @@
+#include "obs/trace/trace.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace/event_log.hpp"
+#include "obs/trace/json_mini.hpp"
+#include "util/error.hpp"
+
+namespace gridse::obs::trace {
+namespace {
+
+thread_local int t_rank = -1;
+thread_local std::uint32_t t_ordinal = 0;
+
+std::uint64_t to_ns(std::chrono::steady_clock::duration d) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+std::uint64_t seconds_to_ns(double seconds) {
+  if (seconds <= 0.0) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+const char* kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kSend:
+      return "send";
+    case RecordKind::kConsume:
+      return "consume";
+    case RecordKind::kRelay:
+      return "relay";
+    case RecordKind::kSpan:
+      break;
+  }
+  return "span";
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+void bump_dropped_counter() {
+  static Counter& dropped = MetricsRegistry::global().counter("trace.dropped");
+  dropped.add(1);
+}
+
+}  // namespace
+
+std::uint64_t steady_now_ns() {
+  return to_ns(std::chrono::steady_clock::now().time_since_epoch());
+}
+
+// ---- TraceBuffer -----------------------------------------------------------
+
+/// One ring slot: `stamp` is the push index + 1 (0 = never written), so the
+/// drain can tell a completed write from a slot an in-flight writer still
+/// owns; `busy` makes the record copy itself atomic wrt a wrapping writer.
+struct TraceBuffer::Slot {
+  std::atomic<std::uint64_t> stamp{0};
+  std::atomic_flag busy;
+  TraceRecord record;
+};
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  allocate(capacity);
+}
+
+TraceBuffer::~TraceBuffer() { delete[] slots_; }
+
+void TraceBuffer::allocate(std::size_t capacity) {
+  if (capacity == 0) {
+    throw InvalidInput("trace buffer capacity must be positive");
+  }
+  capacity_ = capacity;
+  slots_ = new Slot[capacity];
+}
+
+void TraceBuffer::push(const TraceRecord& record) {
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx % capacity_];
+  while (slot.busy.test_and_set(std::memory_order_acquire)) {
+  }
+  slot.record = record;
+  slot.stamp.store(idx + 1, std::memory_order_relaxed);
+  slot.busy.clear(std::memory_order_release);
+  if (idx >= capacity_) {
+    bump_dropped_counter();
+  }
+}
+
+std::vector<TraceRecord> TraceBuffer::drain() {
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t begin = total > capacity_ ? total - capacity_ : 0;
+  std::vector<TraceRecord> out;
+  out.reserve(static_cast<std::size_t>(total - begin));
+  for (std::uint64_t idx = begin; idx < total; ++idx) {
+    Slot& slot = slots_[idx % capacity_];
+    while (slot.busy.test_and_set(std::memory_order_acquire)) {
+    }
+    if (slot.stamp.load(std::memory_order_relaxed) == idx + 1) {
+      out.push_back(slot.record);
+    }
+    slot.stamp.store(0, std::memory_order_relaxed);
+    slot.busy.clear(std::memory_order_release);
+  }
+  next_.store(0, std::memory_order_release);
+  return out;
+}
+
+std::uint64_t TraceBuffer::total_pushed() const {
+  return next_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::uint64_t total = total_pushed();
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+void TraceBuffer::reset(std::size_t capacity) {
+  delete[] slots_;
+  slots_ = nullptr;
+  allocate(capacity);
+  next_.store(0, std::memory_order_release);
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+Tracer::Tracer() { reset(TraceBuffer::kDefaultCapacity); }
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::observe_clock(std::uint64_t remote) {
+  std::uint64_t seen = clock_.load(std::memory_order_relaxed);
+  while (seen < remote && !clock_.compare_exchange_weak(
+                              seen, remote, std::memory_order_relaxed)) {
+  }
+  clock_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::reset(std::size_t capacity) {
+  buffer_.reset(capacity);
+  next_span_id_.store(1, std::memory_order_relaxed);
+  clock_.store(0, std::memory_order_relaxed);
+  // The 128-bit trace id only needs process-level uniqueness; a random
+  // device seed keeps concurrent runs on the same host distinguishable.
+  std::mt19937_64 rng(std::random_device{}());
+  trace_hi_ = rng();
+  trace_lo_ = rng() | 1u;  // never all-zero: zero means "no context"
+  anchor_steady_ns_ = steady_now_ns();
+  anchor_wall_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---- thread attribution ----------------------------------------------------
+
+void set_thread_rank(int rank) { t_rank = rank; }
+
+int thread_rank() { return t_rank; }
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  if (t_ordinal == 0) {
+    t_ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_ordinal;
+}
+
+// ---- transport + span hooks ------------------------------------------------
+
+runtime::TraceContext on_send(const char* name) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) {
+    return {};
+  }
+  runtime::TraceContext ctx;
+  ctx.trace_hi = tracer.trace_hi();
+  ctx.trace_lo = tracer.trace_lo();
+  ctx.span_id = tracer.next_id();
+  ctx.parent_id = ScopedSpan::current_id();
+  ctx.clock = tracer.tick_clock();
+  TraceRecord rec;
+  rec.name = name;
+  rec.kind = RecordKind::kSend;
+  rec.rank = thread_rank();
+  rec.tid = thread_ordinal();
+  rec.span_id = ctx.span_id;
+  rec.parent_id = ctx.parent_id;
+  rec.flow_id = ctx.span_id;
+  rec.clock = ctx.clock;
+  rec.start_ns = steady_now_ns();
+  rec.dur_ns = 0;
+  tracer.buffer().push(rec);
+  return ctx;
+}
+
+namespace {
+
+void record_hop(RecordKind kind, const char* name,
+                const runtime::TraceContext& ctx, double duration_seconds) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled() || !ctx.valid()) {
+    return;
+  }
+  tracer.observe_clock(ctx.clock);
+  TraceRecord rec;
+  rec.name = name;
+  rec.kind = kind;
+  rec.rank = thread_rank();
+  rec.tid = thread_ordinal();
+  rec.span_id = tracer.next_id();
+  rec.parent_id = ctx.span_id;
+  rec.flow_id = ctx.span_id;
+  rec.clock = tracer.clock();
+  const std::uint64_t dur_ns = seconds_to_ns(duration_seconds);
+  const std::uint64_t now = steady_now_ns();
+  rec.start_ns = now > dur_ns ? now - dur_ns : 0;
+  rec.dur_ns = dur_ns;
+  tracer.buffer().push(rec);
+}
+
+}  // namespace
+
+void on_consume(const char* name, const runtime::TraceContext& ctx,
+                double wait_seconds) {
+  record_hop(RecordKind::kConsume, name, ctx, wait_seconds);
+}
+
+void on_relay(const char* name, const runtime::TraceContext& ctx,
+              double forward_seconds) {
+  record_hop(RecordKind::kRelay, name, ctx, forward_seconds);
+}
+
+void on_span_end(const char* name, std::uint64_t span_id,
+                 std::uint64_t parent_id,
+                 std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) {
+    return;
+  }
+  TraceRecord rec;
+  rec.name = name;
+  rec.kind = RecordKind::kSpan;
+  rec.rank = thread_rank();
+  rec.tid = thread_ordinal();
+  rec.span_id = span_id;
+  rec.parent_id = parent_id;
+  rec.flow_id = 0;
+  rec.clock = tracer.clock();
+  rec.start_ns = to_ns(start.time_since_epoch());
+  rec.dur_ns = to_ns(end - start);
+  tracer.buffer().push(rec);
+}
+
+// ---- flush -----------------------------------------------------------------
+
+FlushStats write_trace_files(const std::string& dir) {
+  Tracer& tracer = Tracer::global();
+  const std::vector<TraceRecord> records = tracer.buffer().drain();
+  const std::vector<Event> events = EventLog::global().drain();
+  FlushStats stats;
+  if (records.empty() && events.empty()) {
+    return stats;
+  }
+  std::filesystem::create_directories(dir);
+
+  std::map<int, std::vector<const TraceRecord*>> by_rank;
+  for (const TraceRecord& rec : records) {
+    by_rank[rec.rank].push_back(&rec);
+  }
+  std::map<int, std::vector<const Event*>> events_by_rank;
+  for (const Event& ev : events) {
+    events_by_rank[ev.rank].push_back(&ev);
+    by_rank.try_emplace(ev.rank);  // event-only ranks still get a file
+  }
+
+  const auto render_attrs = [](const std::vector<EventAttr>& attrs) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += "\"" + jsonm::escape(attrs[i].key) + "\":" + attrs[i].value;
+    }
+    out += "}";
+    return out;
+  };
+
+  for (const auto& [rank, recs] : by_rank) {
+    const std::string name =
+        rank >= 0 ? "trace_rank_" + std::to_string(rank) + ".jsonl"
+                  : "trace_rank_mw.jsonl";
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      throw InvalidInput("cannot open trace file " + path);
+    }
+    out << "{\"schema\":\"gridse-trace/1\",\"rank\":" << rank
+        << ",\"trace_hi\":\"" << hex64(tracer.trace_hi())
+        << "\",\"trace_lo\":\"" << hex64(tracer.trace_lo())
+        << "\",\"anchor_steady_ns\":" << tracer.anchor_steady_ns()
+        << ",\"anchor_wall_ns\":" << tracer.anchor_wall_ns() << "}\n";
+    for (const TraceRecord* rec : recs) {
+      out << "{\"kind\":\"" << kind_name(rec->kind) << "\",\"name\":\""
+          << jsonm::escape(rec->name) << "\",\"tid\":" << rec->tid
+          << ",\"span\":" << rec->span_id << ",\"parent\":" << rec->parent_id
+          << ",\"flow\":" << rec->flow_id << ",\"clock\":" << rec->clock
+          << ",\"ts_ns\":" << rec->start_ns << ",\"dur_ns\":" << rec->dur_ns
+          << "}\n";
+      ++stats.records;
+    }
+    if (const auto it = events_by_rank.find(rank);
+        it != events_by_rank.end()) {
+      for (const Event* ev : it->second) {
+        out << "{\"kind\":\"event\",\"name\":\"" << jsonm::escape(ev->name)
+            << "\",\"tid\":" << ev->tid << ",\"ts_ns\":" << ev->ts_ns
+            << ",\"attrs\":" << render_attrs(ev->attrs) << "}\n";
+      }
+    }
+    stats.files.push_back(path);
+  }
+
+  if (!events.empty()) {
+    const std::string path = dir + "/events.jsonl";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      throw InvalidInput("cannot open event log " + path);
+    }
+    for (const Event& ev : events) {
+      out << "{\"name\":\"" << jsonm::escape(ev.name)
+          << "\",\"rank\":" << ev.rank << ",\"tid\":" << ev.tid
+          << ",\"ts_ns\":" << ev.ts_ns << ",\"attrs\":" << render_attrs(
+                                              ev.attrs)
+          << "}\n";
+      ++stats.events;
+    }
+    stats.files.push_back(path);
+  }
+  return stats;
+}
+
+}  // namespace gridse::obs::trace

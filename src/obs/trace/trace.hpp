@@ -1,0 +1,181 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/trace_context.hpp"
+
+namespace gridse::obs::trace {
+
+/// What a TraceRecord describes. Spans are ordinary timed scopes; send,
+/// consume, and relay records additionally carry a flow id that stitches the
+/// per-rank timelines together across process/thread boundaries (Perfetto
+/// flow events).
+enum class RecordKind : std::uint8_t { kSpan, kSend, kConsume, kRelay };
+
+/// One completed span (or message hop) as stored in the trace ring buffer.
+/// `name` must be a string literal — records outlive the scope that pushed
+/// them and are only rendered at flush time.
+struct TraceRecord {
+  const char* name = nullptr;
+  RecordKind kind = RecordKind::kSpan;
+  int rank = -1;               ///< owning DSE rank (-1 = middleware/unknown)
+  std::uint32_t tid = 0;       ///< small per-thread ordinal, process-wide
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t flow_id = 0;   ///< nonzero links send -> relay -> consume
+  std::uint64_t clock = 0;     ///< Lamport clock when the record was made
+  std::uint64_t start_ns = 0;  ///< steady-clock nanoseconds
+  std::uint64_t dur_ns = 0;
+};
+
+/// Fixed-capacity lock-free ring of completed trace records. Writers claim
+/// slots with one fetch_add; once the ring wraps, the oldest records are
+/// overwritten (drop-oldest) and the `trace.dropped` counter is bumped. A
+/// per-slot busy flag guards against a writer racing the drain on the same
+/// wrapped slot.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+  ~TraceBuffer();
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void push(const TraceRecord& record);
+
+  /// Copy out the retained records (oldest first) and empty the ring. Must
+  /// not race concurrent push() of more than `capacity` records; callers
+  /// drain at run quiescence (flush) or from tests.
+  [[nodiscard]] std::vector<TraceRecord> drain();
+
+  /// Total records ever pushed (including dropped ones).
+  [[nodiscard]] std::uint64_t total_pushed() const;
+  /// Records lost to ring wrap since construction or the last reset().
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Discard everything and reallocate with a new capacity (tests).
+  void reset(std::size_t capacity);
+
+ private:
+  struct Slot;
+  void allocate(std::size_t capacity);
+
+  std::size_t capacity_;
+  Slot* slots_ = nullptr;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Process-wide tracing state: the span-id allocator, the Lamport clock, the
+/// 128-bit trace id of the current run, the steady/wall clock anchor pair
+/// used to align per-rank files at merge time, and the record ring.
+class Tracer {
+ public:
+  Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Allocate a fresh span id (never 0).
+  std::uint64_t next_id() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Lamport clock: tick for a local event, observe for a received stamp.
+  std::uint64_t tick_clock() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void observe_clock(std::uint64_t remote);
+  [[nodiscard]] std::uint64_t clock() const {
+    return clock_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t trace_hi() const { return trace_hi_; }
+  [[nodiscard]] std::uint64_t trace_lo() const { return trace_lo_; }
+  [[nodiscard]] std::uint64_t anchor_steady_ns() const {
+    return anchor_steady_ns_;
+  }
+  [[nodiscard]] std::uint64_t anchor_wall_ns() const {
+    return anchor_wall_ns_;
+  }
+
+  TraceBuffer& buffer() { return buffer_; }
+
+  /// Discard all records, re-anchor the clocks, and draw a fresh trace id.
+  /// Not safe against concurrent recording; call at quiescence (tests, or
+  /// between runs).
+  void reset(std::size_t capacity = TraceBuffer::kDefaultCapacity);
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_span_id_{1};
+  std::atomic<std::uint64_t> clock_{0};
+  std::uint64_t trace_hi_ = 0;
+  std::uint64_t trace_lo_ = 0;
+  std::uint64_t anchor_steady_ns_ = 0;
+  std::uint64_t anchor_wall_ns_ = 0;
+  TraceBuffer buffer_;
+};
+
+/// Current steady-clock time in nanoseconds (the record timebase).
+[[nodiscard]] std::uint64_t steady_now_ns();
+
+/// Rank attribution: worlds tag their per-rank threads so records (and
+/// events) land on the right timeline; relay/middleware threads keep the
+/// default -1 and are grouped under a synthetic "middleware" process.
+void set_thread_rank(int rank);
+[[nodiscard]] int thread_rank();
+/// Small process-wide ordinal of the calling thread (stable per thread).
+[[nodiscard]] std::uint32_t thread_ordinal();
+
+/// Transport send hook: mint the context to put on the wire (fresh span id,
+/// parent = innermost active span, ticked clock) and record the send. The
+/// returned context is all-zero when tracing is disabled.
+runtime::TraceContext on_send(const char* name);
+
+/// Transport receive hook: record the consume of a message carrying `ctx`.
+/// The record's parent is the sender's send span and its duration is the
+/// receiver-side blocking time, so fan-in waits show up as slices.
+void on_consume(const char* name, const runtime::TraceContext& ctx,
+                double wait_seconds);
+
+/// Relay hook: a store-and-forward hop that preserved `ctx` on the wire.
+void on_relay(const char* name, const runtime::TraceContext& ctx,
+              double forward_seconds);
+
+/// ScopedSpan destructor hook: record a completed span.
+void on_span_end(const char* name, std::uint64_t span_id,
+                 std::uint64_t parent_id,
+                 std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end);
+
+/// Everything write_trace_files() put on disk.
+struct FlushStats {
+  std::size_t records = 0;  ///< span/send/consume/relay records written
+  std::size_t events = 0;   ///< event-log entries written
+  std::vector<std::string> files;
+};
+
+/// Drain the trace buffer and the event log into `dir`: one
+/// `trace_rank_<R>.jsonl` per rank seen (schema gridse-trace/1; the header
+/// line carries the trace id and the steady/wall anchor pair) plus
+/// `events.jsonl` with every discrete event. Creates `dir` if needed.
+/// Writes nothing when there is nothing to write (OBS=OFF runs).
+FlushStats write_trace_files(const std::string& dir);
+
+}  // namespace gridse::obs::trace

@@ -3,7 +3,12 @@
 #include <thread>
 
 #include "analysis/assert.hpp"
+#include "obs/obs.hpp"
+#if GRIDSE_OBS
+#include "obs/trace/trace.hpp"
+#endif
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace gridse::runtime {
 
@@ -38,21 +43,46 @@ class InprocCommunicatorImpl final : public Communicator {
       throw CommError("inproc send: tags must be nonnegative");
     }
     bytes_sent_ += payload.size();
-    mailboxes_[static_cast<std::size_t>(dest)]->deliver(
-        Message{rank_, tag, std::move(payload)});
+    Message m{rank_, tag, std::move(payload)};
+#if GRIDSE_OBS
+    m.trace = obs::trace::on_send("runtime.inproc.send");
+#endif
+    mailboxes_[static_cast<std::size_t>(dest)]->deliver(std::move(m));
   }
 
   Message recv(int source, int tag) override {
+#if GRIDSE_OBS
+    Timer wait_timer;
+    Message m = mailboxes_[static_cast<std::size_t>(rank_)]->take(source, tag);
+    obs::trace::on_consume("runtime.inproc.recv", m.trace,
+                           wait_timer.seconds());
+    return m;
+#else
     return mailboxes_[static_cast<std::size_t>(rank_)]->take(source, tag);
+#endif
   }
 
   std::optional<Message> recv_for(int source, int tag,
                                   std::chrono::milliseconds timeout) override {
+#if GRIDSE_OBS
+    Timer wait_timer;
+    std::optional<Message> m =
+        mailboxes_[static_cast<std::size_t>(rank_)]->take_for(source, tag,
+                                                              timeout);
+    if (m) {
+      obs::trace::on_consume("runtime.inproc.recv", m->trace,
+                             wait_timer.seconds());
+    }
+    return m;
+#else
     return mailboxes_[static_cast<std::size_t>(rank_)]->take_for(source, tag,
                                                                  timeout);
+#endif
   }
 
   void barrier() override {
+    OBS_EVENT("barrier.enter", OBS_ATTR("rank", rank_),
+              OBS_ATTR("transport", "inproc"));
     analysis::UniqueLock lock(*barrier_mutex_);
     GRIDSE_ASSERT(*barrier_count_ < world_size_,
                   "barrier count " << *barrier_count_ << " exceeds world size "
@@ -65,6 +95,8 @@ class InprocCommunicatorImpl final : public Communicator {
     } else {
       barrier_cv_->wait(lock, [&] { return *barrier_generation_ != gen; });
     }
+    OBS_EVENT("barrier.exit", OBS_ATTR("rank", rank_),
+              OBS_ATTR("transport", "inproc"));
   }
 
   [[nodiscard]] std::size_t bytes_sent() const override { return bytes_sent_; }
@@ -111,6 +143,9 @@ void InprocWorld::run(const std::function<void(Communicator&)>& fn) {
   for (int r = 0; r < size(); ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
       try {
+#if GRIDSE_OBS
+        obs::trace::set_thread_rank(r);
+#endif
         const auto comm = communicator(r);
         fn(*comm);
       } catch (...) {

@@ -3,6 +3,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/trace_context.hpp"
+
+/// Matches the fallback in obs/metrics.hpp so a standalone include of this
+/// header agrees with the obs layer on whether the trace field exists.
+#ifndef GRIDSE_OBS
+#define GRIDSE_OBS 1
+#endif
+
 namespace gridse::runtime {
 
 /// Wildcards for Communicator::recv.
@@ -14,6 +22,12 @@ struct Message {
   int source = -1;
   int tag = 0;
   std::vector<std::uint8_t> payload;
+#if GRIDSE_OBS
+  /// Tracing context the transport attached at send time (all-zero when the
+  /// sender had tracing off or the frame predates wire format v2). Compiled
+  /// out entirely under GRIDSE_OBS=OFF.
+  TraceContext trace{};
+#endif
 };
 
 }  // namespace gridse::runtime

@@ -6,8 +6,13 @@
 #include <cstring>
 
 #include "obs/obs.hpp"
+#if GRIDSE_OBS
+#include "obs/trace/trace.hpp"
+#endif
+#include "runtime/trace_context.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace gridse::runtime {
 namespace {
@@ -42,8 +47,16 @@ class TcpCommunicatorImpl final : public Communicator {
     if (tag != kAnyTag && tag > TcpWorld::kMaxUserTag) {
       throw CommError("tcp recv: tag above kMaxUserTag is reserved");
     }
+#if GRIDSE_OBS
+    Timer wait_timer;
+    Message m =
+        world_->mailboxes_[static_cast<std::size_t>(rank_)]->take(source, tag);
+    obs::trace::on_consume("runtime.tcp.recv", m.trace, wait_timer.seconds());
+    return m;
+#else
     return world_->mailboxes_[static_cast<std::size_t>(rank_)]->take(source,
                                                                      tag);
+#endif
   }
 
   std::optional<Message> recv_for(int source, int tag,
@@ -51,12 +64,26 @@ class TcpCommunicatorImpl final : public Communicator {
     if (tag != kAnyTag && tag > TcpWorld::kMaxUserTag) {
       throw CommError("tcp recv: tag above kMaxUserTag is reserved");
     }
+#if GRIDSE_OBS
+    Timer wait_timer;
+    std::optional<Message> m =
+        world_->mailboxes_[static_cast<std::size_t>(rank_)]->take_for(
+            source, tag, timeout);
+    if (m) {
+      obs::trace::on_consume("runtime.tcp.recv", m->trace,
+                             wait_timer.seconds());
+    }
+    return m;
+#else
     return world_->mailboxes_[static_cast<std::size_t>(rank_)]->take_for(
         source, tag, timeout);
+#endif
   }
 
   void barrier() override {
     OBS_SPAN("runtime.tcp.barrier");
+    OBS_EVENT("barrier.enter", OBS_ATTR("rank", rank_),
+              OBS_ATTR("transport", "tcp"));
     Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
     if (rank_ == 0) {
       for (int r = 1; r < size(); ++r) {
@@ -69,16 +96,27 @@ class TcpCommunicatorImpl final : public Communicator {
       send_tagged(0, kBarrierArriveTag, {}, /*allow_reserved=*/true);
       barrier_take(box, 0, kBarrierReleaseTag);
     }
+    OBS_EVENT("barrier.exit", OBS_ATTR("rank", rank_),
+              OBS_ATTR("transport", "tcp"));
   }
 
   [[nodiscard]] std::size_t bytes_sent() const override { return bytes_sent_; }
 
  private:
   void barrier_take(Mailbox& box, int source, int tag) {
-    if (!box.take_for(source, tag, kBarrierTimeout)) {
+#if GRIDSE_OBS
+    Timer wait_timer;
+#endif
+    const std::optional<Message> msg =
+        box.take_for(source, tag, kBarrierTimeout);
+    if (!msg) {
       throw CommError("tcp barrier: rank " + std::to_string(rank_) +
                       " timed out waiting for a peer (lost rank?)");
     }
+#if GRIDSE_OBS
+    obs::trace::on_consume("runtime.tcp.barrier", msg->trace,
+                           wait_timer.seconds());
+#endif
   }
 
   void send_tagged(int dest, int tag, const std::vector<std::uint8_t>& payload,
@@ -91,16 +129,33 @@ class TcpCommunicatorImpl final : public Communicator {
     }
     if (dest == rank_) {
       // loopback to self skips the socket (MPI-style self-send)
+      Message m{rank_, tag, payload};
+#if GRIDSE_OBS
+      m.trace = obs::trace::on_send("runtime.tcp.send");
+#endif
       world_->mailboxes_[static_cast<std::size_t>(rank_)]->deliver(
-          Message{rank_, tag, payload});
+          std::move(m));
       bytes_sent_ += payload.size();
       return;
     }
     auto& link = *world_->peer_links_[static_cast<std::size_t>(rank_)]
                                      [static_cast<std::size_t>(dest)];
-    const FrameHeader header{payload.size(), rank_, tag};
+    FrameHeader header{payload.size(), rank_, tag};
+#if GRIDSE_OBS
+    // v2 framing: flag bit 63 of the length and splice the trace-context
+    // block between header and payload (see medici/wire.hpp).
+    const TraceContext ctx = obs::trace::on_send("runtime.tcp.send");
+    if (ctx.valid()) {
+      header.length |= kTraceLengthFlag;
+    }
+#endif
     analysis::LockGuard lock(link.write_mutex);
     link.socket.send_all(&header, sizeof header);
+#if GRIDSE_OBS
+    if (ctx.valid()) {
+      link.socket.send_all(&ctx, sizeof ctx);
+    }
+#endif
     if (!payload.empty()) {
       link.socket.send_all(payload.data(), payload.size());
     }
@@ -179,11 +234,21 @@ TcpWorld::TcpWorld(int size) : size_(size) {
           std::memcpy(&header, &probe, 1);
           link->socket.recv_all(reinterpret_cast<std::uint8_t*>(&header) + 1,
                                 sizeof header - 1);
+          // v2 framing: consume the trace-context block whenever the flag
+          // bit is set, whichever build produced it, so the stream stays in
+          // sync (see medici/wire.hpp).
+          TraceContext ctx{};
+          if ((header.length & kTraceLengthFlag) != 0) {
+            link->socket.recv_all(&ctx, sizeof ctx);
+          }
           Message m;
           m.source = header.source;
           m.tag = header.tag;
-          m.payload.resize(header.length);
-          if (header.length > 0) {
+#if GRIDSE_OBS
+          m.trace = ctx;
+#endif
+          m.payload.resize(header.length & kTraceLengthMask);
+          if (!m.payload.empty()) {
             link->socket.recv_all(m.payload.data(), m.payload.size());
           }
           mailboxes_[static_cast<std::size_t>(r)]->deliver(std::move(m));
@@ -219,6 +284,9 @@ void TcpWorld::run(const std::function<void(Communicator&)>& fn) {
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
       try {
+#if GRIDSE_OBS
+        obs::trace::set_thread_rank(r);
+#endif
         const auto comm = communicator(r);
         fn(*comm);
       } catch (...) {

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gridse::runtime {
+
+/// Distributed-tracing context carried along with every tagged message so
+/// the receiver can causally link its consume back to the sender's span.
+/// Lives in the runtime layer (not obs) because the wire and mailbox code
+/// must name the type even in GRIDSE_OBS=OFF builds, which ban any
+/// reference to the obs namespace in the hot-path archives.
+// Kept trivially copyable (no user-declared special members beyond
+// defaulted comparison) so framing code may serialize it with memcpy.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;   ///< 128-bit trace id, high half
+  std::uint64_t trace_lo = 0;   ///< 128-bit trace id, low half
+  std::uint64_t span_id = 0;    ///< id of the send span (doubles as flow id)
+  std::uint64_t parent_id = 0;  ///< sender's innermost active span (0 = root)
+  std::uint64_t clock = 0;      ///< Lamport logical clock at send time
+
+  /// An all-zero trace id means "no context attached" (legacy frame or
+  /// tracing disabled).
+  [[nodiscard]] bool valid() const { return (trace_hi | trace_lo) != 0; }
+
+  bool operator==(const TraceContext&) const = default;
+};
+static_assert(sizeof(TraceContext) == 40,
+              "trace context must be tightly packed for wire serialization");
+
+/// Wire encoding (wire format v2, see medici/wire.hpp): bit 63 of the frame
+/// header's length field flags a serialized TraceContext between the header
+/// and the payload. v1 senders never set the bit (payloads are far below
+/// 2^63 bytes), so legacy frames parse unchanged.
+inline constexpr std::uint64_t kTraceLengthFlag = 1ull << 63;
+inline constexpr std::uint64_t kTraceLengthMask = kTraceLengthFlag - 1;
+
+}  // namespace gridse::runtime

@@ -2,13 +2,27 @@
 
 #include <algorithm>
 
+#if GRIDSE_OBS
+#include "obs/trace/trace.hpp"
+#endif
+
 namespace gridse {
 
 ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
   GRIDSE_CHECK_MSG(num_threads > 0, "thread pool needs at least one worker");
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
+#if GRIDSE_OBS
+    // Workers inherit the creating rank so their trace records land on the
+    // owner's track (each site owns its worker processors, paper §IV-A).
+    const int creator_rank = obs::trace::thread_rank();
+    workers_.emplace_back([this, creator_rank] {
+      obs::trace::set_thread_rank(creator_rank);
+      worker_loop();
+    });
+#else
     workers_.emplace_back([this] { worker_loop(); });
+#endif
   }
 }
 

@@ -1,0 +1,164 @@
+// Round-trip and robustness tests for the v2 wire format (medici/wire.hpp):
+// fuzz-style encode/decode over random payload sizes (including empty and
+// larger than 64 KiB), truncation rejection at every boundary, the optional
+// trace-context block, and bidirectional interop with legacy v1 framing.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "medici/wire.hpp"
+#include "runtime/socket.hpp"
+#include "runtime/trace_context.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::medici {
+namespace {
+
+std::vector<std::uint8_t> random_payload(Rng& rng, std::size_t size) {
+  std::vector<std::uint8_t> payload(size);
+  for (auto& b : payload) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return payload;
+}
+
+runtime::TraceContext make_context(Rng& rng) {
+  runtime::TraceContext ctx;
+  ctx.trace_hi = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  ctx.trace_lo =
+      static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));  // nonzero
+  ctx.span_id = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  ctx.parent_id = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  ctx.clock = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+  return ctx;
+}
+
+TEST(WireTest, FuzzRoundTripRandomSizesWithAndWithoutTrace) {
+  Rng rng(2012);
+  // Deliberate edge sizes first, then random ones — including > 64 KiB and
+  // beyond the chunking size so multi-chunk paths are exercised.
+  std::vector<std::size_t> sizes = {0, 1, 15, 16, 17, 65 * 1024,
+                                    kWireChunk + 123};
+  for (int i = 0; i < 40; ++i) {
+    sizes.push_back(static_cast<std::size_t>(rng.uniform_int(0, 1 << 17)));
+  }
+  for (const std::size_t size : sizes) {
+    const auto payload = random_payload(rng, size);
+    const bool with_trace = rng.bernoulli(0.5);
+    const runtime::TraceContext ctx = make_context(rng);
+    const auto source = static_cast<std::int32_t>(rng.uniform_int(0, 64));
+    const auto tag = static_cast<std::int32_t>(rng.uniform_int(0, 1 << 16));
+
+    const std::vector<std::uint8_t> bytes =
+        encode_frame(source, tag, payload, with_trace ? &ctx : nullptr);
+    WireFrame frame;
+    const std::size_t consumed = decode_frame(bytes, frame);
+
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(frame.source, source);
+    EXPECT_EQ(frame.tag, tag);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(frame.has_trace, with_trace);
+    if (with_trace) {
+      EXPECT_EQ(frame.trace, ctx);
+    } else {
+      EXPECT_FALSE(frame.trace.valid());
+    }
+  }
+}
+
+TEST(WireTest, DecodeRejectsTruncationAtEveryBoundary) {
+  Rng rng(7);
+  const auto payload = random_payload(rng, 100);
+  const runtime::TraceContext ctx = make_context(rng);
+  const std::vector<std::uint8_t> bytes = encode_frame(3, 42, payload, &ctx);
+  ASSERT_EQ(bytes.size(), sizeof(WireHeader) + kWireTraceSize + 100);
+
+  WireFrame frame;
+  // Every strict prefix must throw: inside the header, inside the trace
+  // block, and inside the payload.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{1}, sizeof(WireHeader) - 1,
+        sizeof(WireHeader), sizeof(WireHeader) + kWireTraceSize - 1,
+        sizeof(WireHeader) + kWireTraceSize, bytes.size() - 1}) {
+    EXPECT_THROW(decode_frame(std::span(bytes.data(), cut), frame), CommError)
+        << "prefix of " << cut << " bytes should be rejected";
+  }
+  EXPECT_EQ(decode_frame(bytes, frame), bytes.size());
+}
+
+TEST(WireTest, LegacyV1FramesParseAndV2ReaderSkipsFlag) {
+  // Hand-assemble a v1 frame (no flag bit, no trace block) the way the
+  // pre-v2 framing code did.
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const WireHeader header{payload.size(), 9, 77};
+  std::vector<std::uint8_t> bytes(sizeof header + payload.size());
+  std::memcpy(bytes.data(), &header, sizeof header);
+  std::memcpy(bytes.data() + sizeof header, payload.data(), payload.size());
+
+  WireFrame frame;
+  EXPECT_EQ(decode_frame(bytes, frame), bytes.size());
+  EXPECT_EQ(frame.source, 9);
+  EXPECT_EQ(frame.tag, 77);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_FALSE(frame.has_trace);
+  EXPECT_FALSE(frame.trace.valid());
+
+  // And the other direction: an untraced v2 frame is byte-identical to v1.
+  EXPECT_EQ(encode_frame(9, 77, payload, nullptr), bytes);
+}
+
+TEST(WireTest, FlagBitIsMaskedOutOfTheLength) {
+  const std::vector<std::uint8_t> payload(17, 0xAB);
+  runtime::TraceContext ctx;
+  ctx.trace_lo = 0x1234;
+  ctx.span_id = 5;
+  const std::vector<std::uint8_t> bytes = encode_frame(0, 1, payload, &ctx);
+  WireHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof header);
+  EXPECT_NE(header.length & runtime::kTraceLengthFlag, 0u);
+  EXPECT_EQ(header.length & runtime::kTraceLengthMask, payload.size());
+}
+
+TEST(WireTest, SocketRoundTripBothFramings) {
+  std::uint16_t port = 0;
+  runtime::Socket listener = runtime::Socket::listen_loopback(port);
+  runtime::Socket client = runtime::Socket::connect_loopback(port);
+  runtime::Socket server = listener.accept();
+
+  Rng rng(11);
+  const auto big = random_payload(rng, 70 * 1024);  // > 64 KiB
+  const runtime::TraceContext ctx = make_context(rng);
+  Pacer pacer(unshaped_model());
+
+  std::thread writer([&] {
+    write_frame(client, 1, 10, big, &ctx, pacer);
+    write_frame(client, 2, 20, std::span<const std::uint8_t>{}, nullptr,
+                pacer);
+    client.close();  // orderly EOF ends the read loop
+  });
+
+  WireFrame frame;
+  ASSERT_TRUE(read_frame(server, frame));
+  EXPECT_EQ(frame.source, 1);
+  EXPECT_EQ(frame.tag, 10);
+  EXPECT_EQ(frame.payload, big);
+  EXPECT_TRUE(frame.has_trace);
+  EXPECT_EQ(frame.trace, ctx);
+
+  ASSERT_TRUE(read_frame(server, frame));
+  EXPECT_EQ(frame.source, 2);
+  EXPECT_EQ(frame.tag, 20);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_FALSE(frame.has_trace);
+
+  EXPECT_FALSE(read_frame(server, frame));  // orderly close
+  writer.join();
+}
+
+}  // namespace
+}  // namespace gridse::medici

@@ -12,8 +12,15 @@ obs_report.json published by gridse_report. Output: one merged document
 * "advisory" — wall-clock numbers. Republished for trend dashboards but
   never gated: shared CI runners are too noisy for time-based gates.
 
-Run with --baseline pointing at a missing file to (re)generate a baseline:
-the merged output is then copied verbatim as the new reference.
+A missing or unreadable BENCH_baseline.json is an error (exit 3), not a
+silent pass: a gate that cannot find its reference must say so. Pass
+--allow-seed to (re)generate a baseline instead — the merged output is
+then copied verbatim as the new reference. A baseline that shares no
+enforced metric keys with the current output also fails (exit 4): such a
+gate would compare nothing while appearing green.
+
+Exit codes: 0 ok, 1 regression, 2 bad usage/inputs, 3 baseline missing
+or unreadable, 4 no overlapping enforced metrics.
 """
 import argparse
 import json
@@ -118,11 +125,14 @@ def main():
     parser.add_argument("--obs-report", required=True,
                         help="obs_report.json from gridse_report")
     parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_baseline.json (created if absent)")
+                        help="committed BENCH_baseline.json")
     parser.add_argument("--out", required=True,
                         help="merged BENCH_ci.json to write")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional growth of enforced metrics")
+    parser.add_argument("--allow-seed", action="store_true",
+                        help="seed a missing baseline from this run's output "
+                             "instead of failing with exit code 3")
     args = parser.parse_args()
 
     doc = merge(load(args.benchmarks), load(args.obs_report))
@@ -134,10 +144,23 @@ def main():
 
     try:
         baseline = load(args.baseline)
-    except FileNotFoundError:
-        shutil.copyfile(args.out, args.baseline)
-        print(f"bench_gate: no baseline found; seeded {args.baseline}")
-        return 0
+    except (FileNotFoundError, json.JSONDecodeError, OSError) as e:
+        if args.allow_seed:
+            shutil.copyfile(args.out, args.baseline)
+            print(f"bench_gate: no usable baseline; seeded {args.baseline}")
+            return 0
+        print(f"bench_gate: ERROR: baseline {args.baseline} is missing or "
+              f"unreadable ({e}); the gate cannot run. Re-seed it with "
+              f"--allow-seed if this is intentional.", file=sys.stderr)
+        return 3
+
+    overlap = set(doc["enforced"]) & set(baseline.get("enforced", {}))
+    if not overlap:
+        print(f"bench_gate: ERROR: no enforced metric keys overlap between "
+              f"{args.baseline} and this run's output; the gate would "
+              f"compare nothing. Re-seed the baseline with --allow-seed.",
+              file=sys.stderr)
+        return 4
 
     failures = gate(doc, baseline, args.tolerance)
     if failures:

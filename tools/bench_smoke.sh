@@ -7,6 +7,9 @@
 #
 # Usage: tools/bench_smoke.sh [build-dir] [out-dir]
 #
+# Extra bench_gate.py flags (e.g. --allow-seed to re-seed the baseline)
+# can be passed via the BENCH_GATE_FLAGS environment variable.
+#
 # The curated subset mirrors the paper's evaluation:
 #   bench_table3_local_overhead   — local DSE overhead rows (Table III)
 #   bench_table4_network_overhead — networked overhead rows (Table IV)
@@ -35,10 +38,27 @@ echo "bench_smoke: PCG solver ablation (benchmark JSON)..." >&2
 
 echo "bench_smoke: DSE observability report (ieee118)..." >&2
 "${build_dir}/tools/gridse_report" --case ieee118 --cycles 3 \
-  --out "${out_dir}/obs_report.json"
+  --out "${out_dir}/obs_report.json" \
+  --trace-dir "${out_dir}/trace"
 
+# Merge the per-rank distributed-trace files into a Perfetto-loadable
+# trace.json and fail on a malformed document. A GRIDSE_OBS=OFF build
+# writes no trace files; skip the merge rather than fail.
+if compgen -G "${out_dir}/trace/trace_rank_*.jsonl" > /dev/null; then
+  echo "bench_smoke: merging distributed trace..." >&2
+  "${build_dir}/tools/gridse_trace" --out "${out_dir}/trace.json" \
+    "${out_dir}"/trace/trace_rank_*.jsonl \
+    | tee "${out_dir}/trace_summary.txt"
+  "${build_dir}/tools/gridse_trace" --validate "${out_dir}/trace.json"
+else
+  echo "bench_smoke: no trace files (GRIDSE_OBS=OFF build?); skipping merge" >&2
+fi
+
+# BENCH_GATE_FLAGS is intentionally unquoted word-splitting below.
+# shellcheck disable=SC2086
 python3 "${repo_root}/tools/bench_gate.py" \
   --benchmarks "${out_dir}/pcg_benchmarks.json" \
   --obs-report "${out_dir}/obs_report.json" \
   --baseline "${repo_root}/BENCH_baseline.json" \
-  --out "${repo_root}/BENCH_ci.json"
+  --out "${repo_root}/BENCH_ci.json" \
+  ${BENCH_GATE_FLAGS:-}

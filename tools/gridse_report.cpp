@@ -3,7 +3,7 @@
 //
 //   gridse_report [--case ieee118|wecc37] [--clusters K] [--cycles N]
 //                 [--transport inproc|tcp|medici|direct] [--rounds R]
-//                 [--out obs_report.json] [--table]
+//                 [--out obs_report.json] [--trace-dir DIR] [--table]
 //
 // The report (schema "gridse-obs-report/1") carries two views of the same
 // run: per-cycle phase timings and byte counts in the shape of the paper's
@@ -67,7 +67,8 @@ void usage() {
       "usage: gridse_report [--case ieee118|wecc37] [--clusters K]\n"
       "                     [--cycles N] [--transport inproc|tcp|medici|"
       "direct]\n"
-      "                     [--rounds R] [--out obs_report.json] [--table]\n");
+      "                     [--rounds R] [--out obs_report.json]\n"
+      "                     [--trace-dir DIR] [--table]\n");
 }
 
 int run(const Args& args) {
@@ -92,6 +93,16 @@ int run(const Args& args) {
                                              : core::Transport::kInproc;
   config.dse.step2_rounds = opt_int(args, "rounds", 1);
   const int cycles = opt_int(args, "cycles", 3);
+
+  // Per-rank distributed-trace files land here when the system is torn
+  // down; merge them with gridse_trace (docs/OBSERVABILITY.md).
+  config.trace_dir = opt_str(args, "trace-dir", "");
+  if (!config.trace_dir.empty() && !obs::kEnabled) {
+    std::fprintf(stderr,
+                 "note: built with GRIDSE_OBS=OFF; no trace files will be "
+                 "written to '%s'\n",
+                 config.trace_dir.c_str());
+  }
 
   // Drop anything a previous run in this process accumulated so the report
   // covers exactly the cycles below.

@@ -1,0 +1,104 @@
+// Trace collector CLI (docs/OBSERVABILITY.md, "Distributed tracing").
+//
+// Merge mode:     gridse_trace --out trace.json trace_rank_0.jsonl ...
+//   Merges per-rank trace files into one Chrome/Perfetto trace document
+//   (load it at https://ui.perfetto.dev), validates the result, and prints
+//   the critical-path summary to stdout.
+// Validate mode:  gridse_trace --validate trace.json
+//   Structural check of an existing merged document; exits nonzero and
+//   lists the problems when the trace is malformed.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace/collector.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitInvalidTrace = 1;
+constexpr int kExitUsage = 2;
+
+void print_usage(std::ostream& os) {
+  os << "usage: gridse_trace --out <trace.json> <trace_rank_*.jsonl>...\n"
+     << "       gridse_trace --validate <trace.json>\n";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw gridse::InvalidInput("cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int run_validate(const std::string& path) {
+  const std::string text = read_file(path);
+  const std::vector<std::string> problems =
+      gridse::obs::trace::validate_chrome_trace(text);
+  if (!problems.empty()) {
+    std::cerr << path << ": invalid trace (" << problems.size()
+              << " problem(s)):\n";
+    for (const std::string& p : problems) {
+      std::cerr << "  - " << p << "\n";
+    }
+    return kExitInvalidTrace;
+  }
+  std::cout << path << ": OK\n";
+  return kExitOk;
+}
+
+int run_merge(const std::string& out_path,
+              const std::vector<std::string>& inputs) {
+  std::vector<gridse::obs::trace::RankTrace> ranks;
+  ranks.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    ranks.push_back(gridse::obs::trace::load_rank_trace(path));
+  }
+  const std::string merged = gridse::obs::trace::merge_to_chrome_json(ranks);
+  const std::vector<std::string> problems =
+      gridse::obs::trace::validate_chrome_trace(merged);
+  if (!problems.empty()) {
+    std::cerr << "merged trace failed validation:\n";
+    for (const std::string& p : problems) {
+      std::cerr << "  - " << p << "\n";
+    }
+    return kExitInvalidTrace;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw gridse::InvalidInput("cannot write " + out_path);
+  }
+  out << merged;
+  out.close();
+  std::cout << "wrote " << out_path << " (" << merged.size() << " bytes, "
+            << ranks.size() << " rank file(s))\n\n";
+  std::cout << gridse::obs::trace::critical_path_summary(ranks);
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 2 && args[0] == "--validate") {
+      return run_validate(args[1]);
+    }
+    if (args.size() >= 3 && args[0] == "--out") {
+      return run_merge(args[1],
+                       std::vector<std::string>(args.begin() + 2, args.end()));
+    }
+    print_usage(std::cerr);
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "gridse_trace: " << e.what() << "\n";
+    return kExitUsage;
+  }
+}
