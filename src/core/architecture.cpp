@@ -36,6 +36,16 @@ DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
       decomposition_(decomp::decompose(generated_.kase.network,
                                        generated_.subsystem_of_bus)),
       rng_(config.seed) {
+  // Environment overrides win over the configured resilience values; the
+  // resolved exchange deadline flows into the DSE options unless those were
+  // already set to a nonzero deadline.
+  config_.resilience = runtime::with_env_overrides(config_.resilience);
+  if (config_.dse.exchange_deadline.count() == 0) {
+    config_.dse.exchange_deadline = config_.resilience.exchange_deadline;
+  }
+  config_.dse.degraded_step2 =
+      config_.dse.degraded_step2 && config_.resilience.degraded_step2;
+
   decomp::analyze_sensitivity(generated_.kase.network, decomposition_,
                               config_.sensitivity);
 
@@ -131,18 +141,23 @@ CycleReport DseSystem::run_cycle(double time_sec) {
       break;
     }
     case Transport::kTcp: {
-      runtime::TcpWorld world(k);
+      runtime::TcpWorld world(k, config_.resilience);
       world.run(body);
       break;
     }
     case Transport::kMedici: {
       medici::MediciWorld world(k, medici::TransportMode::kViaMiddleware,
-                                medici::unshaped_model());
+                                medici::unshaped_model(),
+                                medici::unshaped_model(),
+                                config_.resilience);
       world.run(body);
       break;
     }
     case Transport::kMediciDirect: {
-      medici::MediciWorld world(k, medici::TransportMode::kDirectTcp);
+      medici::MediciWorld world(k, medici::TransportMode::kDirectTcp,
+                                medici::medici_relay_model(),
+                                medici::unshaped_model(),
+                                config_.resilience);
       world.run(body);
       break;
     }

@@ -11,6 +11,7 @@
 #include "io/synthetic.hpp"
 #include "mapping/mapper.hpp"
 #include "mapping/redistribution.hpp"
+#include "runtime/resilience.hpp"
 
 namespace gridse::core {
 
@@ -30,6 +31,12 @@ struct SystemConfig {
   DseOptions dse;
   grid::MeasurementPlan plan;  ///< SCADA/PMU synthesis (PMUs auto-placed)
   Transport transport = Transport::kInproc;
+  /// Fault-handling knobs: send retry/backoff, barrier timeout, exchange
+  /// deadline. Resolved against GRIDSE_BARRIER_TIMEOUT_MS and
+  /// GRIDSE_EXCHANGE_DEADLINE_MS at construction (env wins); the resolved
+  /// exchange deadline and degraded flag also seed dse.exchange_deadline /
+  /// dse.degraded_step2 unless those were set explicitly.
+  runtime::ResilienceConfig resilience;
   std::uint64_t seed = 1;
   /// Directory for per-rank distributed-trace files, flushed when the
   /// system is destroyed (see docs/OBSERVABILITY.md). Empty = take the

@@ -1,7 +1,10 @@
 #include "core/dse_driver.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "obs/obs.hpp"
@@ -23,6 +26,40 @@ int pseudo_tag(int from_subsystem, int to_subsystem, int m) {
 }
 
 int redist_tag(int subsystem) { return kRedistTagBase + subsystem; }
+
+/// Wall-clock budget for one exchange phase. Disabled (0) reproduces the
+/// historical blocking behavior.
+class Deadline {
+ public:
+  explicit Deadline(std::chrono::milliseconds budget)
+      : enabled_(budget.count() > 0),
+        at_(std::chrono::steady_clock::now() + budget) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Time left, clamped at zero. A zero-remaining recv_for still performs a
+  /// final mailbox scan, so a message that raced the deadline is picked up.
+  [[nodiscard]] std::chrono::milliseconds remaining() const {
+    return std::max(std::chrono::duration_cast<std::chrono::milliseconds>(
+                        at_ - std::chrono::steady_clock::now()),
+                    std::chrono::milliseconds{0});
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point at_;
+};
+
+/// Blocking recv without a deadline; bounded recv with one. nullopt means
+/// the deadline expired with nothing matching delivered.
+std::optional<runtime::Message> recv_within(runtime::Communicator& comm,
+                                            const Deadline& deadline,
+                                            int source, int tag) {
+  if (!deadline.enabled()) {
+    return comm.recv(source, tag);
+  }
+  return comm.recv_for(source, tag, deadline.remaining());
+}
 
 }  // namespace
 
@@ -114,9 +151,16 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   result.step1_seconds = step1_timer.seconds();
 
   // --- Re-mapping redistribution + pseudo-measurement exchange ---------------
+  // Degradation bookkeeping for this rank's hosted Step-2 subsystems: a
+  // subsystem whose redistribution payload never arrived cannot run Step 2
+  // at all; a subsystem missing only neighbour pseudo-measurements re-solves
+  // with low-weight priors.
+  std::set<int> dead_subsystems;
+  std::map<int, std::set<int>> missing_neighbors;
   Timer exchange_timer;
   {
     OBS_SPAN("dse.exchange.redistribute");
+    const Deadline deadline(options_.exchange_deadline);
     // Ship Step-1 solutions (plus the raw boundary/sensitive measurements
     // the new host will need) for subsystems that move clusters between
     // steps.
@@ -143,11 +187,31 @@ DseResult DseDriver::run(runtime::Communicator& comm,
     for (const int s : hosted2) {
       const graph::PartId src = step1_assignment[static_cast<std::size_t>(s)];
       if (src == rank) continue;
-      const runtime::Message msg = comm.recv(src, redist_tag(s));
-      ByteReader r(msg.payload);
-      const auto states = r.read_vector<BusStateRecord>();
-      (void)r.read_vector<std::uint8_t>();  // raw measurements: costed payload
-      estimators.at(s)->adopt_step1(states);
+      const auto msg = recv_within(comm, deadline, src, redist_tag(s));
+      if (!msg.has_value()) {
+        if (!options_.degraded_step2) {
+          throw CommError("dse: redistribution for subsystem " +
+                          std::to_string(s) + " missed the exchange deadline");
+        }
+        dead_subsystems.insert(s);
+        OBS_EVENT("exchange.redistribution_lost", OBS_ATTR("subsystem", s),
+                  OBS_ATTR("from_rank", src));
+        continue;
+      }
+      try {
+        ByteReader r(msg->payload);
+        const auto states = r.read_vector<BusStateRecord>();
+        (void)r.read_vector<std::uint8_t>();  // raw measurements: costed
+        estimators.at(s)->adopt_step1(states);
+      } catch (const InvalidInput&) {
+        OBS_COUNTER_ADD("exchange.corrupt_frames", 1);
+        if (!options_.degraded_step2) {
+          throw;
+        }
+        dead_subsystems.insert(s);
+        OBS_EVENT("exchange.redistribution_lost", OBS_ATTR("subsystem", s),
+                  OBS_ATTR("from_rank", src), OBS_ATTR("reason", "corrupt"));
+      }
     }
 
     comm.barrier();
@@ -167,9 +231,14 @@ DseResult DseDriver::run(runtime::Communicator& comm,
     // the rounds from mixing.
     Timer round_exchange_timer;
     std::map<int, std::vector<BusStateRecord>> neighbor_records;
+    for (const int t : hosted2) {
+      neighbor_records[t];  // pre-create: the worker pool must never insert
+    }
     {
       OBS_SPAN("dse.exchange.pseudo");
+      const Deadline deadline(options_.exchange_deadline);
       for (const int s : hosted2) {
+        if (dead_subsystems.count(s) > 0) continue;  // nothing to export
         const auto records = estimators.at(s)->current_boundary_states();
         const auto payload = encode_bus_states(records);
         for (const int t : decomposition_->neighbors_of(s)) {
@@ -186,6 +255,7 @@ DseResult DseDriver::run(runtime::Communicator& comm,
         }
       }
       for (const int t : hosted2) {
+        if (dead_subsystems.count(t) > 0) continue;  // will not run Step 2
 #if GRIDSE_OBS
         // Step-2 fan-in wait: how long each subsystem blocks for its
         // neighbours' pseudo-measurements (the paper's exchange-phase
@@ -199,11 +269,42 @@ DseResult DseDriver::run(runtime::Communicator& comm,
         for (const int s : decomposition_->neighbors_of(t)) {
           const graph::PartId src =
               step2_assignment[static_cast<std::size_t>(s)];
-          if (src == rank) continue;  // already merged locally above
-          const runtime::Message msg = comm.recv(src, pseudo_tag(s, t, m));
-          const auto records = decode_bus_states(msg.payload);
-          auto& sink = neighbor_records[t];
-          sink.insert(sink.end(), records.begin(), records.end());
+          if (src == rank) {
+            // Merged locally above — unless the neighbour itself is dead on
+            // this rank and exported nothing.
+            if (dead_subsystems.count(s) > 0) {
+              missing_neighbors[t].insert(s);
+            }
+            continue;
+          }
+          const auto msg = recv_within(comm, deadline, src,
+                                       pseudo_tag(s, t, m));
+          if (!msg.has_value()) {
+            if (!options_.degraded_step2) {
+              throw CommError("dse: pseudo measurements from subsystem " +
+                              std::to_string(s) + " for subsystem " +
+                              std::to_string(t) +
+                              " missed the exchange deadline");
+            }
+            missing_neighbors[t].insert(s);
+            OBS_EVENT("exchange.pseudo_lost", OBS_ATTR("subsystem", t),
+                      OBS_ATTR("neighbor", s), OBS_ATTR("round", round));
+            continue;
+          }
+          try {
+            const auto records = decode_bus_states(msg->payload);
+            auto& sink = neighbor_records[t];
+            sink.insert(sink.end(), records.begin(), records.end());
+          } catch (const InvalidInput&) {
+            OBS_COUNTER_ADD("exchange.corrupt_frames", 1);
+            if (!options_.degraded_step2) {
+              throw;
+            }
+            missing_neighbors[t].insert(s);
+            OBS_EVENT("exchange.pseudo_lost", OBS_ATTR("subsystem", t),
+                      OBS_ATTR("neighbor", s), OBS_ATTR("round", round),
+                      OBS_ATTR("reason", "corrupt"));
+          }
         }
 #if GRIDSE_OBS
         const double fanin_wait = fanin_timer.seconds();
@@ -220,8 +321,11 @@ DseResult DseDriver::run(runtime::Communicator& comm,
       std::mutex info_mutex;
       pool.parallel_for(hosted2.size(), [&](std::size_t i) {
         const int s = hosted2[i];
+        if (dead_subsystems.count(s) > 0) return;
+        const bool degraded = missing_neighbors.count(s) > 0;
         const LocalSolveInfo info = estimators.at(s)->run_step2(
-            global_measurements, neighbor_records[s]);
+            global_measurements, neighbor_records.at(s),
+            /*fill_missing_with_priors=*/degraded);
         OBS_HISTOGRAM_OBSERVE("dse.step2.subsystem_seconds", info.seconds);
         OBS_COUNTER_ADD("dse.step2.subsystems", 1);
         std::lock_guard<std::mutex> lock(info_mutex);
@@ -235,18 +339,49 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   // --- Final step: combine subsystem solutions --------------------------------
   Timer combine_timer;
   OBS_SPAN("dse.combine");
-  bool local_ok = true;
+  bool local_ok = dead_subsystems.empty();
   for (const auto& [s, info] : step1_info) local_ok &= info.converged;
   for (const auto& [s, info] : step2_info) local_ok &= info.converged;
 
+  // This rank's degradation report, shipped inside the combine payload so
+  // every rank finishes with the cluster-wide health picture.
+  std::vector<DegradedStatus> my_statuses;
+  for (const int s : hosted2) {
+    DegradedStatus st;
+    st.subsystem = s;
+    st.missing_redistribution = dead_subsystems.count(s) > 0;
+    const auto missing_it = missing_neighbors.find(s);
+    if (missing_it != missing_neighbors.end()) {
+      st.missing_neighbors.assign(missing_it->second.begin(),
+                                  missing_it->second.end());
+    }
+    if (st.missing_redistribution || !st.missing_neighbors.empty()) {
+      my_statuses.push_back(std::move(st));
+    }
+  }
+#if GRIDSE_OBS
+  if (!my_statuses.empty()) {
+    OBS_COUNTER_ADD("exchange.degraded_subsystems", my_statuses.size());
+    for (const DegradedStatus& st : my_statuses) {
+      OBS_EVENT("exchange.degraded", OBS_ATTR("subsystem", st.subsystem),
+                OBS_ATTR("missing_neighbors",
+                         static_cast<int>(st.missing_neighbors.size())),
+                OBS_ATTR("missing_redistribution",
+                         st.missing_redistribution ? 1 : 0));
+    }
+  }
+#endif
+
   std::vector<BusStateRecord> my_records;
   for (const int s : hosted2) {
+    if (dead_subsystems.count(s) > 0) continue;  // never solved
     const auto records = estimators.at(s)->final_states();
     my_records.insert(my_records.end(), records.begin(), records.end());
   }
   ByteWriter w;
   w.write(static_cast<std::uint8_t>(local_ok ? 1 : 0));
   w.write_vector(my_records);
+  w.write_vector(encode_degraded(my_statuses));
   const auto combine_payload = w.take();
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank) continue;
@@ -256,20 +391,57 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   }
   result.state = grid::GridState(network_->num_buses());
   bool all_ok = local_ok;
+  result.degraded = my_statuses;
   const auto apply_records = [&](const std::vector<BusStateRecord>& records) {
     for (const BusStateRecord& rec : records) {
+      if (rec.bus < 0 || rec.bus >= network_->num_buses()) {
+        throw InvalidInput("dse combine: bus index " +
+                           std::to_string(rec.bus) + " out of range");
+      }
       result.state.theta[static_cast<std::size_t>(rec.bus)] = rec.theta;
       result.state.vm[static_cast<std::size_t>(rec.bus)] = rec.vm;
     }
   };
   apply_records(my_records);
+  const Deadline combine_deadline(options_.exchange_deadline);
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank) continue;
-    const runtime::Message msg = comm.recv(r, kCombineTag);
-    ByteReader reader(msg.payload);
-    all_ok &= reader.read<std::uint8_t>() != 0;
-    apply_records(reader.read_vector<BusStateRecord>());
+    const auto msg = recv_within(comm, combine_deadline, r, kCombineTag);
+    if (!msg.has_value()) {
+      if (!options_.degraded_step2) {
+        throw CommError("dse: combine payload from rank " +
+                        std::to_string(r) + " missed the exchange deadline");
+      }
+      result.unresponsive_ranks.push_back(r);
+      all_ok = false;
+      OBS_EVENT("exchange.unresponsive_rank", OBS_ATTR("rank", r));
+      continue;
+    }
+    try {
+      ByteReader reader(msg->payload);
+      const bool peer_ok = reader.read<std::uint8_t>() != 0;
+      const auto records = reader.read_vector<BusStateRecord>();
+      const auto peer_statuses =
+          decode_degraded(reader.read_vector<std::uint8_t>());
+      apply_records(records);
+      all_ok &= peer_ok;
+      result.degraded.insert(result.degraded.end(), peer_statuses.begin(),
+                             peer_statuses.end());
+    } catch (const InvalidInput&) {
+      OBS_COUNTER_ADD("exchange.corrupt_frames", 1);
+      if (!options_.degraded_step2) {
+        throw;
+      }
+      result.unresponsive_ranks.push_back(r);
+      all_ok = false;
+      OBS_EVENT("exchange.unresponsive_rank", OBS_ATTR("rank", r),
+                OBS_ATTR("reason", "corrupt"));
+    }
   }
+  std::sort(result.degraded.begin(), result.degraded.end(),
+            [](const DegradedStatus& a, const DegradedStatus& b) {
+              return a.subsystem < b.subsystem;
+            });
   result.all_converged = all_ok;
   result.combine_seconds = combine_timer.seconds();
   result.total_seconds = total_timer.seconds();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <span>
 
 #include "core/local_estimator.hpp"
@@ -25,6 +26,15 @@ struct DseOptions {
   /// re-mapped between Step 1 and Step 2 (costed, real bytes); disable to
   /// measure the algorithm without redistribution traffic.
   bool ship_redistribution = true;
+  /// Upper bound on waiting for each exchange message (redistribution,
+  /// Step-2 pseudo fan-in, final combine). 0 = wait forever (historical
+  /// behavior: a lost peer hangs the cycle).
+  std::chrono::milliseconds exchange_deadline{0};
+  /// When a neighbour's pseudo measurements never arrive within the
+  /// deadline, re-solve Step 2 with Step-1-derived low-weight priors and
+  /// finish the cycle degraded instead of throwing. Only meaningful with a
+  /// nonzero exchange_deadline.
+  bool degraded_step2 = true;
 };
 
 /// Per-subsystem execution trace.
@@ -50,6 +60,16 @@ struct DseResult {
   std::size_t bytes_sent = 0;
   /// Traces of the subsystems this rank hosted in Step 2.
   std::vector<SubsystemTrace> traces;
+  /// Subsystems (cluster-wide, gathered through the combine) whose Step 2
+  /// ran degraded; sorted by subsystem id. Empty on a healthy cycle.
+  std::vector<DegradedStatus> degraded;
+  /// Ranks whose combine payload never arrived within the deadline (their
+  /// buses keep default values in `state`).
+  std::vector<int> unresponsive_ranks;
+  /// True when any subsystem degraded or any rank went unresponsive.
+  [[nodiscard]] bool degraded_mode() const {
+    return !degraded.empty() || !unresponsive_ranks.empty();
+  }
 };
 
 /// The distributed state estimation driver (paper §II algorithm + §IV-C

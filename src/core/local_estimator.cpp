@@ -149,7 +149,8 @@ void LocalEstimator::adopt_step1(const std::vector<BusStateRecord>& records) {
 
 LocalSolveInfo LocalEstimator::run_step2(
     const grid::MeasurementSet& global_set,
-    const std::vector<BusStateRecord>& neighbor_states) {
+    const std::vector<BusStateRecord>& neighbor_states,
+    bool fill_missing_with_priors) {
   GRIDSE_CHECK_MSG(step1_state_.has_value(), "run_step2 before run_step1");
   Timer timer;
 
@@ -172,6 +173,8 @@ LocalSolveInfo LocalEstimator::run_step2(
 
   // Neighbour solutions become pseudo measurements on the extended model
   // (paper §II Step 2), and seed the initial state of the remote buses.
+  std::vector<bool> covered(
+      static_cast<std::size_t>(extended_.network.num_buses()), false);
   for (const BusStateRecord& rec : neighbor_states) {
     const auto it = extended_.local_of_global.find(rec.bus);
     if (it == extended_.local_of_global.end()) {
@@ -187,6 +190,54 @@ LocalSolveInfo LocalEstimator::run_step2(
                              options_.pseudo_sigma_angle});
     initial.theta[static_cast<std::size_t>(l)] = rec.theta;
     initial.vm[static_cast<std::size_t>(l)] = rec.vm;
+    covered[static_cast<std::size_t>(l)] = true;
+  }
+
+  if (fill_missing_with_priors) {
+    // Degraded mode: remote buses whose neighbour never reported would leave
+    // the extended system unobservable. Anchor each of them with a
+    // low-weight prior taken from the nearest own bus's Step-1 value
+    // (multi-source BFS over the extended topology), falling back to a flat
+    // profile for any bus not reachable from own territory.
+    const auto n = static_cast<std::size_t>(extended_.network.num_buses());
+    std::vector<std::vector<grid::BusIndex>> adjacent(n);
+    for (const grid::Branch& br : extended_.network.branches()) {
+      adjacent[static_cast<std::size_t>(br.from)].push_back(br.to);
+      adjacent[static_cast<std::size_t>(br.to)].push_back(br.from);
+    }
+    std::vector<grid::BusIndex> anchor(n, -1);
+    std::vector<grid::BusIndex> frontier;
+    for (std::size_t l = 0; l < n; ++l) {
+      if (extended_.own[l]) {
+        anchor[l] = static_cast<grid::BusIndex>(l);
+        frontier.push_back(static_cast<grid::BusIndex>(l));
+      }
+    }
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const grid::BusIndex u = frontier[head];
+      for (const grid::BusIndex v : adjacent[static_cast<std::size_t>(u)]) {
+        if (anchor[static_cast<std::size_t>(v)] >= 0) continue;
+        anchor[static_cast<std::size_t>(v)] =
+            anchor[static_cast<std::size_t>(u)];
+        frontier.push_back(v);
+      }
+    }
+    for (std::size_t l = 0; l < n; ++l) {
+      if (extended_.own[l] || covered[l]) continue;
+      const grid::BusIndex a = anchor[l];
+      const double vm =
+          a >= 0 ? initial.vm[static_cast<std::size_t>(a)] : 1.0;
+      const double theta =
+          a >= 0 ? initial.theta[static_cast<std::size_t>(a)] : ref.angle;
+      ext_set.items.push_back({grid::MeasType::kVMag,
+                               static_cast<grid::BusIndex>(l), -1, true, vm,
+                               options_.degraded_prior_sigma_vm});
+      ext_set.items.push_back({grid::MeasType::kVAngle,
+                               static_cast<grid::BusIndex>(l), -1, true,
+                               theta, options_.degraded_prior_sigma_angle});
+      initial.theta[l] = theta;
+      initial.vm[l] = vm;
+    }
   }
 
   estimation::WlsOptions wls = options_.wls;

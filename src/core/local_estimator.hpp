@@ -16,6 +16,11 @@ struct LocalEstimatorOptions {
   /// Step 2.
   double pseudo_sigma_vm = 0.01;
   double pseudo_sigma_angle = 0.01;
+  /// Standard deviations of the low-weight priors substituted for missing
+  /// neighbour pseudo measurements in degraded Step 2 (several times looser
+  /// than pseudo_sigma_* so real data always dominates).
+  double degraded_prior_sigma_vm = 0.05;
+  double degraded_prior_sigma_angle = 0.05;
   /// Tikhonov regularization for the Step-2 extended system (remote corners
   /// of the extended model can be weakly observed).
   double step2_regularization = 1e-8;
@@ -59,8 +64,13 @@ class LocalEstimator {
 
   /// DSE Step 2: re-evaluate on the extended model using own measurements
   /// plus neighbour pseudo measurements. Requires run_step1 first.
+  /// With `fill_missing_with_priors` (degraded mode), remote extended buses
+  /// not covered by `neighbor_states` get low-weight priors derived from the
+  /// nearest own bus's Step-1 solution instead of being left unanchored, so
+  /// the extended solve stays observable when a neighbour never reported.
   LocalSolveInfo run_step2(const grid::MeasurementSet& global_set,
-                           const std::vector<BusStateRecord>& neighbor_states);
+                           const std::vector<BusStateRecord>& neighbor_states,
+                           bool fill_missing_with_priors = false);
 
   /// Step-1 solution of this subsystem's own buses, global numbering —
   /// all buses (for the final combine).

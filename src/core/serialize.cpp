@@ -21,6 +21,37 @@ std::vector<BusStateRecord> decode_bus_states(
   return records;
 }
 
+std::vector<std::uint8_t> encode_degraded(
+    const std::vector<DegradedStatus>& statuses) {
+  ByteWriter w(16 + statuses.size() * 32);
+  w.write(static_cast<std::uint64_t>(statuses.size()));
+  for (const DegradedStatus& st : statuses) {
+    w.write(st.subsystem);
+    w.write(static_cast<std::uint8_t>(st.missing_redistribution ? 1 : 0));
+    w.write_vector(st.missing_neighbors);
+  }
+  return w.take();
+}
+
+std::vector<DegradedStatus> decode_degraded(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const auto count = r.read<std::uint64_t>();
+  if (count > bytes.size()) {  // each status needs well over one byte
+    throw InvalidInput("decode_degraded: implausible status count");
+  }
+  std::vector<DegradedStatus> statuses(count);
+  for (DegradedStatus& st : statuses) {
+    st.subsystem = r.read<std::int32_t>();
+    st.missing_redistribution = r.read<std::uint8_t>() != 0;
+    st.missing_neighbors = r.read_vector<std::int32_t>();
+  }
+  if (!r.at_end()) {
+    throw InvalidInput("decode_degraded: trailing bytes in frame");
+  }
+  return statuses;
+}
+
 namespace {
 
 /// Wire image of one measurement (kept independent of the in-memory layout

@@ -24,6 +24,25 @@ std::vector<std::uint8_t> encode_bus_states(
 std::vector<BusStateRecord> decode_bus_states(
     const std::vector<std::uint8_t>& bytes);
 
+/// Health record of one subsystem whose Step 2 ran degraded: some neighbour
+/// pseudo-measurements never arrived (re-solved with Step-1 priors), or its
+/// re-mapping redistribution payload was lost (subsystem skipped entirely).
+/// Shipped inside the combine payload so every rank ends the cycle with the
+/// full degradation picture.
+struct DegradedStatus {
+  std::int32_t subsystem = -1;
+  /// Neighbour subsystems whose pseudo measurements were missing/corrupt.
+  std::vector<std::int32_t> missing_neighbors;
+  /// True when the Step-1 solution never reached the Step-2 host.
+  bool missing_redistribution = false;
+};
+
+/// Serialize/deserialize a batch of degradation records.
+std::vector<std::uint8_t> encode_degraded(
+    const std::vector<DegradedStatus>& statuses);
+std::vector<DegradedStatus> decode_degraded(
+    const std::vector<std::uint8_t>& bytes);
+
 /// Serialize/deserialize a measurement set (for the Step-1→Step-2
 /// raw-measurement redistribution when a subsystem is re-mapped).
 std::vector<std::uint8_t> encode_measurements(const grid::MeasurementSet& set);

@@ -1,5 +1,7 @@
 #include "medici/medici_comm.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "obs/obs.hpp"
@@ -13,6 +15,10 @@ namespace {
 
 constexpr int kBarrierArriveTag = MediciWorld::kMaxUserTag + 1;
 constexpr int kBarrierReleaseTag = MediciWorld::kMaxUserTag + 2;
+
+/// Poll granularity inside the barrier wait loop: short enough that a dead
+/// peer is noticed quickly, long enough that an idle barrier burns no CPU.
+constexpr std::chrono::milliseconds kBarrierPollSlice{50};
 
 }  // namespace
 
@@ -50,14 +56,14 @@ class MediciCommunicatorImpl final : public runtime::Communicator {
     MwClient& me = *world_->clients_[static_cast<std::size_t>(rank_)];
     if (rank_ == 0) {
       for (int r = 1; r < size(); ++r) {
-        (void)me.recv(runtime::kAnySource, kBarrierArriveTag);
+        (void)barrier_take(me, runtime::kAnySource, kBarrierArriveTag);
       }
       for (int r = 1; r < size(); ++r) {
         send_tagged(r, kBarrierReleaseTag, {}, /*allow_reserved=*/true);
       }
     } else {
       send_tagged(0, kBarrierArriveTag, {}, /*allow_reserved=*/true);
-      (void)me.recv(0, kBarrierReleaseTag);
+      (void)barrier_take(me, 0, kBarrierReleaseTag);
     }
     OBS_EVENT("barrier.exit", OBS_ATTR("rank", rank_),
               OBS_ATTR("transport", "medici"));
@@ -68,6 +74,37 @@ class MediciCommunicatorImpl final : public runtime::Communicator {
   }
 
  private:
+  /// A barrier wait bounded by the world's barrier timeout: polls the
+  /// mailbox in short slices so a rank that died before arriving turns into
+  /// a fast CommError instead of a silent hang until the full timeout.
+  runtime::Message barrier_take(MwClient& me, int source, int tag) {
+    using std::chrono::steady_clock;
+    const steady_clock::time_point deadline =
+        steady_clock::now() + world_->barrier_timeout();
+    int polls_after_death = 0;
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline - steady_clock::now());
+      const std::chrono::milliseconds slice = std::min(
+          std::max(remaining, std::chrono::milliseconds{0}),
+          kBarrierPollSlice);
+      if (auto msg = me.recv_for(source, tag, slice)) {
+        return std::move(*msg);
+      }
+      if (remaining <= std::chrono::milliseconds{0}) {
+        throw CommError("medici barrier: rank " + std::to_string(rank_) +
+                        " timed out waiting for a peer (lost rank?)");
+      }
+      // One grace slice after a death is observed lets barrier messages
+      // already delivered to the mailbox drain before giving up.
+      if (world_->any_rank_dead() && ++polls_after_death >= 2) {
+        throw CommError("medici barrier: aborted at rank " +
+                        std::to_string(rank_) +
+                        ": a peer died before the barrier");
+      }
+    }
+  }
+
   void send_tagged(int dest, int tag, const std::vector<std::uint8_t>& payload,
                    bool allow_reserved) {
     if (dest < 0 || dest >= size()) {
@@ -89,12 +126,14 @@ class MediciCommunicatorImpl final : public runtime::Communicator {
 };
 
 MediciWorld::MediciWorld(int size, TransportMode mode, NetModel relay_model,
-                         NetModel link_model)
-    : mode_(mode), link_model_(link_model) {
+                         NetModel link_model,
+                         runtime::ResilienceConfig resilience)
+    : mode_(mode), link_model_(link_model), resilience_(resilience) {
   GRIDSE_CHECK_MSG(size > 0, "world size must be positive");
   clients_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
     clients_.push_back(std::make_unique<MwClient>(r));
+    clients_.back()->set_retry_policy(resilience_.send_retry);
   }
   send_target_.resize(static_cast<std::size_t>(size));
   pipelines_.resize(static_cast<std::size_t>(size));
@@ -157,6 +196,7 @@ void MediciWorld::run(
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size()));
   threads.reserve(static_cast<std::size_t>(size()));
+  dead_ranks_.store(0, std::memory_order_release);
   for (int r = 0; r < size(); ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
       try {
@@ -167,6 +207,9 @@ void MediciWorld::run(
         fn(*comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        dead_ranks_.fetch_add(1, std::memory_order_release);
+        OBS_EVENT("rank.died", OBS_ATTR("rank", r),
+                  OBS_ATTR("transport", "medici"));
       }
     });
   }
@@ -181,6 +224,14 @@ void MediciWorld::run(
 const EndpointUrl& MediciWorld::endpoint_of(int rank) const {
   GRIDSE_CHECK_MSG(rank >= 0 && rank < size(), "rank out of range");
   return clients_[static_cast<std::size_t>(rank)]->endpoint();
+}
+
+std::uint64_t MediciWorld::total_retries() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) {
+    total += c->retries();
+  }
+  return total;
 }
 
 RelayStats MediciWorld::relay_stats() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "medici/mw_client.hpp"
 #include "medici/pipeline.hpp"
 #include "runtime/communicator.hpp"
+#include "runtime/resilience.hpp"
 
 namespace gridse::medici {
 
@@ -25,9 +27,12 @@ class MediciWorld {
   /// `relay_model` paces the middleware hop (ignored in direct mode);
   /// `link_model` paces the sender's own uplink in both modes (use
   /// gige_network_model() to emulate the cross-network scenario).
+  /// `resilience` sets the barrier timeout and every client's send retry
+  /// policy.
   MediciWorld(int size, TransportMode mode,
               NetModel relay_model = medici_relay_model(),
-              NetModel link_model = unshaped_model());
+              NetModel link_model = unshaped_model(),
+              runtime::ResilienceConfig resilience = {});
   ~MediciWorld();
 
   MediciWorld(const MediciWorld&) = delete;
@@ -50,6 +55,18 @@ class MediciWorld {
   /// Total bytes relayed through all pipelines (0 in direct mode).
   [[nodiscard]] RelayStats relay_stats() const;
 
+  /// True when any rank's body has thrown during the current run().
+  [[nodiscard]] bool any_rank_dead() const {
+    return dead_ranks_.load(std::memory_order_acquire) != 0;
+  }
+
+  [[nodiscard]] std::chrono::milliseconds barrier_timeout() const {
+    return resilience_.barrier_timeout;
+  }
+
+  /// Total send retries performed across all clients (exchange.retries).
+  [[nodiscard]] std::uint64_t total_retries() const;
+
   static constexpr int kMaxUserTag = 1 << 20;
 
  private:
@@ -63,6 +80,10 @@ class MediciWorld {
   /// send_target_[src][dst]: where rank src writes for rank dst — the
   /// pipeline inbound endpoint, or dst's own endpoint in direct mode.
   std::vector<std::vector<EndpointUrl>> send_target_;
+  runtime::ResilienceConfig resilience_;
+  /// Count of ranks whose run() body threw (the in-process analogue of a
+  /// peer process dying mid-cycle).
+  std::atomic<int> dead_ranks_{0};
 };
 
 }  // namespace gridse::medici

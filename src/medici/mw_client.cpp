@@ -2,7 +2,10 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+
 #include "analysis/assert.hpp"
+#include "fault/fault.hpp"
 #include "medici/wire.hpp"
 #include "obs/obs.hpp"
 #if GRIDSE_OBS
@@ -125,14 +128,23 @@ void MwClient::send(const EndpointUrl& to, int tag,
     trace = &ctx;
   }
 #endif
-  analysis::LockGuard lock(send_mutex_);
+  if (FAULT_DROP("client.send", id_, tag)) {
+    return;  // injected loss before the client ever touches the wire
+  }
   const std::string key = to.to_string();
-  // One reconnect attempt: a cached connection may have gone stale (peer
-  // restarted); drop it and re-dial before giving up. A frame is written
-  // atomically per attempt, so the receiver never sees a torn message.
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  // Bounded retry with exponential backoff: a cached connection may have
+  // gone stale (peer restarted) or an in-flight write may fail; drop the
+  // connection, back off, and re-dial up to the policy's attempt budget. A
+  // frame is written atomically per attempt, so the receiver never sees a
+  // torn message. The lock is taken per attempt and the backoff sleep
+  // happens outside it, so sends to healthy endpoints proceed meanwhile.
+  const int attempts = std::max(1, retry_.max_attempts);
+  for (int attempt = 0;; ++attempt) {
     try {
-      send_attempt_locked(key, to, tag, payload, shape, trace);
+      {
+        analysis::LockGuard lock(send_mutex_);
+        send_attempt_locked(key, to, tag, payload, shape, trace);
+      }
 #if GRIDSE_OBS
       // Per-endpoint traffic accounting (paper Table IV is per link). The
       // names are dynamic, so this resolves through the registry map rather
@@ -144,13 +156,24 @@ void MwClient::send(const EndpointUrl& to, int tag,
 #endif
       return;
     } catch (const CommError&) {
-      connections_.erase(key);
-      if (attempt == 1) {
+      {
+        analysis::LockGuard lock(send_mutex_);
+        connections_.erase(key);
+      }
+      if (attempt + 1 >= attempts || stopping_.load()) {
         throw;
       }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      OBS_COUNTER_ADD("exchange.retries", 1);
       OBS_EVENT("medici.client.reconnect", OBS_ATTR("endpoint", key),
-                OBS_ATTR("client", id_));
-      GRIDSE_DEBUG << "mw client " << id_ << ": reconnecting to " << key;
+                OBS_ATTR("client", id_), OBS_ATTR("attempt", attempt + 1));
+      GRIDSE_DEBUG << "mw client " << id_ << ": reconnecting to " << key
+                   << " (attempt " << attempt + 2 << "/" << attempts << ")";
+      const std::uint64_t salt =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id_))
+           << 32) ^
+          retry_salt_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(retry_.backoff(attempt, salt));
     }
   }
 }

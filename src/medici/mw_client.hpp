@@ -12,6 +12,7 @@
 #include "medici/endpoint.hpp"
 #include "medici/netmodel.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/resilience.hpp"
 #include "runtime/socket.hpp"
 
 namespace gridse::medici {
@@ -37,10 +38,22 @@ class MwClient {
   [[nodiscard]] const EndpointUrl& endpoint() const { return endpoint_; }
 
   /// MW_Client_Send of Fig. 6: frame the payload and write it to `to`
-  /// (paced by `shape`). Connections are cached per destination endpoint.
+  /// (paced by `shape`). Connections are cached per destination endpoint;
+  /// a failed write drops the cached connection and retries with
+  /// exponential backoff up to the configured retry policy (default: one
+  /// reconnect, the historical behavior).
   void send(const EndpointUrl& to, int tag,
             std::span<const std::uint8_t> payload,
             const NetModel& shape = {});
+
+  /// Replace the send retry policy (default: RetryPolicy{}).
+  void set_retry_policy(runtime::RetryPolicy policy) { retry_ = policy; }
+
+  /// Send retries performed so far (reconnect attempts beyond each first
+  /// try) — the local view of the exchange.retries counter.
+  [[nodiscard]] std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
   /// MW_Client_Recv of Fig. 6: block for the next message matching
   /// (source, tag); wildcards as in runtime::Communicator.
@@ -83,6 +96,9 @@ class MwClient {
   runtime::Mailbox mailbox_;
   std::map<std::string, runtime::Socket> connections_;
   analysis::Mutex send_mutex_{"MwClient::send_mutex_"};
+  runtime::RetryPolicy retry_;
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> retry_salt_{0};
   std::atomic<std::size_t> bytes_sent_{0};
   std::atomic<bool> stopping_{false};
 };

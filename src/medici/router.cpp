@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include "analysis/assert.hpp"
+#include "fault/fault.hpp"
 #include "medici/wire.hpp"
 #include "obs/obs.hpp"
 #if GRIDSE_OBS
@@ -86,6 +87,11 @@ void Relay::relay_connection(runtime::Socket upstream) {
   try {
     // ---- store-and-forward: read one complete message, then write it ----
     while (read_frame(upstream, frame)) {
+      // A relay can lose a message after accepting it (the middleware-hop
+      // loss mode); dropped frames are not counted as forwarded.
+      if (FAULT_DROP("relay.forward", frame.source, frame.tag)) {
+        continue;
+      }
 #if GRIDSE_OBS
       Timer forward_timer;
 #endif

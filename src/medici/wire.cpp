@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "util/error.hpp"
 
 namespace gridse::medici {
@@ -70,6 +71,9 @@ std::size_t decode_frame(std::span<const std::uint8_t> bytes,
 }
 
 bool read_frame(const runtime::Socket& socket, WireFrame& out) {
+  // Reader-side site (delay / error); the frame's source and tag are not
+  // known until the header is read, so rules match on site alone.
+  (void)FAULT_POINT("wire.read", fault::kAnyValue, fault::kAnyValue);
   WireHeader header{};
   // Peek one byte first to distinguish orderly shutdown from a frame.
   std::uint8_t probe = 0;
@@ -95,9 +99,12 @@ bool read_frame(const runtime::Socket& socket, WireFrame& out) {
   return true;
 }
 
-void write_frame(const runtime::Socket& socket, std::int32_t source,
-                 std::int32_t tag, std::span<const std::uint8_t> payload,
-                 const runtime::TraceContext* trace, Pacer& pacer) {
+namespace {
+
+/// The unfaulted write path (header [+ trace] + chunked payload).
+void write_frame_impl(const runtime::Socket& socket, std::int32_t source,
+                      std::int32_t tag, std::span<const std::uint8_t> payload,
+                      const runtime::TraceContext* trace, Pacer& pacer) {
   const WireHeader header =
       make_header(source, tag, payload.size(), trace != nullptr);
   pacer.pace(sizeof header);
@@ -113,6 +120,46 @@ void write_frame(const runtime::Socket& socket, std::int32_t source,
     socket.send_all(payload.data() + off, n);
     off += n;
   }
+}
+
+}  // namespace
+
+void write_frame(const runtime::Socket& socket, std::int32_t source,
+                 std::int32_t tag, std::span<const std::uint8_t> payload,
+                 const runtime::TraceContext* trace, Pacer& pacer) {
+#if GRIDSE_FAULT
+  const fault::Action act = FAULT_POINT("wire.write", source, tag);
+  switch (act.kind) {
+    case fault::ActionKind::kDrop:
+      // The frame vanishes in flight: the sender believes the write
+      // succeeded, the receiver never sees it.
+      return;
+    case fault::ActionKind::kTruncate: {
+      // Write a strict prefix of the encoded frame, then fail the
+      // connection: the receiver observes a mid-frame close, the sender a
+      // CommError (which MwClient turns into a reconnect + retry).
+      const std::vector<std::uint8_t> bytes =
+          encode_frame(source, tag, payload, trace);
+      const std::size_t cut =
+          fault::truncate_length(act.mutation, bytes.size());
+      pacer.pace(cut);
+      socket.send_all(bytes.data(), cut);
+      throw CommError("fault injected: truncated frame at wire.write");
+    }
+    case fault::ActionKind::kBitFlip: {
+      // Corrupt one payload bit. The header and trace block stay intact so
+      // the stream framing never desyncs — without a wire checksum, payload
+      // corruption is the application decoder's to reject.
+      std::vector<std::uint8_t> corrupted(payload.begin(), payload.end());
+      fault::apply_bitflip(act.mutation, corrupted);
+      write_frame_impl(socket, source, tag, corrupted, trace, pacer);
+      return;
+    }
+    default:
+      break;
+  }
+#endif
+  write_frame_impl(socket, source, tag, payload, trace, pacer);
 }
 
 }  // namespace gridse::medici

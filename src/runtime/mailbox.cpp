@@ -1,12 +1,18 @@
 #include "runtime/mailbox.hpp"
 
 #include "analysis/assert.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace gridse::runtime {
 
 void Mailbox::deliver(Message message) {
+  // Injection point for lost deliveries (and delivery delay); evaluated
+  // before the lock so an injected sleep never extends the critical section.
+  if (FAULT_DROP("mailbox.deliver", message.source, message.tag)) {
+    return;
+  }
   std::size_t depth = 0;
   {
     analysis::LockGuard lock(mutex_);

@@ -1,0 +1,60 @@
+#include "runtime/resilience.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace gridse::runtime {
+namespace {
+
+/// splitmix64, same mixer as the fault layer: jitter must be deterministic
+/// so retry schedules reproduce under a fixed seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool read_env_ms(const char* name, std::chrono::milliseconds& out) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  const long long ms = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || ms < 0) {
+    throw InvalidInput(std::string(name) + ": expected a non-negative " +
+                       "millisecond count, got \"" + raw + "\"");
+  }
+  out = std::chrono::milliseconds(ms);
+  return true;
+}
+
+}  // namespace
+
+std::chrono::milliseconds RetryPolicy::backoff(int attempt,
+                                               std::uint64_t salt) const {
+  const int shift = std::min(attempt, 20);
+  std::chrono::milliseconds delay{backoff_base.count() << shift};
+  delay = std::min(delay, backoff_max);
+  if (jitter > 0.0 && delay.count() > 0) {
+    const std::uint64_t h =
+        mix64(seed ^ mix64(salt ^ static_cast<std::uint64_t>(attempt)));
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+    const double scale = 1.0 - jitter * unit;
+    delay = std::chrono::milliseconds(
+        static_cast<long long>(static_cast<double>(delay.count()) * scale));
+  }
+  return delay;
+}
+
+ResilienceConfig with_env_overrides(ResilienceConfig base) {
+  read_env_ms("GRIDSE_BARRIER_TIMEOUT_MS", base.barrier_timeout);
+  read_env_ms("GRIDSE_EXCHANGE_DEADLINE_MS", base.exchange_deadline);
+  return base;
+}
+
+}  // namespace gridse::runtime

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gridse::runtime {
+
+/// Bounded retry with exponential backoff and deterministic jitter, used by
+/// MwClient::send when a cached connection fails mid-exchange.
+struct RetryPolicy {
+  /// Total send attempts including the first; 2 reproduces the historical
+  /// single-reconnect behavior.
+  int max_attempts = 2;
+  /// First backoff sleep; doubled per retry up to backoff_max.
+  std::chrono::milliseconds backoff_base{5};
+  std::chrono::milliseconds backoff_max{500};
+  /// Fraction of each backoff randomized away ([0, 1]); breaks retry
+  /// synchronization between clients without losing determinism (the jitter
+  /// is a hash of seed, client and attempt).
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5eedULL;
+
+  /// Sleep before retry number `attempt` (0-based: the sleep between the
+  /// first failure and the second attempt). `salt` decorrelates independent
+  /// retry sequences (client id, per-client counter).
+  [[nodiscard]] std::chrono::milliseconds backoff(int attempt,
+                                                  std::uint64_t salt) const;
+};
+
+/// How the distributed exchange behaves when peers misbehave. Threaded from
+/// SystemConfig into the transports and the DSE driver.
+struct ResilienceConfig {
+  RetryPolicy send_retry;
+  /// How long a barrier waits before declaring a peer lost (historically
+  /// the hard-coded 120 s kBarrierTimeout in tcp_comm.cpp).
+  std::chrono::milliseconds barrier_timeout{120'000};
+  /// Per-phase deadline on the Step-2 pseudo-measurement fan-in, the
+  /// redistribution receive, and the final combine. 0 = wait forever (the
+  /// pre-resilience behavior).
+  std::chrono::milliseconds exchange_deadline{0};
+  /// When a neighbour's pseudo-measurements miss the deadline, re-solve
+  /// Step 2 with own Step-1 boundary values as low-weight priors and tag
+  /// the result degraded, instead of failing the cycle.
+  bool degraded_step2 = true;
+};
+
+/// `base` with environment overrides applied: GRIDSE_BARRIER_TIMEOUT_MS and
+/// GRIDSE_EXCHANGE_DEADLINE_MS (non-negative integers, milliseconds).
+/// Throws gridse::InvalidInput on unparsable values.
+ResilienceConfig with_env_overrides(ResilienceConfig base);
+
+}  // namespace gridse::runtime

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "util/error.hpp"
 
 namespace gridse::runtime {
@@ -42,6 +43,9 @@ void Socket::close() {
 
 void Socket::send_all(const void* data, std::size_t size) const {
   GRIDSE_CHECK(valid());
+  // Byte-level site: supports delay and error (drop here would desync the
+  // stream framing; frame-level drops live in wire.write).
+  (void)FAULT_POINT("socket.send", fault::kAnyValue, fault::kAnyValue);
   const auto* p = static_cast<const std::uint8_t*>(data);
   std::size_t sent = 0;
   while (sent < size) {
@@ -56,6 +60,7 @@ void Socket::send_all(const void* data, std::size_t size) const {
 
 void Socket::recv_all(void* data, std::size_t size) const {
   GRIDSE_CHECK(valid());
+  (void)FAULT_POINT("socket.recv", fault::kAnyValue, fault::kAnyValue);
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t got = 0;
   while (got < size) {
@@ -122,6 +127,7 @@ Socket Socket::accept() const {
 }
 
 Socket Socket::connect_loopback(std::uint16_t port) {
+  (void)FAULT_POINT("socket.connect", fault::kAnyValue, fault::kAnyValue);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
   Socket s(fd);

@@ -3,8 +3,11 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #if GRIDSE_OBS
 #include "obs/trace/trace.hpp"
@@ -26,9 +29,9 @@ struct FrameHeader {
 constexpr int kBarrierArriveTag = TcpWorld::kMaxUserTag + 1;
 constexpr int kBarrierReleaseTag = TcpWorld::kMaxUserTag + 2;
 
-/// A barrier message that takes this long is a dead peer, not a slow one;
-/// failing loudly beats a silently hung DSE step.
-constexpr std::chrono::milliseconds kBarrierTimeout{120'000};
+/// Poll slice for barrier waits: short enough that a dead peer is noticed
+/// promptly, long enough that an idle barrier costs almost nothing.
+constexpr std::chrono::milliseconds kBarrierPollSlice{50};
 
 }  // namespace
 
@@ -107,11 +110,35 @@ class TcpCommunicatorImpl final : public Communicator {
 #if GRIDSE_OBS
     Timer wait_timer;
 #endif
-    const std::optional<Message> msg =
-        box.take_for(source, tag, kBarrierTimeout);
-    if (!msg) {
-      throw CommError("tcp barrier: rank " + std::to_string(rank_) +
-                      " timed out waiting for a peer (lost rank?)");
+    // Wait in short slices so a peer that died before arriving fails this
+    // barrier within ~2 slices instead of silently burning the full
+    // timeout (the silent-hang case: its message will never come). One
+    // grace slice after death is observed lets already-delivered messages
+    // drain.
+    const auto deadline =
+        std::chrono::steady_clock::now() + world_->barrier_timeout();
+    int polls_after_death = 0;
+    std::optional<Message> msg;
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now);
+      const auto slice =
+          std::min(std::max(remaining, std::chrono::milliseconds{0}),
+                   kBarrierPollSlice);
+      msg = box.take_for(source, tag, slice);
+      if (msg) {
+        break;
+      }
+      if (now >= deadline) {
+        throw CommError("tcp barrier: rank " + std::to_string(rank_) +
+                        " timed out waiting for a peer (lost rank?)");
+      }
+      if (world_->any_rank_dead() && ++polls_after_death >= 2) {
+        throw CommError("tcp barrier: rank " + std::to_string(rank_) +
+                        " aborted: a peer died before the barrier");
+      }
     }
 #if GRIDSE_OBS
     obs::trace::on_consume("runtime.tcp.barrier", msg->trace,
@@ -126,6 +153,9 @@ class TcpCommunicatorImpl final : public Communicator {
     }
     if (tag < 0 || (!allow_reserved && tag > TcpWorld::kMaxUserTag)) {
       throw CommError("tcp send: bad tag " + std::to_string(tag));
+    }
+    if (FAULT_DROP("tcp.send", rank_, tag)) {
+      return;  // the message is lost in flight; the sender never knows
     }
     if (dest == rank_) {
       // loopback to self skips the socket (MPI-style self-send)
@@ -167,7 +197,8 @@ class TcpCommunicatorImpl final : public Communicator {
   std::size_t bytes_sent_ = 0;
 };
 
-TcpWorld::TcpWorld(int size) : size_(size) {
+TcpWorld::TcpWorld(int size, ResilienceConfig resilience)
+    : size_(size), resilience_(resilience) {
   GRIDSE_CHECK_MSG(size > 0, "world size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
@@ -280,6 +311,7 @@ std::unique_ptr<Communicator> TcpWorld::communicator(int rank) {
 void TcpWorld::run(const std::function<void(Communicator&)>& fn) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  dead_ranks_.store(0, std::memory_order_release);
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
@@ -291,6 +323,11 @@ void TcpWorld::run(const std::function<void(Communicator&)>& fn) {
         fn(*comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Mark the death before any peer can notice the missing messages,
+        // so their barrier waits abort promptly.
+        dead_ranks_.fetch_add(1, std::memory_order_release);
+        OBS_EVENT("rank.died", OBS_ATTR("rank", r),
+                  OBS_ATTR("transport", "tcp"));
       }
     });
   }

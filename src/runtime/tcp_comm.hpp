@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -8,6 +9,7 @@
 #include "analysis/debug_sync.hpp"
 #include "runtime/communicator.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/resilience.hpp"
 #include "runtime/socket.hpp"
 
 namespace gridse::runtime {
@@ -21,7 +23,9 @@ namespace gridse::runtime {
 /// Wire format per message: u64 payload length, i32 source, i32 tag, bytes.
 class TcpWorld {
  public:
-  explicit TcpWorld(int size);
+  /// `resilience` configures the barrier timeout (default: the historical
+  /// 120 s) and related exchange behavior.
+  explicit TcpWorld(int size, ResilienceConfig resilience = {});
   ~TcpWorld();
 
   TcpWorld(const TcpWorld&) = delete;
@@ -34,8 +38,18 @@ class TcpWorld {
   [[nodiscard]] std::unique_ptr<Communicator> communicator(int rank);
 
   /// Run `fn(comm)` on one thread per rank and join (first exception
-  /// rethrown).
+  /// rethrown). A rank whose body throws is marked dead so peers blocked in
+  /// a barrier fail fast instead of sitting out the full barrier timeout.
   void run(const std::function<void(Communicator&)>& fn);
+
+  /// True when any rank's body has thrown during the current run().
+  [[nodiscard]] bool any_rank_dead() const {
+    return dead_ranks_.load(std::memory_order_acquire) != 0;
+  }
+
+  [[nodiscard]] std::chrono::milliseconds barrier_timeout() const {
+    return resilience_.barrier_timeout;
+  }
 
   static constexpr int kMaxUserTag = 1 << 20;
 
@@ -53,6 +67,10 @@ class TcpWorld {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::thread> readers_;
   int size_ = 0;
+  ResilienceConfig resilience_;
+  /// Count of ranks whose run() body threw (the in-process analogue of a
+  /// peer process dying mid-cycle).
+  std::atomic<int> dead_ranks_{0};
 };
 
 }  // namespace gridse::runtime

@@ -92,7 +92,15 @@ class ByteReader {
     static_assert(std::is_trivially_copyable_v<T>,
                   "ByteReader::read_vector requires trivially copyable elements");
     const auto n = read<std::uint64_t>();
-    require(n * sizeof(T));
+    // Divide rather than multiply: a corrupted length prefix near 2^64 would
+    // wrap n * sizeof(T) and slip past the bounds check (then feed a huge
+    // allocation). Corrupt frames must always surface as InvalidInput.
+    if (n > (size_ - pos_) / sizeof(T)) {
+      throw InvalidInput("ByteReader: truncated frame (need " +
+                         std::to_string(n) + " elements of size " +
+                         std::to_string(sizeof(T)) + ", have " +
+                         std::to_string(size_ - pos_) + " bytes)");
+    }
     std::vector<T> v(static_cast<std::size_t>(n));
     if (n != 0) {  // empty vector: v.data() may be null, and memcpy(null,..) is UB
       std::memcpy(v.data(), data_ + pos_,

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# In a GRIDSE_FAULT=OFF build the transport libraries must carry no
+# reference to the fault-injection layer at all — the FAULT_* macros expand
+# to unevaluated sizeof, so even an undefined symbol against
+# gridse::fault::maybe in libgridse_runtime.a means the compile-out leaked.
+# (libgridse_fault itself still defines the layer — plan parsing stays
+# testable in OFF builds — so only the hot-path archives are checked.)
+#
+# Usage: check_off_symbols.sh <archive>...
+set -euo pipefail
+
+status=0
+for archive in "$@"; do
+  if symbols=$(nm -C "${archive}" 2>/dev/null | grep "gridse::fault::"); then
+    echo "FAIL: ${archive} references the fault layer in a FAULT=OFF build:" >&2
+    echo "${symbols}" | head -20 >&2
+    status=1
+  else
+    echo "ok: ${archive} is free of gridse::fault symbols"
+  fi
+done
+exit "${status}"

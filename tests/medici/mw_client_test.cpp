@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "fault/fault.hpp"
+#include "runtime/resilience.hpp"
 #include "util/error.hpp"
 
 namespace gridse::medici {
@@ -133,6 +135,65 @@ TEST(MwClient, ReconnectsAfterPeerRestart) {
     }
   }
   EXPECT_TRUE(delivered);
+}
+
+TEST(MwClient, RetryAccountingMatchesTheInjectedErrorCount) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "built with GRIDSE_FAULT=OFF";
+  }
+  // Exactly two injected connection errors on the sender's wire: the send
+  // survives through two retries, the message arrives exactly once, and
+  // retries() reports exactly the plan's error count.
+  fault::FaultPlan plan;
+  plan.seed = 4;
+  plan.rules.push_back({.site = "wire.write",
+                        .action = fault::ActionKind::kError,
+                        .source = 0,
+                        .max_injections = 2});
+  fault::install(plan);
+
+  MwClient sender(0);
+  runtime::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_base = std::chrono::milliseconds{1};
+  sender.set_retry_policy(retry);
+  MwClient receiver(1);
+
+  sender.send(receiver.endpoint(), 7, std::vector<std::uint8_t>{1, 2, 3});
+  const runtime::Message m = receiver.recv(0, 7);
+  EXPECT_EQ(m.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(sender.retries(), 2u);  // one retry per injected error
+  EXPECT_EQ(fault::injected_count(), 2u);
+  EXPECT_EQ(receiver.pending(), 0u);  // delivered once, not re-duplicated
+  fault::clear();
+}
+
+TEST(MwClient, RetriesAreBoundedWhenTheFaultPersists) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "built with GRIDSE_FAULT=OFF";
+  }
+  // An unbounded error rule defeats every attempt: the send must give up
+  // after max_attempts with a CommError, having retried attempts-1 times.
+  fault::FaultPlan plan;
+  plan.seed = 6;
+  plan.rules.push_back({.site = "wire.write",
+                        .action = fault::ActionKind::kError,
+                        .source = 0});
+  fault::install(plan);
+
+  MwClient sender(0);
+  runtime::RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_base = std::chrono::milliseconds{1};
+  sender.set_retry_policy(retry);
+  MwClient receiver(1);
+
+  EXPECT_THROW(
+      sender.send(receiver.endpoint(), 8, std::vector<std::uint8_t>{4}),
+      CommError);
+  EXPECT_EQ(sender.retries(), 2u);
+  EXPECT_EQ(fault::injected_count(), 3u);  // one failure per attempt
+  fault::clear();
 }
 
 }  // namespace

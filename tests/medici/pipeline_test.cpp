@@ -2,11 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "medici/mw_client.hpp"
 #include "util/error.hpp"
 
 namespace gridse::medici {
 namespace {
+
+// The relay bumps its stats *after* forwarding a frame, so a receiver can
+// observe the payload a moment before the counter moves: poll briefly
+// instead of asserting a racy instantaneous read.
+RelayStats wait_for_messages(const MifPipeline& pipeline,
+                             std::uint64_t expected) {
+  for (int spin = 0; spin < 2000 && pipeline.stats().messages < expected;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pipeline.stats();
+}
 
 TEST(MifPipeline, MirrorsFigure7ConstructionSequence) {
   // The paper's Fig. 7 sample, transcribed: create pipeline, add TCP
@@ -32,7 +47,7 @@ TEST(MifPipeline, MirrorsFigure7ConstructionSequence) {
   const runtime::Message m = destination.recv(0, 3);
   EXPECT_EQ(m.payload, (std::vector<std::uint8_t>{5, 6, 7}));
 
-  const RelayStats stats = pipeline.stats();
+  const RelayStats stats = wait_for_messages(pipeline, 1);
   EXPECT_EQ(stats.messages, 1u);
   EXPECT_EQ(stats.bytes, 3u);
   pipeline.stop();
@@ -73,7 +88,7 @@ TEST(MifPipeline, ManyMessagesThroughOneRelay) {
   for (std::uint8_t i = 0; i < 64; ++i) {
     EXPECT_EQ(destination.recv(0, 1).payload[0], i);
   }
-  EXPECT_EQ(pipeline.stats().messages, 64u);
+  EXPECT_EQ(wait_for_messages(pipeline, 64).messages, 64u);
 }
 
 TEST(MifPipeline, TwoHopRelayChain) {
@@ -106,8 +121,8 @@ TEST(MifPipeline, TwoHopRelayChain) {
     const runtime::Message m = destination.recv(3, 21);
     EXPECT_EQ(m.payload[0], i);
   }
-  EXPECT_EQ(hop_a.stats().messages, 10u);
-  EXPECT_EQ(hop_b.stats().messages, 10u);
+  EXPECT_EQ(wait_for_messages(hop_a, 10).messages, 10u);
+  EXPECT_EQ(wait_for_messages(hop_b, 10).messages, 10u);
 }
 
 TEST(MifPipeline, SurvivesSenderReconnect) {
@@ -128,7 +143,7 @@ TEST(MifPipeline, SurvivesSenderReconnect) {
     const runtime::Message m = destination.recv(round, 1);
     EXPECT_EQ(m.payload[0], round);
   }
-  EXPECT_EQ(pipeline.stats().messages, 3u);
+  EXPECT_EQ(wait_for_messages(pipeline, 3).messages, 3u);
 }
 
 TEST(MifPipeline, StartValidatesConfiguration) {

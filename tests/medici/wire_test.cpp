@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "medici/wire.hpp"
 #include "runtime/socket.hpp"
 #include "runtime/trace_context.hpp"
@@ -158,6 +159,112 @@ TEST(WireTest, SocketRoundTripBothFramings) {
 
   EXPECT_FALSE(read_frame(server, frame));  // orderly close
   writer.join();
+}
+
+TEST(WireFaultTest, EveryBitflipOfAnEncodedFrameIsRejectedOrParsedInBounds) {
+  // Flip every bit of an encoded frame in turn. The decoder must never
+  // crash, never read out of bounds, and never consume more bytes than it
+  // was handed — corrupt frames are either rejected with CommError or parse
+  // into some frame whose extent stays inside the buffer.
+  Rng rng(31);
+  const auto payload = random_payload(rng, 48);
+  const runtime::TraceContext ctx = make_context(rng);
+  const std::vector<std::uint8_t> clean = encode_frame(5, 9, payload, &ctx);
+
+  for (std::size_t bit = 0; bit < clean.size() * 8; ++bit) {
+    std::vector<std::uint8_t> corrupted = clean;
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    WireFrame frame;
+    try {
+      const std::size_t consumed = decode_frame(corrupted, frame);
+      EXPECT_LE(consumed, corrupted.size()) << "bit " << bit;
+      EXPECT_LE(frame.payload.size(), corrupted.size()) << "bit " << bit;
+    } catch (const CommError&) {
+      // Rejected — the expected outcome for header-length corruption.
+    }
+  }
+}
+
+TEST(WireFaultTest, InjectedBitflipCorruptsPayloadWithoutDesync) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "built with GRIDSE_FAULT=OFF";
+  }
+  // A bit-flip rule scoped to tag 10 corrupts exactly that frame's payload;
+  // the stream framing survives and the following clean frame arrives
+  // intact — corruption never desyncs the reader.
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.rules.push_back({.site = "wire.write",
+                        .action = fault::ActionKind::kBitFlip,
+                        .tag_min = 10,
+                        .tag_max = 10});
+  fault::install(plan);
+
+  std::uint16_t port = 0;
+  runtime::Socket listener = runtime::Socket::listen_loopback(port);
+  runtime::Socket client = runtime::Socket::connect_loopback(port);
+  runtime::Socket server = listener.accept();
+
+  Rng rng(17);
+  const auto payload = random_payload(rng, 64);
+  Pacer pacer(unshaped_model());
+  std::thread writer([&] {
+    write_frame(client, 1, 10, payload, nullptr, pacer);  // bit-flipped
+    write_frame(client, 1, 20, payload, nullptr, pacer);  // clean
+    client.close();
+  });
+
+  WireFrame frame;
+  ASSERT_TRUE(read_frame(server, frame));
+  EXPECT_EQ(frame.tag, 10);
+  ASSERT_EQ(frame.payload.size(), payload.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    flipped_bits += __builtin_popcount(
+        static_cast<unsigned>(frame.payload[i] ^ payload[i]));
+  }
+  EXPECT_EQ(flipped_bits, 1);  // exactly one corrupted bit, framing intact
+
+  ASSERT_TRUE(read_frame(server, frame));
+  EXPECT_EQ(frame.tag, 20);
+  EXPECT_EQ(frame.payload, payload);  // the clean frame is untouched
+
+  EXPECT_FALSE(read_frame(server, frame));
+  writer.join();
+  EXPECT_EQ(fault::injected_count(), 1u);
+  fault::clear();
+}
+
+TEST(WireFaultTest, InjectedTruncationFailsSenderAndReaderRejectsCleanly) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "built with GRIDSE_FAULT=OFF";
+  }
+  // A truncated write sends a strict prefix and then fails the sender; the
+  // reader observes a mid-frame stream end and rejects with CommError
+  // instead of hanging or fabricating a frame.
+  fault::FaultPlan plan;
+  plan.seed = 8;
+  plan.rules.push_back({.site = "wire.write",
+                        .action = fault::ActionKind::kTruncate,
+                        .max_injections = 1});
+  fault::install(plan);
+
+  std::uint16_t port = 0;
+  runtime::Socket listener = runtime::Socket::listen_loopback(port);
+  runtime::Socket client = runtime::Socket::connect_loopback(port);
+  runtime::Socket server = listener.accept();
+
+  Rng rng(23);
+  const auto payload = random_payload(rng, 256);
+  Pacer pacer(unshaped_model());
+  EXPECT_THROW(write_frame(client, 2, 30, payload, nullptr, pacer),
+               CommError);
+  client.close();
+
+  WireFrame frame;
+  EXPECT_THROW((void)read_frame(server, frame), CommError);
+  EXPECT_EQ(fault::injected_count(), 1u);
+  fault::clear();
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <thread>
 
+#include "fault/fault.hpp"
+
 namespace gridse::runtime {
 namespace {
 
@@ -194,6 +196,65 @@ TEST(Mailbox, StressWildcardAndSpecificConsumersShareLoad) {
   for (auto& c : consumers) c.join();
   EXPECT_EQ(consumed.load(), kTotal);
   EXPECT_EQ(box.pending(), 0u);
+}
+
+// Regression for the take_for timeout path: a deliver that lands between
+// the cv wait timing out and take_for returning must either be claimed by
+// the final scan or left intact for the next take — a message is never
+// lost. Timeout and delivery are deliberately raced at the same ~1 ms mark.
+TEST(Mailbox, TakeForLastScanNeverLosesARacingDeliver) {
+  Mailbox box;
+  constexpr int kRounds = 200;
+  int taken = 0;
+  int drained = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    std::thread producer([&box] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      box.deliver(make(1, 7));
+    });
+    const auto m = box.take_for(1, 7, std::chrono::milliseconds(1));
+    producer.join();
+    if (m.has_value()) {
+      ++taken;
+    } else {
+      // The timed take gave up before the deliver: the message must still
+      // be sitting in the queue, not dropped on the floor.
+      (void)box.take(1, 7);
+      ++drained;
+    }
+  }
+  EXPECT_EQ(taken + drained, kRounds);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+// A zero timeout still performs the final scan, so an already-queued match
+// is returned instead of reporting a spurious timeout.
+TEST(Mailbox, TakeForZeroTimeoutStillScans) {
+  Mailbox box;
+  box.deliver(make(2, 3, 5));
+  const auto m = box.take_for(2, 3, std::chrono::milliseconds(0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload[0], 5);
+}
+
+// The mailbox.deliver fault hook drops only deliveries matched by the rule;
+// other streams are untouched and the loss is visible in the injection log.
+TEST(Mailbox, FaultDropLosesOnlyTheMatchedStream) {
+  if (!fault::kEnabled) {
+    GTEST_SKIP() << "built with GRIDSE_FAULT=OFF";
+  }
+  fault::FaultPlan plan;
+  plan.rules.push_back({.site = "mailbox.deliver",
+                        .action = fault::ActionKind::kDrop,
+                        .source = 1});
+  fault::install(plan);
+  Mailbox box;
+  box.deliver(make(1, 5, 1));  // dropped by the rule
+  box.deliver(make(2, 5, 9));  // different source: delivered
+  EXPECT_EQ(box.pending(), 1u);
+  EXPECT_EQ(box.take(2, 5).payload[0], 9);
+  EXPECT_EQ(fault::injected_count(), 1u);
+  fault::clear();
 }
 
 }  // namespace

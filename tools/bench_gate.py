@@ -11,6 +11,11 @@ obs_report.json published by gridse_report. Output: one merged document
   means the algorithm changed, not that the runner was busy.
 * "advisory" — wall-clock numbers. Republished for trend dashboards but
   never gated: shared CI runners are too noisy for time-based gates.
+* "informational" — resilience counters (exchange.retries,
+  exchange.degraded_subsystems, exchange.corrupt_frames). Published so a
+  run that limped through on retries or degraded subsystems is visible in
+  the merged document, but never gated and never required in the
+  baseline: a healthy bench run legitimately reports zeros.
 
 A missing or unreadable BENCH_baseline.json is an error (exit 3), not a
 silent pass: a gate that cannot find its reference must say so. Pass
@@ -43,6 +48,7 @@ def merge(bench, report):
         "benchmarks": {},
         "enforced": {},
         "advisory": {},
+        "informational": {},
     }
 
     for b in bench.get("benchmarks", []):
@@ -76,6 +82,14 @@ def merge(bench, report):
         value = metrics.get("counters", {}).get(counter)
         if value is not None:
             doc["enforced"][f"obs.{counter}.per_cycle"] = value / cycles
+
+    # Resilience counters: a bench run that survived on retries or finished
+    # degraded still produces numbers, so these are surfaced — but they are
+    # run-environment noise, not algorithm change, hence never gated.
+    for counter in ("exchange.retries", "exchange.degraded_subsystems",
+                    "exchange.corrupt_frames"):
+        doc["informational"][f"obs.{counter}"] = (
+            metrics.get("counters", {}).get(counter, 0))
 
     for span_name, span in metrics.get("spans", {}).items():
         doc["advisory"][f"obs.span.{span_name}.total_seconds"] = span[
@@ -140,7 +154,10 @@ def main():
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"bench_gate: wrote {args.out} "
-          f"({len(doc['enforced'])} enforced, {len(doc['advisory'])} advisory)")
+          f"({len(doc['enforced'])} enforced, {len(doc['advisory'])} advisory, "
+          f"{len(doc['informational'])} informational)")
+    for key, value in sorted(doc["informational"].items()):
+        print(f"bench_gate: [info] {key} = {value:g} (not gated)")
 
     try:
         baseline = load(args.baseline)
