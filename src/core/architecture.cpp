@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <mutex>
+#include <numeric>
 
 #include "grid/powerflow.hpp"
 #include "medici/medici_comm.hpp"
@@ -48,6 +49,11 @@ DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
 
   decomp::analyze_sensitivity(generated_.kase.network, decomposition_,
                               config_.sensitivity);
+
+  if (config_.resilience.recovery.enabled) {
+    supervisor_ = std::make_unique<Supervisor>(config_.mapping.num_clusters,
+                                               config_.resilience.recovery);
+  }
 
   const grid::PowerFlowResult pf =
       grid::solve_power_flow(generated_.kase.network);
@@ -107,28 +113,69 @@ CycleReport DseSystem::run_cycle(double time_sec) {
   last_measurements_ = generator_->generate(true_state_, rng_, time_sec);
 
   // --- mapping (paper §IV-B): weights from the time frame -------------------
-  mapping::ClusterMapper mapper(decomposition_, config_.mapping,
+  // With recovery enabled the participant set may have shrunk (cluster
+  // loss) or grown back (rejoin): the mapping then runs over the survivors
+  // only, in compact rank space, while previous_assignment_ is kept in
+  // cluster-id space so the repartition warm start survives remap epochs.
+  std::vector<int> participants;
+  if (supervisor_ != nullptr) {
+    participants = supervisor_->begin_cycle();
+  } else {
+    participants.resize(
+        static_cast<std::size_t>(config_.mapping.num_clusters));
+    std::iota(participants.begin(), participants.end(), 0);
+  }
+  const int k = static_cast<int>(participants.size());
+  report.participants = participants;
+
+  mapping::MappingOptions map_options = config_.mapping;
+  map_options.num_clusters = k;
+  mapping::ClusterMapper mapper(decomposition_, map_options,
                                 config_.weight_model);
+  std::optional<std::vector<graph::PartId>> compact_prev;
+  if (previous_assignment_) {
+    if (supervisor_ != nullptr) {
+      compact_prev = supervisor_->project_assignment(
+          *previous_assignment_, participants, &report.migrated_subsystems);
+    } else {
+      compact_prev = *previous_assignment_;
+    }
+  }
   report.map_step1 = mapper.map_before_step1(
-      time_sec,
-      previous_assignment_ ? &*previous_assignment_ : nullptr);
+      time_sec, compact_prev ? &*compact_prev : nullptr);
   report.map_step2 =
       mapper.map_before_step2(time_sec, report.map_step1.partition.assignment);
   report.redistribution = mapping::plan_redistribution(
       decomposition_, report.map_step1.partition.assignment,
       report.map_step2.partition.assignment);
-  previous_assignment_ = report.map_step2.partition.assignment;
+  {
+    std::vector<graph::PartId> cluster_space =
+        report.map_step2.partition.assignment;
+    for (graph::PartId& c : cluster_space) {
+      c = static_cast<graph::PartId>(
+          participants[static_cast<std::size_t>(c)]);
+    }
+    previous_assignment_ = std::move(cluster_space);
+  }
 
   // --- distributed run over the configured transport ------------------------
-  const int k = config_.mapping.num_clusters;
   DseDriver driver(generated_.kase.network, decomposition_, config_.dse);
+  DseRecoveryContext rctx;
+  if (supervisor_ != nullptr) {
+    rctx.heartbeat.period = config_.resilience.recovery.heartbeat_period;
+    rctx.heartbeat.timeout = config_.resilience.recovery.heartbeat_timeout;
+    rctx.heartbeat.rounds = config_.resilience.recovery.heartbeat_rounds;
+    rctx.cycle = cycle_index_;
+    rctx.restore = supervisor_->plan_restore();
+  }
   DseResult rank0_result;
   std::mutex result_mutex;
   const auto body = [&](runtime::Communicator& comm) {
     DseResult r =
         driver.run(comm, last_measurements_,
                    report.map_step1.partition.assignment,
-                   report.map_step2.partition.assignment);
+                   report.map_step2.partition.assignment,
+                   supervisor_ != nullptr ? &rctx : nullptr);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(result_mutex);
       rank0_result = std::move(r);
@@ -163,10 +210,26 @@ CycleReport DseSystem::run_cycle(double time_sec) {
     }
   }
   report.dse = std::move(rank0_result);
+  if (supervisor_ != nullptr) {
+    supervisor_->absorb(report.dse.recovery, participants);
+  }
+  ++cycle_index_;
   report.max_vm_error = grid::max_vm_error(report.dse.state, true_state_);
   report.max_angle_error =
       grid::max_angle_error(report.dse.state, true_state_);
   return report;
+}
+
+void DseSystem::kill_cluster(int cluster) {
+  GRIDSE_CHECK_MSG(supervisor_ != nullptr,
+                   "kill_cluster requires resilience.recovery.enabled");
+  supervisor_->kill_cluster(cluster);
+}
+
+void DseSystem::announce_rejoin(int cluster) {
+  GRIDSE_CHECK_MSG(supervisor_ != nullptr,
+                   "announce_rejoin requires resilience.recovery.enabled");
+  supervisor_->announce_rejoin(cluster);
 }
 
 estimation::WlsResult DseSystem::centralized_reference() const {

@@ -7,6 +7,7 @@
 
 #include "core/dse_driver.hpp"
 #include "core/hierarchical.hpp"
+#include "core/supervisor.hpp"
 #include "decomp/sensitivity.hpp"
 #include "io/synthetic.hpp"
 #include "mapping/mapper.hpp"
@@ -59,6 +60,12 @@ struct CycleReport {
   /// Accuracy vs the true operating state the measurements were drawn from.
   double max_vm_error = 0.0;
   double max_angle_error = 0.0;
+  /// Cluster ids that hosted this cycle (index == comm rank). Without
+  /// recovery: 0..num_clusters-1; after a cluster loss the survivors only.
+  std::vector<int> participants;
+  /// Subsystems whose previous-cycle cluster died and were migrated to a
+  /// survivor before this cycle's mapping (recovery only).
+  std::vector<int> migrated_subsystems;
 };
 
 /// Facade wiring the whole prototype together: decomposition + sensitivity
@@ -89,6 +96,20 @@ class DseSystem {
   /// The centralized reference on the same measurements as the last cycle.
   [[nodiscard]] estimation::WlsResult centralized_reference() const;
 
+  /// Cross-cycle recovery controls (require resilience.recovery.enabled;
+  /// they throw otherwise). kill_cluster simulates/records a confirmed
+  /// cluster loss: the next run_cycle runs on the survivors with orphaned
+  /// subsystems migrated. announce_rejoin folds a recovered cluster back in
+  /// at the next remap epoch, warm-started from stored checkpoints.
+  void kill_cluster(int cluster);
+  void announce_rejoin(int cluster);
+  [[nodiscard]] bool recovery_enabled() const { return supervisor_ != nullptr; }
+  /// The recovery coordinator, or nullptr when recovery is disabled.
+  [[nodiscard]] Supervisor* supervisor() { return supervisor_.get(); }
+  [[nodiscard]] const Supervisor* supervisor() const {
+    return supervisor_.get();
+  }
+
   [[nodiscard]] const decomp::Decomposition& decomposition() const {
     return decomposition_;
   }
@@ -110,7 +131,12 @@ class DseSystem {
   std::unique_ptr<grid::MeasurementGenerator> generator_;
   Rng rng_;
   grid::MeasurementSet last_measurements_;
+  /// Previous Step-2 assignment in *cluster-id* space (stable across remap
+  /// epochs; projected onto the participant set before each repartition).
   std::optional<std::vector<graph::PartId>> previous_assignment_;
+  /// Present iff resilience.recovery.enabled.
+  std::unique_ptr<Supervisor> supervisor_;
+  std::int64_t cycle_index_ = 0;
 };
 
 }  // namespace gridse::core

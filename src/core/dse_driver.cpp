@@ -79,13 +79,22 @@ DseDriver::DseDriver(const grid::Network& network,
 DseResult DseDriver::run(runtime::Communicator& comm,
                          const grid::MeasurementSet& global_measurements,
                          std::span<const graph::PartId> assignment) const {
-  return run(comm, global_measurements, assignment, assignment);
+  return run(comm, global_measurements, assignment, assignment, nullptr);
 }
 
 DseResult DseDriver::run(runtime::Communicator& comm,
                          const grid::MeasurementSet& global_measurements,
                          std::span<const graph::PartId> step1_assignment,
                          std::span<const graph::PartId> step2_assignment) const {
+  return run(comm, global_measurements, step1_assignment, step2_assignment,
+             nullptr);
+}
+
+DseResult DseDriver::run(runtime::Communicator& comm,
+                         const grid::MeasurementSet& global_measurements,
+                         std::span<const graph::PartId> step1_assignment,
+                         std::span<const graph::PartId> step2_assignment,
+                         const DseRecoveryContext* rctx) const {
   const int m = decomposition_->num_subsystems();
   const int rank = comm.rank();
   GRIDSE_CHECK(static_cast<int>(step1_assignment.size()) == m);
@@ -130,6 +139,72 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   }
 
   ThreadPool pool(static_cast<std::size_t>(options_.workers_per_cluster));
+
+  // --- Phase 0: heartbeat membership + checkpoint restore (recovery only) ----
+  // The shared membership view replaces per-exchange timeout discovery: every
+  // later recv from a rank the view marks dead is skipped immediately instead
+  // of waiting out its own deadline.
+  runtime::MembershipView membership;  // empty: everyone presumed alive
+  if (rctx != nullptr) {
+    GRIDSE_CHECK_MSG(runtime::checkpoint_tag(m) < (1 << 20),
+                     "too many subsystems for the checkpoint tag range");
+    membership = runtime::probe_membership(comm, rctx->heartbeat);
+    result.recovery.enabled = true;
+    result.recovery.membership = membership;
+
+    // Restore: rank 0 ships each planned checkpoint to the subsystem's
+    // Step-1 host, which seeds its estimator's next run_step1. A missed or
+    // corrupt checkpoint degrades to a cold start, never to a failed cycle.
+    OBS_SPAN("dse.recovery.restore");
+    const Deadline restore_deadline(
+        std::max(rctx->heartbeat.timeout, std::chrono::milliseconds{1}));
+    const auto warm_start = [&](int s, const EstimatorCheckpoint& ckpt) {
+      try {
+        estimators.at(s)->set_warm_start(ckpt.step1_states);
+        ++result.recovery.warm_started;
+        OBS_COUNTER_ADD("recovery.warm_starts", 1);
+      } catch (const InvalidInput&) {
+        // Checkpoint from a stale decomposition: cold-start instead.
+        OBS_COUNTER_ADD("recovery.restore_missed", 1);
+      }
+    };
+    if (rank == 0) {
+      for (const auto& [s, ckpt] : rctx->restore) {
+        if (s < 0 || s >= m) continue;
+        const graph::PartId host =
+            step1_assignment[static_cast<std::size_t>(s)];
+        if (host == 0) {
+          warm_start(s, ckpt);
+        } else if (membership.alive(host)) {
+          auto payload = encode_checkpoint(ckpt);
+          OBS_COUNTER_ADD("recovery.restore_bytes", payload.size());
+          comm.send(host, runtime::checkpoint_tag(s), std::move(payload));
+        }
+      }
+    } else if (membership.alive(0) && membership.alive(rank)) {
+      // (A rank the consensus marked dead gets no checkpoints shipped, so it
+      // must not sit out the restore deadline waiting for them.)
+      for (const auto& [s, ignored] : rctx->restore) {
+        (void)ignored;
+        if (s < 0 || s >= m) continue;
+        if (step1_assignment[static_cast<std::size_t>(s)] != rank) continue;
+        const auto msg = recv_within(comm, restore_deadline, 0,
+                                     runtime::checkpoint_tag(s));
+        if (!msg.has_value()) {
+          OBS_COUNTER_ADD("recovery.restore_missed", 1);
+          continue;
+        }
+        try {
+          warm_start(s, decode_checkpoint(msg->payload));
+        } catch (const InvalidInput&) {
+          OBS_COUNTER_ADD("recovery.restore_missed", 1);
+        }
+      }
+    }
+  }
+  const auto rank_dead = [&](int r) {
+    return rctx != nullptr && !membership.alive(r);
+  };
 
   // --- DSE Step 1 ------------------------------------------------------------
   Timer step1_timer;
@@ -187,6 +262,14 @@ DseResult DseDriver::run(runtime::Communicator& comm,
     for (const int s : hosted2) {
       const graph::PartId src = step1_assignment[static_cast<std::size_t>(s)];
       if (src == rank) continue;
+      if (rank_dead(src)) {
+        // Membership fast path: no point waiting out the deadline for a rank
+        // the phase-0 heartbeat already declared dead.
+        dead_subsystems.insert(s);
+        OBS_EVENT("exchange.redistribution_lost", OBS_ATTR("subsystem", s),
+                  OBS_ATTR("from_rank", src), OBS_ATTR("reason", "rank_dead"));
+        continue;
+      }
       const auto msg = recv_within(comm, deadline, src, redist_tag(s));
       if (!msg.has_value()) {
         if (!options_.degraded_step2) {
@@ -275,6 +358,13 @@ DseResult DseDriver::run(runtime::Communicator& comm,
             if (dead_subsystems.count(s) > 0) {
               missing_neighbors[t].insert(s);
             }
+            continue;
+          }
+          if (rank_dead(src)) {
+            missing_neighbors[t].insert(s);
+            OBS_EVENT("exchange.pseudo_lost", OBS_ATTR("subsystem", t),
+                      OBS_ATTR("neighbor", s), OBS_ATTR("round", round),
+                      OBS_ATTR("reason", "rank_dead"));
             continue;
           }
           const auto msg = recv_within(comm, deadline, src,
@@ -406,6 +496,13 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   const Deadline combine_deadline(options_.exchange_deadline);
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank) continue;
+    if (rank_dead(r)) {
+      result.unresponsive_ranks.push_back(r);
+      all_ok = false;
+      OBS_EVENT("exchange.unresponsive_rank", OBS_ATTR("rank", r),
+                OBS_ATTR("reason", "rank_dead"));
+      continue;
+    }
     const auto msg = recv_within(comm, combine_deadline, r, kCombineTag);
     if (!msg.has_value()) {
       if (!options_.degraded_step2) {
@@ -444,6 +541,77 @@ DseResult DseDriver::run(runtime::Communicator& comm,
             });
   result.all_converged = all_ok;
   result.combine_seconds = combine_timer.seconds();
+
+  // --- Checkpoint collect (recovery only) ------------------------------------
+  // Every rank snapshots the subsystems it solved this cycle and ships them
+  // to rank 0, where the Supervisor keeps the newest checkpoint per
+  // subsystem. These are the warm-start seeds for the next cycle and the
+  // migration payloads after a cluster loss.
+  if (rctx != nullptr && rctx->collect_checkpoints) {
+    OBS_SPAN("dse.recovery.collect");
+    std::vector<std::vector<std::uint8_t>> encoded;
+    for (const int s : hosted2) {
+      if (dead_subsystems.count(s) > 0) continue;  // never solved
+      EstimatorCheckpoint ckpt;
+      ckpt.subsystem = s;
+      ckpt.cycle = rctx->cycle;
+      ckpt.reuse_gain = true;
+      ckpt.step1_states = estimators.at(s)->final_states();
+      ckpt.boundary_states = estimators.at(s)->current_boundary_states();
+      encoded.push_back(encode_checkpoint(ckpt));
+      if (rank == 0) {
+        result.recovery.checkpoint_bytes += encoded.back().size();
+        result.recovery.checkpoints.push_back(std::move(ckpt));
+      }
+    }
+    if (rank != 0) {
+      ByteWriter report;
+      report.write(static_cast<std::uint64_t>(encoded.size()));
+      for (const auto& bytes : encoded) {
+        report.write_vector(bytes);
+      }
+      comm.send(0, runtime::kRecoveryReportTag, report.take());
+    } else {
+      const Deadline report_deadline(options_.exchange_deadline);
+      for (int r = 1; r < comm.size(); ++r) {
+        if (rank_dead(r)) continue;
+        const auto msg =
+            recv_within(comm, report_deadline, r, runtime::kRecoveryReportTag);
+        if (!msg.has_value()) {
+          OBS_EVENT("recovery.report_missed", OBS_ATTR("rank", r));
+          continue;
+        }
+        try {
+          ByteReader reader(msg->payload);
+          const auto count = reader.read<std::uint64_t>();
+          if (count > msg->payload.size()) {
+            throw InvalidInput("recovery report: implausible count");
+          }
+          for (std::uint64_t i = 0; i < count; ++i) {
+            const auto bytes = reader.read_vector<std::uint8_t>();
+            result.recovery.checkpoints.push_back(decode_checkpoint(bytes));
+            result.recovery.checkpoint_bytes += bytes.size();
+          }
+          if (!reader.at_end()) {
+            throw InvalidInput("recovery report: trailing bytes");
+          }
+        } catch (const InvalidInput&) {
+          OBS_COUNTER_ADD("exchange.corrupt_frames", 1);
+          OBS_EVENT("recovery.report_missed", OBS_ATTR("rank", r),
+                    OBS_ATTR("reason", "corrupt"));
+        }
+      }
+      std::sort(result.recovery.checkpoints.begin(),
+                result.recovery.checkpoints.end(),
+                [](const EstimatorCheckpoint& a, const EstimatorCheckpoint& b) {
+                  return a.subsystem < b.subsystem;
+                });
+      OBS_COUNTER_ADD("recovery.checkpoints",
+                      result.recovery.checkpoints.size());
+      OBS_COUNTER_ADD("recovery.checkpoint_bytes",
+                      result.recovery.checkpoint_bytes);
+    }
+  }
   result.total_seconds = total_timer.seconds();
   result.bytes_sent = comm.bytes_sent() - bytes_before;
 

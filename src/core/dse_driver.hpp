@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <map>
 #include <span>
 
 #include "core/local_estimator.hpp"
@@ -8,6 +9,7 @@
 #include "graph/partition.hpp"
 #include "grid/meas_generator.hpp"
 #include "runtime/communicator.hpp"
+#include "runtime/recovery.hpp"
 
 namespace gridse::core {
 
@@ -35,6 +37,38 @@ struct DseOptions {
   /// finish the cycle degraded instead of throwing. Only meaningful with a
   /// nonzero exchange_deadline.
   bool degraded_step2 = true;
+};
+
+/// Per-cycle recovery context, supplied by the Supervisor when cross-cycle
+/// recovery is enabled (nullptr = the historical, recovery-free cycle).
+/// Shared read-only by every rank of the in-process world; in a multi-node
+/// deployment its contents would be part of the assignment broadcast.
+struct DseRecoveryContext {
+  runtime::HeartbeatSettings heartbeat;
+  /// Monotone cycle index stamped into collected checkpoints.
+  std::int64_t cycle = 0;
+  /// Subsystem → checkpoint to restore before Step 1. Rank 0 ships each
+  /// checkpoint over the wire to the subsystem's Step-1 host, which
+  /// warm-starts from it (orphan migration, rejoin, or plain cross-cycle
+  /// tracking).
+  std::map<int, EstimatorCheckpoint> restore;
+  /// Gather fresh checkpoints onto rank 0 at the end of the cycle.
+  bool collect_checkpoints = true;
+};
+
+/// Recovery outputs of one cycle (embedded in DseResult).
+struct DseRecoveryResult {
+  /// False when the cycle ran without a recovery context.
+  bool enabled = false;
+  /// The consensus membership view produced by the phase-0 heartbeat.
+  runtime::MembershipView membership;
+  /// Subsystems this rank warm-started from restored checkpoints.
+  int warm_started = 0;
+  /// Fresh end-of-cycle checkpoints (rank 0 only; one per subsystem that
+  /// solved on a responsive rank).
+  std::vector<EstimatorCheckpoint> checkpoints;
+  /// Encoded bytes of the gathered checkpoints (rank 0 only).
+  std::size_t checkpoint_bytes = 0;
 };
 
 /// Per-subsystem execution trace.
@@ -66,6 +100,9 @@ struct DseResult {
   /// Ranks whose combine payload never arrived within the deadline (their
   /// buses keep default values in `state`).
   std::vector<int> unresponsive_ranks;
+  /// Cross-cycle recovery outputs (membership view, checkpoints); only
+  /// populated when a DseRecoveryContext was passed to run().
+  DseRecoveryResult recovery;
   /// True when any subsystem degraded or any rank went unresponsive.
   [[nodiscard]] bool degraded_mode() const {
     return !degraded.empty() || !unresponsive_ranks.empty();
@@ -94,6 +131,17 @@ class DseDriver {
                 const grid::MeasurementSet& global_measurements,
                 std::span<const graph::PartId> step1_assignment,
                 std::span<const graph::PartId> step2_assignment) const;
+
+  /// Recovery-aware cycle: phase 0 probes membership (heartbeats), dead
+  /// ranks are skipped without waiting out exchange deadlines, restore
+  /// checkpoints warm-start Step 1, and fresh checkpoints are gathered on
+  /// rank 0 after the combine. `recovery == nullptr` reproduces the plain
+  /// run() exactly.
+  DseResult run(runtime::Communicator& comm,
+                const grid::MeasurementSet& global_measurements,
+                std::span<const graph::PartId> step1_assignment,
+                std::span<const graph::PartId> step2_assignment,
+                const DseRecoveryContext* recovery) const;
 
   /// Convenience: same assignment for both steps.
   DseResult run(runtime::Communicator& comm,

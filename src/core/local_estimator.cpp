@@ -97,12 +97,22 @@ LocalSolveInfo LocalEstimator::run_step1(
   const Reference ref = pick_reference(local_, local_set);
 
   grid::GridState initial(local_.network.num_buses());
-  // Flat-start magnitudes, but seed every angle at the reference angle: in a
-  // wide interconnection the subsystem's absolute angle can be far from 0,
-  // and Gauss-Newton diverges when started that far out; the intra-subsystem
-  // spread around the PMU angle is always small.
-  for (double& th : initial.theta) {
-    th = ref.angle;
+  const bool warm = warm_start_.has_value();
+  if (warm) {
+    // Cross-cycle warm restart: start Gauss-Newton from the restored
+    // checkpoint. The reference angle is still pinned below so a checkpoint
+    // taken against a drifted PMU reading cannot skew the reference.
+    initial = *warm_start_;
+    warm_start_.reset();
+    initial.theta[static_cast<std::size_t>(ref.local_bus)] = ref.angle;
+  } else {
+    // Flat-start magnitudes, but seed every angle at the reference angle:
+    // in a wide interconnection the subsystem's absolute angle can be far
+    // from 0, and Gauss-Newton diverges when started that far out; the
+    // intra-subsystem spread around the PMU angle is always small.
+    for (double& th : initial.theta) {
+      th = ref.angle;
+    }
   }
   const estimation::WlsResult result = solve_local(
       local_.network, ref.local_bus, options_, options_.wls, local_set,
@@ -112,6 +122,7 @@ LocalSolveInfo LocalEstimator::run_step1(
   step2_state_.reset();
 
   LocalSolveInfo info;
+  info.warm_start = warm;
   info.converged = result.converged;
   info.gauss_newton_iterations = result.iterations;
   info.inner_iterations = result.inner_iterations;
@@ -121,14 +132,15 @@ LocalSolveInfo LocalEstimator::run_step1(
   return info;
 }
 
-void LocalEstimator::adopt_step1(const std::vector<BusStateRecord>& records) {
+grid::GridState LocalEstimator::records_to_local_state(
+    const std::vector<BusStateRecord>& records, const char* what) const {
   grid::GridState state(local_.network.num_buses());
   std::vector<bool> seen(static_cast<std::size_t>(local_.network.num_buses()),
                          false);
   for (const BusStateRecord& rec : records) {
     const auto it = local_.local_of_global.find(rec.bus);
     if (it == local_.local_of_global.end()) {
-      throw InvalidInput("adopt_step1: record for bus " +
+      throw InvalidInput(std::string(what) + ": record for bus " +
                          std::to_string(rec.bus) +
                          " which is not in subsystem " +
                          std::to_string(subsystem_));
@@ -139,12 +151,21 @@ void LocalEstimator::adopt_step1(const std::vector<BusStateRecord>& records) {
   }
   for (const bool s : seen) {
     if (!s) {
-      throw InvalidInput("adopt_step1: incomplete state for subsystem " +
-                         std::to_string(subsystem_));
+      throw InvalidInput(std::string(what) + ": incomplete state for " +
+                         "subsystem " + std::to_string(subsystem_));
     }
   }
-  step1_state_ = std::move(state);
+  return state;
+}
+
+void LocalEstimator::adopt_step1(const std::vector<BusStateRecord>& records) {
+  step1_state_ = records_to_local_state(records, "adopt_step1");
   step2_state_.reset();
+}
+
+void LocalEstimator::set_warm_start(
+    const std::vector<BusStateRecord>& records) {
+  warm_start_ = records_to_local_state(records, "set_warm_start");
 }
 
 LocalSolveInfo LocalEstimator::run_step2(

@@ -40,6 +40,8 @@ struct LocalSolveInfo {
   double seconds = 0.0;
   double objective = 0.0;
   std::size_t num_measurements = 0;
+  /// Step 1 started from a restored checkpoint instead of a flat profile.
+  bool warm_start = false;
 };
 
 /// Runs DSE Step 1 and Step 2 for one subsystem. Owns the extracted local
@@ -56,6 +58,15 @@ class LocalEstimator {
   /// the subsystem hosts it, else the bus of the first PMU (kVAngle)
   /// measurement; throws InvalidInput when neither exists.
   LocalSolveInfo run_step1(const grid::MeasurementSet& global_set);
+
+  /// Seed the next run_step1 with a restored checkpoint (cross-cycle
+  /// warm restart): `records` must cover every bus of this subsystem in
+  /// global numbering. One-shot — the next run_step1 consumes it as its
+  /// initial Gauss-Newton iterate (the PMU/slack reference angle is still
+  /// pinned by the solver) instead of the flat profile, which converges in
+  /// fewer iterations when the operating point moved only a little since
+  /// the checkpoint was taken.
+  void set_warm_start(const std::vector<BusStateRecord>& records);
 
   /// Install a Step-1 solution computed on another cluster (re-mapping
   /// redistribution): `records` must cover every bus of this subsystem in
@@ -112,8 +123,14 @@ class LocalEstimator {
   LocalEstimatorOptions options_;
   decomp::SubsystemModel local_;
   decomp::SubsystemModel extended_;
+  /// Map a full-coverage record batch into local numbering; throws
+  /// InvalidInput on foreign buses or incomplete coverage.
+  [[nodiscard]] grid::GridState records_to_local_state(
+      const std::vector<BusStateRecord>& records, const char* what) const;
+
   std::optional<grid::GridState> step1_state_;   // local numbering
   std::optional<grid::GridState> step2_state_;   // extended numbering
+  std::optional<grid::GridState> warm_start_;    // local numbering, one-shot
 };
 
 }  // namespace gridse::core

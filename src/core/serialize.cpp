@@ -52,6 +52,31 @@ std::vector<DegradedStatus> decode_degraded(
   return statuses;
 }
 
+std::vector<std::uint8_t> encode_checkpoint(const EstimatorCheckpoint& ckpt) {
+  ByteWriter w(48 + (ckpt.step1_states.size() + ckpt.boundary_states.size()) *
+                        sizeof(BusStateRecord));
+  w.write(ckpt.subsystem);
+  w.write(ckpt.cycle);
+  w.write(static_cast<std::uint8_t>(ckpt.reuse_gain ? 1 : 0));
+  w.write_vector(ckpt.step1_states);
+  w.write_vector(ckpt.boundary_states);
+  return w.take();
+}
+
+EstimatorCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  EstimatorCheckpoint ckpt;
+  ckpt.subsystem = r.read<std::int32_t>();
+  ckpt.cycle = r.read<std::int64_t>();
+  ckpt.reuse_gain = r.read<std::uint8_t>() != 0;
+  ckpt.step1_states = r.read_vector<BusStateRecord>();
+  ckpt.boundary_states = r.read_vector<BusStateRecord>();
+  if (!r.at_end()) {
+    throw InvalidInput("decode_checkpoint: trailing bytes in frame");
+  }
+  return ckpt;
+}
+
 namespace {
 
 /// Wire image of one measurement (kept independent of the in-memory layout

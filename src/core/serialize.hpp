@@ -43,6 +43,30 @@ std::vector<std::uint8_t> encode_degraded(
 std::vector<DegradedStatus> decode_degraded(
     const std::vector<std::uint8_t>& bytes);
 
+/// Warm-restart checkpoint of one subsystem's estimator, collected at the
+/// end of every recovered cycle and stored by the supervisor: the Step-1
+/// state vector (Step-2-refined where available), the boundary/sensitive
+/// pseudo-measurement exports, and the gain-matrix reuse flag. A rank that
+/// (re)hosts the subsystem warm-starts its next Step-1 solve from
+/// `step1_states` instead of cold-starting from a flat profile.
+struct EstimatorCheckpoint {
+  std::int32_t subsystem = -1;
+  /// Cycle index the checkpoint was taken at; the store keeps the newest.
+  std::int64_t cycle = -1;
+  /// The subsystem's topology was unchanged when the checkpoint was taken,
+  /// so a restored solver may reuse its factorized gain matrix.
+  bool reuse_gain = false;
+  /// Per-bus solution over all own buses (global numbering).
+  std::vector<BusStateRecord> step1_states;
+  /// Boundary + sensitive-internal exports (the pseudo measurements the
+  /// subsystem last shipped to its neighbours).
+  std::vector<BusStateRecord> boundary_states;
+};
+
+/// Serialize/deserialize one estimator checkpoint.
+std::vector<std::uint8_t> encode_checkpoint(const EstimatorCheckpoint& ckpt);
+EstimatorCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes);
+
 /// Serialize/deserialize a measurement set (for the Step-1→Step-2
 /// raw-measurement redistribution when a subsystem is re-mapped).
 std::vector<std::uint8_t> encode_measurements(const grid::MeasurementSet& set);

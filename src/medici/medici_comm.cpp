@@ -8,6 +8,7 @@
 #if GRIDSE_OBS
 #include "obs/trace/trace.hpp"
 #endif
+#include "runtime/recovery.hpp"
 #include "util/error.hpp"
 
 namespace gridse::medici {
@@ -117,8 +118,16 @@ class MediciCommunicatorImpl final : public runtime::Communicator {
     const EndpointUrl& target =
         world_->send_target_[static_cast<std::size_t>(rank_)]
                             [static_cast<std::size_t>(dest)];
-    world_->clients_[static_cast<std::size_t>(rank_)]->send(
-        target, tag, payload, world_->link_model_);
+    MwClient& client = *world_->clients_[static_cast<std::size_t>(rank_)];
+    if (tag >= runtime::kHeartbeatTagBase && tag <= MediciWorld::kMaxUserTag) {
+      // Failure-detector traffic (heartbeats, membership/recovery reports,
+      // checkpoint shipments) is best-effort: it rides the same bounded
+      // retry/backoff accounting, but a dead peer must not abort the
+      // sender's cycle — the missing beat IS the detection signal.
+      (void)client.try_send(target, tag, payload, world_->link_model_);
+      return;
+    }
+    client.send(target, tag, payload, world_->link_model_);
   }
 
   MediciWorld* world_;

@@ -117,9 +117,9 @@ void MwClient::send_attempt_locked(const std::string& key,
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
 }
 
-void MwClient::send(const EndpointUrl& to, int tag,
-                    std::span<const std::uint8_t> payload,
-                    const NetModel& shape) {
+bool MwClient::send_with_retries(const EndpointUrl& to, int tag,
+                                 std::span<const std::uint8_t> payload,
+                                 const NetModel& shape, bool nothrow) {
   OBS_SPAN("medici.client.send");
   const runtime::TraceContext* trace = nullptr;
 #if GRIDSE_OBS
@@ -129,7 +129,7 @@ void MwClient::send(const EndpointUrl& to, int tag,
   }
 #endif
   if (FAULT_DROP("client.send", id_, tag)) {
-    return;  // injected loss before the client ever touches the wire
+    return true;  // injected loss before the client ever touches the wire
   }
   const std::string key = to.to_string();
   // Bounded retry with exponential backoff: a cached connection may have
@@ -154,13 +154,18 @@ void MwClient::send(const EndpointUrl& to, int tag,
       registry.counter("medici.endpoint.bytes.to." + key)
           .add(payload.size());
 #endif
-      return;
+      return true;
     } catch (const CommError&) {
       {
         analysis::LockGuard lock(send_mutex_);
         connections_.erase(key);
       }
       if (attempt + 1 >= attempts || stopping_.load()) {
+        if (nothrow) {
+          OBS_EVENT("medici.client.send_failed", OBS_ATTR("endpoint", key),
+                    OBS_ATTR("client", id_), OBS_ATTR("tag", tag));
+          return false;
+        }
         throw;
       }
       retries_.fetch_add(1, std::memory_order_relaxed);
@@ -176,6 +181,18 @@ void MwClient::send(const EndpointUrl& to, int tag,
       std::this_thread::sleep_for(retry_.backoff(attempt, salt));
     }
   }
+}
+
+void MwClient::send(const EndpointUrl& to, int tag,
+                    std::span<const std::uint8_t> payload,
+                    const NetModel& shape) {
+  (void)send_with_retries(to, tag, payload, shape, /*nothrow=*/false);
+}
+
+bool MwClient::try_send(const EndpointUrl& to, int tag,
+                        std::span<const std::uint8_t> payload,
+                        const NetModel& shape) {
+  return send_with_retries(to, tag, payload, shape, /*nothrow=*/true);
 }
 
 runtime::Message MwClient::recv(int source, int tag) {

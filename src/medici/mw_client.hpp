@@ -46,6 +46,16 @@ class MwClient {
             std::span<const std::uint8_t> payload,
             const NetModel& shape = {});
 
+  /// Best-effort variant of send() for traffic that must never abort the
+  /// caller (heartbeats, membership reports): the exact same connection
+  /// cache, retry budget, backoff, and retries()/exchange.retries
+  /// accounting, but an exhausted attempt budget returns false instead of
+  /// throwing CommError. A false return is itself a liveness signal — the
+  /// failure detector counts the missing beat at the receiver.
+  bool try_send(const EndpointUrl& to, int tag,
+                std::span<const std::uint8_t> payload,
+                const NetModel& shape = {});
+
   /// Replace the send retry policy (default: RetryPolicy{}).
   void set_retry_policy(runtime::RetryPolicy policy) { retry_ = policy; }
 
@@ -96,8 +106,22 @@ class MwClient {
   runtime::Mailbox mailbox_;
   std::map<std::string, runtime::Socket> connections_;
   analysis::Mutex send_mutex_{"MwClient::send_mutex_"};
+  /// One framed write with the shared bounded-retry loop; `nothrow` selects
+  /// between send() (throw on exhaustion) and try_send() (return false).
+  bool send_with_retries(const EndpointUrl& to, int tag,
+                         std::span<const std::uint8_t> payload,
+                         const NetModel& shape, bool nothrow);
+
   runtime::RetryPolicy retry_;
   std::atomic<std::uint64_t> retries_{0};
+  /// Retry-jitter seed derivation: each backoff sleep is
+  /// RetryPolicy::backoff(attempt, salt) with
+  ///   salt = (uint64(uint32(id_)) << 32) ^ retry_salt_.fetch_add(1),
+  /// i.e. the client id in the high word XOR a per-client monotone retry
+  /// counter in the low word. RetryPolicy::backoff() then hashes
+  /// (policy seed ^ mix64(salt ^ attempt)) via splitmix64, so jitter is
+  /// fully deterministic per (policy seed, client id, lifetime retry
+  /// ordinal, attempt) and distinct clients never sleep in lockstep.
   std::atomic<std::uint64_t> retry_salt_{0};
   std::atomic<std::size_t> bytes_sent_{0};
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,238 @@
+#include "runtime/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+
+namespace gridse::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::milliseconds remaining(Clock::time_point deadline) {
+  return std::max(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - Clock::now()),
+                  std::chrono::milliseconds{0});
+}
+
+/// Classify one peer from the number of beat rounds observed.
+RankState classify(int seen, int rounds) {
+  if (seen >= rounds) return RankState::kAlive;
+  if (seen == 0) return RankState::kDead;
+  return RankState::kSuspect;
+}
+
+}  // namespace
+
+const char* to_string(RankState state) {
+  switch (state) {
+    case RankState::kAlive:
+      return "alive";
+    case RankState::kSuspect:
+      return "suspect";
+    case RankState::kDead:
+      return "dead";
+    case RankState::kRejoining:
+      return "rejoining";
+  }
+  return "unknown";
+}
+
+std::vector<int> MembershipView::dead_ranks() const {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    if (states[r] == RankState::kDead) out.push_back(static_cast<int>(r));
+  }
+  return out;
+}
+
+std::vector<int> MembershipView::suspect_ranks() const {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    if (states[r] == RankState::kSuspect) out.push_back(static_cast<int>(r));
+  }
+  return out;
+}
+
+int MembershipView::num_alive() const {
+  int n = 0;
+  for (const RankState s : states) {
+    if (s != RankState::kDead) ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> encode_membership(const MembershipView& view) {
+  ByteWriter w(16 + view.states.size());
+  std::vector<std::uint8_t> raw(view.states.size());
+  for (std::size_t i = 0; i < view.states.size(); ++i) {
+    raw[i] = static_cast<std::uint8_t>(view.states[i]);
+  }
+  w.write_vector(raw);
+  return w.take();
+}
+
+MembershipView decode_membership(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const auto raw = r.read_vector<std::uint8_t>();
+  if (!r.at_end()) {
+    throw InvalidInput("decode_membership: trailing bytes in frame");
+  }
+  MembershipView view;
+  view.states.reserve(raw.size());
+  for (const std::uint8_t v : raw) {
+    if (v > static_cast<std::uint8_t>(RankState::kRejoining)) {
+      throw InvalidInput("decode_membership: unknown rank state " +
+                         std::to_string(v));
+    }
+    view.states.push_back(static_cast<RankState>(v));
+  }
+  return view;
+}
+
+MembershipView probe_membership(Communicator& comm,
+                                const HeartbeatSettings& settings) {
+  OBS_SPAN("recovery.heartbeat");
+  const int n = comm.size();
+  const int rank = comm.rank();
+  MembershipView local;
+  local.states.assign(static_cast<std::size_t>(n), RankState::kAlive);
+  if (n <= 1) {
+    return local;
+  }
+  const int rounds =
+      std::clamp(settings.rounds, 1, kMaxHeartbeatRounds);
+
+  // Beat fan-out: `rounds` one-byte beats to every peer, `period` apart.
+  // Sends are asynchronous, so a dead destination never blocks the prober.
+  for (int r = 0; r < rounds; ++r) {
+    for (int p = 0; p < n; ++p) {
+      if (p == rank) continue;
+      comm.send(p, heartbeat_tag(r),
+                {static_cast<std::uint8_t>(r)});
+      OBS_COUNTER_ADD("recovery.heartbeats_sent", 1);
+    }
+    if (r + 1 < rounds) {
+      std::this_thread::sleep_for(settings.period);
+    }
+  }
+
+  // Collection: count the rounds observed per peer inside one shared
+  // budget (floored so slow-but-alive peers mid-fan-out are never misread).
+  const auto budget =
+      std::max(settings.timeout, settings.period * (rounds + 1));
+  const Clock::time_point beats_deadline = Clock::now() + budget;
+  for (int p = 0; p < n; ++p) {
+    if (p == rank) continue;
+    int seen = 0;
+    for (int r = 0; r < rounds; ++r) {
+      if (comm.recv_for(p, heartbeat_tag(r), remaining(beats_deadline))) {
+        ++seen;
+      }
+    }
+    local.states[static_cast<std::size_t>(p)] = classify(seen, rounds);
+  }
+
+  // Consensus: rank 0 aggregates every rank's local observation and
+  // broadcasts the merged view, so all ranks act on the same membership
+  // this cycle. A rank whose report never arrives cannot be coordinated
+  // with and is itself marked dead, whatever its beats said.
+  MembershipView view = local;
+  const Clock::time_point control_deadline = Clock::now() + budget;
+  if (rank == 0) {
+    std::vector<MembershipView> reports;
+    std::vector<bool> reported(static_cast<std::size_t>(n), false);
+    reports.push_back(local);
+    reported[0] = true;
+    for (int p = 1; p < n; ++p) {
+      const auto msg =
+          comm.recv_for(p, kMembershipReportTag, remaining(control_deadline));
+      if (!msg.has_value()) {
+        view.states[static_cast<std::size_t>(p)] = RankState::kDead;
+        continue;
+      }
+      try {
+        MembershipView peer = decode_membership(msg->payload);
+        if (static_cast<int>(peer.states.size()) == n) {
+          reports.push_back(std::move(peer));
+          reported[static_cast<std::size_t>(p)] = true;
+        }
+      } catch (const InvalidInput&) {
+        view.states[static_cast<std::size_t>(p)] = RankState::kDead;
+      }
+    }
+    for (int q = 0; q < n; ++q) {
+      if (view.states[static_cast<std::size_t>(q)] == RankState::kDead) {
+        continue;  // no report — already condemned above
+      }
+      int dead_votes = 0;
+      int suspect_votes = 0;
+      for (const MembershipView& rep : reports) {
+        const RankState s = rep.states[static_cast<std::size_t>(q)];
+        if (s == RankState::kDead) ++dead_votes;
+        if (s == RankState::kSuspect) ++suspect_votes;
+      }
+      const int voters = static_cast<int>(reports.size());
+      if (2 * dead_votes > voters) {
+        view.states[static_cast<std::size_t>(q)] = RankState::kDead;
+      } else if (dead_votes + suspect_votes > 0) {
+        view.states[static_cast<std::size_t>(q)] = RankState::kSuspect;
+      }
+    }
+    const auto payload = encode_membership(view);
+    for (int p = 1; p < n; ++p) {
+      comm.send(p, kMembershipViewTag, payload);
+    }
+#if GRIDSE_OBS
+    // Transition telemetry is coordinator-only so counts stay per-probe,
+    // not per-rank (all ranks share one in-process metrics registry).
+    for (const int d : view.dead_ranks()) {
+      OBS_EVENT("recovery.rank_dead", OBS_ATTR("rank", d));
+    }
+    for (const int s : view.suspect_ranks()) {
+      OBS_EVENT("recovery.rank_suspect", OBS_ATTR("rank", s));
+    }
+    OBS_COUNTER_ADD("recovery.dead_ranks", view.dead_ranks().size());
+    OBS_COUNTER_ADD("recovery.suspect_ranks", view.suspect_ranks().size());
+    OBS_GAUGE_SET("recovery.alive_ranks", view.num_alive());
+#endif
+  } else {
+    comm.send(0, kMembershipReportTag, encode_membership(local));
+    // The coordinator may spend a full beat budget on a silent peer and a
+    // full control budget on its missing report before broadcasting; a rank
+    // whose own beat collection finished early must wait out both phases —
+    // plus scheduling slack, so a loaded machine cannot turn the worst-case
+    // broadcast time into a spurious coordinator-loss fallback.
+    const Clock::time_point view_deadline =
+        Clock::now() + 2 * budget + budget / 2 + settings.period;
+    const auto msg =
+        comm.recv_for(0, kMembershipViewTag, remaining(view_deadline));
+    bool adopted = false;
+    if (msg.has_value()) {
+      try {
+        MembershipView broadcast = decode_membership(msg->payload);
+        if (static_cast<int>(broadcast.states.size()) == n) {
+          view = std::move(broadcast);
+          adopted = true;
+        }
+      } catch (const InvalidInput&) {
+        // fall through to the local view
+      }
+    }
+    if (!adopted) {
+      // Coordinator loss: act on local observations (documented fallback)
+      // and flag the view so callers can tell the difference.
+      view = local;
+      view.states[0] = RankState::kDead;
+      view.consensus = false;
+      OBS_EVENT("recovery.view_fallback", OBS_ATTR("rank", rank));
+    }
+  }
+  return view;
+}
+
+}  // namespace gridse::runtime

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <string>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -18,19 +18,26 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-bool read_env_ms(const char* name, std::chrono::milliseconds& out) {
+long long parse_integer(const std::string& name, const std::string& raw,
+                        const char* expectation) {
+  char* end = nullptr;
+  const long long value = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
+    throw InvalidInput(name + ": expected " + expectation + ", got \"" + raw +
+                       "\"");
+  }
+  return value;
+}
+
+/// Apply one environment override through `parse` when `name` is set and
+/// non-empty.
+template <typename Out, typename Parse>
+void read_env(const char* name, Out& out, Parse&& parse) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') {
-    return false;
+    return;
   }
-  char* end = nullptr;
-  const long long ms = std::strtoll(raw, &end, 10);
-  if (end == raw || *end != '\0' || ms < 0) {
-    throw InvalidInput(std::string(name) + ": expected a non-negative " +
-                       "millisecond count, got \"" + raw + "\"");
-  }
-  out = std::chrono::milliseconds(ms);
-  return true;
+  out = parse(std::string(name), std::string(raw));
 }
 
 }  // namespace
@@ -51,9 +58,57 @@ std::chrono::milliseconds RetryPolicy::backoff(int attempt,
   return delay;
 }
 
+std::chrono::milliseconds parse_env_ms(const std::string& name,
+                                       const std::string& raw) {
+  const long long ms =
+      parse_integer(name, raw, "a non-negative millisecond count");
+  if (ms < 0) {
+    throw InvalidInput(name + ": expected a non-negative millisecond count, " +
+                       "got \"" + raw + "\"");
+  }
+  return std::chrono::milliseconds(ms);
+}
+
+int parse_env_int(const std::string& name, const std::string& raw,
+                  int min_value) {
+  const long long value = parse_integer(name, raw, "an integer");
+  if (value < min_value || value > std::numeric_limits<int>::max()) {
+    throw InvalidInput(name + ": expected an integer >= " +
+                       std::to_string(min_value) + ", got \"" + raw + "\"");
+  }
+  return static_cast<int>(value);
+}
+
+bool parse_env_flag(const std::string& name, const std::string& raw) {
+  if (raw == "1" || raw == "on" || raw == "true") {
+    return true;
+  }
+  if (raw == "0" || raw == "off" || raw == "false") {
+    return false;
+  }
+  throw InvalidInput(name + ": expected 0/1/on/off/true/false, got \"" + raw +
+                     "\"");
+}
+
 ResilienceConfig with_env_overrides(ResilienceConfig base) {
-  read_env_ms("GRIDSE_BARRIER_TIMEOUT_MS", base.barrier_timeout);
-  read_env_ms("GRIDSE_EXCHANGE_DEADLINE_MS", base.exchange_deadline);
+  read_env("GRIDSE_BARRIER_TIMEOUT_MS", base.barrier_timeout, parse_env_ms);
+  read_env("GRIDSE_EXCHANGE_DEADLINE_MS", base.exchange_deadline,
+           parse_env_ms);
+  read_env("GRIDSE_RECOVERY", base.recovery.enabled, parse_env_flag);
+  read_env("GRIDSE_HEARTBEAT_PERIOD_MS", base.recovery.heartbeat_period,
+           parse_env_ms);
+  read_env("GRIDSE_HEARTBEAT_TIMEOUT_MS", base.recovery.heartbeat_timeout,
+           parse_env_ms);
+  read_env("GRIDSE_HEARTBEAT_ROUNDS", base.recovery.heartbeat_rounds,
+           [](const std::string& name, const std::string& raw) {
+             return parse_env_int(name, raw, 1);
+           });
+  read_env("GRIDSE_REJOIN_EPOCH", base.recovery.rejoin_epoch,
+           [](const std::string& name, const std::string& raw) {
+             return parse_env_int(name, raw, 1);
+           });
+  read_env("GRIDSE_CHECKPOINT_DIR", base.recovery.checkpoint_dir,
+           [](const std::string&, const std::string& raw) { return raw; });
   return base;
 }
 

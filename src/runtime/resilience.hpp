@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 namespace gridse::runtime {
 
@@ -27,6 +28,29 @@ struct RetryPolicy {
                                                   std::uint64_t salt) const;
 };
 
+/// Cross-cycle recovery knobs: the heartbeat failure detector, checkpoint
+/// warm-restart, and remapping after confirmed cluster loss (see
+/// docs/RESILIENCE.md "Recovery & remapping"). Default **off**: with
+/// `enabled = false` the DSE driver and DseSystem behave exactly as before
+/// this layer existed.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Spacing between heartbeat rounds at the start of each cycle.
+  std::chrono::milliseconds heartbeat_period{20};
+  /// Total budget for collecting peers' heartbeats (and the coordinator's
+  /// membership broadcast). A peer with zero beats inside this window is
+  /// observed dead; some-but-not-all beats observed is suspect.
+  std::chrono::milliseconds heartbeat_timeout{1000};
+  /// Beats sent per cycle; >= 2 distinguishes suspect from dead.
+  int heartbeat_rounds = 2;
+  /// How many cycles a rejoining cluster waits after announce_rejoin before
+  /// it is folded back into the participant set (the remap epoch).
+  int rejoin_epoch = 1;
+  /// Optional disk spill directory for estimator checkpoints; empty keeps
+  /// the store purely in memory.
+  std::string checkpoint_dir;
+};
+
 /// How the distributed exchange behaves when peers misbehave. Threaded from
 /// SystemConfig into the transports and the DSE driver.
 struct ResilienceConfig {
@@ -42,10 +66,31 @@ struct ResilienceConfig {
   /// Step 2 with own Step-1 boundary values as low-weight priors and tag
   /// the result degraded, instead of failing the cycle.
   bool degraded_step2 = true;
+  /// Cross-cycle recovery (heartbeats, checkpoints, remap-after-loss).
+  RecoveryConfig recovery;
 };
 
-/// `base` with environment overrides applied: GRIDSE_BARRIER_TIMEOUT_MS and
-/// GRIDSE_EXCHANGE_DEADLINE_MS (non-negative integers, milliseconds).
+/// Centralized environment-value validation (every GRIDSE_*_MS / count /
+/// flag variable goes through these — one parser, one error shape).
+/// `raw` is the environment value; `name` only labels the error message.
+/// All three throw gridse::InvalidInput on malformed input instead of
+/// silently falling back.
+
+/// Non-negative integer milliseconds.
+std::chrono::milliseconds parse_env_ms(const std::string& name,
+                                       const std::string& raw);
+/// Integer >= `min_value`.
+int parse_env_int(const std::string& name, const std::string& raw,
+                  int min_value);
+/// Boolean: accepts 0/1/on/off/true/false (case-sensitive, lowercase).
+bool parse_env_flag(const std::string& name, const std::string& raw);
+
+/// `base` with environment overrides applied:
+///   GRIDSE_BARRIER_TIMEOUT_MS, GRIDSE_EXCHANGE_DEADLINE_MS   (ms)
+///   GRIDSE_RECOVERY                                          (flag)
+///   GRIDSE_HEARTBEAT_PERIOD_MS, GRIDSE_HEARTBEAT_TIMEOUT_MS  (ms)
+///   GRIDSE_HEARTBEAT_ROUNDS  (int >= 1), GRIDSE_REJOIN_EPOCH (int >= 1)
+///   GRIDSE_CHECKPOINT_DIR                                    (path)
 /// Throws gridse::InvalidInput on unparsable values.
 ResilienceConfig with_env_overrides(ResilienceConfig base);
 

@@ -196,6 +196,93 @@ TEST_F(LocalEstimatorTest, RobustModeBoundsLocalBadData) {
   EXPECT_LT(boundary_error(robust), boundary_error(plain));
 }
 
+TEST_F(LocalEstimatorTest, WarmStartConvergesInFewerIterations) {
+  LocalEstimator cold(generated_.kase.network, d_, 3, {});
+  const LocalSolveInfo cold_info = cold.run_step1(meas_);
+  ASSERT_TRUE(cold_info.converged);
+  EXPECT_FALSE(cold_info.warm_start);
+  ASSERT_GT(cold_info.gauss_newton_iterations, 1);
+
+  // Warm-start a fresh estimator from the cold solution: same measurements,
+  // so the first iterate is already (nearly) the fixed point.
+  LocalEstimator warm(generated_.kase.network, d_, 3, {});
+  warm.set_warm_start(cold.step1_all_states());
+  const LocalSolveInfo warm_info = warm.run_step1(meas_);
+  EXPECT_TRUE(warm_info.converged);
+  EXPECT_TRUE(warm_info.warm_start);
+  EXPECT_LT(warm_info.gauss_newton_iterations,
+            cold_info.gauss_newton_iterations);
+
+  const auto cold_states = cold.step1_all_states();
+  const auto warm_states = warm.step1_all_states();
+  ASSERT_EQ(warm_states.size(), cold_states.size());
+  for (std::size_t i = 0; i < cold_states.size(); ++i) {
+    EXPECT_NEAR(warm_states[i].vm, cold_states[i].vm, 1e-6);
+    EXPECT_NEAR(warm_states[i].theta, cold_states[i].theta, 1e-6);
+  }
+}
+
+TEST_F(LocalEstimatorTest, WarmStartIsOneShot) {
+  LocalEstimator cold(generated_.kase.network, d_, 3, {});
+  const LocalSolveInfo cold_info = cold.run_step1(meas_);
+
+  LocalEstimator est(generated_.kase.network, d_, 3, {});
+  est.set_warm_start(cold.step1_all_states());
+  EXPECT_TRUE(est.run_step1(meas_).warm_start);
+  // The seed was consumed: the next cycle runs cold again, identical to a
+  // never-warmed estimator.
+  const LocalSolveInfo second = est.run_step1(meas_);
+  EXPECT_FALSE(second.warm_start);
+  EXPECT_EQ(second.gauss_newton_iterations,
+            cold_info.gauss_newton_iterations);
+}
+
+TEST_F(LocalEstimatorTest, CheckpointRoundTripPreservesWarmStartExactly) {
+  // serialize → restore → re-solve: the decoded checkpoint must drive the
+  // identical Gauss-Newton trajectory as the in-memory records.
+  LocalEstimator source(generated_.kase.network, d_, 3, {});
+  source.run_step1(meas_);
+  EstimatorCheckpoint ckpt;
+  ckpt.subsystem = 3;
+  ckpt.cycle = 1;
+  ckpt.reuse_gain = true;
+  ckpt.step1_states = source.final_states();
+  ckpt.boundary_states = source.current_boundary_states();
+  const EstimatorCheckpoint decoded =
+      decode_checkpoint(encode_checkpoint(ckpt));
+
+  LocalEstimator from_memory(generated_.kase.network, d_, 3, {});
+  from_memory.set_warm_start(ckpt.step1_states);
+  LocalEstimator from_wire(generated_.kase.network, d_, 3, {});
+  from_wire.set_warm_start(decoded.step1_states);
+
+  const LocalSolveInfo a = from_memory.run_step1(meas_);
+  const LocalSolveInfo b = from_wire.run_step1(meas_);
+  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(b.converged);
+  EXPECT_EQ(a.gauss_newton_iterations, b.gauss_newton_iterations);
+  const auto sa = from_memory.step1_all_states();
+  const auto sb = from_wire.step1_all_states();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa[i].theta, sb[i].theta);
+    EXPECT_DOUBLE_EQ(sa[i].vm, sb[i].vm);
+  }
+}
+
+TEST_F(LocalEstimatorTest, WarmStartRejectsForeignOrPartialRecords) {
+  LocalEstimator other(generated_.kase.network, d_, 4, {});
+  other.run_step1(meas_);
+  LocalEstimator est(generated_.kase.network, d_, 3, {});
+  EXPECT_THROW(est.set_warm_start(other.step1_all_states()), InvalidInput);
+
+  LocalEstimator self(generated_.kase.network, d_, 3, {});
+  self.run_step1(meas_);
+  auto partial = self.step1_all_states();
+  partial.pop_back();
+  EXPECT_THROW(est.set_warm_start(partial), InvalidInput);
+}
+
 TEST_F(LocalEstimatorTest, FinalStatesFallBackToStep1) {
   LocalEstimator est(generated_.kase.network, d_, 5, {});
   est.run_step1(meas_);

@@ -84,5 +84,50 @@ TEST(Serialize, TruncatedFrameRejected) {
   EXPECT_THROW(decode_bus_states(cut), InvalidInput);
 }
 
+TEST(Serialize, CheckpointRoundTrips) {
+  EstimatorCheckpoint ckpt;
+  ckpt.subsystem = 4;
+  ckpt.cycle = 12;
+  ckpt.reuse_gain = true;
+  ckpt.step1_states = {{0, 0.1, 1.02}, {7, -0.25, 0.98}, {117, 0.0, 1.0}};
+  ckpt.boundary_states = {{7, -0.25, 0.98}};
+  const auto bytes = encode_checkpoint(ckpt);
+  const EstimatorCheckpoint back = decode_checkpoint(bytes);
+  EXPECT_EQ(back.subsystem, 4);
+  EXPECT_EQ(back.cycle, 12);
+  EXPECT_TRUE(back.reuse_gain);
+  ASSERT_EQ(back.step1_states.size(), ckpt.step1_states.size());
+  for (std::size_t i = 0; i < ckpt.step1_states.size(); ++i) {
+    EXPECT_EQ(back.step1_states[i].bus, ckpt.step1_states[i].bus);
+    EXPECT_DOUBLE_EQ(back.step1_states[i].theta, ckpt.step1_states[i].theta);
+    EXPECT_DOUBLE_EQ(back.step1_states[i].vm, ckpt.step1_states[i].vm);
+  }
+  ASSERT_EQ(back.boundary_states.size(), 1u);
+  EXPECT_EQ(back.boundary_states[0].bus, 7);
+}
+
+TEST(Serialize, DefaultCheckpointRoundTrips) {
+  const EstimatorCheckpoint back = decode_checkpoint(
+      encode_checkpoint(EstimatorCheckpoint{}));
+  EXPECT_EQ(back.subsystem, -1);
+  EXPECT_EQ(back.cycle, -1);
+  EXPECT_FALSE(back.reuse_gain);
+  EXPECT_TRUE(back.step1_states.empty());
+  EXPECT_TRUE(back.boundary_states.empty());
+}
+
+TEST(Serialize, CheckpointRejectsMalformedFrames) {
+  EstimatorCheckpoint ckpt;
+  ckpt.subsystem = 2;
+  ckpt.step1_states = {{1, 0.0, 1.0}};
+  const auto bytes = encode_checkpoint(ckpt);
+  auto truncated = std::vector<std::uint8_t>(bytes.begin(), bytes.end() - 3);
+  EXPECT_THROW(decode_checkpoint(truncated), InvalidInput);
+  auto trailing = bytes;
+  trailing.push_back(0xee);
+  EXPECT_THROW(decode_checkpoint(trailing), InvalidInput);
+  EXPECT_THROW(decode_checkpoint({}), InvalidInput);
+}
+
 }  // namespace
 }  // namespace gridse::core

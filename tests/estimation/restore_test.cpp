@@ -96,6 +96,46 @@ TEST_F(RestoreTest, PseudoSigmaPropagates) {
   }
 }
 
+TEST_F(RestoreTest, RestoredSetWarmResolveTakesFewerIterations) {
+  // Warm-start path: re-solving the restored (augmented) set from a prior
+  // solution must converge in strictly fewer Gauss-Newton iterations than
+  // the flat start — the property the cross-cycle checkpoint restore in the
+  // DSE driver relies on.
+  const grid::MeasurementGenerator gen(kase_.network, {});
+  const grid::MeasurementSet set = gen.generate_noiseless(pf_.state);
+  const RestorationResult r = restore_observability(*model_, set);
+  ASSERT_TRUE(r.observable);
+  const WlsEstimator est(kase_.network);
+  const WlsResult cold = est.estimate(r.augmented);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_GT(cold.iterations, 1);
+  const WlsResult warm = est.estimate(r.augmented, cold.state);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST_F(RestoreTest, WarmResolveIsDeterministic) {
+  // Identical initial iterate => identical iterate count and identical
+  // state, bit for bit: the restore path may ship the initial state over
+  // the wire and must not introduce run-to-run drift.
+  grid::MeasurementSet set;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (grid::BusIndex b = 0; b < kase_.network.num_buses(); ++b) {
+      set.items.push_back({grid::MeasType::kVMag, b, -1, true,
+                           pf_.state.vm[static_cast<std::size_t>(b)], 0.01});
+    }
+  }
+  const RestorationResult r = restore_observability(*model_, set);
+  ASSERT_TRUE(r.observable);
+  const WlsEstimator est(kase_.network);
+  const WlsResult seed = est.estimate(r.augmented);
+  const WlsResult a = est.estimate(r.augmented, seed.state);
+  const WlsResult b = est.estimate(r.augmented, seed.state);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.state.theta, b.state.theta);
+  EXPECT_EQ(a.state.vm, b.state.vm);
+}
+
 TEST_F(RestoreTest, RejectsBadArguments) {
   const grid::MeasurementSet set;
   EXPECT_THROW(restore_observability(*model_, set, 0.0), InternalError);

@@ -12,10 +12,18 @@ obs_report.json published by gridse_report. Output: one merged document
 * "advisory" — wall-clock numbers. Republished for trend dashboards but
   never gated: shared CI runners are too noisy for time-based gates.
 * "informational" — resilience counters (exchange.retries,
-  exchange.degraded_subsystems, exchange.corrupt_frames). Published so a
-  run that limped through on retries or degraded subsystems is visible in
-  the merged document, but never gated and never required in the
-  baseline: a healthy bench run legitimately reports zeros.
+  exchange.degraded_subsystems, exchange.corrupt_frames) and recovery
+  counters (recovery.remaps, recovery.rejoins, recovery.checkpoint_bytes).
+  Published so a run that limped through on retries, degraded subsystems,
+  or a remap epoch is visible in the merged document, but never gated and
+  never required in the baseline: a healthy bench run legitimately
+  reports zeros.
+
+A second, independent mode validates chaos health reports instead of
+gating benchmarks: `--validate-chaos-report FILE...` checks each JSON
+produced by the chaos suites (tests/fault/) against the expected shape —
+including the optional "recovery" object written by the recovery chaos
+test — and exits 2 on the first malformed document.
 
 A missing or unreadable BENCH_baseline.json is an error (exit 3), not a
 silent pass: a gate that cannot find its reference must say so. Pass
@@ -87,7 +95,8 @@ def merge(bench, report):
     # degraded still produces numbers, so these are surfaced — but they are
     # run-environment noise, not algorithm change, hence never gated.
     for counter in ("exchange.retries", "exchange.degraded_subsystems",
-                    "exchange.corrupt_frames"):
+                    "exchange.corrupt_frames", "recovery.remaps",
+                    "recovery.rejoins", "recovery.checkpoint_bytes"):
         doc["informational"][f"obs.{counter}"] = (
             metrics.get("counters", {}).get(counter, 0))
 
@@ -132,15 +141,125 @@ def gate(doc, baseline, tolerance):
     return failures
 
 
+#: Chaos health-report shape: field -> required type(s). Hand-rolled on
+#: purpose — CI runners carry no jsonschema package, and the shape is small
+#: enough that an explicit table is clearer than a schema document.
+CHAOS_REQUIRED = {
+    "test": str,
+    "injected": (int, float),
+    "retries": (int, float),
+    "seconds": (int, float),
+    "all_converged": bool,
+    "degraded": list,
+    "unresponsive_ranks": list,
+    "injections": list,
+}
+CHAOS_DEGRADED_REQUIRED = {
+    "subsystem": (int, float),
+    "missing_neighbors": list,
+    "missing_redistribution": bool,
+}
+CHAOS_RECOVERY_REQUIRED = {
+    "remaps": (int, float),
+    "rejoins": (int, float),
+    "checkpoint_bytes": (int, float),
+}
+
+
+def _type_ok(value, types):
+    """isinstance with JSON semantics: bool never passes as a number."""
+    if types is bool:
+        return isinstance(value, bool)
+    if isinstance(value, bool):
+        return False
+    return isinstance(value, types)
+
+
+def chaos_report_errors(doc):
+    """Validate one chaos health report; return a list of problem strings."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    for field, types in CHAOS_REQUIRED.items():
+        if field not in doc:
+            errors.append(f"missing required field '{field}'")
+        elif not _type_ok(doc[field], types):
+            errors.append(f"field '{field}' has type "
+                          f"{type(doc[field]).__name__}")
+    for i, entry in enumerate(doc.get("degraded", [])):
+        if not isinstance(entry, dict):
+            errors.append(f"degraded[{i}] is not an object")
+            continue
+        for field, types in CHAOS_DEGRADED_REQUIRED.items():
+            if field not in entry:
+                errors.append(f"degraded[{i}] missing '{field}'")
+            elif not _type_ok(entry[field], types):
+                errors.append(f"degraded[{i}].{field} has type "
+                              f"{type(entry[field]).__name__}")
+        for j, n in enumerate(entry.get("missing_neighbors", [])):
+            if not _type_ok(n, (int, float)):
+                errors.append(f"degraded[{i}].missing_neighbors[{j}] "
+                              f"is not a number")
+    for i, r in enumerate(doc.get("unresponsive_ranks", [])):
+        if not _type_ok(r, (int, float)):
+            errors.append(f"unresponsive_ranks[{i}] is not a number")
+    recovery = doc.get("recovery")
+    if recovery is not None:
+        if not isinstance(recovery, dict):
+            errors.append("'recovery' is not an object")
+        else:
+            for field, types in CHAOS_RECOVERY_REQUIRED.items():
+                if field not in recovery:
+                    errors.append(f"recovery missing '{field}'")
+                elif not _type_ok(recovery[field], types):
+                    errors.append(f"recovery.{field} has type "
+                                  f"{type(recovery[field]).__name__}")
+    return errors
+
+
+def validate_chaos_reports(paths):
+    """Validate every report; return 0 when all pass, 2 on the first error."""
+    if not paths:
+        print("bench_gate: ERROR: --validate-chaos-report got no files",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_gate: ERROR: {path}: unreadable ({e})",
+                  file=sys.stderr)
+            return 2
+        errors = chaos_report_errors(doc)
+        if errors:
+            for err in errors:
+                print(f"bench_gate: ERROR: {path}: {err}", file=sys.stderr)
+            return 2
+        recovery = doc.get("recovery", {})
+        suffix = (f" recovery(remaps={recovery.get('remaps')},"
+                  f" rejoins={recovery.get('rejoins')},"
+                  f" checkpoint_bytes={recovery.get('checkpoint_bytes')})"
+                  if recovery else "")
+        print(f"bench_gate: [ok] {path}: test={doc['test']} "
+              f"injected={doc['injected']:g} degraded={len(doc['degraded'])}"
+              f"{suffix}")
+    print(f"bench_gate: {len(paths)} chaos report(s) valid.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--benchmarks", required=True,
+    parser.add_argument("--validate-chaos-report", nargs="+", metavar="FILE",
+                        help="validate chaos health reports instead of "
+                             "gating benchmarks; exits 2 on the first "
+                             "malformed document")
+    parser.add_argument("--benchmarks",
                         help="google-benchmark JSON from bench_pcg_solvers")
-    parser.add_argument("--obs-report", required=True,
+    parser.add_argument("--obs-report",
                         help="obs_report.json from gridse_report")
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline",
                         help="committed BENCH_baseline.json")
-    parser.add_argument("--out", required=True,
+    parser.add_argument("--out",
                         help="merged BENCH_ci.json to write")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional growth of enforced metrics")
@@ -148,6 +267,17 @@ def main():
                         help="seed a missing baseline from this run's output "
                              "instead of failing with exit code 3")
     args = parser.parse_args()
+
+    if args.validate_chaos_report is not None:
+        return validate_chaos_reports(args.validate_chaos_report)
+    missing = [name for name, value in
+               (("--benchmarks", args.benchmarks),
+                ("--obs-report", args.obs_report),
+                ("--baseline", args.baseline),
+                ("--out", args.out)) if not value]
+    if missing:
+        parser.error(f"the following arguments are required: "
+                     f"{', '.join(missing)}")
 
     doc = merge(load(args.benchmarks), load(args.obs_report))
     with open(args.out, "w") as f:
