@@ -5,8 +5,8 @@
 // contingency analysis"), which is the downstream consumer of the DSE
 // solution. Contingency costs are heterogeneous (islanding checks are cheap,
 // full DC re-solves are not), so static splits leave clusters idle.
-#include <mutex>
 
+#include "analysis/debug_sync.hpp"
 #include "apps/balancer.hpp"
 #include "apps/contingency.hpp"
 #include "bench_util.hpp"
@@ -32,7 +32,7 @@ template <typename Runner>
 RunResult run_mode(const grid::Network& network, int ranks, int repeat,
                    const Runner& runner) {
   runtime::InprocWorld world(ranks);
-  std::mutex mutex;
+  analysis::Mutex mutex{"contingency_balancing::mutex"};
   RunResult result;
   result.per_rank.assign(static_cast<std::size_t>(ranks), 0);
   result.busy_min = 1e30;
@@ -47,7 +47,7 @@ RunResult run_mode(const grid::Network& network, int ranks, int repeat,
         benchmark_keep(outcome.worst_loading);
       }
     });
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     result.makespan = std::max(result.makespan, stats.total_seconds);
     result.busy_min = std::min(result.busy_min, stats.busy_seconds);
     result.busy_max = std::max(result.busy_max, stats.busy_seconds);

@@ -3,6 +3,7 @@
 // communication volume, across transports and noise levels. Quantifies the
 // paper's claim that distribution has low overhead because only pseudo
 // measurements are exchanged.
+#include "analysis/debug_sync.hpp"
 #include "bench_util.hpp"
 #include "core/architecture.hpp"
 #include "runtime/inproc_comm.hpp"
@@ -134,12 +135,12 @@ int run() {
       opts.local.robust = robust;
       core::DseDriver driver(generated.kase.network, d, opts);
       runtime::InprocWorld world(3);
-      std::mutex mutex;
+      analysis::Mutex mutex{"dse_vs_centralized::mutex"};
       core::DseResult res;
       world.run([&](runtime::Communicator& c) {
         core::DseResult r = driver.run(c, meas, assignment);
         if (c.rank() == 0) {
-          std::lock_guard<std::mutex> lock(mutex);
+          analysis::LockGuard lock(mutex);
           res = std::move(r);
         }
       });
@@ -172,12 +173,12 @@ int run() {
 
     core::HierarchicalDriver hier(generated.kase.network, d, {});
     runtime::InprocWorld world(3);
-    std::mutex mutex;
+    analysis::Mutex mutex{"dse_vs_centralized::mutex"};
     core::HierarchicalResult hres;
     world.run([&](runtime::Communicator& c) {
       core::HierarchicalResult r = hier.run(c, meas, assignment);
       if (c.rank() == 0) {
-        std::lock_guard<std::mutex> lock(mutex);
+        analysis::LockGuard lock(mutex);
         hres = std::move(r);
       }
     });
@@ -192,7 +193,7 @@ int run() {
     world2.run([&](runtime::Communicator& c) {
       core::DseResult r = dse.run(c, meas, assignment);
       if (c.rank() == 0) {
-        std::lock_guard<std::mutex> lock(mutex);
+        analysis::LockGuard lock(mutex);
         dres = std::move(r);
       }
     });

@@ -3,8 +3,8 @@
 //   (a) the TYPE of data communicated between estimators,
 //   (b) FAILURE at the network connection,
 //   (c) the PARTITION of the network topology (decomposition granularity).
-#include <mutex>
 
+#include "analysis/debug_sync.hpp"
 #include "bench_util.hpp"
 #include "core/dse_driver.hpp"
 #include "decomp/sensitivity.hpp"
@@ -61,12 +61,12 @@ Outcome run_dse(const Scenario& s, int clusters) {
         static_cast<graph::PartId>(i % clusters);
   }
   runtime::InprocWorld world(clusters);
-  std::mutex mutex;
+  analysis::Mutex mutex{"scenarios::mutex"};
   Outcome out;
   world.run([&](runtime::Communicator& c) {
     const core::DseResult r = driver.run(c, s.meas, assignment);
     if (c.rank() == 0) {
-      std::lock_guard<std::mutex> lock(mutex);
+      analysis::LockGuard lock(mutex);
       out.vm_err = grid::max_vm_error(r.state, s.pf.state);
       out.angle_err = grid::max_angle_error(r.state, s.pf.state);
       out.bytes = r.bytes_sent;

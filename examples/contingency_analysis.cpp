@@ -6,8 +6,8 @@
 //
 //   $ ./examples/contingency_analysis
 #include <cstdio>
-#include <mutex>
 
+#include "analysis/debug_sync.hpp"
 #include "apps/balancer.hpp"
 #include "apps/contingency.hpp"
 #include "core/architecture.hpp"
@@ -33,7 +33,7 @@ int main() {
 
   // --- 3. N-1 screening with counter-based dynamic balancing ----------------
   const int tasks = static_cast<int>(network.num_branches());
-  std::mutex mutex;
+  analysis::Mutex mutex{"contingency_analysis::mutex"};
   apps::ContingencyReport report;
   runtime::InprocWorld world(4);  // 1 counter process + 3 workers
   world.run([&](runtime::Communicator& comm) {
@@ -41,7 +41,7 @@ int main() {
         apps::run_dynamic(comm, tasks, [&](int t) {
           apps::ContingencyOutcome outcome = apps::evaluate_contingency(
               network, static_cast<std::size_t>(t));
-          std::lock_guard<std::mutex> lock(mutex);
+          analysis::LockGuard lock(mutex);
           report.add(std::move(outcome));
         });
     if (comm.rank() > 0) {

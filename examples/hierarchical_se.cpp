@@ -5,8 +5,8 @@
 //
 //   $ ./examples/hierarchical_se
 #include <cstdio>
-#include <mutex>
 
+#include "analysis/debug_sync.hpp"
 #include "core/dse_driver.hpp"
 #include "core/hierarchical.hpp"
 #include "decomp/sensitivity.hpp"
@@ -43,12 +43,12 @@ int main() {
   {
     core::HierarchicalDriver driver(generated.kase.network, d, {});
     runtime::InprocWorld world(3);
-    std::mutex mutex;
+    analysis::Mutex mutex{"hierarchical_se::mutex"};
     core::HierarchicalResult result;
     world.run([&](runtime::Communicator& c) {
       core::HierarchicalResult r = driver.run(c, meas, assignment);
       if (c.rank() == 0) {
-        std::lock_guard<std::mutex> lock(mutex);
+        analysis::LockGuard lock(mutex);
         result = std::move(r);
       }
     });
@@ -64,12 +64,12 @@ int main() {
   {
     core::DseDriver driver(generated.kase.network, d, {});
     runtime::InprocWorld world(3);
-    std::mutex mutex;
+    analysis::Mutex mutex{"hierarchical_se::mutex"};
     core::DseResult result;
     world.run([&](runtime::Communicator& c) {
       core::DseResult r = driver.run(c, meas, assignment);
       if (c.rank() == 0) {
-        std::lock_guard<std::mutex> lock(mutex);
+        analysis::LockGuard lock(mutex);
         result = std::move(r);
       }
     });

@@ -32,15 +32,13 @@ namespace gridse::analysis::detail {
   } while (false)
 
 /// Assert the calling thread holds `mutex` (an analysis::Mutex). Place at
-/// every *_locked helper and data-structure invariant point.
-#define GRIDSE_ASSERT_HELD(mutex)                                            \
-  do {                                                                       \
-    if (!(mutex).held_by_current_thread()) {                                 \
-      ::gridse::analysis::detail::assert_failed(                             \
-          #mutex " held by current thread", __FILE__, __LINE__,              \
-          "lock \"" + (mutex).name() + "\" is not held");                    \
-    }                                                                        \
-  } while (false)
+/// every *_locked helper and data-structure invariant point. Expands to
+/// Mutex::assert_held, which carries GRIDSE_ASSERT_CAPABILITY — so the same
+/// line that aborts at runtime also teaches Clang's -Wthread-safety analysis
+/// that the lock is held from here on (needed inside cv-wait predicates and
+/// other lambdas the analysis cannot see through).
+#define GRIDSE_ASSERT_HELD(mutex) \
+  (mutex).assert_held(#mutex " held by current thread", __FILE__, __LINE__)
 
 #else  // !GRIDSE_DEBUG_SYNC — compiled out; operands stay name-checked only.
 
@@ -49,9 +47,9 @@ namespace gridse::analysis::detail {
     (void)sizeof(!(expr));           \
   } while (false)
 
-#define GRIDSE_ASSERT_HELD(mutex)    \
-  do {                               \
-    (void)sizeof(&(mutex));          \
-  } while (false)
+/// Release builds: the runtime check is a no-op member, but the
+/// GRIDSE_ASSERT_CAPABILITY annotation on it still informs the analysis.
+#define GRIDSE_ASSERT_HELD(mutex) \
+  (mutex).assert_held(#mutex " held by current thread", __FILE__, __LINE__)
 
 #endif  // GRIDSE_DEBUG_SYNC

@@ -2,6 +2,8 @@
 
 #if GRIDSE_DEBUG_SYNC
 
+#include "analysis/assert.hpp"
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -251,6 +253,13 @@ bool Mutex::held_by_current_thread() const {
     }
   }
   return false;
+}
+
+void Mutex::assert_held(const char* expr, const char* file, int line) const {
+  if (!held_by_current_thread()) {
+    detail::assert_failed(expr, file, line,
+                          "lock \"" + name_ + "\" is not held");
+  }
 }
 
 void Mutex::prepare_wait() { note_release(*this); }

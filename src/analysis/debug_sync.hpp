@@ -6,6 +6,8 @@
 #include <source_location>
 #include <string>
 
+#include "analysis/thread_annotations.hpp"
+
 /// GRIDSE_DEBUG_SYNC selects between the checked synchronization layer
 /// (lock-order graph, hold-time limits, held-lock assertions) and thin
 /// zero-overhead wrappers around std::mutex. The build system defines it
@@ -37,7 +39,7 @@ namespace gridse::analysis {
 /// Known limitation: edges between two *instances* sharing one name (e.g.
 /// locking two Mailboxes at once) are not tracked; keep such designs behind
 /// an explicit address-order discipline.
-class Mutex {
+class GRIDSE_CAPABILITY("mutex") Mutex {
  public:
   explicit Mutex(const char* name = "unnamed");
   ~Mutex();
@@ -45,13 +47,22 @@ class Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock(std::source_location site = std::source_location::current());
-  bool try_lock(std::source_location site = std::source_location::current());
-  void unlock();
+  void lock(std::source_location site = std::source_location::current())
+      GRIDSE_ACQUIRE();
+  bool try_lock(std::source_location site = std::source_location::current())
+      GRIDSE_TRY_ACQUIRE(true);
+  void unlock() GRIDSE_RELEASE();
 
   /// True iff the calling thread currently holds this mutex. Drives
   /// GRIDSE_ASSERT_HELD; debug builds only.
   [[nodiscard]] bool held_by_current_thread() const;
+
+  /// Runtime + compile-time held-lock assertion: aborts (with the recorded
+  /// acquisition state) when the calling thread does not hold this mutex,
+  /// and tells Clang's capability analysis the lock is held from here on.
+  /// Call through GRIDSE_ASSERT_HELD, which supplies the site.
+  void assert_held(const char* expr, const char* file, int line) const
+      GRIDSE_ASSERT_CAPABILITY(this);
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -73,14 +84,15 @@ class Mutex {
 };
 
 /// RAII scoped lock, std::lock_guard shaped.
-class LockGuard {
+class GRIDSE_SCOPED_CAPABILITY LockGuard {
  public:
   explicit LockGuard(Mutex& mutex,
                      std::source_location site = std::source_location::current())
+      GRIDSE_ACQUIRE(mutex)
       : mutex_(mutex) {
     mutex_.lock(site);
   }
-  ~LockGuard() { mutex_.unlock(); }
+  ~LockGuard() GRIDSE_RELEASE() { mutex_.unlock(); }
 
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
@@ -91,26 +103,28 @@ class LockGuard {
 
 /// Movable-free owning lock, std::unique_lock shaped; pairs with
 /// ConditionVariable.
-class UniqueLock {
+class GRIDSE_SCOPED_CAPABILITY UniqueLock {
  public:
   explicit UniqueLock(Mutex& mutex,
                       std::source_location site = std::source_location::current())
+      GRIDSE_ACQUIRE(mutex)
       : mutex_(&mutex) {
     mutex_->lock(site);
     owns_ = true;
   }
-  ~UniqueLock() {
+  ~UniqueLock() GRIDSE_RELEASE() {
     if (owns_) mutex_->unlock();
   }
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
-  void lock(std::source_location site = std::source_location::current()) {
+  void lock(std::source_location site = std::source_location::current())
+      GRIDSE_ACQUIRE() {
     mutex_->lock(site);
     owns_ = true;
   }
-  void unlock() {
+  void unlock() GRIDSE_RELEASE() {
     mutex_->unlock();
     owns_ = false;
   }
@@ -200,25 +214,33 @@ void reset_lock_graph_for_testing();
 
 #else  // !GRIDSE_DEBUG_SYNC — plain std::mutex, zero overhead.
 
-class Mutex {
+class GRIDSE_CAPABILITY("mutex") Mutex {
  public:
   explicit Mutex(const char* /*name*/ = "unnamed") {}
 
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() { impl_.lock(); }
-  bool try_lock() { return impl_.try_lock(); }
-  void unlock() { impl_.unlock(); }
+  void lock() GRIDSE_ACQUIRE() { impl_.lock(); }
+  bool try_lock() GRIDSE_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+  void unlock() GRIDSE_RELEASE() { impl_.unlock(); }
+
+  /// Release builds keep only the compile-time half of the assertion: the
+  /// capability analysis still learns the lock is held, at zero runtime cost.
+  void assert_held(const char* /*expr*/, const char* /*file*/,
+                   int /*line*/) const GRIDSE_ASSERT_CAPABILITY(this) {}
+
   [[nodiscard]] std::mutex& native() { return impl_; }
 
  private:
   std::mutex impl_;
 };
 
-class LockGuard {
+class GRIDSE_SCOPED_CAPABILITY LockGuard {
  public:
-  explicit LockGuard(Mutex& mutex) : guard_(mutex.native()) {}
+  explicit LockGuard(Mutex& mutex) GRIDSE_ACQUIRE(mutex)
+      : guard_(mutex.native()) {}
+  ~LockGuard() GRIDSE_RELEASE() {}
 
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
@@ -227,15 +249,17 @@ class LockGuard {
   std::lock_guard<std::mutex> guard_;
 };
 
-class UniqueLock {
+class GRIDSE_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& mutex) : mutex_(&mutex), lock_(mutex.native()) {}
+  explicit UniqueLock(Mutex& mutex) GRIDSE_ACQUIRE(mutex)
+      : mutex_(&mutex), lock_(mutex.native()) {}
+  ~UniqueLock() GRIDSE_RELEASE() {}
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
-  void lock() { lock_.lock(); }
-  void unlock() { lock_.unlock(); }
+  void lock() GRIDSE_ACQUIRE() { lock_.lock(); }
+  void unlock() GRIDSE_RELEASE() { lock_.unlock(); }
   [[nodiscard]] bool owns_lock() const { return lock_.owns_lock(); }
   [[nodiscard]] Mutex& mutex() { return *mutex_; }
   [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }

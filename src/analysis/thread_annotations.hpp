@@ -1,0 +1,87 @@
+#pragma once
+
+/// Clang Thread Safety Analysis attribute macros (-Wthread-safety).
+///
+/// These annotations move the lock discipline that GRIDSE_ASSERT_HELD checks
+/// at runtime — and only on paths the tests happen to execute — to compile
+/// time: Clang's capability analysis proves, per translation unit, that every
+/// access to a GRIDSE_GUARDED_BY field and every call to a GRIDSE_REQUIRES
+/// function happens with the right analysis::Mutex held. Off Clang (GCC, or
+/// Clang without the attribute) every macro expands to nothing, so the
+/// annotated headers compile identically everywhere; the `werror`, `asan`,
+/// and `tsan` presets turn the analysis into a hard error on Clang via
+/// GRIDSE_THREAD_SAFETY (see the top-level CMakeLists.txt).
+///
+/// The vocabulary mirrors the Clang documentation (and abseil's
+/// thread_annotations.h) with a GRIDSE_ prefix:
+///
+///  - GRIDSE_CAPABILITY("mutex")   — on a class: instances are lockable
+///    capabilities (analysis::Mutex carries this).
+///  - GRIDSE_SCOPED_CAPABILITY     — on RAII guard classes whose constructor
+///    acquires and destructor releases (LockGuard, UniqueLock).
+///  - GRIDSE_GUARDED_BY(mu)        — on a data member: reads and writes
+///    require holding `mu`.
+///  - GRIDSE_PT_GUARDED_BY(mu)     — on a pointer member: the pointed-to data
+///    requires `mu` (the pointer itself does not).
+///  - GRIDSE_REQUIRES(mu)          — on a function: callers must hold `mu`
+///    (the annotation for every *_locked() helper).
+///  - GRIDSE_ACQUIRE(mu) / GRIDSE_RELEASE(mu) — the function acquires /
+///    releases `mu` and it must not / must be held on entry.
+///  - GRIDSE_TRY_ACQUIRE(ok, mu)   — acquires `mu` iff the return value
+///    equals `ok`.
+///  - GRIDSE_EXCLUDES(mu)          — callers must NOT hold `mu` (documents
+///    non-reentrancy; catches self-deadlock at compile time).
+///  - GRIDSE_ASSERT_CAPABILITY(mu) — the function asserts (at runtime) that
+///    `mu` is held; the analysis trusts it from that point on. This is what
+///    GRIDSE_ASSERT_HELD expands through, so the runtime checker and the
+///    static analysis enforce the same model from the same line.
+///  - GRIDSE_RETURN_CAPABILITY(mu) — the function returns a reference to
+///    `mu` (accessor functions like fault's state_mutex()).
+///  - GRIDSE_NO_THREAD_SAFETY_ANALYSIS — opt a function out. Reserve it for
+///    code that manages capability state the analysis cannot model (the
+///    condition-variable adopt/release dance) or deliberate lock-free reads,
+///    and always pair it with a comment justifying why.
+///
+/// Annotation guide (REQUIRES vs ASSERT_CAPABILITY, suppression policy):
+/// docs/ANALYSIS.md, "Compile-time lock discipline".
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GRIDSE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GRIDSE_THREAD_ANNOTATION
+#define GRIDSE_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+#define GRIDSE_CAPABILITY(name) GRIDSE_THREAD_ANNOTATION(capability(name))
+
+#define GRIDSE_SCOPED_CAPABILITY GRIDSE_THREAD_ANNOTATION(scoped_lockable)
+
+#define GRIDSE_GUARDED_BY(mu) GRIDSE_THREAD_ANNOTATION(guarded_by(mu))
+
+#define GRIDSE_PT_GUARDED_BY(mu) GRIDSE_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+#define GRIDSE_REQUIRES(...) \
+  GRIDSE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define GRIDSE_ACQUIRE(...) \
+  GRIDSE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define GRIDSE_RELEASE(...) \
+  GRIDSE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define GRIDSE_TRY_ACQUIRE(...) \
+  GRIDSE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define GRIDSE_EXCLUDES(...) \
+  GRIDSE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define GRIDSE_ASSERT_CAPABILITY(...) \
+  GRIDSE_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+#define GRIDSE_RETURN_CAPABILITY(mu) \
+  GRIDSE_THREAD_ANNOTATION(lock_returned(mu))
+
+#define GRIDSE_NO_THREAD_SAFETY_ANALYSIS \
+  GRIDSE_THREAD_ANNOTATION(no_thread_safety_analysis)

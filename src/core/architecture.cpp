@@ -1,9 +1,8 @@
 #include "core/architecture.hpp"
 
-#include <cstdlib>
-#include <mutex>
 #include <numeric>
 
+#include "analysis/debug_sync.hpp"
 #include "grid/powerflow.hpp"
 #include "medici/medici_comm.hpp"
 #if GRIDSE_OBS
@@ -24,8 +23,7 @@ std::string resolve_trace_dir(const std::string& configured) {
   if (!configured.empty()) {
     return configured;
   }
-  const char* env = std::getenv("GRIDSE_TRACE_DIR");
-  return env != nullptr ? std::string(env) : std::string();
+  return runtime::env_value("GRIDSE_TRACE_DIR").value_or(std::string());
 }
 
 }  // namespace
@@ -169,7 +167,7 @@ CycleReport DseSystem::run_cycle(double time_sec) {
     rctx.restore = supervisor_->plan_restore();
   }
   DseResult rank0_result;
-  std::mutex result_mutex;
+  analysis::Mutex result_mutex{"DseSystem::result_mutex"};
   const auto body = [&](runtime::Communicator& comm) {
     DseResult r =
         driver.run(comm, last_measurements_,
@@ -177,7 +175,7 @@ CycleReport DseSystem::run_cycle(double time_sec) {
                    report.map_step2.partition.assignment,
                    supervisor_ != nullptr ? &rctx : nullptr);
     if (comm.rank() == 0) {
-      std::lock_guard<std::mutex> lock(result_mutex);
+      analysis::LockGuard lock(result_mutex);
       rank0_result = std::move(r);
     }
   };

@@ -211,14 +211,14 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   std::map<int, LocalSolveInfo> step1_info;
   {
     OBS_SPAN("dse.step1");
-    std::mutex info_mutex;
+    analysis::Mutex info_mutex{"DseDriver::step1_info_mutex"};
     pool.parallel_for(hosted1.size(), [&](std::size_t i) {
       const int s = hosted1[i];
       const LocalSolveInfo info =
           estimators.at(s)->run_step1(global_measurements);
       OBS_HISTOGRAM_OBSERVE("dse.step1.subsystem_seconds", info.seconds);
       OBS_COUNTER_ADD("dse.step1.subsystems", 1);
-      std::lock_guard<std::mutex> lock(info_mutex);
+      analysis::LockGuard lock(info_mutex);
       step1_info[s] = info;
     });
     comm.barrier();
@@ -408,7 +408,7 @@ DseResult DseDriver::run(runtime::Communicator& comm,
     Timer step2_timer;
     {
       OBS_SPAN("dse.step2");
-      std::mutex info_mutex;
+      analysis::Mutex info_mutex{"DseDriver::step2_info_mutex"};
       pool.parallel_for(hosted2.size(), [&](std::size_t i) {
         const int s = hosted2[i];
         if (dead_subsystems.count(s) > 0) return;
@@ -418,7 +418,7 @@ DseResult DseDriver::run(runtime::Communicator& comm,
             /*fill_missing_with_priors=*/degraded);
         OBS_HISTOGRAM_OBSERVE("dse.step2.subsystem_seconds", info.seconds);
         OBS_COUNTER_ADD("dse.step2.subsystems", 1);
-        std::lock_guard<std::mutex> lock(info_mutex);
+        analysis::LockGuard lock(info_mutex);
         step2_info[s] = info;
       });
       comm.barrier();

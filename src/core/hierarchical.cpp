@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 
+#include "analysis/debug_sync.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -50,11 +51,11 @@ HierarchicalResult HierarchicalDriver::run(
       estimators.emplace(s, std::make_unique<LocalEstimator>(
                                 *network_, *decomposition_, s, options_.local));
     }
-    std::mutex ok_mutex;
+    analysis::Mutex ok_mutex{"HierarchicalDriver::ok_mutex"};
     pool.parallel_for(hosted.size(), [&](std::size_t i) {
       const LocalSolveInfo info =
           estimators.at(hosted[i])->run_step1(global_measurements);
-      std::lock_guard<std::mutex> lock(ok_mutex);
+      analysis::LockGuard lock(ok_mutex);
       local_ok &= info.converged;
     });
   }

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "analysis/assert.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -23,7 +24,8 @@ fs::path spill_path(const std::string& dir, int subsystem) {
 CheckpointStore::CheckpointStore(std::string spill_dir)
     : spill_dir_(std::move(spill_dir)) {}
 
-void CheckpointStore::store(EstimatorCheckpoint ckpt) {
+void CheckpointStore::store_locked(EstimatorCheckpoint ckpt, bool spill) {
+  GRIDSE_ASSERT_HELD(mutex_);
   if (ckpt.subsystem < 0) {
     return;
   }
@@ -31,7 +33,7 @@ void CheckpointStore::store(EstimatorCheckpoint ckpt) {
   if (it != latest_.end() && it->second.cycle > ckpt.cycle) {
     return;  // stale: a newer cycle's checkpoint is already stored
   }
-  if (!spill_dir_.empty()) {
+  if (spill && !spill_dir_.empty()) {
     try {
       fs::create_directories(spill_dir_);
       const auto bytes = encode_checkpoint(ckpt);
@@ -47,12 +49,23 @@ void CheckpointStore::store(EstimatorCheckpoint ckpt) {
   latest_[ckpt.subsystem] = std::move(ckpt);
 }
 
-const EstimatorCheckpoint* CheckpointStore::latest(int subsystem) const {
+void CheckpointStore::store(EstimatorCheckpoint ckpt) {
+  analysis::LockGuard lock(mutex_);
+  store_locked(std::move(ckpt), /*spill=*/true);
+}
+
+std::optional<EstimatorCheckpoint> CheckpointStore::latest(
+    int subsystem) const {
+  analysis::LockGuard lock(mutex_);
   const auto it = latest_.find(subsystem);
-  return it != latest_.end() ? &it->second : nullptr;
+  if (it == latest_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
 }
 
 std::map<int, EstimatorCheckpoint> CheckpointStore::snapshot() const {
+  analysis::LockGuard lock(mutex_);
   return latest_;
 }
 
@@ -61,6 +74,7 @@ std::size_t CheckpointStore::load_spilled() {
     return 0;
   }
   std::size_t loaded = 0;
+  analysis::LockGuard lock(mutex_);
   for (const auto& entry : fs::directory_iterator(spill_dir_)) {
     const std::string name = entry.path().filename().string();
     if (!entry.is_regular_file() || name.rfind("ckpt_s", 0) != 0 ||
@@ -98,6 +112,7 @@ Supervisor::Supervisor(int num_clusters, runtime::RecoveryConfig config)
 }
 
 std::vector<int> Supervisor::begin_cycle() {
+  analysis::LockGuard lock(mutex_);
   ++epoch_;
   std::vector<int> participants;
   for (std::size_t c = 0; c < states_.size(); ++c) {
@@ -124,6 +139,7 @@ std::vector<graph::PartId> Supervisor::project_assignment(
     const std::vector<graph::PartId>& cluster_assignment,
     const std::vector<int>& participants,
     std::vector<int>* migrated) const {
+  analysis::LockGuard lock(mutex_);
   std::vector<int> compact(states_.size(), -1);
   for (std::size_t i = 0; i < participants.size(); ++i) {
     const int c = participants[i];
@@ -196,9 +212,10 @@ void Supervisor::absorb(const DseRecoveryResult& recovery,
   if (!recovery.enabled) {
     return;
   }
+  analysis::LockGuard lock(mutex_);
   for (const int r : recovery.membership.dead_ranks()) {
     if (r < 0 || r >= static_cast<int>(participants.size())) continue;
-    mark_dead(participants[static_cast<std::size_t>(r)], "heartbeat");
+    mark_dead_locked(participants[static_cast<std::size_t>(r)], "heartbeat");
   }
 #if GRIDSE_OBS
   for (const int r : recovery.membership.suspect_ranks()) {
@@ -209,9 +226,13 @@ void Supervisor::absorb(const DseRecoveryResult& recovery,
 #endif
 }
 
-void Supervisor::kill_cluster(int cluster) { mark_dead(cluster, "operator"); }
+void Supervisor::kill_cluster(int cluster) {
+  analysis::LockGuard lock(mutex_);
+  mark_dead_locked(cluster, "operator");
+}
 
 void Supervisor::announce_rejoin(int cluster) {
+  analysis::LockGuard lock(mutex_);
   GRIDSE_CHECK_MSG(cluster >= 0 && cluster < static_cast<int>(states_.size()),
                    "announce_rejoin: cluster id out of range");
   if (states_[static_cast<std::size_t>(cluster)] != runtime::RankState::kDead) {
@@ -227,12 +248,14 @@ void Supervisor::announce_rejoin(int cluster) {
 }
 
 runtime::RankState Supervisor::state_of(int cluster) const {
+  analysis::LockGuard lock(mutex_);
   GRIDSE_CHECK_MSG(cluster >= 0 && cluster < static_cast<int>(states_.size()),
                    "state_of: cluster id out of range");
   return states_[static_cast<std::size_t>(cluster)];
 }
 
-void Supervisor::mark_dead(int cluster, const char* reason) {
+void Supervisor::mark_dead_locked(int cluster, const char* reason) {
+  GRIDSE_ASSERT_HELD(mutex_);
   GRIDSE_CHECK_MSG(cluster >= 0 && cluster < static_cast<int>(states_.size()),
                    "mark_dead: cluster id out of range");
   if (states_[static_cast<std::size_t>(cluster)] == runtime::RankState::kDead) {

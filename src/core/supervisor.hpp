@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/debug_sync.hpp"
 #include "core/dse_driver.hpp"
 #include "core/serialize.hpp"
 #include "graph/partition.hpp"
@@ -18,6 +20,9 @@ namespace gridse::core {
 /// With a spill directory configured every stored checkpoint is also written
 /// to `<dir>/ckpt_s<subsystem>.bin` (the encode_checkpoint frame), so a
 /// restarted supervisor process can be re-seeded from disk.
+///
+/// Thread-safe: checkpoints arrive from the cycle thread while operator
+/// tooling (kill/rejoin consoles, tests) may snapshot concurrently.
 class CheckpointStore {
  public:
   explicit CheckpointStore(std::string spill_dir = {});
@@ -26,8 +31,10 @@ class CheckpointStore {
   /// for its subsystem). Checkpoints with a negative subsystem are ignored.
   void store(EstimatorCheckpoint ckpt);
 
-  /// Newest checkpoint for `subsystem`, or nullptr when none was stored.
-  [[nodiscard]] const EstimatorCheckpoint* latest(int subsystem) const;
+  /// Newest checkpoint for `subsystem`, or nullopt when none was stored.
+  /// Returns a copy: a pointer into the store would dangle the moment a
+  /// newer checkpoint replaces the entry on another thread.
+  [[nodiscard]] std::optional<EstimatorCheckpoint> latest(int subsystem) const;
 
   /// Copy of the full store, keyed by subsystem — the restore plan shape
   /// consumed by DseRecoveryContext.
@@ -38,12 +45,21 @@ class CheckpointStore {
   /// files decoded successfully; corrupt files are skipped.
   std::size_t load_spilled();
 
-  [[nodiscard]] std::size_t size() const { return latest_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    analysis::LockGuard lock(mutex_);
+    return latest_.size();
+  }
   [[nodiscard]] const std::string& spill_dir() const { return spill_dir_; }
 
  private:
+  /// Newest-wins merge of `ckpt` into latest_ plus the spill write; shared
+  /// by store() and load_spilled().
+  void store_locked(EstimatorCheckpoint ckpt, bool spill)
+      GRIDSE_REQUIRES(mutex_);
+
   std::string spill_dir_;
-  std::map<int, EstimatorCheckpoint> latest_;
+  mutable analysis::Mutex mutex_{"CheckpointStore::mutex_"};
+  std::map<int, EstimatorCheckpoint> latest_ GRIDSE_GUARDED_BY(mutex_);
 };
 
 /// Cross-cycle recovery coordinator (one per DseSystem, logically co-located
@@ -90,7 +106,11 @@ class Supervisor {
   void announce_rejoin(int cluster);
 
   [[nodiscard]] runtime::RankState state_of(int cluster) const;
-  [[nodiscard]] const std::vector<runtime::RankState>& cluster_states() const {
+  /// Snapshot of every cluster's state. Returns a copy: the vector mutates
+  /// under mutex_ whenever a death/rejoin lands, so a reference would hand
+  /// the caller an unsynchronized view.
+  [[nodiscard]] std::vector<runtime::RankState> cluster_states() const {
+    analysis::LockGuard lock(mutex_);
     return states_;
   }
   /// The restore plan for the next cycle: newest checkpoint per subsystem.
@@ -99,24 +119,41 @@ class Supervisor {
   }
   [[nodiscard]] CheckpointStore& checkpoints() { return store_; }
   [[nodiscard]] const CheckpointStore& checkpoints() const { return store_; }
-  [[nodiscard]] int remaps() const { return remaps_; }
-  [[nodiscard]] int rejoins() const { return rejoins_; }
-  [[nodiscard]] std::int64_t epoch() const { return epoch_; }
+  [[nodiscard]] int remaps() const {
+    analysis::LockGuard lock(mutex_);
+    return remaps_;
+  }
+  [[nodiscard]] int rejoins() const {
+    analysis::LockGuard lock(mutex_);
+    return rejoins_;
+  }
+  [[nodiscard]] std::int64_t epoch() const {
+    analysis::LockGuard lock(mutex_);
+    return epoch_;
+  }
   [[nodiscard]] int num_clusters() const {
+    // states_.size() is fixed at construction; only the *values* mutate.
+    // Still read under the lock: the vector object itself is guarded.
+    analysis::LockGuard lock(mutex_);
     return static_cast<int>(states_.size());
   }
 
  private:
-  void mark_dead(int cluster, const char* reason);
+  void mark_dead_locked(int cluster, const char* reason)
+      GRIDSE_REQUIRES(mutex_);
 
   runtime::RecoveryConfig config_;
-  std::vector<runtime::RankState> states_;
+  /// Guards the failure-detector state machine. kill_cluster() and
+  /// announce_rejoin() are operator actions that may race the cycle
+  /// thread's begin_cycle()/absorb(); CheckpointStore locks separately.
+  mutable analysis::Mutex mutex_{"Supervisor::mutex_"};
+  std::vector<runtime::RankState> states_ GRIDSE_GUARDED_BY(mutex_);
   /// Epoch at which a rejoining cluster becomes alive again (-1 = n/a).
-  std::vector<std::int64_t> rejoin_ready_;
+  std::vector<std::int64_t> rejoin_ready_ GRIDSE_GUARDED_BY(mutex_);
   CheckpointStore store_;
-  std::int64_t epoch_ = 0;
-  int remaps_ = 0;
-  int rejoins_ = 0;
+  std::int64_t epoch_ GRIDSE_GUARDED_BY(mutex_) = 0;
+  int remaps_ GRIDSE_GUARDED_BY(mutex_) = 0;
+  int rejoins_ GRIDSE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gridse::core

@@ -92,7 +92,7 @@ analysis::Mutex& state_mutex() {
 
 /// Guarded by state_mutex(); the atomic flag is the hot-path gate so an
 /// inactive layer costs one relaxed load per hook hit.
-std::unique_ptr<PlanState>& state_locked() {
+std::unique_ptr<PlanState>& state_locked() GRIDSE_REQUIRES(state_mutex()) {
   static std::unique_ptr<PlanState> state;
   return state;
 }

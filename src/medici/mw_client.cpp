@@ -132,13 +132,21 @@ bool MwClient::send_with_retries(const EndpointUrl& to, int tag,
     return true;  // injected loss before the client ever touches the wire
   }
   const std::string key = to.to_string();
+  // Snapshot the policy once: retry_ is guarded by send_mutex_, and reading
+  // max_attempts/backoff per attempt without the lock raced concurrent
+  // set_retry_policy() calls. The copy keeps one send internally consistent.
+  runtime::RetryPolicy policy;
+  {
+    analysis::LockGuard lock(send_mutex_);
+    policy = retry_;
+  }
   // Bounded retry with exponential backoff: a cached connection may have
   // gone stale (peer restarted) or an in-flight write may fail; drop the
   // connection, back off, and re-dial up to the policy's attempt budget. A
   // frame is written atomically per attempt, so the receiver never sees a
   // torn message. The lock is taken per attempt and the backoff sleep
   // happens outside it, so sends to healthy endpoints proceed meanwhile.
-  const int attempts = std::max(1, retry_.max_attempts);
+  const int attempts = std::max(1, policy.max_attempts);
   for (int attempt = 0;; ++attempt) {
     try {
       {
@@ -178,7 +186,7 @@ bool MwClient::send_with_retries(const EndpointUrl& to, int tag,
           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id_))
            << 32) ^
           retry_salt_.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(retry_.backoff(attempt, salt));
+      std::this_thread::sleep_for(policy.backoff(attempt, salt));
     }
   }
 }

@@ -56,8 +56,13 @@ class MwClient {
                 std::span<const std::uint8_t> payload,
                 const NetModel& shape = {});
 
-  /// Replace the send retry policy (default: RetryPolicy{}).
-  void set_retry_policy(runtime::RetryPolicy policy) { retry_ = policy; }
+  /// Replace the send retry policy (default: RetryPolicy{}). Takes effect
+  /// for sends that start after this call; in-flight sends finish under the
+  /// policy they copied at entry.
+  void set_retry_policy(runtime::RetryPolicy policy) {
+    analysis::LockGuard lock(send_mutex_);
+    retry_ = policy;
+  }
 
   /// Send retries performed so far (reconnect attempts beyond each first
   /// try) — the local view of the exchange.retries counter.
@@ -88,31 +93,34 @@ class MwClient {
  private:
   void accept_loop();
   void read_loop(runtime::Socket conn);
-  /// One framed write attempt on the cached connection; requires
-  /// send_mutex_ held (the connection cache and the wire are shared).
+  /// One framed write attempt on the cached connection; the connection
+  /// cache and the wire are shared, hence the capability requirement.
   /// `trace` may be nullptr for an untraced (v1) frame.
   void send_attempt_locked(const std::string& key, const EndpointUrl& to,
                            int tag, std::span<const std::uint8_t> payload,
                            const NetModel& shape,
-                           const runtime::TraceContext* trace);
+                           const runtime::TraceContext* trace)
+      GRIDSE_REQUIRES(send_mutex_);
 
   int id_;
   EndpointUrl endpoint_;
   runtime::Socket listener_;
   std::thread acceptor_;
-  std::vector<std::thread> readers_;
-  std::vector<int> live_fds_;  // accepted connections, shut down on stop()
   analysis::Mutex readers_mutex_{"MwClient::readers_mutex_"};
+  std::vector<std::thread> readers_ GRIDSE_GUARDED_BY(readers_mutex_);
+  /// Accepted connections, shut down on stop().
+  std::vector<int> live_fds_ GRIDSE_GUARDED_BY(readers_mutex_);
   runtime::Mailbox mailbox_;
-  std::map<std::string, runtime::Socket> connections_;
   analysis::Mutex send_mutex_{"MwClient::send_mutex_"};
+  std::map<std::string, runtime::Socket> connections_
+      GRIDSE_GUARDED_BY(send_mutex_);
   /// One framed write with the shared bounded-retry loop; `nothrow` selects
   /// between send() (throw on exhaustion) and try_send() (return false).
   bool send_with_retries(const EndpointUrl& to, int tag,
                          std::span<const std::uint8_t> payload,
                          const NetModel& shape, bool nothrow);
 
-  runtime::RetryPolicy retry_;
+  runtime::RetryPolicy retry_ GRIDSE_GUARDED_BY(send_mutex_);
   std::atomic<std::uint64_t> retries_{0};
   /// Retry-jitter seed derivation: each backoff sleep is
   /// RetryPolicy::backoff(attempt, salt) with

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,7 +77,9 @@ class MifPipeline {
   /// Stop all relays (idempotent).
   void stop();
 
-  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
 
   /// Aggregate stats across this pipeline's relays.
   [[nodiscard]] RelayStats stats() const;
@@ -86,7 +89,11 @@ class MifPipeline {
   std::vector<std::unique_ptr<MifComponent>> components_;
   std::vector<std::unique_ptr<Relay>> relays_;
   NetModel relay_model_ = medici_relay_model();
-  bool running_ = false;
+  /// Atomic rather than mutex-guarded: running() is a status probe that may
+  /// be polled from any thread while start()/stop() run on another; the
+  /// flag is independent of the relays_ vector, which only start()/stop()
+  /// (externally serialized, as documented) touch.
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace gridse::medici

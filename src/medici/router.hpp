@@ -52,9 +52,10 @@ class Relay {
   NetModel shape_;
   runtime::Socket listener_;
   std::thread acceptor_;
-  std::vector<std::thread> workers_;
-  std::vector<int> live_fds_;  // accepted upstreams, shut down on stop()
   analysis::Mutex workers_mutex_{"Relay::workers_mutex_"};
+  std::vector<std::thread> workers_ GRIDSE_GUARDED_BY(workers_mutex_);
+  /// Accepted upstreams, shut down on stop().
+  std::vector<int> live_fds_ GRIDSE_GUARDED_BY(workers_mutex_);
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> messages_{0};
   std::atomic<std::size_t> bytes_{0};

@@ -199,11 +199,19 @@ class MetricsRegistry {
     Histogram latency{HistogramSpec::latency()};
   };
 
+  /// Guards the name→instrument maps. The instruments themselves are
+  /// atomic-based and updated lock-free through the references handed out
+  /// by counter()/gauge()/histogram(); the unique_ptrs pin their addresses
+  /// for the registry's lifetime, which is what makes that sound.
   mutable analysis::Mutex mutex_{"MetricsRegistry::mutex_"};
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<SpanData>> spans_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GRIDSE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      GRIDSE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GRIDSE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<SpanData>> spans_
+      GRIDSE_GUARDED_BY(mutex_);
 };
 
 /// Render a snapshot as JSON without going through a registry (the report

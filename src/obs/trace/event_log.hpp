@@ -80,8 +80,8 @@ class EventLog {
   void emit_impl(const char* name, std::vector<EventAttr> attrs);
 
   mutable analysis::Mutex mutex_{"EventLog::mutex_"};
-  std::deque<Event> events_;
-  std::size_t capacity_ = kDefaultCapacity;
+  std::deque<Event> events_ GRIDSE_GUARDED_BY(mutex_);
+  std::size_t capacity_ GRIDSE_GUARDED_BY(mutex_) = kDefaultCapacity;
   std::atomic<std::uint64_t> dropped_{0};
 };
 

@@ -16,20 +16,12 @@ namespace {
 
 class InprocCommunicatorImpl final : public Communicator {
  public:
-  InprocCommunicatorImpl(InprocWorld* world, int rank,
-                         std::vector<Mailbox*> mailboxes,
-                         analysis::Mutex* barrier_mutex,
-                         analysis::ConditionVariable* barrier_cv,
-                         int* barrier_count, std::uint64_t* barrier_generation)
+  InprocCommunicatorImpl(int rank, std::vector<Mailbox*> mailboxes,
+                         InprocBarrier* barrier)
       : world_size_(static_cast<int>(mailboxes.size())),
         rank_(rank),
         mailboxes_(std::move(mailboxes)),
-        barrier_mutex_(barrier_mutex),
-        barrier_cv_(barrier_cv),
-        barrier_count_(barrier_count),
-        barrier_generation_(barrier_generation) {
-    (void)world;
-  }
+        barrier_(barrier) {}
 
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int size() const override { return world_size_; }
@@ -83,17 +75,20 @@ class InprocCommunicatorImpl final : public Communicator {
   void barrier() override {
     OBS_EVENT("barrier.enter", OBS_ATTR("rank", rank_),
               OBS_ATTR("transport", "inproc"));
-    analysis::UniqueLock lock(*barrier_mutex_);
-    GRIDSE_ASSERT(*barrier_count_ < world_size_,
-                  "barrier count " << *barrier_count_ << " exceeds world size "
+    analysis::UniqueLock lock(barrier_->mutex);
+    GRIDSE_ASSERT(barrier_->count < world_size_,
+                  "barrier count " << barrier_->count << " exceeds world size "
                                    << world_size_);
-    const std::uint64_t gen = *barrier_generation_;
-    if (++*barrier_count_ == world_size_) {
-      *barrier_count_ = 0;
-      ++*barrier_generation_;
-      barrier_cv_->notify_all();
+    const std::uint64_t gen = barrier_->generation;
+    if (++barrier_->count == world_size_) {
+      barrier_->count = 0;
+      ++barrier_->generation;
+      barrier_->cv.notify_all();
     } else {
-      barrier_cv_->wait(lock, [&] { return *barrier_generation_ != gen; });
+      barrier_->cv.wait(lock, [&] {
+        GRIDSE_ASSERT_HELD(barrier_->mutex);
+        return barrier_->generation != gen;
+      });
     }
     OBS_EVENT("barrier.exit", OBS_ATTR("rank", rank_),
               OBS_ATTR("transport", "inproc"));
@@ -105,10 +100,7 @@ class InprocCommunicatorImpl final : public Communicator {
   int world_size_;
   int rank_;
   std::vector<Mailbox*> mailboxes_;
-  analysis::Mutex* barrier_mutex_;
-  analysis::ConditionVariable* barrier_cv_;
-  int* barrier_count_;
-  std::uint64_t* barrier_generation_;
+  InprocBarrier* barrier_;
   std::size_t bytes_sent_ = 0;
 };
 
@@ -131,9 +123,8 @@ std::unique_ptr<Communicator> InprocWorld::communicator(int rank) {
   for (const auto& mb : mailboxes_) {
     boxes.push_back(mb.get());
   }
-  return std::make_unique<InprocCommunicatorImpl>(
-      this, rank, std::move(boxes), &barrier_mutex_, &barrier_cv_,
-      &barrier_count_, &barrier_generation_);
+  return std::make_unique<InprocCommunicatorImpl>(rank, std::move(boxes),
+                                                  &barrier_);
 }
 
 void InprocWorld::run(const std::function<void(Communicator&)>& fn) {

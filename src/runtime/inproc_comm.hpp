@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -9,6 +10,17 @@
 #include "runtime/mailbox.hpp"
 
 namespace gridse::runtime {
+
+/// Generation-counted barrier shared by every rank of an InprocWorld. Kept
+/// as one struct (rather than loose members) so the guarded fields keep
+/// their capability relation to the mutex when handed to per-rank
+/// communicators by pointer.
+struct InprocBarrier {
+  analysis::Mutex mutex{"InprocWorld::barrier_mutex_"};
+  analysis::ConditionVariable cv;
+  int count GRIDSE_GUARDED_BY(mutex) = 0;
+  std::uint64_t generation GRIDSE_GUARDED_BY(mutex) = 0;
+};
 
 /// A set of in-process ranks exchanging messages through shared mailboxes.
 /// Deterministic, allocation-only data path; the default substrate for the
@@ -33,15 +45,8 @@ class InprocWorld {
   void run(const std::function<void(Communicator&)>& fn);
 
  private:
-  friend class InprocCommunicator;
-
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-
-  // barrier state
-  analysis::Mutex barrier_mutex_{"InprocWorld::barrier_mutex_"};
-  analysis::ConditionVariable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  InprocBarrier barrier_;
 };
 
 }  // namespace gridse::runtime

@@ -39,11 +39,12 @@ class Mailbox {
 
   /// First queued match, or end(); requires mutex_ held.
   [[nodiscard]] std::deque<Message>::iterator find_match_locked(int source,
-                                                                int tag);
+                                                                int tag)
+      GRIDSE_REQUIRES(mutex_);
 
   mutable analysis::Mutex mutex_{"Mailbox::mutex_"};
   analysis::ConditionVariable cv_;
-  std::deque<Message> queue_;
+  std::deque<Message> queue_ GRIDSE_GUARDED_BY(mutex_);
 };
 
 }  // namespace gridse::runtime

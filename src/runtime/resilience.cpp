@@ -33,14 +33,22 @@ long long parse_integer(const std::string& name, const std::string& raw,
 /// non-empty.
 template <typename Out, typename Parse>
 void read_env(const char* name, Out& out, Parse&& parse) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') {
+  const std::optional<std::string> raw = env_value(name);
+  if (!raw) {
     return;
   }
-  out = parse(std::string(name), std::string(raw));
+  out = parse(std::string(name), *raw);
 }
 
 }  // namespace
+
+std::optional<std::string> env_value(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return std::nullopt;
+  }
+  return std::string(raw);
+}
 
 std::chrono::milliseconds RetryPolicy::backoff(int attempt,
                                                std::uint64_t salt) const {

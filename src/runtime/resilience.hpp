@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace gridse::runtime {
@@ -69,6 +70,13 @@ struct ResilienceConfig {
   /// Cross-cycle recovery (heartbeats, checkpoints, remap-after-loss).
   RecoveryConfig recovery;
 };
+
+/// The one blessed environment lookup: every GRIDSE_* variable read in the
+/// tree goes through here (tools/gridse_check.py flags raw getenv calls
+/// anywhere else), so configuration inputs stay greppable in one place.
+/// Returns nullopt when the variable is unset OR empty — the two are
+/// equivalent for every gridse knob.
+std::optional<std::string> env_value(const char* name);
 
 /// Centralized environment-value validation (every GRIDSE_*_MS / count /
 /// flag variable goes through these — one parser, one error shape).

@@ -56,6 +56,13 @@ class TcpWorld {
  private:
   friend class TcpCommunicatorImpl;
 
+  /// One full-duplex socket shared by a (rank, peer) pair. The socket is
+  /// deliberately NOT GRIDSE_GUARDED_BY(write_mutex): the write half is
+  /// serialized by write_mutex (frames from concurrent senders must not
+  /// interleave) while the read half is owned exclusively by the rank's
+  /// single reader thread, which reads without any lock. A guarded_by
+  /// annotation would force the reader to take the write lock and serialize
+  /// reads against writes on a full-duplex fd for no correctness gain.
   struct Link {
     Socket socket;
     analysis::Mutex write_mutex{"TcpWorld::Link::write_mutex"};

@@ -10,6 +10,9 @@ namespace gridse {
 
 ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
   GRIDSE_CHECK_MSG(num_threads > 0, "thread pool needs at least one worker");
+  // workers_ is guarded: spawned workers may reach shutdown-era code (via a
+  // task that destroys the pool) before this constructor finishes emplacing.
+  analysis::LockGuard lock(mutex_);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
 #if GRIDSE_OBS

@@ -74,11 +74,11 @@ class ThreadPool {
   void worker_loop();
 
   std::size_t num_threads_;
-  std::vector<std::thread> workers_;
-  std::queue<QueuedTask> queue_;
   analysis::Mutex mutex_{"ThreadPool::mutex_"};
   analysis::ConditionVariable cv_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_ GRIDSE_GUARDED_BY(mutex_);
+  std::queue<QueuedTask> queue_ GRIDSE_GUARDED_BY(mutex_);
+  bool stopping_ GRIDSE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gridse

@@ -1,0 +1,22 @@
+// CHECK-PATH: src/runtime/corpus_transport.cpp
+// fault-hook must fire on transport primitives in a src/runtime or
+// src/medici file that contains no FAULT_POINT / FAULT_DROP hook at all:
+// such a path is invisible to chaos testing.
+namespace corpus {
+
+struct Socket {
+  void send_all(const void* data, unsigned long size);
+  unsigned long recv_some(void* data, unsigned long size);
+};
+
+struct Transport {
+  Socket socket;
+  void flush(const void* p, unsigned long n) {
+    socket.send_all(p, n);  // (EXPECT: fault-hook)
+  }
+  unsigned long poll(void* p, unsigned long n) {
+    return socket.recv_some(p, n);  // (EXPECT: fault-hook)
+  }
+};
+
+}  // namespace corpus

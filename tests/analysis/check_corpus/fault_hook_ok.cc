@@ -1,0 +1,21 @@
+// CHECK-PATH: src/runtime/corpus_transport_ok.cpp
+// The same primitives are fine once the file participates in fault
+// injection: one FAULT_* hook marks the path chaos-testable.  No findings.
+namespace corpus {
+
+struct Socket {
+  void send_all(const void* data, unsigned long size);
+};
+
+struct Transport {
+  Socket socket;
+  bool flush(const void* p, unsigned long n) {
+    if (FAULT_DROP("corpus.send", 0, 0)) {
+      return false;
+    }
+    socket.send_all(p, n);
+    return true;
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,18 @@
+// CHECK-PATH: src/medici/corpus_relay.cpp
+// fault-hook under suppression: the corpus suppression file carries an
+// entry for exactly this virtual path, so the finding is detected but
+// reported as suppressed.
+namespace corpus {
+
+struct Socket {
+  unsigned long recv_all(void* data, unsigned long size);
+};
+
+struct Relay {
+  Socket socket;
+  void pump(void* p, unsigned long n) {
+    socket.recv_all(p, n);  // (EXPECT-SUPPRESSED: fault-hook)
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,21 @@
+// CHECK-PATH: src/obs/corpus_registry.hpp
+// guarded-field must fire when a same-line comment claims a lock guards a
+// declaration but the declaration carries no GRIDSE_GUARDED_BY: prose
+// invariants rot, annotated ones are compiler-checked.  Standalone prose
+// comments and annotated fields stay silent.
+namespace corpus {
+
+class Registry {
+ private:
+  int mutex_;  // stand-in; fixtures are scanned, never compiled
+
+  int count_ = 0;  // guarded by mutex_ (EXPECT: guarded-field)
+
+  int total_ GRIDSE_GUARDED_BY(mutex_) = 0;  // guarded by mutex_, annotated
+
+  // Everything below this line is guarded by mutex_ — pure prose lines
+  // attached to no declaration do not fire.
+  int prose_documented_ = 0;
+};
+
+}  // namespace corpus

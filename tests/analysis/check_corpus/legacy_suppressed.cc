@@ -1,0 +1,24 @@
+// CHECK-PATH: src/legacy/vendored_queue.cpp
+// One violation of each path-independent rule, all matched by the
+// `src/legacy/*` entries in suppressions.txt: the findings must still be
+// detected, then reported as suppressed rather than failing the run.
+#include <cstdlib>
+#include <mutex>
+
+namespace corpus {
+
+std::mutex queue_mutex;  // (EXPECT-SUPPRESSED: naked-mutex)
+
+const char* queue_dir() {
+  return std::getenv("LEGACY_QUEUE_DIR");  // (EXPECT-SUPPRESSED: raw-getenv)
+}
+
+class VendoredQueue {
+ public:
+  int pop_locked(int tag);  // (EXPECT-SUPPRESSED: locked-requires)
+
+ private:
+  int depth_ = 0;  // guarded by queue_mutex (EXPECT-SUPPRESSED: guarded-field)
+};
+
+}  // namespace corpus

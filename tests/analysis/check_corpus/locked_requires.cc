@@ -1,0 +1,29 @@
+// CHECK-PATH: src/util/corpus_queue.hpp
+// locked-requires must fire on *_locked declarations that carry no
+// GRIDSE_REQUIRES annotation — the suffix is the project contract for
+// "caller already holds the lock", and the annotation is what lets Clang
+// enforce it.  Annotated declarations (including multi-line ones) and
+// out-of-line qualified definitions stay silent.
+namespace corpus {
+
+class Queue {
+ public:
+  int pop_locked(int tag);  // (EXPECT: locked-requires)
+
+  int peek_locked(int tag) GRIDSE_REQUIRES(mutex_);
+
+  [[nodiscard]] int drain_locked(int tag)
+      GRIDSE_REQUIRES(mutex_);
+
+ private:
+  int mutex_;  // stand-in; fixtures are scanned, never compiled
+};
+
+// Out-of-line definition: the annotation lives on the declaration above,
+// so the qualified name is exempt.
+int Queue::peek_locked(int tag) { return tag; }
+
+// Call sites are not declarations:
+int probe(Queue& q) { return q.pop_locked(0); }
+
+}  // namespace corpus

@@ -1,0 +1,25 @@
+// CHECK-PATH: src/core/corpus_naked.cpp
+// naked-mutex must fire on every raw std synchronization primitive outside
+// src/analysis/: the project substitute is analysis::Mutex, which is named,
+// lock-order-checked, and capability-annotated.
+#include <mutex>
+
+namespace corpus {
+
+std::mutex registry_mutex;  // (EXPECT: naked-mutex)
+
+void touch(int& value) {
+  std::lock_guard<std::mutex> lock(registry_mutex);  // (EXPECT: naked-mutex)
+  ++value;
+}
+
+void touch_ctad(int& value) {
+  std::scoped_lock lock(registry_mutex);  // (EXPECT: naked-mutex)
+  ++value;
+}
+
+// Mentioning std::mutex in a comment or a string is not a use:
+// std::mutex in prose stays silent.
+const char* doc() { return "std::lock_guard<std::mutex> is banned here"; }
+
+}  // namespace corpus

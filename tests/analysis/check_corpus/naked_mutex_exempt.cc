@@ -1,0 +1,15 @@
+// CHECK-PATH: src/analysis/corpus_release_sync.cpp
+// src/analysis/ is the one place allowed to touch std::mutex: it is the
+// implementation substrate of analysis::Mutex itself.  No findings expected.
+#include <mutex>
+
+namespace corpus {
+
+std::mutex impl_mutex;
+
+void with_lock(int& value) {
+  std::lock_guard<std::mutex> lock(impl_mutex);
+  ++value;
+}
+
+}  // namespace corpus

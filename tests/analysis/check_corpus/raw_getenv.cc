@@ -1,0 +1,18 @@
+// CHECK-PATH: src/core/corpus_env.cpp
+// raw-getenv must fire on direct environment reads; the blessed route is
+// runtime::env_value().  The second site demonstrates the inline escape
+// hatch, which suppresses exactly one rule on exactly one line.
+#include <cstdlib>
+
+namespace corpus {
+
+const char* trace_dir() {
+  return std::getenv("GRIDSE_TRACE_DIR");  // (EXPECT: raw-getenv)
+}
+
+const char* audited_read() {
+  // Deliberate raw read, justified at the call site:
+  return std::getenv("GRIDSE_AUDITED");  // gridse-check: allow(raw-getenv)
+}
+
+}  // namespace corpus

@@ -1,0 +1,10 @@
+// CHECK-PATH: src/runtime/resilience.cpp
+// runtime/resilience.* is the blessed home of getenv: env_value() wraps it
+// once for the whole tree.  No findings expected.
+#include <cstdlib>
+
+namespace corpus {
+
+const char* blessed(const char* name) { return std::getenv(name); }
+
+}  // namespace corpus

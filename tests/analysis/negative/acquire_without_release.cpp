@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under -Werror=thread-safety: lock() with no matching
+// unlock() on any path out of the function.  Expected diagnostic:
+// "mutex 'mutex_' is still held at the end of function".
+#include "analysis/debug_sync.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    mutex_.lock();
+    balance_ += amount;
+    // missing mutex_.unlock()
+  }
+
+ private:
+  gridse::analysis::Mutex mutex_{"Account::mutex_"};
+  int balance_ GRIDSE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Negative-compilation harness for the Clang Thread Safety annotations
+# (tests/analysis/negative/*.cpp, registered in tests/CMakeLists.txt).
+#
+# Usage: negative_compile.sh <compiler> <repo-root> expect-pass|expect-fail <src>
+#
+# expect-pass: the file must compile cleanly under -Werror=thread-safety
+#   (proves the baseline idioms are annotation-clean, so the expect-fail
+#   cases below fail for the right reason and not because every use of
+#   analysis::Mutex trips the analysis).
+# expect-fail: the file must FAIL to compile, and the diagnostic must come
+#   from -Wthread-safety (proves the annotations actually catch the defect
+#   class the file encodes).
+#
+# Thread Safety Analysis exists only in Clang; under any other compiler the
+# test skips (exit 77 = ctest SKIP_RETURN_CODE) rather than vacuously pass.
+set -u
+
+compiler="$1"
+repo_root="$2"
+mode="$3"
+src="$4"
+
+if ! "${compiler}" --version 2>/dev/null | grep -qi clang; then
+  echo "negative_compile: ${compiler} is not Clang; Thread Safety Analysis" \
+       "is unavailable — skipping." >&2
+  exit 77
+fi
+
+flags=(
+  -std=c++20 -fsyntax-only
+  -Wthread-safety -Werror=thread-safety
+  -DGRIDSE_DEBUG_SYNC=1 -DGRIDSE_OBS=0 -DGRIDSE_FAULT=0
+  -I "${repo_root}/src"
+)
+
+out=$("${compiler}" "${flags[@]}" "${src}" 2>&1)
+status=$?
+
+case "${mode}" in
+  expect-pass)
+    if [[ ${status} -ne 0 ]]; then
+      echo "${out}"
+      echo "negative_compile: baseline ${src##*/} must compile cleanly" \
+           "under -Werror=thread-safety but did not." >&2
+      exit 1
+    fi
+    ;;
+  expect-fail)
+    if [[ ${status} -eq 0 ]]; then
+      echo "negative_compile: ${src##*/} encodes a lock-discipline defect" \
+           "but compiled cleanly — the annotations no longer catch it." >&2
+      exit 1
+    fi
+    if ! grep -q "thread-safety" <<<"${out}"; then
+      echo "${out}"
+      echo "negative_compile: ${src##*/} failed to compile, but not with a" \
+           "-Wthread-safety diagnostic (broken fixture, not a caught" \
+           "defect)." >&2
+      exit 1
+    fi
+    ;;
+  *)
+    echo "negative_compile: unknown mode '${mode}'" >&2
+    exit 2
+    ;;
+esac
+
+exit 0

@@ -1,0 +1,48 @@
+// Baseline for the negative-compilation suite: every idiom the project
+// actually uses, written correctly, must be clean under
+// -Werror=thread-safety.  If this file stops compiling, the expect-fail
+// cases are failing for the wrong reason.
+#include "analysis/debug_sync.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    gridse::analysis::LockGuard lock(mutex_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    gridse::analysis::LockGuard lock(mutex_);
+    return balance_;
+  }
+
+  int drain() {
+    mutex_.lock();
+    const int out = balance_;
+    balance_ = 0;
+    mutex_.unlock();
+    return out;
+  }
+
+  void drain_locked() GRIDSE_REQUIRES(mutex_) { balance_ = 0; }
+
+  void reset() {
+    gridse::analysis::LockGuard lock(mutex_);
+    drain_locked();
+  }
+
+ private:
+  mutable gridse::analysis::Mutex mutex_{"Account::mutex_"};
+  int balance_ GRIDSE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(3);
+  account.reset();
+  return account.balance();
+}

@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calling a
+// GRIDSE_REQUIRES(mutex_) function without holding the mutex — the exact
+// defect class the *_locked naming contract exists to prevent.  Expected
+// diagnostic: "calling function 'drain_locked' requires holding mutex".
+#include "analysis/debug_sync.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void drain_locked() GRIDSE_REQUIRES(mutex_) { balance_ = 0; }
+
+  void reset() {
+    drain_locked();  // caller forgot to take mutex_
+  }
+
+ private:
+  gridse::analysis::Mutex mutex_{"Account::mutex_"};
+  int balance_ GRIDSE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.reset();
+  return 0;
+}

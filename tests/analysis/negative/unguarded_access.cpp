@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reading and writing a
+// GRIDSE_GUARDED_BY field without holding its mutex.  Expected diagnostic:
+// "reading/writing variable 'balance_' requires holding mutex 'mutex_'".
+#include "analysis/debug_sync.hpp"
+
+namespace {
+
+class Account {
+ public:
+  int steal() {
+    const int out = balance_;  // unguarded read
+    balance_ = 0;              // unguarded write
+    return out;
+  }
+
+ private:
+  gridse::analysis::Mutex mutex_{"Account::mutex_"};
+  int balance_ GRIDSE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  return account.steal();
+}

@@ -4,10 +4,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <set>
 #include <thread>
 
+#include "analysis/debug_sync.hpp"
 #include "runtime/inproc_comm.hpp"
 #include "runtime/tcp_comm.hpp"
 
@@ -62,11 +62,11 @@ TEST(DynamicBalancer, ZeroTasksTerminates) {
 
 TEST(DynamicBalancer, CounterRankExecutesNothing) {
   runtime::InprocWorld world(3);
-  std::mutex mutex;
+  analysis::Mutex mutex{"balancer_test::mutex"};
   std::vector<int> per_rank(3, -1);
   world.run([&](runtime::Communicator& c) {
     const BalanceStats stats = run_dynamic(c, 20, [](int) {});
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     per_rank[static_cast<std::size_t>(c.rank())] = stats.tasks_executed;
   });
   EXPECT_EQ(per_rank[0], 0);
@@ -77,7 +77,7 @@ TEST(DynamicBalancer, AdaptsToHeterogeneousCosts) {
   // Rank 1 is artificially slow; dynamic balancing must route most tasks to
   // rank 2, beating the static split on makespan for the same workload.
   runtime::InprocWorld world(3);
-  std::mutex mutex;
+  analysis::Mutex mutex{"balancer_test::mutex"};
   std::vector<int> dynamic_counts(3, 0);
   const auto task = [](runtime::Communicator& c) {
     return [&c](int) {
@@ -90,7 +90,7 @@ TEST(DynamicBalancer, AdaptsToHeterogeneousCosts) {
   };
   world.run([&](runtime::Communicator& c) {
     const BalanceStats stats = run_dynamic(c, 60, task(c));
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     dynamic_counts[static_cast<std::size_t>(c.rank())] = stats.tasks_executed;
   });
   EXPECT_GT(dynamic_counts[2], dynamic_counts[1] * 3);
@@ -109,11 +109,11 @@ TEST(DynamicBalancer, WorksOverTcpTransport) {
 
 TEST(StaticBalancer, StatsAreConsistent) {
   runtime::InprocWorld world(2);
-  std::mutex mutex;
+  analysis::Mutex mutex{"balancer_test::mutex"};
   std::vector<BalanceStats> stats(2);
   world.run([&](runtime::Communicator& c) {
     BalanceStats s = run_static(c, 11, [](int) {});
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     stats[static_cast<std::size_t>(c.rank())] = s;
   });
   EXPECT_EQ(stats[0].tasks_executed + stats[1].tasks_executed, 11);

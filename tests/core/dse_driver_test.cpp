@@ -2,8 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include <mutex>
 
+#include "analysis/debug_sync.hpp"
 #include "decomp/sensitivity.hpp"
 #include "grid/meas_generator.hpp"
 #include "grid/powerflow.hpp"
@@ -39,11 +39,11 @@ class DseDriverTest : public ::testing::Test {
       const std::vector<graph::PartId>& step2, int ranks = 3) {
     DseDriver driver(generated_.kase.network, d_, {});
     std::vector<DseResult> results(static_cast<std::size_t>(ranks));
-    std::mutex mutex;
+    analysis::Mutex mutex{"dse_driver_test::mutex"};
     runtime::InprocWorld world(ranks);
     world.run([&](runtime::Communicator& c) {
       DseResult r = driver.run(c, meas_, step1, step2);
-      std::lock_guard<std::mutex> lock(mutex);
+      analysis::LockGuard lock(mutex);
       results[static_cast<std::size_t>(c.rank())] = std::move(r);
     });
     return results;
@@ -133,13 +133,13 @@ TEST_F(DseDriverTest, SingleRankDegeneratesToSequentialDse) {
 TEST_F(DseDriverTest, WorksOverTcpTransport) {
   DseDriver driver(generated_.kase.network, d_, {});
   runtime::TcpWorld world(3);
-  std::mutex mutex;
+  analysis::Mutex mutex{"dse_driver_test::mutex"};
   grid::GridState state0;
   world.run([&](runtime::Communicator& c) {
     const DseResult r = driver.run(c, meas_, assignment_);
     EXPECT_TRUE(r.all_converged);
     if (c.rank() == 0) {
-      std::lock_guard<std::mutex> lock(mutex);
+      analysis::LockGuard lock(mutex);
       state0 = r.state;
     }
   });
@@ -154,12 +154,12 @@ TEST_F(DseDriverTest, RedistributionToggleOnlyChangesTraffic) {
     opts.ship_redistribution = ship;
     DseDriver driver(generated_.kase.network, d_, opts);
     runtime::InprocWorld world(3);
-    std::mutex mutex;
+    analysis::Mutex mutex{"dse_driver_test::mutex"};
     DseResult out;
     std::size_t total_bytes = 0;
     world.run([&](runtime::Communicator& c) {
       DseResult r = driver.run(c, meas_, assignment_, step2);
-      std::lock_guard<std::mutex> lock(mutex);
+      analysis::LockGuard lock(mutex);
       total_bytes += r.bytes_sent;
       if (c.rank() == 0) out = std::move(r);
     });
@@ -184,11 +184,11 @@ TEST_F(DseDriverTest, NonConvergenceIsReportedNotHidden) {
   crippled.local.wls.tolerance = 1e-14;
   DseDriver driver(generated_.kase.network, d_, crippled);
   runtime::InprocWorld world(3);
-  std::mutex mutex;
+  analysis::Mutex mutex{"dse_driver_test::mutex"};
   std::vector<bool> converged(3, true);
   world.run([&](runtime::Communicator& c) {
     const DseResult r = driver.run(c, meas_, assignment_);
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     converged[static_cast<std::size_t>(c.rank())] = r.all_converged;
   });
   for (const bool ok : converged) {
@@ -210,12 +210,12 @@ TEST_F(DseDriverTest, MultiRoundStepTwoConvergesAndNeverHurts) {
   multi.step2_rounds = 3;
   DseDriver driver(generated_.kase.network, d_, multi);
   runtime::InprocWorld world(3);
-  std::mutex mutex;
+  analysis::Mutex mutex{"dse_driver_test::mutex"};
   DseResult multi_result;
   world.run([&](runtime::Communicator& c) {
     DseResult r = driver.run(c, meas_, assignment_);
     if (c.rank() == 0) {
-      std::lock_guard<std::mutex> lock(mutex);
+      analysis::LockGuard lock(mutex);
       multi_result = std::move(r);
     }
   });
@@ -249,12 +249,12 @@ TEST_F(DseDriverTest, WeccScaleScenarioConverges) {
   }
   DseDriver driver(wecc.kase.network, wd, {});
   runtime::InprocWorld world(4);
-  std::mutex mutex;
+  analysis::Mutex mutex{"dse_driver_test::mutex"};
   DseResult result;
   world.run([&](runtime::Communicator& c) {
     DseResult r = driver.run(c, meas, assignment);
     if (c.rank() == 0) {
-      std::lock_guard<std::mutex> lock(mutex);
+      analysis::LockGuard lock(mutex);
       result = std::move(r);
     }
   });

@@ -3,8 +3,8 @@
 // decomposition, not just the paper's case study.
 #include <gtest/gtest.h>
 
-#include <mutex>
 
+#include "analysis/debug_sync.hpp"
 #include "core/dse_driver.hpp"
 #include "decomp/sensitivity.hpp"
 #include "grid/meas_generator.hpp"
@@ -67,12 +67,12 @@ TEST_P(DseSweep, EndToEndInvariantsHold) {
   // DSE invariants: convergence, identical state on all ranks, accuracy.
   DseDriver driver(generated.kase.network, d, {});
   runtime::InprocWorld world(sc.clusters);
-  std::mutex mutex;
+  analysis::Mutex mutex{"dse_sweep_test::mutex"};
   std::vector<DseResult> results(static_cast<std::size_t>(sc.clusters));
   world.run([&](runtime::Communicator& c) {
     DseResult r = driver.run(c, meas, map1.partition.assignment,
                              map2.partition.assignment);
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     results[static_cast<std::size_t>(c.rank())] = std::move(r);
   });
   for (const DseResult& r : results) {

@@ -2,8 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include <mutex>
 
+#include "analysis/debug_sync.hpp"
 #include "decomp/sensitivity.hpp"
 #include "grid/meas_generator.hpp"
 #include "grid/powerflow.hpp"
@@ -42,11 +42,11 @@ class HierarchicalTest : public ::testing::Test {
 TEST_F(HierarchicalTest, ConvergesAndMatchesTruth) {
   HierarchicalDriver driver(generated_.kase.network, d_, {});
   runtime::InprocWorld world(3);
-  std::mutex mutex;
+  analysis::Mutex mutex{"hierarchical_test::mutex"};
   std::vector<HierarchicalResult> results(3);
   world.run([&](runtime::Communicator& c) {
     HierarchicalResult r = driver.run(c, meas_, assignment_);
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     results[static_cast<std::size_t>(c.rank())] = std::move(r);
   });
   for (const HierarchicalResult& r : results) {
@@ -58,11 +58,11 @@ TEST_F(HierarchicalTest, ConvergesAndMatchesTruth) {
 TEST_F(HierarchicalTest, CoordinatorBroadcastsIdenticalState) {
   HierarchicalDriver driver(generated_.kase.network, d_, {});
   runtime::InprocWorld world(3);
-  std::mutex mutex;
+  analysis::Mutex mutex{"hierarchical_test::mutex"};
   std::vector<grid::GridState> states(3);
   world.run([&](runtime::Communicator& c) {
     const HierarchicalResult r = driver.run(c, meas_, assignment_);
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     states[static_cast<std::size_t>(c.rank())] = r.state;
   });
   for (int r = 1; r < 3; ++r) {
@@ -77,12 +77,12 @@ TEST_F(HierarchicalTest, CoordinationRefinesStepOne) {
   // the raw assembly of local solutions.
   HierarchicalDriver driver(generated_.kase.network, d_, {});
   runtime::InprocWorld world(3);
-  std::mutex mutex;
+  analysis::Mutex mutex{"hierarchical_test::mutex"};
   grid::GridState refined;
   world.run([&](runtime::Communicator& c) {
     const HierarchicalResult r = driver.run(c, meas_, assignment_);
     if (c.rank() == 0) {
-      std::lock_guard<std::mutex> lock(mutex);
+      analysis::LockGuard lock(mutex);
       refined = r.state;
     }
   });

@@ -29,10 +29,10 @@ TEST(CheckpointStore, NewestWinsPerSubsystem) {
   store.store(make_ckpt(2, 2));  // stale: must not replace cycle 3
   store.store(make_ckpt(5, 1));
   ASSERT_EQ(store.size(), 2u);
-  ASSERT_NE(store.latest(2), nullptr);
+  ASSERT_TRUE(store.latest(2).has_value());
   EXPECT_EQ(store.latest(2)->cycle, 3);
   EXPECT_EQ(store.latest(5)->cycle, 1);
-  EXPECT_EQ(store.latest(9), nullptr);
+  EXPECT_FALSE(store.latest(9).has_value());
   const auto snap = store.snapshot();
   EXPECT_EQ(snap.size(), 2u);
   EXPECT_EQ(snap.at(2).cycle, 3);
@@ -58,7 +58,7 @@ TEST(CheckpointStore, SpillsToDiskAndReloads) {
   }
   CheckpointStore reloaded(dir);
   EXPECT_EQ(reloaded.load_spilled(), 2u);
-  ASSERT_NE(reloaded.latest(3), nullptr);
+  ASSERT_TRUE(reloaded.latest(3).has_value());
   EXPECT_EQ(reloaded.latest(3)->cycle, 7);
   EXPECT_EQ(reloaded.latest(0)->cycle, 2);
   std::filesystem::remove_all(dir);
@@ -156,7 +156,7 @@ TEST(Supervisor, AbsorbConfirmsHeartbeatDeaths) {
   EXPECT_EQ(sup.state_of(1), RankState::kAlive);  // suspect is not dead
   EXPECT_EQ(sup.state_of(2), RankState::kDead);
   EXPECT_EQ(sup.remaps(), 1);
-  ASSERT_NE(sup.checkpoints().latest(4), nullptr);
+  ASSERT_TRUE(sup.checkpoints().latest(4).has_value());
   EXPECT_EQ(sup.plan_restore().size(), 1u);
 }
 

@@ -5,12 +5,12 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/debug_sync.hpp"
 #include "core/dse_driver.hpp"
 #include "decomp/sensitivity.hpp"
 #include "fault/fault.hpp"
@@ -86,11 +86,11 @@ class ChaosDseTest : public ::testing::Test {
     Timer timer;
     {
       runtime::TcpWorld world(2, res);
-      std::mutex mutex;
+      analysis::Mutex mutex{"chaos_dse_test::mutex"};
       world.run([&](runtime::Communicator& c) {
         DseResult r = driver.run(c, meas_, assignment_);
         if (c.rank() == 0) {
-          std::lock_guard<std::mutex> lock(mutex);
+          analysis::LockGuard lock(mutex);
           out.rank0 = std::move(r);
         }
       });
@@ -117,11 +117,11 @@ class ChaosDseTest : public ::testing::Test {
       medici::MediciWorld world(2, medici::TransportMode::kDirectTcp,
                                 medici::medici_relay_model(),
                                 medici::unshaped_model(), res);
-      std::mutex mutex;
+      analysis::Mutex mutex{"chaos_dse_test::mutex"};
       world.run([&](runtime::Communicator& c) {
         DseResult r = driver.run(c, meas_, assignment_);
         if (c.rank() == 0) {
-          std::lock_guard<std::mutex> lock(mutex);
+          analysis::LockGuard lock(mutex);
           out.rank0 = std::move(r);
         }
       });
@@ -140,12 +140,12 @@ class ChaosDseTest : public ::testing::Test {
     fault::clear();
     DseDriver driver(generated_.kase.network, d_, opts);
     runtime::TcpWorld world(2);
-    std::mutex mutex;
+    analysis::Mutex mutex{"chaos_dse_test::mutex"};
     DseResult out;
     world.run([&](runtime::Communicator& c) {
       DseResult r = driver.run(c, meas_, assignment_);
       if (c.rank() == 0) {
-        std::lock_guard<std::mutex> lock(mutex);
+        analysis::LockGuard lock(mutex);
         out = std::move(r);
       }
     });
@@ -200,8 +200,8 @@ class ChaosDseTest : public ::testing::Test {
   /// when GRIDSE_CHAOS_REPORT_DIR is set; silently skipped otherwise.
   static void write_health_report(const std::string& name,
                                   const ChaosRun& run) {
-    const char* dir = std::getenv("GRIDSE_CHAOS_REPORT_DIR");
-    if (dir == nullptr || *dir == '\0') {
+    const auto dir = gridse::runtime::env_value("GRIDSE_CHAOS_REPORT_DIR");
+    if (!dir) {
       return;
     }
     std::ostringstream json;
@@ -227,7 +227,7 @@ class ChaosDseTest : public ::testing::Test {
       json << run.rank0.unresponsive_ranks[i];
     }
     json << "],\"injections\":" << run.log_json << "}";
-    std::ofstream out(std::string(dir) + "/" + name + ".json",
+    std::ofstream out(*dir + "/" + name + ".json",
                       std::ios::binary | std::ios::trunc);
     if (out) {
       out << json.str() << "\n";
@@ -444,11 +444,11 @@ TEST(ChaosSoakTest, SeedLoopCompletesBoundedOnARing) {
     runtime::ResilienceConfig res;
     res.barrier_timeout = std::chrono::milliseconds{30'000};
     runtime::TcpWorld world(2, res);
-    std::mutex mutex;
+    analysis::Mutex mutex{"chaos_dse_test::mutex"};
     std::vector<DseResult> results(2);
     world.run([&](runtime::Communicator& c) {
       DseResult r = driver.run(c, meas, assignment);
-      std::lock_guard<std::mutex> lock(mutex);
+      analysis::LockGuard lock(mutex);
       results[static_cast<std::size_t>(c.rank())] = std::move(r);
     });
     // Both ranks agree on the cluster-wide degradation report.

@@ -98,8 +98,8 @@ int max_step1_iterations(const CycleReport& rep, bool warm_only) {
 /// chaos_dse suite, plus the recovery block bench_gate.py validates).
 void write_health_report(const std::string& name, const Sequence& seq,
                          const DseSystem& sys, double seconds) {
-  const char* dir = std::getenv("GRIDSE_CHAOS_REPORT_DIR");
-  if (dir == nullptr || *dir == '\0') {
+  const auto dir = gridse::runtime::env_value("GRIDSE_CHAOS_REPORT_DIR");
+  if (!dir) {
     return;
   }
   std::ostringstream json;
@@ -128,7 +128,7 @@ void write_health_report(const std::string& name, const Sequence& seq,
        << ",\"checkpoint_bytes\":"
        << seq.rejoined.dse.recovery.checkpoint_bytes
        << "},\"injections\":" << seq.kill_log_json << "}";
-  std::ofstream out(std::string(dir) + "/" + name + ".json",
+  std::ofstream out(*dir + "/" + name + ".json",
                     std::ios::binary | std::ios::trunc);
   if (out) {
     out << json.str() << "\n";

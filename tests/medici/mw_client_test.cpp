@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "fault/fault.hpp"
@@ -194,6 +196,36 @@ TEST(MwClient, RetriesAreBoundedWhenTheFaultPersists) {
   EXPECT_EQ(sender.retries(), 2u);
   EXPECT_EQ(fault::injected_count(), 3u);  // one failure per attempt
   fault::clear();
+}
+
+// Regression: retry_ used to be read bare inside send_with_retries while
+// set_retry_policy wrote it from another thread — a data race (tsan) and a
+// torn-policy hazard.  The fix snapshots the policy under send_mutex_; this
+// test drives the exact interleaving and must stay clean under the tsan
+// preset while the delivery guarantees hold.
+TEST(MwClient, SetRetryPolicyRacesInFlightSends) {
+  MwClient sender(0);
+  MwClient receiver(1);
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    runtime::RetryPolicy policy;
+    int flips = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      policy.max_attempts = 1 + (++flips % 4);
+      policy.backoff_base = std::chrono::milliseconds(flips % 7);
+      sender.set_retry_policy(policy);
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    sender.send(receiver.endpoint(), 7,
+                std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
+  }
+  stop.store(true, std::memory_order_release);
+  tuner.join();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(receiver.recv(0, 7).payload[0], static_cast<std::uint8_t>(i));
+  }
 }
 
 }  // namespace

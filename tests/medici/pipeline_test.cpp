@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -182,6 +183,43 @@ TEST(MifPipeline, ReconfigureWhileRunningRejected) {
   p.start();
   EXPECT_THROW(p.add_mif_component("another"), InternalError);
   EXPECT_THROW(p.start(), InternalError);
+}
+
+// Regression: running_ used to be a plain bool written by start()/stop()
+// while dashboards polled running() concurrently — a data race even though
+// each access looked innocent.  It is now an atomic with acquire/release
+// ordering; this probe loop races a full start/stop against the reader and
+// must stay clean under the tsan preset.
+TEST(MifPipeline, RunningProbeRacesStartAndStop) {
+  MwClient destination(1);
+  MifPipeline pipeline;
+  pipeline.add_mif_connector(EndpointProtocol::kTcp);
+  MifComponent& se = pipeline.add_mif_component("SESocket");
+  se.set_in_name_endpoint("tcp://127.0.0.1:0");
+  se.set_out_hal_endpoint(destination.endpoint().to_string());
+  pipeline.set_relay_model(unshaped_model());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> observed_running{0};
+  std::thread probe([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (pipeline.running()) {
+        observed_running.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  pipeline.start();
+  for (int spin = 0; spin < 2000 && observed_running.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pipeline.stop();
+  stop.store(true, std::memory_order_release);
+  probe.join();
+
+  EXPECT_FALSE(pipeline.running());
+  EXPECT_GT(observed_running.load(), 0);
 }
 
 }  // namespace

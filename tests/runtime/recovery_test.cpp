@@ -2,9 +2,9 @@
 
 #include <gtest/gtest.h>
 
-#include <mutex>
 #include <vector>
 
+#include "analysis/debug_sync.hpp"
 #include "fault/fault.hpp"
 #include "runtime/inproc_comm.hpp"
 #include "runtime/tcp_comm.hpp"
@@ -26,10 +26,10 @@ template <typename World>
 std::vector<MembershipView> probe_all(World& world, int size,
                                       const HeartbeatSettings& settings) {
   std::vector<MembershipView> views(static_cast<std::size_t>(size));
-  std::mutex mutex;
+  analysis::Mutex mutex{"recovery_test::mutex"};
   world.run([&](Communicator& comm) {
     MembershipView v = probe_membership(comm, settings);
-    std::lock_guard<std::mutex> lock(mutex);
+    analysis::LockGuard lock(mutex);
     views[static_cast<std::size_t>(comm.rank())] = std::move(v);
   });
   return views;

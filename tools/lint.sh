@@ -10,6 +10,16 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
+# Project-invariant checker first: it needs only python3, so unlike
+# clang-tidy it never skips. Self-test (the checker checks itself), then
+# the tree.
+echo "lint.sh: gridse_check self-test..." >&2
+python3 "${repo_root}/tools/gridse_check.py" --self-test \
+  --root "${repo_root}"
+echo "lint.sh: gridse_check over the tree..." >&2
+python3 "${repo_root}/tools/gridse_check.py" \
+  --root "${repo_root}" --build-dir "${build_dir}"
+
 tidy_bin=""
 for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
                  clang-tidy-15 clang-tidy-14; do
