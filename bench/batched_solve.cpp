@@ -1,0 +1,142 @@
+// Batched multi-subsystem solver bench (google-benchmark): DSE Step 1 over
+// every subsystem of a decomposition, solved the historical way (one
+// estimator at a time) vs the batched lockstep sweep (one numeric
+// factorization/solve pass over packed lanes, estimation::batched_estimate).
+// Both paths run direct LDLt lanes against persistent SolverCaches, so the
+// delta isolates the batching itself. The deterministic Gauss-Newton
+// iteration counts and lane counts are exported as counters and gated in CI
+// (tools/bench_gate.py promotes gn_iters / lanes counters to enforced).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/local_estimator.hpp"
+#include "core/plan_registry.hpp"
+#include "decomp/decomposition.hpp"
+#include "decomp/sensitivity.hpp"
+#include "estimation/batched_wls.hpp"
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gridse;
+
+/// One decomposed case with ready-to-solve measurements: the Step-1 inputs
+/// of every subsystem.
+struct CaseFixture {
+  io::GeneratedCase generated;
+  decomp::Decomposition d;
+  grid::MeasurementSet meas;
+};
+
+CaseFixture make_fixture(io::GeneratedCase generated, std::uint64_t seed) {
+  CaseFixture fx{std::move(generated), {}, {}};
+  fx.d = decomp::decompose(fx.generated.kase.network,
+                           fx.generated.subsystem_of_bus);
+  decomp::analyze_sensitivity(fx.generated.kase.network, fx.d, {});
+  const grid::PowerFlowResult pf =
+      grid::solve_power_flow(fx.generated.kase.network);
+  grid::MeasurementPlan plan;
+  for (const decomp::Subsystem& s : fx.d.subsystems) {
+    plan.pmu_buses.push_back(s.buses.front());
+  }
+  grid::MeasurementGenerator gen(fx.generated.kase.network, plan);
+  Rng rng(seed);
+  fx.meas = gen.generate(pf.state, rng);
+  return fx;
+}
+
+const CaseFixture& fixture118() {
+  static const CaseFixture fx = make_fixture(io::ieee118_dse(), 7);
+  return fx;
+}
+
+const CaseFixture& fixture_wecc() {
+  static const CaseFixture fx = make_fixture(io::wecc37(), 7);
+  return fx;
+}
+
+core::LocalEstimatorOptions ldlt_options() {
+  core::LocalEstimatorOptions opts;
+  opts.wls.solver = estimation::LinearSolver::kLdlt;
+  return opts;
+}
+
+/// Historical path: per-subsystem run_step1, one estimator after another.
+void bench_sequential(benchmark::State& state, const CaseFixture& fx) {
+  const core::LocalEstimatorOptions opts = ldlt_options();
+  std::vector<std::unique_ptr<core::LocalEstimator>> ests;
+  for (int s = 0; s < fx.d.num_subsystems(); ++s) {
+    ests.push_back(std::make_unique<core::LocalEstimator>(
+        fx.generated.kase.network, fx.d, s, opts));
+  }
+  int gn_iters = 0;
+  for (auto _ : state) {
+    gn_iters = 0;
+    for (auto& est : ests) {
+      const core::LocalSolveInfo info = est->run_step1(fx.meas);
+      gn_iters += info.gauss_newton_iterations;
+      benchmark::DoNotOptimize(info.objective);
+    }
+  }
+  state.counters["gn_iters"] = gn_iters;
+  state.counters["lanes"] = fx.d.num_subsystems();
+}
+
+/// Batched path: every subsystem is a lane of one lockstep sweep.
+void bench_batched(benchmark::State& state, const CaseFixture& fx) {
+  const core::LocalEstimatorOptions opts = ldlt_options();
+  core::PlanRegistry registry;
+  std::vector<std::unique_ptr<core::LocalEstimator>> ests;
+  std::vector<std::shared_ptr<estimation::SolverCache>> caches;
+  for (int s = 0; s < fx.d.num_subsystems(); ++s) {
+    core::LocalEstimatorOptions sub_opts = opts;
+    sub_opts.wls.cache = registry.cache_for(s);
+    ests.push_back(std::make_unique<core::LocalEstimator>(
+        fx.generated.kase.network, fx.d, s, sub_opts));
+    caches.push_back(registry.cache_for(s));
+  }
+  int gn_iters = 0;
+  for (auto _ : state) {
+    std::vector<estimation::BatchedLaneProblem> lanes;
+    lanes.reserve(ests.size());
+    for (auto& est : ests) {
+      lanes.push_back(est->prepare_step1(fx.meas));
+    }
+    const std::vector<estimation::WlsResult> results =
+        estimation::batched_estimate(lanes, opts.wls, caches);
+    gn_iters = 0;
+    for (std::size_t i = 0; i < ests.size(); ++i) {
+      const core::LocalSolveInfo info =
+          ests[i]->commit_step1(results[i], 0.0);
+      gn_iters += info.gauss_newton_iterations;
+      benchmark::DoNotOptimize(info.objective);
+    }
+  }
+  state.counters["gn_iters"] = gn_iters;
+  state.counters["lanes"] = static_cast<double>(ests.size());
+}
+
+void BM_Step1Sequential118(benchmark::State& s) {
+  bench_sequential(s, fixture118());
+}
+void BM_Step1Batched118(benchmark::State& s) { bench_batched(s, fixture118()); }
+void BM_Step1SequentialWecc(benchmark::State& s) {
+  bench_sequential(s, fixture_wecc());
+}
+void BM_Step1BatchedWecc(benchmark::State& s) {
+  bench_batched(s, fixture_wecc());
+}
+
+BENCHMARK(BM_Step1Sequential118)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Step1Batched118)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Step1SequentialWecc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Step1BatchedWecc)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -44,6 +44,12 @@ DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
   }
   config_.dse.degraded_step2 =
       config_.dse.degraded_step2 && config_.resilience.degraded_step2;
+  // A system-lifetime plan registry: symbolic solver plans survive across
+  // cycles (each cycle's DseDriver is ephemeral). run_cycle invalidates the
+  // entries of migrated subsystems on every remap epoch.
+  if (config_.dse.plan_registry == nullptr) {
+    config_.dse.plan_registry = std::make_shared<PlanRegistry>();
+  }
 
   decomp::analyze_sensitivity(generated_.kase.network, decomposition_,
                               config_.sensitivity);
@@ -135,6 +141,13 @@ CycleReport DseSystem::run_cycle(double time_sec) {
     if (supervisor_ != nullptr) {
       compact_prev = supervisor_->project_assignment(
           *previous_assignment_, participants, &report.migrated_subsystems);
+      // A migrated subsystem solves on a different cluster from now on; its
+      // cached symbolic plans belong to the lost host. Drop them so the new
+      // host re-analyzes instead of carrying stale entries. (Fingerprint
+      // checks already make stale reuse impossible; this frees the slots.)
+      for (const int s : report.migrated_subsystems) {
+        config_.dse.plan_registry->invalidate(s);
+      }
     } else {
       compact_prev = *previous_assignment_;
     }

@@ -61,6 +61,28 @@ std::optional<runtime::Message> recv_within(runtime::Communicator& comm,
   return comm.recv_for(source, tag, deadline.remaining());
 }
 
+/// Plain bus states → condensed records with default (-1) sigmas.
+std::vector<CondensedBoundaryRecord> widen_records(
+    const std::vector<BusStateRecord>& in) {
+  std::vector<CondensedBoundaryRecord> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i].bus = in[i].bus;
+    out[i].theta = in[i].theta;
+    out[i].vm = in[i].vm;
+  }
+  return out;
+}
+
+/// Condensed records → plain bus states (the uncondensed wire format).
+std::vector<BusStateRecord> narrow_records(
+    const std::vector<CondensedBoundaryRecord>& in) {
+  std::vector<BusStateRecord> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = {in[i].bus, in[i].theta, in[i].vm};
+  }
+  return out;
+}
+
 }  // namespace
 
 DseDriver::DseDriver(const grid::Network& network,
@@ -126,15 +148,32 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   }
 
   // Build estimators for every subsystem this rank touches in either step.
+  // Each subsystem's WLS runs against its registry SolverCache so symbolic
+  // factorization work (ordering, etree, assembly scatter maps) is shared
+  // across Gauss-Newton iterations, both steps, and — with a persistent
+  // registry — across cycles.
+  const std::shared_ptr<PlanRegistry> registry =
+      options_.plan_registry != nullptr ? options_.plan_registry
+                                        : std::make_shared<PlanRegistry>();
+  const auto estimator_options = [&](int s) {
+    LocalEstimatorOptions opts = options_.local;
+    if (options_.condense_boundary) {
+      opts.condense_boundary = true;
+    }
+    opts.wls.cache = registry->cache_for(s);
+    return opts;
+  };
   std::map<int, std::unique_ptr<LocalEstimator>> estimators;
   for (const int s : hosted1) {
     estimators.emplace(s, std::make_unique<LocalEstimator>(
-                              *network_, *decomposition_, s, options_.local));
+                              *network_, *decomposition_, s,
+                              estimator_options(s)));
   }
   for (const int s : hosted2) {
     if (estimators.count(s) == 0) {
       estimators.emplace(s, std::make_unique<LocalEstimator>(
-                                *network_, *decomposition_, s, options_.local));
+                                *network_, *decomposition_, s,
+                                estimator_options(s)));
     }
   }
 
@@ -211,16 +250,44 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   std::map<int, LocalSolveInfo> step1_info;
   {
     OBS_SPAN("dse.step1");
-    analysis::Mutex info_mutex{"DseDriver::step1_info_mutex"};
-    pool.parallel_for(hosted1.size(), [&](std::size_t i) {
-      const int s = hosted1[i];
-      const LocalSolveInfo info =
-          estimators.at(s)->run_step1(global_measurements);
-      OBS_HISTOGRAM_OBSERVE("dse.step1.subsystem_seconds", info.seconds);
-      OBS_COUNTER_ADD("dse.step1.subsystems", 1);
-      analysis::LockGuard lock(info_mutex);
-      step1_info[s] = info;
-    });
+    if (options_.batched_step1 && !options_.local.robust &&
+        !hosted1.empty()) {
+      // Batched lockstep sweep: every hosted subsystem is one lane of a
+      // single multi-subsystem Gauss-Newton; one numeric
+      // factorization/solve pass per iteration over the packed lane arenas.
+      Timer batch_timer;
+      std::vector<estimation::BatchedLaneProblem> lanes;
+      std::vector<std::shared_ptr<estimation::SolverCache>> caches;
+      lanes.reserve(hosted1.size());
+      caches.reserve(hosted1.size());
+      for (const int s : hosted1) {
+        lanes.push_back(estimators.at(s)->prepare_step1(global_measurements));
+        caches.push_back(registry->cache_for(s));
+      }
+      const std::vector<estimation::WlsResult> results =
+          estimation::batched_estimate(lanes, options_.local.wls, caches);
+      const double per_lane_seconds =
+          batch_timer.seconds() / static_cast<double>(hosted1.size());
+      for (std::size_t i = 0; i < hosted1.size(); ++i) {
+        const int s = hosted1[i];
+        const LocalSolveInfo info =
+            estimators.at(s)->commit_step1(results[i], per_lane_seconds);
+        OBS_HISTOGRAM_OBSERVE("dse.step1.subsystem_seconds", info.seconds);
+        OBS_COUNTER_ADD("dse.step1.subsystems", 1);
+        step1_info[s] = info;
+      }
+    } else {
+      analysis::Mutex info_mutex{"DseDriver::step1_info_mutex"};
+      pool.parallel_for(hosted1.size(), [&](std::size_t i) {
+        const int s = hosted1[i];
+        const LocalSolveInfo info =
+            estimators.at(s)->run_step1(global_measurements);
+        OBS_HISTOGRAM_OBSERVE("dse.step1.subsystem_seconds", info.seconds);
+        OBS_COUNTER_ADD("dse.step1.subsystems", 1);
+        analysis::LockGuard lock(info_mutex);
+        step1_info[s] = info;
+      });
+    }
     comm.barrier();
   }
   result.step1_seconds = step1_timer.seconds();
@@ -313,7 +380,8 @@ DseResult DseDriver::run(runtime::Communicator& comm,
     // Tags repeat across rounds: per-(source rank, tag) FIFO ordering keeps
     // the rounds from mixing.
     Timer round_exchange_timer;
-    std::map<int, std::vector<BusStateRecord>> neighbor_records;
+    const bool condense = options_.condense_boundary;
+    std::map<int, std::vector<CondensedBoundaryRecord>> neighbor_records;
     for (const int t : hosted2) {
       neighbor_records[t];  // pre-create: the worker pool must never insert
     }
@@ -322,8 +390,13 @@ DseResult DseDriver::run(runtime::Communicator& comm,
       const Deadline deadline(options_.exchange_deadline);
       for (const int s : hosted2) {
         if (dead_subsystems.count(s) > 0) continue;  // nothing to export
-        const auto records = estimators.at(s)->current_boundary_states();
-        const auto payload = encode_bus_states(records);
+        const std::vector<CondensedBoundaryRecord> records =
+            estimators.at(s)->condensed_boundary_states();
+        // Condensed mode ships the records with their marginal sigmas; plain
+        // mode keeps the historical BusStateRecord wire format.
+        const std::vector<std::uint8_t> payload =
+            condense ? encode_condensed_states(records)
+                     : encode_bus_states(narrow_records(records));
         for (const int t : decomposition_->neighbors_of(s)) {
           const graph::PartId dest =
               step2_assignment[static_cast<std::size_t>(t)];
@@ -333,6 +406,7 @@ DseResult DseDriver::run(runtime::Communicator& comm,
           } else {
             OBS_COUNTER_ADD("dse.pseudo.messages", 1);
             OBS_COUNTER_ADD("dse.pseudo.bytes", payload.size());
+            OBS_COUNTER_ADD("exchange.boundary_bytes", payload.size());
             comm.send(dest, pseudo_tag(s, t, m), payload);
           }
         }
@@ -382,7 +456,9 @@ DseResult DseDriver::run(runtime::Communicator& comm,
             continue;
           }
           try {
-            const auto records = decode_bus_states(msg->payload);
+            const std::vector<CondensedBoundaryRecord> records =
+                condense ? decode_condensed_states(msg->payload)
+                         : widen_records(decode_bus_states(msg->payload));
             auto& sink = neighbor_records[t];
             sink.insert(sink.end(), records.begin(), records.end());
           } catch (const InvalidInput&) {

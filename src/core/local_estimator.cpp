@@ -4,6 +4,11 @@
 #include <set>
 
 #include "estimation/robust.hpp"
+#include "grid/boundary.hpp"
+#include "grid/meas_model.hpp"
+#include "obs/obs.hpp"
+#include "sparse/normal_equations.hpp"
+#include "sparse/schur.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -120,6 +125,8 @@ LocalSolveInfo LocalEstimator::run_step1(
 
   step1_state_ = result.state;
   step2_state_.reset();
+  step1_prep_.reset();
+  maybe_condense(local_set, ref);
 
   LocalSolveInfo info;
   info.warm_start = warm;
@@ -130,6 +137,114 @@ LocalSolveInfo LocalEstimator::run_step1(
   info.num_measurements = local_set.size();
   info.seconds = timer.seconds();
   return info;
+}
+
+const estimation::BatchedLaneProblem& LocalEstimator::prepare_step1(
+    const grid::MeasurementSet& global_set) {
+  GRIDSE_CHECK_MSG(!options_.robust,
+                   "batched Step 1 is incompatible with the Huber estimator");
+  step1_prep_.emplace();
+  step1_prep_->local_set = local_.filter(global_set, *network_);
+  step1_prep_->ref = pick_reference(local_, step1_prep_->local_set);
+  const Reference& ref = step1_prep_->ref;
+
+  grid::GridState initial(local_.network.num_buses());
+  step1_prep_->warm = warm_start_.has_value();
+  if (step1_prep_->warm) {
+    initial = *warm_start_;
+    warm_start_.reset();
+    initial.theta[static_cast<std::size_t>(ref.local_bus)] = ref.angle;
+  } else {
+    for (double& th : initial.theta) {
+      th = ref.angle;
+    }
+  }
+  step1_prep_->lane.network = &local_.network;
+  step1_prep_->lane.reference_bus = ref.local_bus;
+  step1_prep_->lane.set = &step1_prep_->local_set;
+  step1_prep_->lane.initial = std::move(initial);
+  return step1_prep_->lane;
+}
+
+LocalSolveInfo LocalEstimator::commit_step1(
+    const estimation::WlsResult& result, double seconds) {
+  GRIDSE_CHECK_MSG(step1_prep_.has_value(),
+                   "commit_step1 without prepare_step1");
+  step1_state_ = result.state;
+  step2_state_.reset();
+  maybe_condense(step1_prep_->local_set, step1_prep_->ref);
+
+  LocalSolveInfo info;
+  info.warm_start = step1_prep_->warm;
+  info.converged = result.converged;
+  info.gauss_newton_iterations = result.iterations;
+  info.inner_iterations = result.inner_iterations;
+  info.objective = result.objective;
+  info.num_measurements = step1_prep_->local_set.size();
+  info.seconds = seconds;
+  step1_prep_.reset();
+  return info;
+}
+
+void LocalEstimator::maybe_condense(const grid::MeasurementSet& local_set,
+                                    const Reference& ref) {
+  condensed_.clear();
+  if (!options_.condense_boundary) {
+    return;
+  }
+  // Condense onto the boundary buses only: the interior — including the
+  // sensitive-internal buses the uncondensed exchange ships explicitly — is
+  // exactly what the Schur complement folds into the boundary block, so the
+  // condensed export is strictly smaller than the plain one.
+  const decomp::Subsystem& sub =
+      decomposition_->subsystems[static_cast<std::size_t>(subsystem_)];
+  const std::vector<grid::BusIndex>& global_buses = sub.boundary_buses;
+  std::vector<grid::BusIndex> local_buses;
+  local_buses.reserve(global_buses.size());
+  for (const grid::BusIndex g : global_buses) {
+    const auto it = local_.local_of_global.find(g);
+    GRIDSE_CHECK(it != local_.local_of_global.end());
+    local_buses.push_back(it->second);
+  }
+
+  const grid::StateIndex index(local_.network.num_buses(), ref.local_bus);
+  const grid::BoundarySplit split =
+      grid::split_boundary_states(index, local_buses);
+  try {
+    // Gain at the Step-1 solution; its Schur complement onto the boundary
+    // block carries this subsystem's full information about the exported
+    // states, and diag(S⁻¹) their marginal variances.
+    const grid::MeasurementModel model(local_.network, index);
+    const sparse::Csr jac = model.jacobian(local_set, *step1_state_);
+    const sparse::Csr gain =
+        sparse::normal_matrix(jac, local_set.weights());
+    const sparse::SchurSystem sys =
+        sparse::schur_condense(gain, {}, split.positions,
+                               std::max(options_.wls.regularization, 1e-12));
+    const std::vector<double> sigmas = sparse::schur_marginal_sigmas(sys);
+
+    condensed_.resize(global_buses.size());
+    for (std::size_t i = 0; i < global_buses.size(); ++i) {
+      CondensedBoundaryRecord& rec = condensed_[i];
+      rec.bus = global_buses[i];
+      const auto l = static_cast<std::size_t>(local_buses[i]);
+      rec.theta = step1_state_->theta[l];
+      rec.vm = step1_state_->vm[l];
+      const std::int32_t ts = split.theta_slot[i];
+      // The reference angle is pinned exactly; export the floor so the
+      // receiver treats it as a firm anchor rather than a default.
+      rec.sigma_theta = ts >= 0 ? sigmas[static_cast<std::size_t>(ts)]
+                                : options_.condense_sigma_floor;
+      rec.sigma_vm =
+          sigmas[static_cast<std::size_t>(split.vm_slot[i])];
+    }
+    OBS_COUNTER_ADD("exchange.condensed_exports", 1);
+  } catch (const ConvergenceFailure&) {
+    // Interior/Schur block not factorable (weakly observed corner): ship
+    // default sigmas instead of failing the cycle.
+    condensed_.clear();
+    OBS_COUNTER_ADD("exchange.condense_fallbacks", 1);
+  }
 }
 
 grid::GridState LocalEstimator::records_to_local_state(
@@ -161,6 +276,9 @@ grid::GridState LocalEstimator::records_to_local_state(
 void LocalEstimator::adopt_step1(const std::vector<BusStateRecord>& records) {
   step1_state_ = records_to_local_state(records, "adopt_step1");
   step2_state_.reset();
+  // An adopted solution arrives without its measurements, so no condensed
+  // sigmas can be computed; exports fall back to default sigmas.
+  condensed_.clear();
 }
 
 void LocalEstimator::set_warm_start(
@@ -171,6 +289,20 @@ void LocalEstimator::set_warm_start(
 LocalSolveInfo LocalEstimator::run_step2(
     const grid::MeasurementSet& global_set,
     const std::vector<BusStateRecord>& neighbor_states,
+    bool fill_missing_with_priors) {
+  std::vector<CondensedBoundaryRecord> widened(neighbor_states.size());
+  for (std::size_t i = 0; i < neighbor_states.size(); ++i) {
+    widened[i].bus = neighbor_states[i].bus;
+    widened[i].theta = neighbor_states[i].theta;
+    widened[i].vm = neighbor_states[i].vm;
+    // sigma_* stay -1: use the configured pseudo_sigma_* defaults.
+  }
+  return run_step2(global_set, widened, fill_missing_with_priors);
+}
+
+LocalSolveInfo LocalEstimator::run_step2(
+    const grid::MeasurementSet& global_set,
+    const std::vector<CondensedBoundaryRecord>& neighbor_states,
     bool fill_missing_with_priors) {
   GRIDSE_CHECK_MSG(step1_state_.has_value(), "run_step2 before run_step1");
   Timer timer;
@@ -194,9 +326,18 @@ LocalSolveInfo LocalEstimator::run_step2(
 
   // Neighbour solutions become pseudo measurements on the extended model
   // (paper §II Step 2), and seed the initial state of the remote buses.
+  // Condensed records carry the exporter's marginal sigmas; clamp them so a
+  // wildly over/under-confident export cannot distort the local solve.
+  const auto pseudo_sigma = [&](double condensed, double fallback) {
+    if (condensed <= 0.0) {
+      return fallback;
+    }
+    return std::clamp(condensed, options_.condense_sigma_floor,
+                      options_.condense_sigma_cap);
+  };
   std::vector<bool> covered(
       static_cast<std::size_t>(extended_.network.num_buses()), false);
-  for (const BusStateRecord& rec : neighbor_states) {
+  for (const CondensedBoundaryRecord& rec : neighbor_states) {
     const auto it = extended_.local_of_global.find(rec.bus);
     if (it == extended_.local_of_global.end()) {
       continue;  // a neighbour bus outside this extended model
@@ -206,9 +347,11 @@ LocalSolveInfo LocalEstimator::run_step2(
       continue;  // own buses keep their own Step-1 estimate
     }
     ext_set.items.push_back({grid::MeasType::kVMag, l, -1, true, rec.vm,
-                             options_.pseudo_sigma_vm});
+                             pseudo_sigma(rec.sigma_vm,
+                                          options_.pseudo_sigma_vm)});
     ext_set.items.push_back({grid::MeasType::kVAngle, l, -1, true, rec.theta,
-                             options_.pseudo_sigma_angle});
+                             pseudo_sigma(rec.sigma_theta,
+                                          options_.pseudo_sigma_angle)});
     initial.theta[static_cast<std::size_t>(l)] = rec.theta;
     initial.vm[static_cast<std::size_t>(l)] = rec.vm;
     covered[static_cast<std::size_t>(l)] = true;
@@ -319,6 +462,33 @@ std::vector<BusStateRecord> LocalEstimator::current_boundary_states() const {
     GRIDSE_CHECK(it != extended_.local_of_global.end());
     rec.theta = step2_state_->theta[static_cast<std::size_t>(it->second)];
     rec.vm = step2_state_->vm[static_cast<std::size_t>(it->second)];
+  }
+  return out;
+}
+
+std::vector<CondensedBoundaryRecord> LocalEstimator::condensed_boundary_states()
+    const {
+  const std::vector<BusStateRecord> base = current_boundary_states();
+  // When condensation succeeded, export ONLY the boundary buses — the
+  // leading condensed_.size() records of `base` (step1_boundary_states puts
+  // boundary before sensitive-internal) — each with its Schur marginal
+  // sigmas. The interior information those sigmas encode replaces the
+  // explicit sensitive-internal records of the plain exchange. Step-2
+  // refinement only updated theta/vm; the Step-1 sigmas remain this
+  // subsystem's confidence.
+  const std::size_t count =
+      condensed_.empty() ? base.size() : condensed_.size();
+  GRIDSE_CHECK(count <= base.size());
+  std::vector<CondensedBoundaryRecord> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].bus = base[i].bus;
+    out[i].theta = base[i].theta;
+    out[i].vm = base[i].vm;
+    if (!condensed_.empty()) {
+      GRIDSE_CHECK(condensed_[i].bus == out[i].bus);
+      out[i].sigma_theta = condensed_[i].sigma_theta;
+      out[i].sigma_vm = condensed_[i].sigma_vm;
+    }
   }
   return out;
 }

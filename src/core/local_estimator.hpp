@@ -4,6 +4,7 @@
 
 #include "core/serialize.hpp"
 #include "decomp/subsystem_model.hpp"
+#include "estimation/batched_wls.hpp"
 #include "estimation/wls.hpp"
 
 namespace gridse::core {
@@ -30,6 +31,19 @@ struct LocalEstimatorOptions {
   bool robust = false;
   /// Huber threshold in standard deviations (only with robust = true).
   double huber_gamma = 1.5;
+  /// After Step 1, Schur-condense the gain matrix onto the boundary states
+  /// and export ONLY boundary records, each carrying its marginal sigma
+  /// sqrt(diag(S⁻¹)). The sensitive-internal records of the plain exchange
+  /// are folded into those marginals, so the condensed payload is smaller
+  /// AND neighbours weight each pseudo measurement by how well this
+  /// subsystem actually observed it (instead of the flat pseudo_sigma_*
+  /// defaults).
+  bool condense_boundary = false;
+  /// Clamp range for received condensed sigmas: the floor keeps an
+  /// over-confident export from overriding real telemetry, the cap keeps a
+  /// barely-observed export at least as anchoring as a degraded prior.
+  double condense_sigma_floor = 1e-4;
+  double condense_sigma_cap = 0.05;
 };
 
 /// Outcome of one subsystem step.
@@ -59,6 +73,23 @@ class LocalEstimator {
   /// measurement; throws InvalidInput when neither exists.
   LocalSolveInfo run_step1(const grid::MeasurementSet& global_set);
 
+  /// Batched Step-1 split, used by the driver's lockstep multi-subsystem
+  /// sweep: prepare_step1 stages the lane problem (measurement filtering,
+  /// reference pick, warm/flat initial — everything run_step1 does before
+  /// solving; the one-shot warm start is consumed here). The caller solves
+  /// the lane (estimation::batched_estimate) and hands the result to
+  /// commit_step1, which finishes the run_step1 bookkeeping. The returned
+  /// reference points into this estimator and is valid until the next
+  /// prepare/run call. Not available with options.robust (IRLS reweights
+  /// per subsystem).
+  [[nodiscard]] const estimation::BatchedLaneProblem& prepare_step1(
+      const grid::MeasurementSet& global_set);
+
+  /// Install the batched solve of the lane staged by prepare_step1.
+  /// `seconds` is the caller-attributed share of the batched solve time.
+  LocalSolveInfo commit_step1(const estimation::WlsResult& result,
+                              double seconds);
+
   /// Seed the next run_step1 with a restored checkpoint (cross-cycle
   /// warm restart): `records` must cover every bus of this subsystem in
   /// global numbering. One-shot — the next run_step1 consumes it as its
@@ -83,6 +114,16 @@ class LocalEstimator {
                            const std::vector<BusStateRecord>& neighbor_states,
                            bool fill_missing_with_priors = false);
 
+  /// Step 2 with condensed neighbour records: each pseudo measurement uses
+  /// the record's marginal sigma (clamped to the configured range) instead
+  /// of the flat pseudo_sigma_* defaults. Records with non-positive sigmas
+  /// fall back to the defaults, so this is a strict generalization of the
+  /// BusStateRecord overload.
+  LocalSolveInfo run_step2(
+      const grid::MeasurementSet& global_set,
+      const std::vector<CondensedBoundaryRecord>& neighbor_states,
+      bool fill_missing_with_priors = false);
+
   /// Step-1 solution of this subsystem's own buses, global numbering —
   /// all buses (for the final combine).
   [[nodiscard]] std::vector<BusStateRecord> step1_all_states() const;
@@ -94,6 +135,14 @@ class LocalEstimator {
   /// Boundary + sensitive states from the most recent step (Step 2 when it
   /// has run, else Step 1) — the payload of later exchange rounds.
   [[nodiscard]] std::vector<BusStateRecord> current_boundary_states() const;
+
+  /// The condensed export. With condensation active: boundary-bus records
+  /// only, widened with the Schur marginal sigmas computed after Step 1.
+  /// When condensation is off or was not possible (adopted Step-1 solution,
+  /// interior factorization failure): all of current_boundary_states() with
+  /// sigma -1 (use defaults).
+  [[nodiscard]] std::vector<CondensedBoundaryRecord> condensed_boundary_states()
+      const;
 
   /// Final per-bus states after Step 2: Step-2 values for boundary +
   /// sensitive buses, Step-1 values elsewhere. Falls back to Step-1
@@ -128,9 +177,29 @@ class LocalEstimator {
   [[nodiscard]] grid::GridState records_to_local_state(
       const std::vector<BusStateRecord>& records, const char* what) const;
 
+  /// Compute condensed-export sigmas from the Step-1 solution (no-op unless
+  /// options_.condense_boundary; failures leave condensed_ empty and the
+  /// exports fall back to default sigmas).
+  void maybe_condense(const grid::MeasurementSet& local_set,
+                      const Reference& ref);
+
+  /// Lane staged by prepare_step1, consumed by commit_step1. The lane's set
+  /// pointer targets `local_set`, which is why this lives in the estimator
+  /// rather than on the caller's stack.
+  struct Step1Prep {
+    grid::MeasurementSet local_set;
+    estimation::BatchedLaneProblem lane;
+    Reference ref;
+    bool warm = false;
+  };
+
   std::optional<grid::GridState> step1_state_;   // local numbering
   std::optional<grid::GridState> step2_state_;   // extended numbering
   std::optional<grid::GridState> warm_start_;    // local numbering, one-shot
+  std::optional<Step1Prep> step1_prep_;
+  /// Condensed sigmas for the boundary-bus exports, in boundary_buses
+  /// order; empty = export everything with default sigmas.
+  std::vector<CondensedBoundaryRecord> condensed_;
 };
 
 }  // namespace gridse::core

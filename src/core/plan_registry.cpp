@@ -1,0 +1,71 @@
+#include "core/plan_registry.hpp"
+
+#include "obs/obs.hpp"
+
+namespace gridse::core {
+
+std::shared_ptr<estimation::SolverCache> PlanRegistry::cache_for(
+    int subsystem) {
+  analysis::LockGuard lock(mutex_);
+  auto& slot = caches_[subsystem];
+  if (slot == nullptr) {
+    slot = std::make_shared<estimation::SolverCache>();
+  }
+  return slot;
+}
+
+void PlanRegistry::invalidate(int subsystem) {
+  std::shared_ptr<estimation::SolverCache> cache;
+  {
+    analysis::LockGuard lock(mutex_);
+    const auto it = caches_.find(subsystem);
+    if (it == caches_.end()) {
+      return;
+    }
+    cache = it->second;
+    ++invalidations_;
+  }
+  OBS_COUNTER_ADD("solver.registry.invalidations", 1);
+  cache->invalidate();
+}
+
+void PlanRegistry::invalidate_all() {
+  std::vector<std::shared_ptr<estimation::SolverCache>> caches;
+  {
+    analysis::LockGuard lock(mutex_);
+    caches.reserve(caches_.size());
+    for (const auto& [s, cache] : caches_) {
+      caches.push_back(cache);
+    }
+    invalidations_ += caches.size();
+  }
+  OBS_COUNTER_ADD("solver.registry.invalidations", caches.size());
+  for (const auto& cache : caches) {
+    cache->invalidate();
+  }
+}
+
+PlanRegistry::Stats PlanRegistry::stats() const {
+  Stats out;
+  std::vector<std::shared_ptr<estimation::SolverCache>> caches;
+  {
+    analysis::LockGuard lock(mutex_);
+    out.subsystems = caches_.size();
+    out.invalidations = invalidations_;
+    caches.reserve(caches_.size());
+    for (const auto& [s, cache] : caches_) {
+      caches.push_back(cache);
+    }
+  }
+  for (const auto& cache : caches) {
+    const estimation::SolverCache::Stats cs = cache->stats();
+    out.cache.plan_hits += cs.plan_hits;
+    out.cache.plan_misses += cs.plan_misses;
+    out.cache.assembler_hits += cs.assembler_hits;
+    out.cache.assembler_misses += cs.assembler_misses;
+    out.cache.invalidations += cs.invalidations;
+  }
+  return out;
+}
+
+}  // namespace gridse::core

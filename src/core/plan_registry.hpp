@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "analysis/debug_sync.hpp"
+#include "analysis/thread_annotations.hpp"
+#include "estimation/solver_cache.hpp"
+
+namespace gridse::core {
+
+/// Per-subsystem SolverCaches that outlive the per-cycle DseDriver, so
+/// symbolic factorization plans and gain assemblers persist across DSE
+/// cycles. Owned by the long-lived DseSystem (or a test harness) and handed
+/// to each cycle's driver through DseOptions::plan_registry.
+///
+/// Invalidation contract: `invalidate(s)` must be called whenever subsystem
+/// s is re-mapped to a different cluster or its topology changes (the
+/// Supervisor's migrated-subsystem list), `invalidate_all()` on a
+/// decomposition change. A missed invalidation is still safe — the cached
+/// plans are fingerprint-checked against the actual pattern — but the stale
+/// entries would waste cache slots on a host that no longer solves them.
+class PlanRegistry {
+ public:
+  struct Stats {
+    std::uint64_t subsystems = 0;  ///< caches currently alive
+    std::uint64_t invalidations = 0;
+    estimation::SolverCache::Stats cache;  ///< aggregated over all caches
+  };
+
+  /// The cache for `subsystem`, created on first use. Never null.
+  std::shared_ptr<estimation::SolverCache> cache_for(int subsystem);
+
+  /// Drop one subsystem's cached plans (subsystem migrated / topology
+  /// edited). No-op when the subsystem has no cache yet.
+  void invalidate(int subsystem);
+
+  /// Drop every subsystem's cached plans (decomposition change).
+  void invalidate_all();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable analysis::Mutex mutex_{"core::PlanRegistry"};
+  std::map<int, std::shared_ptr<estimation::SolverCache>> caches_
+      GRIDSE_GUARDED_BY(mutex_);
+  std::uint64_t invalidations_ GRIDSE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace gridse::core

@@ -21,6 +21,23 @@ std::vector<BusStateRecord> decode_bus_states(
   return records;
 }
 
+std::vector<std::uint8_t> encode_condensed_states(
+    const std::vector<CondensedBoundaryRecord>& records) {
+  ByteWriter w(16 + records.size() * sizeof(CondensedBoundaryRecord));
+  w.write_vector(records);
+  return w.take();
+}
+
+std::vector<CondensedBoundaryRecord> decode_condensed_states(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  auto records = r.read_vector<CondensedBoundaryRecord>();
+  if (!r.at_end()) {
+    throw InvalidInput("decode_condensed_states: trailing bytes in frame");
+  }
+  return records;
+}
+
 std::vector<std::uint8_t> encode_degraded(
     const std::vector<DegradedStatus>& statuses) {
   ByteWriter w(16 + statuses.size() * 32);

@@ -24,6 +24,28 @@ std::vector<std::uint8_t> encode_bus_states(
 std::vector<BusStateRecord> decode_bus_states(
     const std::vector<std::uint8_t>& bytes);
 
+/// A boundary/sensitive bus's solved state with the marginal confidence of
+/// the exporting subsystem's Schur-condensed boundary system:
+/// sigma = sqrt(diag(S⁻¹)). The condensed pseudo-measurement exchange ships
+/// these instead of plain BusStateRecords, so the receiver weights each
+/// pseudo measurement by how well the exporter actually observed that bus.
+/// Non-positive sigmas mean "no condensed confidence — use the configured
+/// default pseudo sigma".
+struct CondensedBoundaryRecord {
+  std::int32_t bus = -1;
+  double theta = 0.0;
+  double vm = 0.0;
+  double sigma_theta = -1.0;
+  double sigma_vm = -1.0;
+};
+static_assert(std::is_trivially_copyable_v<CondensedBoundaryRecord>);
+
+/// Serialize/deserialize a batch of condensed boundary records.
+std::vector<std::uint8_t> encode_condensed_states(
+    const std::vector<CondensedBoundaryRecord>& records);
+std::vector<CondensedBoundaryRecord> decode_condensed_states(
+    const std::vector<std::uint8_t>& bytes);
+
 /// Health record of one subsystem whose Step 2 ran degraded: some neighbour
 /// pseudo-measurements never arrived (re-solved with Step-1 priors), or its
 /// re-mapping redistribution payload was lost (subsystem skipped entirely).

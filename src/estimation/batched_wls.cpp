@@ -1,0 +1,152 @@
+#include "estimation/batched_wls.hpp"
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "estimation/solver_cache.hpp"
+#include "grid/meas_model.hpp"
+#include "obs/obs.hpp"
+#include "sparse/batched.hpp"
+#include "sparse/normal_equations.hpp"
+#include "sparse/vector_ops.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace gridse::estimation {
+
+namespace {
+
+/// Per-lane working set of the lockstep Gauss–Newton loop.
+struct LaneState {
+  std::optional<grid::MeasurementModel> model;
+  std::vector<double> weights;
+  std::vector<double> z;
+  double ref_angle = 0.0;
+  std::vector<double> x;
+  std::shared_ptr<SolverCache> cache;
+  sparse::Csr gain;
+  std::vector<double> rhs;
+  bool active = true;  // still iterating (not yet converged)
+};
+
+}  // namespace
+
+std::vector<WlsResult> batched_estimate(
+    std::span<const BatchedLaneProblem> lanes, const WlsOptions& options,
+    std::span<const std::shared_ptr<SolverCache>> caches) {
+  OBS_SPAN("wls.batched_estimate");
+  GRIDSE_CHECK_MSG(caches.empty() || caches.size() == lanes.size(),
+                   "batched_estimate: caches must match lanes");
+  const std::size_t n_lanes = lanes.size();
+  std::vector<WlsResult> results(n_lanes);
+  if (n_lanes == 0) {
+    return results;
+  }
+  OBS_COUNTER_ADD("wls.batched.solves", 1);
+  OBS_COUNTS_OBSERVE("wls.batched.lanes", static_cast<int>(n_lanes));
+
+  // Validate and set up every lane before any numeric work, so a malformed
+  // lane throws without partial results.
+  std::vector<LaneState> ls(n_lanes);
+  for (std::size_t i = 0; i < n_lanes; ++i) {
+    const BatchedLaneProblem& lane = lanes[i];
+    GRIDSE_CHECK(lane.network != nullptr && lane.set != nullptr);
+    grid::validate_measurements(*lane.network, *lane.set);
+    ls[i].model.emplace(
+        *lane.network,
+        grid::StateIndex(lane.network->num_buses(), lane.reference_bus));
+    const grid::StateIndex& index = ls[i].model->state_index();
+    if (static_cast<std::int32_t>(lane.set->size()) < index.size()) {
+      throw InvalidInput("batched WLS lane " + std::to_string(i) +
+                         ": fewer measurements than states (" +
+                         std::to_string(lane.set->size()) + " < " +
+                         std::to_string(index.size()) +
+                         "); system unobservable");
+    }
+    ls[i].weights = lane.set->weights();
+    ls[i].z = lane.set->values();
+    ls[i].ref_angle =
+        lane.initial.theta[static_cast<std::size_t>(index.reference_bus())];
+    ls[i].x = index.pack(lane.initial);
+    ls[i].cache = (!caches.empty() && caches[i] != nullptr)
+                      ? caches[i]
+                      : std::make_shared<SolverCache>();
+  }
+
+  sparse::BatchedLdlt batched;
+  std::vector<std::shared_ptr<const sparse::SymbolicPlan>> plans(n_lanes);
+  std::vector<const sparse::Csr*> mats(n_lanes, nullptr);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool any_active = false;
+    // Linearize every active lane, then factor all of them in one sweep
+    // over the packed arenas.
+    for (std::size_t i = 0; i < n_lanes; ++i) {
+      if (!ls[i].active) {
+        mats[i] = nullptr;
+        continue;
+      }
+      any_active = true;
+      const grid::StateIndex& index = ls[i].model->state_index();
+      const grid::GridState state = index.unpack(ls[i].x, ls[i].ref_angle);
+      const std::vector<double> h = ls[i].model->evaluate(*lanes[i].set, state);
+      const std::vector<double> r = sparse::subtract(ls[i].z, h);
+      const sparse::Csr jac = ls[i].model->jacobian(*lanes[i].set, state);
+      const auto assembler = ls[i].cache->assembler_for(jac);
+      ls[i].gain =
+          assembler->assemble(jac, ls[i].weights, options.regularization);
+      ls[i].rhs = sparse::normal_rhs(jac, ls[i].weights, r);
+      plans[i] = ls[i].cache->plan_for(ls[i].gain, /*ordered=*/true);
+      mats[i] = &ls[i].gain;
+    }
+    if (!any_active) {
+      break;
+    }
+    // Pointer-stable cached plans make this a no-op after iteration 0.
+    batched.set_lanes(plans);
+    batched.factorize(mats);
+
+    for (std::size_t i = 0; i < n_lanes; ++i) {
+      if (!ls[i].active) {
+        continue;
+      }
+      std::vector<double> dx(ls[i].x.size(), 0.0);
+      batched.solve_lane(i, ls[i].rhs, dx);
+      sparse::axpy(1.0, dx, ls[i].x);
+      results[i].final_step = sparse::norm_inf(dx);
+      results[i].iterations = iter + 1;
+      if (!std::isfinite(results[i].final_step)) {
+        throw ConvergenceFailure("batched WLS lane " + std::to_string(i) +
+                                 " diverged (non-finite step)");
+      }
+      if (results[i].final_step < options.tolerance) {
+        results[i].converged = true;
+        ls[i].active = false;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n_lanes; ++i) {
+    const grid::StateIndex& index = ls[i].model->state_index();
+    results[i].state = index.unpack(ls[i].x, ls[i].ref_angle);
+    const std::vector<double> h =
+        ls[i].model->evaluate(*lanes[i].set, results[i].state);
+    results[i].residuals = sparse::subtract(ls[i].z, h);
+    results[i].objective = 0.0;
+    for (std::size_t k = 0; k < results[i].residuals.size(); ++k) {
+      results[i].objective +=
+          ls[i].weights[k] * results[i].residuals[k] * results[i].residuals[k];
+    }
+    OBS_COUNTS_OBSERVE("wls.gauss_newton_iterations", results[i].iterations);
+    if (!results[i].converged) {
+      GRIDSE_WARN << "batched WLS lane " << i << " did not converge in "
+                  << options.max_iterations << " iterations (last step "
+                  << results[i].final_step << ")";
+    }
+  }
+  return results;
+}
+
+}  // namespace gridse::estimation

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "estimation/wls.hpp"
+#include "grid/measurement.hpp"
+#include "grid/network.hpp"
+#include "grid/state.hpp"
+
+namespace gridse::estimation {
+
+/// One subsystem's WLS problem, packed as a lane of a batched solve. The
+/// pointed-to network and measurement set must outlive the call.
+struct BatchedLaneProblem {
+  const grid::Network* network = nullptr;
+  /// Angle reference bus for this lane (a DSE subsystem's local reference).
+  grid::BusIndex reference_bus = 0;
+  const grid::MeasurementSet* set = nullptr;
+  /// Start state; the reference angle is pinned to its value at
+  /// `reference_bus` (pass a flat GridState for a flat start).
+  grid::GridState initial;
+};
+
+/// Solve every lane's WLS problem in lockstep Gauss–Newton with one batched
+/// LDLᵀ numeric-factorization/solve sweep per iteration, instead of one
+/// estimator at a time. Lane i's result matches
+/// `WlsEstimator(net, ref, options).estimate(set, initial)` with
+/// `options.solver == kLdlt` (the batched path is direct-solver only;
+/// `options.solver` is ignored). Converged lanes drop out of the sweep while
+/// the rest keep iterating.
+///
+/// `caches` optionally supplies one SolverCache per lane (e.g. the DSE
+/// driver's per-subsystem caches) so symbolic plans persist across cycles;
+/// when empty, per-call caches still reuse symbolic work across iterations.
+/// Throws InvalidInput if any lane is malformed or unobservable.
+[[nodiscard]] std::vector<WlsResult> batched_estimate(
+    std::span<const BatchedLaneProblem> lanes, const WlsOptions& options,
+    std::span<const std::shared_ptr<SolverCache>> caches = {});
+
+}  // namespace gridse::estimation

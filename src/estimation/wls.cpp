@@ -1,7 +1,9 @@
 #include "estimation/wls.hpp"
 
 #include <cmath>
+#include <memory>
 
+#include "estimation/solver_cache.hpp"
 #include "obs/obs.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/ldlt.hpp"
@@ -19,7 +21,9 @@ WlsEstimator::WlsEstimator(const grid::Network& network,
                            grid::BusIndex reference_bus, WlsOptions options)
     : network_(&network),
       options_(options),
-      model_(network, grid::StateIndex(network.num_buses(), reference_bus)) {}
+      model_(network, grid::StateIndex(network.num_buses(), reference_bus)),
+      cache_(options.cache != nullptr ? options.cache
+                                      : std::make_shared<SolverCache>()) {}
 
 WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set) const {
   return estimate(set, grid::GridState(network_->num_buses()));
@@ -43,6 +47,9 @@ WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set,
 
   WlsResult result;
   std::vector<double> x = index.pack(initial);
+  // Hoisted out of the iteration loop: the direct solver's arrays are
+  // resized once and refilled numerically each iteration.
+  sparse::SparseLdlt ldlt;
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     const grid::GridState state = index.unpack(x, ref_angle);
@@ -50,17 +57,24 @@ WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set,
     std::vector<double> r = sparse::subtract(z, h);
 
     const sparse::Csr jac = model_.jacobian(set, state);
-    sparse::Csr gain = sparse::normal_matrix(jac, weights);
-    if (options_.regularization > 0.0) {
-      gain = sparse::add_diagonal(gain, options_.regularization);
-    }
+    // Symbolic reuse: after the first iteration (and across estimate()
+    // calls on a fixed topology) the assembler/plan lookups are fingerprint
+    // hits, so only the numeric work below runs.
+    const auto assembler = cache_->assembler_for(jac);
+    const sparse::Csr gain =
+        assembler->assemble(jac, weights, options_.regularization);
     const std::vector<double> rhs = sparse::normal_rhs(jac, weights, r);
 
     std::vector<double> dx(static_cast<std::size_t>(index.size()), 0.0);
     switch (options_.solver) {
       case LinearSolver::kPcg: {
-        const auto precond =
-            sparse::make_preconditioner(options_.preconditioner, gain);
+        std::unique_ptr<sparse::Preconditioner> precond;
+        if (options_.preconditioner == sparse::PreconditionerKind::kIc0) {
+          const auto plan = cache_->plan_for(gain, /*ordered=*/false);
+          precond = std::make_unique<sparse::Ic0Preconditioner>(gain, *plan);
+        } else {
+          precond = sparse::make_preconditioner(options_.preconditioner, gain);
+        }
         sparse::CgOptions cg_opts;
         cg_opts.tolerance = options_.cg_tolerance;
         const sparse::CgReport rep = sparse::pcg(gain, rhs, dx, *precond, cg_opts);
@@ -74,8 +88,7 @@ WlsResult WlsEstimator::estimate(const grid::MeasurementSet& set,
         break;
       }
       case LinearSolver::kLdlt: {
-        sparse::SparseLdlt ldlt;
-        ldlt.factorize(gain);
+        ldlt.factorize(gain, cache_->plan_for(gain, /*ordered=*/true));
         dx = ldlt.solve(rhs);
         break;
       }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "grid/meas_model.hpp"
 #include "grid/measurement.hpp"
 #include "grid/network.hpp"
@@ -8,6 +10,8 @@
 #include "sparse/preconditioner.hpp"
 
 namespace gridse::estimation {
+
+class SolverCache;
 
 /// Which linear solver handles the normal-equations system G Δx = Hᵀ W r in
 /// each Gauss–Newton iteration.
@@ -30,6 +34,10 @@ struct WlsOptions {
   /// Tikhonov term added to the gain matrix diagonal (0 = none). DSE Step 2
   /// re-evaluation sets this to keep reduced systems well-posed.
   double regularization = 0.0;
+  /// Symbolic-artifact cache shared across estimators (per subsystem in the
+  /// DSE driver). When null the estimator creates a private cache, so
+  /// repeated estimate() calls on one estimator still reuse symbolic work.
+  std::shared_ptr<SolverCache> cache;
 };
 
 struct WlsResult {
@@ -74,6 +82,8 @@ class WlsEstimator {
   const grid::Network* network_;
   WlsOptions options_;
   grid::MeasurementModel model_;
+  /// options_.cache, or a private cache when none was supplied. Never null.
+  std::shared_ptr<SolverCache> cache_;
 };
 
 }  // namespace gridse::estimation

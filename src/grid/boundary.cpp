@@ -1,0 +1,61 @@
+#include "grid/boundary.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace gridse::grid {
+
+BoundarySplit split_boundary_states(const StateIndex& index,
+                                    std::span<const BusIndex> boundary_buses) {
+  const std::size_t nb = boundary_buses.size();
+  BoundarySplit out;
+  out.theta_slot.assign(nb, -1);
+  out.vm_slot.assign(nb, -1);
+
+  // (position, bus ordinal, is_theta) tuples, then sort by position so the
+  // slots can point into the ascending `positions` array.
+  struct Entry {
+    std::int32_t pos;
+    std::int32_t ordinal;
+    bool is_theta;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(2 * nb);
+  std::vector<bool> seen(static_cast<std::size_t>(index.num_buses()), false);
+  for (std::size_t i = 0; i < nb; ++i) {
+    const BusIndex bus = boundary_buses[i];
+    if (bus < 0 || bus >= index.num_buses()) {
+      throw InvalidInput("boundary split: bus " + std::to_string(bus) +
+                         " out of range");
+    }
+    if (seen[static_cast<std::size_t>(bus)]) {
+      throw InvalidInput("boundary split: duplicate bus " +
+                         std::to_string(bus));
+    }
+    seen[static_cast<std::size_t>(bus)] = true;
+    const std::int32_t t = index.theta_index(bus);
+    if (t >= 0) {  // the reference bus has no θ state
+      entries.push_back({t, static_cast<std::int32_t>(i), true});
+    }
+    entries.push_back(
+        {index.vm_index(bus), static_cast<std::int32_t>(i), false});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.pos < b.pos; });
+
+  out.positions.reserve(entries.size());
+  for (const Entry& e : entries) {
+    const auto slot = static_cast<std::int32_t>(out.positions.size());
+    out.positions.push_back(e.pos);
+    if (e.is_theta) {
+      out.theta_slot[static_cast<std::size_t>(e.ordinal)] = slot;
+    } else {
+      out.vm_slot[static_cast<std::size_t>(e.ordinal)] = slot;
+    }
+  }
+  return out;
+}
+
+}  // namespace gridse::grid

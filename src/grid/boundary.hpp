@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/state.hpp"
+
+namespace gridse::grid {
+
+/// Boundary/internal split of a reduced state vector: the positions in
+/// x = [θ(non-reference), |V|(all)] belonging to a given set of boundary
+/// buses, plus the per-bus slots to recover which position is which. This is
+/// the B-block of the Schur condensation (sparse::schur_condense); every
+/// other position is internal.
+struct BoundarySplit {
+  /// Boundary state positions, ascending and unique.
+  std::vector<std::int32_t> positions;
+  /// Per input bus: index into `positions` of its θ entry, or -1 when the
+  /// bus is the angle reference (its θ is not a state).
+  std::vector<std::int32_t> theta_slot;
+  /// Per input bus: index into `positions` of its |V| entry.
+  std::vector<std::int32_t> vm_slot;
+};
+
+/// Compute the split of `index`'s state vector for `boundary_buses` (local
+/// numbering of the same network; duplicates not allowed). Throws
+/// InvalidInput on out-of-range or duplicate buses.
+[[nodiscard]] BoundarySplit split_boundary_states(
+    const StateIndex& index, std::span<const BusIndex> boundary_buses);
+
+}  // namespace gridse::grid

@@ -1,0 +1,72 @@
+#include "sparse/batched.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gridse::sparse {
+
+void BatchedLdlt::set_lanes(
+    std::vector<std::shared_ptr<const SymbolicPlan>> plans) {
+  bool same = plans.size() == lanes_.size();
+  for (std::size_t i = 0; same && i < plans.size(); ++i) {
+    same = plans[i] == lanes_[i].plan;
+  }
+  if (same) {
+    return;  // cached plans, arenas already packed
+  }
+  lanes_.clear();
+  lanes_.reserve(plans.size());
+  std::size_t l_total = 0;
+  std::size_t d_total = 0;
+  Index max_n = 0;
+  for (auto& plan : plans) {
+    GRIDSE_CHECK(plan != nullptr);
+    Lane lane;
+    lane.l_off = l_total;
+    lane.d_off = d_total;
+    l_total += plan->factor_nnz();
+    d_total += static_cast<std::size_t>(plan->dim());
+    max_n = std::max(max_n, plan->dim());
+    lane.plan = std::move(plan);
+    lanes_.push_back(std::move(lane));
+  }
+  li_.assign(l_total, 0);
+  lx_.assign(l_total, 0.0);
+  d_.assign(d_total, 0.0);
+  solve_work_.assign(static_cast<std::size_t>(max_n), 0.0);
+  scratch_.resize(max_n);
+}
+
+void BatchedLdlt::factorize(std::span<const Csr* const> mats) {
+  GRIDSE_CHECK(mats.size() == lanes_.size());
+  for (std::size_t i = 0; i < mats.size(); ++i) {
+    if (mats[i] == nullptr) continue;  // lane inactive this sweep
+    factorize_lane(i, *mats[i]);
+  }
+}
+
+void BatchedLdlt::factorize_lane(std::size_t lane, const Csr& a) {
+  GRIDSE_CHECK(lane < lanes_.size());
+  const Lane& l = lanes_[lane];
+  const std::size_t nnz = l.plan->factor_nnz();
+  const auto n = static_cast<std::size_t>(l.plan->dim());
+  detail::ldlt_numeric(*l.plan, a, std::span<Index>(li_.data() + l.l_off, nnz),
+                       std::span<double>(lx_.data() + l.l_off, nnz),
+                       std::span<double>(d_.data() + l.d_off, n), scratch_);
+}
+
+void BatchedLdlt::solve_lane(std::size_t lane, std::span<const double> b,
+                             std::span<double> x) const {
+  GRIDSE_CHECK(lane < lanes_.size());
+  const Lane& l = lanes_[lane];
+  const std::size_t nnz = l.plan->factor_nnz();
+  const auto n = static_cast<std::size_t>(l.plan->dim());
+  detail::ldlt_solve(
+      *l.plan, std::span<const Index>(li_.data() + l.l_off, nnz),
+      std::span<const double>(lx_.data() + l.l_off, nnz),
+      std::span<const double>(d_.data() + l.d_off, n), b, x,
+      std::span<double>(solve_work_.data(), n));
+}
+
+}  // namespace gridse::sparse

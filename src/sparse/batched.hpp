@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/symbolic_plan.hpp"
+
+namespace gridse::sparse {
+
+/// Batched sparse LDLᵀ over many independent systems ("lanes"): the factor
+/// storage of every lane lives in one contiguous arena (indices, values, and
+/// pivots each packed back-to-back), a single numeric sweep refactors all
+/// lanes, and solves index into the shared arena. The lanes are the
+/// per-subsystem normal equations a cluster hosts — heterogeneous patterns,
+/// so each lane carries its own SymbolicPlan, but the sweep itself is one
+/// tight allocation-free loop instead of one solver object per subsystem
+/// (the SIMD-abstraction layout of arXiv 2604.23175 on CPU).
+class BatchedLdlt {
+ public:
+  /// (Re)shape the arenas for these per-lane plans. Plans already installed
+  /// at the same slot are kept in place (pointer comparison), so calling
+  /// this every Gauss–Newton iteration with cached plans is free after the
+  /// first pack.
+  void set_lanes(std::vector<std::shared_ptr<const SymbolicPlan>> plans);
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
+  [[nodiscard]] const SymbolicPlan& plan(std::size_t lane) const {
+    return *lanes_[lane].plan;
+  }
+
+  /// One numeric sweep: refactor every lane whose entry in `mats` is
+  /// non-null (null = lane inactive this sweep, its factor keeps the
+  /// previous values). mats[i] must match lane i's plan pattern.
+  void factorize(std::span<const Csr* const> mats);
+
+  /// Refactor a single lane.
+  void factorize_lane(std::size_t lane, const Csr& a);
+
+  /// Solve lane i's system A x = b with its current factor.
+  void solve_lane(std::size_t lane, std::span<const double> b,
+                  std::span<double> x) const;
+
+  /// Total factor entries across all lanes (arena size).
+  [[nodiscard]] std::size_t factor_nnz() const { return lx_.size(); }
+
+ private:
+  struct Lane {
+    std::shared_ptr<const SymbolicPlan> plan;
+    std::size_t l_off = 0;  // offset into li_/lx_
+    std::size_t d_off = 0;  // offset into d_
+  };
+  std::vector<Lane> lanes_;
+  std::vector<Index> li_;
+  std::vector<double> lx_;
+  std::vector<double> d_;
+  detail::LdltScratch scratch_;
+  mutable std::vector<double> solve_work_;
+};
+
+}  // namespace gridse::sparse

@@ -67,6 +67,28 @@ class CsrMatrix {
     return m;
   }
 
+  /// Adopt prebuilt CSR arrays. Rows must be column-sorted with no duplicate
+  /// entries — the invariant from_triplets establishes. Plan-driven assembly
+  /// paths (SymbolicPlan gather maps, NormalAssembler) use this to skip the
+  /// triplet sort on every numeric refactorization.
+  static CsrMatrix from_parts(Index rows, Index cols,
+                              std::vector<Index> row_ptr,
+                              std::vector<Index> col_idx,
+                              std::vector<T> values) {
+    GRIDSE_CHECK(rows >= 0 && cols >= 0);
+    GRIDSE_CHECK(row_ptr.size() == static_cast<std::size_t>(rows) + 1);
+    GRIDSE_CHECK(col_idx.size() == values.size());
+    GRIDSE_CHECK(!row_ptr.empty() && row_ptr.front() == 0 &&
+                 row_ptr.back() == static_cast<Index>(col_idx.size()));
+    CsrMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.row_ptr_ = std::move(row_ptr);
+    m.col_idx_ = std::move(col_idx);
+    m.values_ = std::move(values);
+    return m;
+  }
+
   /// Identity matrix of size n.
   static CsrMatrix identity(Index n) {
     std::vector<Triplet<T>> t;

@@ -7,10 +7,29 @@
 
 namespace gridse::sparse {
 
+void SparseLdlt::factorize(const Csr& a,
+                           std::shared_ptr<const SymbolicPlan> plan) {
+  GRIDSE_CHECK(plan != nullptr);
+  GRIDSE_CHECK_MSG(a.rows() == plan->dim() &&
+                       static_cast<std::uint64_t>(a.nnz()) ==
+                           plan->fingerprint().nnz,
+                   "SparseLdlt: matrix does not match the symbolic plan");
+  n_ = plan->dim();
+  plan_ = std::move(plan);
+  lp_.clear();
+  perm_.clear();
+  perm_inv_.clear();
+  li_.resize(plan_->factor_nnz());
+  lx_.resize(plan_->factor_nnz());
+  d_.resize(static_cast<std::size_t>(n_));
+  detail::ldlt_numeric(*plan_, a, li_, lx_, d_, scratch_);
+}
+
 void SparseLdlt::factorize(const Csr& a_in, bool use_rcm) {
   GRIDSE_CHECK(a_in.rows() == a_in.cols());
   const Index n = a_in.rows();
   n_ = n;
+  plan_.reset();
 
   if (use_rcm) {
     perm_ = reverse_cuthill_mckee(a_in);
@@ -117,6 +136,12 @@ void SparseLdlt::factorize(const Csr& a_in, bool use_rcm) {
 std::vector<double> SparseLdlt::solve(std::span<const double> b) const {
   GRIDSE_CHECK_MSG(factored(), "SparseLdlt::solve before factorize");
   GRIDSE_CHECK(static_cast<Index>(b.size()) == n_);
+  if (plan_ != nullptr) {
+    std::vector<double> out(static_cast<std::size_t>(n_));
+    std::vector<double> work(static_cast<std::size_t>(n_));
+    detail::ldlt_solve(*plan_, li_, lx_, d_, b, out, work);
+    return out;
+  }
   const auto n = static_cast<std::size_t>(n_);
   std::vector<double> x(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "sparse/symbolic_plan.hpp"
 
 namespace gridse::sparse {
 
@@ -17,6 +19,15 @@ class SparseLdlt {
   /// `use_rcm` is set, a reverse Cuthill–McKee permutation is applied first
   /// to reduce fill. Throws `ConvergenceFailure` on a zero pivot.
   void factorize(const Csr& a, bool use_rcm = true);
+
+  /// Numeric-only refactorization over a precomputed SymbolicPlan: ordering,
+  /// permutation, and symbolic analysis are skipped entirely, and the factor
+  /// buffers are reused across calls. The plan must have been analyzed on a
+  /// matrix with `a`'s sparsity pattern (cheap size/nnz checks are applied;
+  /// full fingerprint validation is the caller's — typically a
+  /// SolverCache's — job). This is the hot path of repeated Gauss–Newton
+  /// iterations on a fixed topology.
+  void factorize(const Csr& a, std::shared_ptr<const SymbolicPlan> plan);
 
   /// Solve A x = b with the current factorization.
   [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
@@ -33,6 +44,10 @@ class SparseLdlt {
   std::vector<double> d_;
   std::vector<Index> perm_;      // perm_[new] = old (identity when RCM off)
   std::vector<Index> perm_inv_;  // perm_inv_[old] = new
+  // Plan-driven mode: pattern/permutation live in the shared plan and the
+  // members above (except li_/lx_/d_) stay empty.
+  std::shared_ptr<const SymbolicPlan> plan_;
+  detail::LdltScratch scratch_;
 };
 
 }  // namespace gridse::sparse

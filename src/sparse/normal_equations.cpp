@@ -41,6 +41,85 @@ std::vector<double> normal_rhs(const Csr& h, std::span<const double> weights,
   return out;
 }
 
+NormalAssembler NormalAssembler::analyze(const Csr& h) {
+  NormalAssembler out;
+  out.fp_ = fingerprint_pattern(h);
+  out.dim_ = h.cols();
+
+  // Pattern of G: the union of the outer products plus a full structural
+  // diagonal (explicit zeros keep one pattern for regularized and plain
+  // assemblies).
+  std::vector<Triplet<double>> triplets;
+  const auto col = h.col_idx();
+  for (Index r = 0; r < h.rows(); ++r) {
+    const auto [b, e] = h.row_range(r);
+    for (Index i = b; i < e; ++i) {
+      for (Index j = b; j < e; ++j) {
+        triplets.push_back({col[static_cast<std::size_t>(i)],
+                            col[static_cast<std::size_t>(j)], 0.0});
+      }
+    }
+  }
+  for (Index i = 0; i < out.dim_; ++i) {
+    triplets.push_back({i, i, 0.0});
+  }
+  const Csr g = Csr::from_triplets(out.dim_, out.dim_, std::move(triplets));
+  out.g_ptr_.assign(g.row_ptr().begin(), g.row_ptr().end());
+  out.g_col_.assign(g.col_idx().begin(), g.col_idx().end());
+
+  const auto slot_of = [&](Index gr, Index gc) {
+    const Index b = out.g_ptr_[static_cast<std::size_t>(gr)];
+    const Index e = out.g_ptr_[static_cast<std::size_t>(gr) + 1];
+    const auto* first = out.g_col_.data() + b;
+    const auto* last = out.g_col_.data() + e;
+    const auto* it = std::lower_bound(first, last, gc);
+    GRIDSE_CHECK(it != last && *it == gc);
+    return static_cast<Index>(b + (it - first));
+  };
+  for (Index r = 0; r < h.rows(); ++r) {
+    const auto [b, e] = h.row_range(r);
+    for (Index i = b; i < e; ++i) {
+      for (Index j = b; j < e; ++j) {
+        out.target_.push_back(slot_of(col[static_cast<std::size_t>(i)],
+                                      col[static_cast<std::size_t>(j)]));
+      }
+    }
+  }
+  out.diag_pos_.resize(static_cast<std::size_t>(out.dim_));
+  for (Index i = 0; i < out.dim_; ++i) {
+    out.diag_pos_[static_cast<std::size_t>(i)] = slot_of(i, i);
+  }
+  return out;
+}
+
+Csr NormalAssembler::assemble(const Csr& h, std::span<const double> weights,
+                              double alpha) const {
+  GRIDSE_CHECK(static_cast<Index>(weights.size()) == h.rows());
+  GRIDSE_CHECK_MSG(h.cols() == dim_ &&
+                       static_cast<std::uint64_t>(h.nnz()) == fp_.nnz,
+                   "NormalAssembler: H does not match the analyzed pattern");
+  std::vector<double> gvals(g_col_.size(), 0.0);
+  const auto val = h.values();
+  std::size_t t = 0;
+  for (Index r = 0; r < h.rows(); ++r) {
+    const auto [b, e] = h.row_range(r);
+    const double w = weights[static_cast<std::size_t>(r)];
+    for (Index i = b; i < e; ++i) {
+      const double wi = w * val[static_cast<std::size_t>(i)];
+      for (Index j = b; j < e; ++j) {
+        gvals[static_cast<std::size_t>(target_[t++])] +=
+            wi * val[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  if (alpha != 0.0) {
+    for (const Index p : diag_pos_) {
+      gvals[static_cast<std::size_t>(p)] += alpha;
+    }
+  }
+  return Csr::from_parts(dim_, dim_, g_ptr_, g_col_, std::move(gvals));
+}
+
 Csr add_diagonal(const Csr& g, double alpha) {
   GRIDSE_CHECK(g.rows() == g.cols());
   std::vector<Triplet<double>> triplets;

@@ -3,6 +3,7 @@
 #include <span>
 
 #include "sparse/csr.hpp"
+#include "sparse/symbolic_plan.hpp"
 
 namespace gridse::sparse {
 
@@ -19,5 +20,42 @@ std::vector<double> normal_rhs(const Csr& h, std::span<const double> weights,
 /// G' = G + alpha I. Used to regularize Step-2 re-evaluation systems where
 /// pseudo-measurements may leave near-unobservable corners.
 Csr add_diagonal(const Csr& g, double alpha);
+
+/// Symbolic reuse for the gain assembly: the pattern of G = Hᵀ W H is fixed
+/// by the pattern of H (measurement structure), so the per-entry target
+/// offsets of the outer-product accumulation can be computed once and the
+/// numeric assembly becomes a single scatter pass — no triplets, no sort.
+/// This is the dominant per-iteration cost normal_matrix pays on every
+/// Gauss–Newton step of an unchanged topology.
+///
+/// The assembled G always carries a structural diagonal (explicit zeros
+/// where H leaves a column untouched), so `alpha`-regularized and plain
+/// assemblies share one pattern.
+class NormalAssembler {
+ public:
+  [[nodiscard]] static NormalAssembler analyze(const Csr& h);
+
+  /// Fingerprint of the H pattern this assembler was analyzed on.
+  [[nodiscard]] const PatternFingerprint& fingerprint() const { return fp_; }
+  [[nodiscard]] bool matches(const Csr& h) const {
+    return fingerprint_pattern(h) == fp_;
+  }
+
+  /// G = Hᵀ W H + alpha I. `h` must match the analyzed pattern (cheap
+  /// size/nnz checks applied).
+  [[nodiscard]] Csr assemble(const Csr& h, std::span<const double> weights,
+                             double alpha = 0.0) const;
+
+ private:
+  PatternFingerprint fp_;
+  Index dim_ = 0;
+  std::vector<Index> g_ptr_;
+  std::vector<Index> g_col_;
+  /// Value slot in G for each (row, i, j) pair of the outer-product loop,
+  /// in iteration order.
+  std::vector<Index> target_;
+  /// Value slot of G(i, i) for each state i (for the alpha term).
+  std::vector<Index> diag_pos_;
+};
 
 }  // namespace gridse::sparse

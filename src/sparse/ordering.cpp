@@ -50,9 +50,14 @@ std::vector<Index> reverse_cuthill_mckee(const Csr& a) {
           nbrs.push_back(v);
         }
       }
+      // Tie-break equal degrees on the node index: std::sort is not stable,
+      // so a degree-only comparator leaves the order of equal-degree
+      // neighbours implementation-defined — and cached SymbolicPlans plus
+      // the gated bench keys need bit-identical permutations everywhere.
       std::sort(nbrs.begin(), nbrs.end(), [&](Index x, Index y) {
-        return degree[static_cast<std::size_t>(x)] <
-               degree[static_cast<std::size_t>(y)];
+        const Index dx = degree[static_cast<std::size_t>(x)];
+        const Index dy = degree[static_cast<std::size_t>(y)];
+        return dx != dy ? dx < dy : x < y;
       });
       for (const Index v : nbrs) q.push(v);
     }

@@ -8,7 +8,10 @@ namespace gridse::sparse {
 
 /// Reverse Cuthill–McKee fill-reducing ordering of a symmetric sparsity
 /// pattern. Returns perm such that perm[new_index] = old_index. Handles
-/// disconnected patterns by restarting BFS per component.
+/// disconnected patterns by restarting BFS per component. Fully
+/// deterministic: equal-degree ties (component starts and BFS neighbour
+/// order) are broken on the node index, so the permutation — and every
+/// SymbolicPlan derived from it — is bit-identical across platforms.
 std::vector<Index> reverse_cuthill_mckee(const Csr& a);
 
 /// Symmetric permutation B = P A Pᵀ where perm[new] = old.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sparse/symbolic_plan.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -95,14 +96,43 @@ void SsorPreconditioner::apply(std::span<const double> r,
 
 Ic0Preconditioner::Ic0Preconditioner(const Csr& a) {
   GRIDSE_CHECK(a.rows() == a.cols());
-  double shift = 0.0;
-  // Retry with a growing diagonal shift if a pivot breaks down; the shifted
-  // factor is still an effective preconditioner.
+  l_ = lower_triangle(a, /*include_diagonal=*/true);
+  base_vals_.assign(l_.values().begin(), l_.values().end());
   const auto diag = a.diagonal();
   double max_diag = 0.0;
   for (const double d : diag) max_diag = std::max(max_diag, std::abs(d));
+  factorize_with_retries(max_diag);
+}
+
+Ic0Preconditioner::Ic0Preconditioner(const Csr& a, const SymbolicPlan& plan) {
+  GRIDSE_CHECK(a.rows() == a.cols());
+  GRIDSE_CHECK_MSG(a.rows() == plan.dim() &&
+                       static_cast<std::uint64_t>(a.nnz()) ==
+                           plan.fingerprint().nnz,
+                   "IC(0): matrix does not match the symbolic plan");
+  const auto lt_ptr = plan.lower_row_ptr();
+  const auto lt_col = plan.lower_col_idx();
+  const auto lt_map = plan.lower_value_map();
+  const auto aval = a.values();
+  base_vals_.resize(lt_col.size());
+  double max_diag = 0.0;
+  for (std::size_t p = 0; p < lt_col.size(); ++p) {
+    base_vals_[p] = aval[static_cast<std::size_t>(lt_map[p])];
+  }
+  for (const double d : a.diagonal()) max_diag = std::max(max_diag, std::abs(d));
+  l_ = Csr::from_parts(a.rows(), a.cols(),
+                       std::vector<Index>(lt_ptr.begin(), lt_ptr.end()),
+                       std::vector<Index>(lt_col.begin(), lt_col.end()),
+                       base_vals_);
+  factorize_with_retries(max_diag);
+}
+
+void Ic0Preconditioner::factorize_with_retries(double max_diag) {
+  // Retry with a growing diagonal shift if a pivot breaks down; the shifted
+  // factor is still an effective preconditioner.
+  double shift = 0.0;
   for (int attempt = 0; attempt < 12; ++attempt) {
-    if (try_factorize(a, shift)) {
+    if (try_factorize(shift)) {
       shift_ = shift;
       if (shift > 0.0) {
         GRIDSE_DEBUG << "IC(0): succeeded with diagonal shift " << shift;
@@ -114,17 +144,17 @@ Ic0Preconditioner::Ic0Preconditioner(const Csr& a) {
   throw ConvergenceFailure("IC(0) factorization failed even with large shift");
 }
 
-bool Ic0Preconditioner::try_factorize(const Csr& a, double shift) {
-  Csr l = lower_triangle(a, /*include_diagonal=*/true);
-  const auto col = l.col_idx();
-  auto val = l.mutable_values();
-  const Index n = l.rows();
+bool Ic0Preconditioner::try_factorize(double shift) {
+  const auto col = l_.col_idx();
+  auto val = l_.mutable_values();
+  std::copy(base_vals_.begin(), base_vals_.end(), val.begin());
+  const Index n = l_.rows();
 
   // diag_pos[i] = offset of L(i,i); the lower triangle of an SPD matrix
   // always stores the diagonal as the last entry of its row.
   std::vector<Index> diag_pos(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) {
-    const auto [b, e] = l.row_range(i);
+    const auto [b, e] = l_.row_range(i);
     GRIDSE_CHECK_MSG(e > b && col[static_cast<std::size_t>(e - 1)] == i,
                      "IC(0): missing structural diagonal");
     diag_pos[static_cast<std::size_t>(i)] = e - 1;
@@ -132,12 +162,12 @@ bool Ic0Preconditioner::try_factorize(const Csr& a, double shift) {
   }
 
   for (Index i = 0; i < n; ++i) {
-    const auto [bi, ei] = l.row_range(i);
+    const auto [bi, ei] = l_.row_range(i);
     for (Index ki = bi; ki < ei; ++ki) {
       const Index j = col[static_cast<std::size_t>(ki)];
       // dot of row i and row j of L restricted to columns < j
       double s = val[static_cast<std::size_t>(ki)];
-      const auto [bj, ej] = l.row_range(j);
+      const auto [bj, ej] = l_.row_range(j);
       Index pi = bi;
       Index pj = bj;
       while (pi < ki && pj < ej) {
@@ -165,7 +195,6 @@ bool Ic0Preconditioner::try_factorize(const Csr& a, double shift) {
       }
     }
   }
-  l_ = std::move(l);
   return true;
 }
 

@@ -55,12 +55,21 @@ class SsorPreconditioner final : public Preconditioner {
   double omega_;
 };
 
+class SymbolicPlan;
+
 /// Incomplete Cholesky with zero fill-in, IC(0): L has the sparsity pattern
 /// of tril(A). The factorization shifts the diagonal and retries when a
 /// pivot breaks down, so it is robust on barely-SPD Step-2 systems.
 class Ic0Preconditioner final : public Preconditioner {
  public:
   explicit Ic0Preconditioner(const Csr& a);
+
+  /// Pattern-reuse construction: the lower-triangle structure comes from a
+  /// precomputed SymbolicPlan (one gather pass over a.values(), no triplet
+  /// rebuild). Numerically identical to the plain constructor; this is the
+  /// per-Gauss–Newton-iteration fast path on a fixed topology.
+  Ic0Preconditioner(const Csr& a, const SymbolicPlan& plan);
+
   void apply(std::span<const double> r, std::span<double> z) const override;
   [[nodiscard]] std::string name() const override { return "ic0"; }
 
@@ -69,9 +78,11 @@ class Ic0Preconditioner final : public Preconditioner {
   [[nodiscard]] double shift() const { return shift_; }
 
  private:
-  bool try_factorize(const Csr& a, double shift);
+  void factorize_with_retries(double max_diag);
+  bool try_factorize(double shift);
 
   Csr l_;  // lower triangle including diagonal, row-major
+  std::vector<double> base_vals_;  // pristine tril(A) values for retries
   double shift_ = 0.0;
 };
 

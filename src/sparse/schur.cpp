@@ -1,0 +1,143 @@
+#include "sparse/schur.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/ldlt.hpp"
+#include "util/error.hpp"
+
+namespace gridse::sparse {
+
+SchurSystem schur_condense(const Csr& g, std::span<const double> rhs,
+                           std::span<const Index> boundary_positions,
+                           double regularization) {
+  GRIDSE_CHECK(g.rows() == g.cols());
+  const Index n = g.rows();
+  GRIDSE_CHECK(rhs.empty() || static_cast<Index>(rhs.size()) == n);
+
+  // block_of[k] = boundary slot, or -1 for internal; internal_of[k] = slot
+  // in the internal block.
+  std::vector<Index> block_of(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < boundary_positions.size(); ++i) {
+    const Index p = boundary_positions[i];
+    GRIDSE_CHECK_MSG(p >= 0 && p < n, "schur: boundary position out of range");
+    GRIDSE_CHECK_MSG(i == 0 || boundary_positions[i - 1] < p,
+                     "schur: boundary positions must be sorted and unique");
+    block_of[static_cast<std::size_t>(p)] = static_cast<Index>(i);
+  }
+  const auto nb = static_cast<Index>(boundary_positions.size());
+  std::vector<Index> internal_of(static_cast<std::size_t>(n), -1);
+  std::vector<Index> internal_pos;
+  for (Index k = 0; k < n; ++k) {
+    if (block_of[static_cast<std::size_t>(k)] < 0) {
+      internal_of[static_cast<std::size_t>(k)] =
+          static_cast<Index>(internal_pos.size());
+      internal_pos.push_back(k);
+    }
+  }
+  const auto ni = static_cast<Index>(internal_pos.size());
+
+  SchurSystem out;
+  out.boundary.assign(boundary_positions.begin(), boundary_positions.end());
+  out.s = DenseMatrix(static_cast<std::size_t>(nb), static_cast<std::size_t>(nb));
+
+  // Split G into G_II (sparse), G_IB (dense columns), G_BB (dense).
+  std::vector<Triplet<double>> gii;
+  std::vector<std::vector<double>> gib(
+      static_cast<std::size_t>(nb),
+      std::vector<double>(static_cast<std::size_t>(ni), 0.0));
+  const auto col = g.col_idx();
+  const auto val = g.values();
+  for (Index r = 0; r < n; ++r) {
+    const Index rb = block_of[static_cast<std::size_t>(r)];
+    const auto [b, e] = g.row_range(r);
+    for (Index k = b; k < e; ++k) {
+      const Index c = col[static_cast<std::size_t>(k)];
+      const Index cb = block_of[static_cast<std::size_t>(c)];
+      const double v = val[static_cast<std::size_t>(k)];
+      if (rb < 0 && cb < 0) {
+        gii.push_back({internal_of[static_cast<std::size_t>(r)],
+                       internal_of[static_cast<std::size_t>(c)], v});
+      } else if (rb >= 0 && cb >= 0) {
+        out.s(static_cast<std::size_t>(rb), static_cast<std::size_t>(cb)) += v;
+      } else if (rb >= 0) {  // boundary row, internal column: G_BI
+        gib[static_cast<std::size_t>(rb)]
+           [static_cast<std::size_t>(internal_of[static_cast<std::size_t>(c)])] =
+               v;
+      }
+      // internal row, boundary column: G_IB = G_BIᵀ by symmetry, covered.
+    }
+  }
+  if (ni == 0) {
+    if (!rhs.empty()) {
+      out.rhs.resize(static_cast<std::size_t>(nb));
+      for (Index i = 0; i < nb; ++i) {
+        out.rhs[static_cast<std::size_t>(i)] =
+            rhs[static_cast<std::size_t>(out.boundary[static_cast<std::size_t>(i)])];
+      }
+    }
+    return out;  // nothing to condense away
+  }
+  if (regularization > 0.0) {
+    for (Index i = 0; i < ni; ++i) {
+      gii.push_back({i, i, regularization});
+    }
+  }
+  SparseLdlt ldlt;
+  ldlt.factorize(Csr::from_triplets(ni, ni, std::move(gii)));
+
+  // S -= G_BI G_II⁻¹ G_IB, one interior solve per boundary column; symmetry
+  // of S lets each solve fill a full row of the update.
+  for (Index j = 0; j < nb; ++j) {
+    const std::vector<double> y = ldlt.solve(gib[static_cast<std::size_t>(j)]);
+    for (Index i = 0; i < nb; ++i) {
+      double dot = 0.0;
+      const auto& gi = gib[static_cast<std::size_t>(i)];
+      for (Index k = 0; k < ni; ++k) {
+        dot += gi[static_cast<std::size_t>(k)] * y[static_cast<std::size_t>(k)];
+      }
+      out.s(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) -= dot;
+    }
+  }
+
+  if (!rhs.empty()) {
+    std::vector<double> rhs_i(static_cast<std::size_t>(ni));
+    for (Index k = 0; k < ni; ++k) {
+      rhs_i[static_cast<std::size_t>(k)] =
+          rhs[static_cast<std::size_t>(internal_pos[static_cast<std::size_t>(k)])];
+    }
+    const std::vector<double> y = ldlt.solve(rhs_i);
+    out.rhs.resize(static_cast<std::size_t>(nb));
+    for (Index i = 0; i < nb; ++i) {
+      double dot = 0.0;
+      const auto& gi = gib[static_cast<std::size_t>(i)];
+      for (Index k = 0; k < ni; ++k) {
+        dot += gi[static_cast<std::size_t>(k)] * y[static_cast<std::size_t>(k)];
+      }
+      out.rhs[static_cast<std::size_t>(i)] =
+          rhs[static_cast<std::size_t>(out.boundary[static_cast<std::size_t>(i)])] -
+          dot;
+    }
+  }
+  return out;
+}
+
+std::vector<double> schur_marginal_sigmas(const SchurSystem& s) {
+  const std::size_t nb = s.boundary.size();
+  std::vector<double> sigmas(nb, 0.0);
+  if (nb == 0) {
+    return sigmas;
+  }
+  // diag(S⁻¹) column by column; nb is small (a subsystem's boundary states),
+  // so nb dense Cholesky solves are cheap.
+  std::vector<double> e(nb, 0.0);
+  for (std::size_t i = 0; i < nb; ++i) {
+    e[i] = 1.0;
+    const std::vector<double> x = s.s.solve_spd(e);
+    e[i] = 0.0;
+    sigmas[i] = std::sqrt(std::max(x[i], 0.0));
+  }
+  return sigmas;
+}
+
+}  // namespace gridse::sparse

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace gridse::sparse {
+
+/// Boundary condensation of a symmetric positive-definite system: with the
+/// state positions split into boundary (B) and internal (I) blocks,
+///
+///   S      = G_BB − G_BI G_II⁻¹ G_IB        (the Schur complement)
+///   rhs_S  = rhs_B − G_BI G_II⁻¹ rhs_I
+///
+/// S carries everything the rest of the interconnection needs to know about
+/// this subsystem: solving S x_B = rhs_S yields exactly the boundary block
+/// of the full solution, and diag(S⁻¹) is the marginal covariance of the
+/// boundary variables. DSE Step 2 ships only this condensed boundary
+/// information instead of boundary-plus-sensitive state records (arXiv
+/// 2604.23175's boundary condensation; the B/I split is the partitioning of
+/// arXiv 2104.04320).
+struct SchurSystem {
+  /// State positions condensed onto, ascending (copy of the input split).
+  std::vector<Index> boundary;
+  /// Dense |B|×|B| Schur complement.
+  DenseMatrix s;
+  /// Condensed right-hand side (empty when condense() got an empty rhs).
+  std::vector<double> rhs;
+};
+
+/// Condense `g` onto `boundary_positions` (sorted, unique, in range).
+/// `regularization` is added to G_II's diagonal before the interior solve so
+/// weakly observed interiors stay factorable. `rhs` may be empty.
+/// Throws ConvergenceFailure when the interior block cannot be factored.
+[[nodiscard]] SchurSystem schur_condense(
+    const Csr& g, std::span<const double> rhs,
+    std::span<const Index> boundary_positions, double regularization = 0.0);
+
+/// Marginal standard deviations sqrt(diag(S⁻¹)) of the condensed boundary
+/// variables — the per-record confidence shipped with condensed pseudo
+/// measurements. Throws ConvergenceFailure when S is not positive definite.
+[[nodiscard]] std::vector<double> schur_marginal_sigmas(const SchurSystem& s);
+
+}  // namespace gridse::sparse

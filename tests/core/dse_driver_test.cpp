@@ -263,6 +263,132 @@ TEST_F(DseDriverTest, WeccScaleScenarioConverges) {
   EXPECT_LT(grid::max_angle_error(result.state, wpf.state), 0.03);
 }
 
+TEST_F(DseDriverTest, BatchedStepOneMatchesSequential) {
+  // The batched lockstep sweep is an execution strategy, not an algorithm
+  // change: with the same direct solver the combined estimate must be
+  // bit-identical to the per-subsystem loop.
+  const auto run_with = [&](bool batched) {
+    DseOptions opts;
+    opts.local.wls.solver = estimation::LinearSolver::kLdlt;
+    opts.batched_step1 = batched;
+    DseDriver driver(generated_.kase.network, d_, opts);
+    runtime::InprocWorld world(3);
+    analysis::Mutex mutex{"dse_driver_test::mutex"};
+    DseResult out;
+    world.run([&](runtime::Communicator& c) {
+      DseResult r = driver.run(c, meas_, assignment_);
+      if (c.rank() == 0) {
+        analysis::LockGuard lock(mutex);
+        out = std::move(r);
+      }
+    });
+    return out;
+  };
+  const DseResult batched = run_with(true);
+  const DseResult sequential = run_with(false);
+  EXPECT_TRUE(batched.all_converged);
+  EXPECT_TRUE(sequential.all_converged);
+  EXPECT_LT(grid::max_vm_error(batched.state, sequential.state), 1e-12);
+  EXPECT_LT(grid::max_angle_error(batched.state, sequential.state), 1e-12);
+}
+
+TEST_F(DseDriverTest, CondensationShrinksPseudoTrafficAndTracksTruth) {
+  const auto run_with = [&](bool condense) {
+    DseOptions opts;
+    opts.condense_boundary = condense;
+    DseDriver driver(generated_.kase.network, d_, opts);
+    runtime::InprocWorld world(3);
+    analysis::Mutex mutex{"dse_driver_test::mutex"};
+    DseResult out;
+    std::size_t total_bytes = 0;
+    world.run([&](runtime::Communicator& c) {
+      DseResult r = driver.run(c, meas_, assignment_);
+      analysis::LockGuard lock(mutex);
+      total_bytes += r.bytes_sent;
+      if (c.rank() == 0) out = std::move(r);
+    });
+    return std::make_pair(std::move(out), total_bytes);
+  };
+  const auto [condensed, bytes_condensed] = run_with(true);
+  const auto [plain, bytes_plain] = run_with(false);
+  EXPECT_TRUE(condensed.all_converged);
+  EXPECT_TRUE(plain.all_converged);
+  // The condensed estimate still tracks the truth...
+  EXPECT_LT(grid::max_vm_error(condensed.state, pf_.state), 0.02);
+  EXPECT_LT(grid::max_angle_error(condensed.state, pf_.state), 0.02);
+  // ...while Step 2 ships condensed boundary info only: the
+  // sensitive-internal records of the plain exchange are folded into the
+  // boundary marginals, so the cycle's total traffic drops.
+  EXPECT_LT(bytes_condensed, bytes_plain);
+}
+
+TEST_F(DseDriverTest, SharedPlanRegistryIsReusedAcrossCycles) {
+  const auto registry = std::make_shared<PlanRegistry>();
+  DseOptions opts;
+  opts.plan_registry = registry;
+  DseDriver driver(generated_.kase.network, d_, opts);
+  grid::GridState first_state;
+  grid::GridState second_state;
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    runtime::InprocWorld world(3);
+    analysis::Mutex mutex{"dse_driver_test::mutex"};
+    world.run([&](runtime::Communicator& c) {
+      DseResult r = driver.run(c, meas_, assignment_);
+      EXPECT_TRUE(r.all_converged);
+      if (c.rank() == 0) {
+        analysis::LockGuard lock(mutex);
+        (cycle == 0 ? first_state : second_state) = std::move(r.state);
+      }
+    });
+  }
+  // Same measurements, same topology: the warm cycle reuses every symbolic
+  // plan (no new analyses) and reproduces the estimate exactly.
+  const auto stats = registry->stats();
+  EXPECT_EQ(stats.subsystems, 9u);
+  EXPECT_GT(stats.cache.plan_hits, 0u);
+  EXPECT_LT(grid::max_vm_error(first_state, second_state), 1e-12);
+
+  // The remap hook: invalidation drops the cached plans, the next cycle
+  // re-analyzes from scratch and still agrees.
+  registry->invalidate_all();
+  const auto misses_after_invalidate = registry->stats().cache.plan_misses;
+  runtime::InprocWorld world(3);
+  analysis::Mutex mutex{"dse_driver_test::mutex"};
+  grid::GridState third_state;
+  world.run([&](runtime::Communicator& c) {
+    DseResult r = driver.run(c, meas_, assignment_);
+    if (c.rank() == 0) {
+      analysis::LockGuard lock(mutex);
+      third_state = std::move(r.state);
+    }
+  });
+  EXPECT_GT(registry->stats().cache.plan_misses, misses_after_invalidate);
+  EXPECT_LT(grid::max_vm_error(first_state, third_state), 1e-12);
+}
+
+TEST_F(DseDriverTest, BatchedCondensedCombinationConverges) {
+  // The two fast-path features compose.
+  DseOptions opts;
+  opts.local.wls.solver = estimation::LinearSolver::kLdlt;
+  opts.batched_step1 = true;
+  opts.condense_boundary = true;
+  opts.plan_registry = std::make_shared<PlanRegistry>();
+  DseDriver driver(generated_.kase.network, d_, opts);
+  runtime::InprocWorld world(3);
+  analysis::Mutex mutex{"dse_driver_test::mutex"};
+  DseResult result;
+  world.run([&](runtime::Communicator& c) {
+    DseResult r = driver.run(c, meas_, assignment_);
+    if (c.rank() == 0) {
+      analysis::LockGuard lock(mutex);
+      result = std::move(r);
+    }
+  });
+  EXPECT_TRUE(result.all_converged);
+  EXPECT_LT(grid::max_vm_error(result.state, pf_.state), 0.02);
+  EXPECT_LT(grid::max_angle_error(result.state, pf_.state), 0.02);
+}
+
 TEST_F(DseDriverTest, ExchangeVolumeIsSmall) {
   // The paper's selling point: only pseudo measurements move between
   // clusters, not raw SCADA. Total traffic for the whole cycle must be tiny

@@ -65,7 +65,7 @@ TEST_F(LocalEstimatorTest, BoundaryStatesCoverGsBuses) {
 
 TEST_F(LocalEstimatorTest, Step2RequiresStep1) {
   LocalEstimator est(generated_.kase.network, d_, 1, {});
-  EXPECT_THROW(est.run_step2(meas_, {}), InternalError);
+  EXPECT_THROW(est.run_step2(meas_, std::vector<core::BusStateRecord>{}), InternalError);
 }
 
 TEST_F(LocalEstimatorTest, Step2ImprovesBoundaryAccuracy) {

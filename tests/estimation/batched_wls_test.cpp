@@ -1,0 +1,144 @@
+#include "estimation/batched_wls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "estimation/solver_cache.hpp"
+#include "grid/meas_generator.hpp"
+#include "grid/powerflow.hpp"
+#include "io/case14.hpp"
+#include "io/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::estimation {
+namespace {
+
+struct LaneFixture {
+  grid::Network network;
+  grid::MeasurementSet set;
+};
+
+LaneFixture make_lane(grid::Network network, std::uint64_t seed) {
+  LaneFixture fx{std::move(network), {}};
+  const grid::PowerFlowResult pf = grid::solve_power_flow(fx.network);
+  grid::MeasurementGenerator gen(fx.network, {});
+  Rng rng(seed);
+  fx.set = gen.generate(pf.state, rng);
+  return fx;
+}
+
+WlsOptions ldlt_options() {
+  WlsOptions opts;
+  opts.solver = LinearSolver::kLdlt;
+  return opts;
+}
+
+void expect_same_result(const WlsResult& got, const WlsResult& want) {
+  ASSERT_EQ(got.converged, want.converged);
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_NEAR(got.objective, want.objective, 1e-9 * (1.0 + want.objective));
+  EXPECT_LT(grid::max_vm_error(got.state, want.state), 1e-9);
+  EXPECT_LT(grid::max_angle_error(got.state, want.state), 1e-9);
+  ASSERT_EQ(got.residuals.size(), want.residuals.size());
+  for (std::size_t i = 0; i < got.residuals.size(); ++i) {
+    EXPECT_NEAR(got.residuals[i], want.residuals[i], 1e-9);
+  }
+}
+
+TEST(BatchedWls, MatchesPerLaneEstimatorsOnHeterogeneousNetworks) {
+  // Three lanes of very different sizes solved in one lockstep sweep must be
+  // indistinguishable from three independent kLdlt estimators: the batched
+  // path is an execution strategy, not a different algorithm.
+  const std::vector<LaneFixture> fixtures = {
+      make_lane(io::ieee14().network, 61),
+      make_lane(io::ieee118_dse().kase.network, 62),
+      make_lane(io::wecc37().kase.network, 63)};
+
+  const WlsOptions opts = ldlt_options();
+  std::vector<BatchedLaneProblem> lanes;
+  for (const LaneFixture& fx : fixtures) {
+    BatchedLaneProblem lane;
+    lane.network = &fx.network;
+    lane.reference_bus = fx.network.slack_bus();
+    lane.set = &fx.set;
+    lane.initial = grid::GridState(fx.network.num_buses());
+    lanes.push_back(lane);
+  }
+  const std::vector<WlsResult> results = batched_estimate(lanes, opts);
+  ASSERT_EQ(results.size(), fixtures.size());
+  for (std::size_t i = 0; i < fixtures.size(); ++i) {
+    const WlsEstimator ref(fixtures[i].network, opts);
+    expect_same_result(results[i], ref.estimate(fixtures[i].set));
+  }
+}
+
+TEST(BatchedWls, WarmStartWithReusedPlansMatchesFromScratch) {
+  // Cycle 2 of a DSE run: warm initial state, every symbolic artifact
+  // already cached. The answer must be identical to a cold run.
+  const LaneFixture fx = make_lane(io::ieee118_dse().kase.network, 64);
+  const WlsOptions opts = ldlt_options();
+
+  const auto cache = std::make_shared<SolverCache>();
+  BatchedLaneProblem lane;
+  lane.network = &fx.network;
+  lane.reference_bus = fx.network.slack_bus();
+  lane.set = &fx.set;
+  lane.initial = grid::GridState(fx.network.num_buses());
+  const std::vector<std::shared_ptr<SolverCache>> caches = {cache};
+
+  const auto cold = batched_estimate({&lane, 1}, opts, caches);
+  ASSERT_TRUE(cold[0].converged);
+  EXPECT_GT(cache->stats().plan_misses, 0u);
+
+  BatchedLaneProblem warm = lane;
+  warm.initial = cold[0].state;
+  const auto stats_before = cache->stats();
+  const auto warm_results = batched_estimate({&warm, 1}, opts, caches);
+  // The warm sweep analyzed nothing new...
+  EXPECT_EQ(cache->stats().plan_misses, stats_before.plan_misses);
+  EXPECT_GT(cache->stats().plan_hits, stats_before.plan_hits);
+
+  // ...and matches the plain estimator warm-started the same way.
+  const WlsEstimator ref(fx.network, opts);
+  expect_same_result(warm_results[0], ref.estimate(fx.set, cold[0].state));
+}
+
+TEST(BatchedWls, EmptyLaneListIsANoOp) {
+  const std::vector<BatchedLaneProblem> lanes;
+  EXPECT_TRUE(batched_estimate(lanes, ldlt_options()).empty());
+}
+
+TEST(BatchedWls, UnobservableLaneThrowsBeforeAnyLaneSolves) {
+  const LaneFixture ok = make_lane(io::ieee14().network, 65);
+  LaneFixture starved = make_lane(io::ieee14().network, 66);
+  starved.set.items.resize(1);
+
+  std::vector<BatchedLaneProblem> lanes(2);
+  lanes[0].network = &ok.network;
+  lanes[0].reference_bus = ok.network.slack_bus();
+  lanes[0].set = &ok.set;
+  lanes[0].initial = grid::GridState(ok.network.num_buses());
+  lanes[1].network = &starved.network;
+  lanes[1].reference_bus = starved.network.slack_bus();
+  lanes[1].set = &starved.set;
+  lanes[1].initial = grid::GridState(starved.network.num_buses());
+  EXPECT_THROW(batched_estimate(lanes, ldlt_options()), InvalidInput);
+}
+
+TEST(BatchedWls, CacheCountMustMatchLaneCountWhenProvided) {
+  const LaneFixture fx = make_lane(io::ieee14().network, 67);
+  BatchedLaneProblem lane;
+  lane.network = &fx.network;
+  lane.reference_bus = fx.network.slack_bus();
+  lane.set = &fx.set;
+  lane.initial = grid::GridState(fx.network.num_buses());
+  const std::vector<std::shared_ptr<SolverCache>> caches = {
+      std::make_shared<SolverCache>(), std::make_shared<SolverCache>()};
+  EXPECT_THROW(batched_estimate({&lane, 1}, ldlt_options(), caches),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace gridse::estimation

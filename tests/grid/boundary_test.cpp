@@ -1,0 +1,82 @@
+#include "grid/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gridse::grid {
+namespace {
+
+TEST(BoundarySplit, PositionsAreSortedUniqueAndSlotConsistent) {
+  const StateIndex index(/*num_buses=*/6, /*reference_bus=*/2);
+  const std::vector<BusIndex> boundary = {0, 2, 5};
+  const BoundarySplit split = split_boundary_states(index, boundary);
+
+  // Non-reference buses contribute θ and |V|; the reference bus only |V|.
+  ASSERT_EQ(split.positions.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(split.positions.begin(), split.positions.end()));
+  EXPECT_EQ(std::adjacent_find(split.positions.begin(), split.positions.end()),
+            split.positions.end());
+
+  ASSERT_EQ(split.theta_slot.size(), boundary.size());
+  ASSERT_EQ(split.vm_slot.size(), boundary.size());
+  for (std::size_t k = 0; k < boundary.size(); ++k) {
+    const BusIndex bus = boundary[k];
+    if (bus == index.reference_bus()) {
+      EXPECT_EQ(split.theta_slot[k], -1);
+    } else {
+      ASSERT_GE(split.theta_slot[k], 0);
+      EXPECT_EQ(
+          split.positions[static_cast<std::size_t>(split.theta_slot[k])],
+          index.theta_index(bus));
+    }
+    ASSERT_GE(split.vm_slot[k], 0);
+    EXPECT_EQ(split.positions[static_cast<std::size_t>(split.vm_slot[k])],
+              index.vm_index(bus));
+  }
+}
+
+TEST(BoundarySplit, CoversTheWholeStateWhenEveryBusIsBoundary) {
+  const StateIndex index(4, 0);
+  const std::vector<BusIndex> boundary = {0, 1, 2, 3};
+  const BoundarySplit split = split_boundary_states(index, boundary);
+  ASSERT_EQ(split.positions.size(), static_cast<std::size_t>(index.size()));
+  for (std::size_t k = 0; k < split.positions.size(); ++k) {
+    EXPECT_EQ(split.positions[k], static_cast<std::int32_t>(k));
+  }
+}
+
+TEST(BoundarySplit, UnsortedInputBusesStillProduceSortedPositions) {
+  const StateIndex index(8, 3);
+  const std::vector<BusIndex> shuffled = {7, 1, 4};
+  const BoundarySplit split = split_boundary_states(index, shuffled);
+  EXPECT_TRUE(std::is_sorted(split.positions.begin(), split.positions.end()));
+  // Slots still point at the right positions for the input order.
+  for (std::size_t k = 0; k < shuffled.size(); ++k) {
+    EXPECT_EQ(split.positions[static_cast<std::size_t>(split.vm_slot[k])],
+              index.vm_index(shuffled[k]));
+  }
+}
+
+TEST(BoundarySplit, RejectsOutOfRangeAndDuplicateBuses) {
+  const StateIndex index(5, 0);
+  EXPECT_THROW(split_boundary_states(index, std::vector<BusIndex>{5}),
+               InvalidInput);
+  EXPECT_THROW(split_boundary_states(index, std::vector<BusIndex>{-1}),
+               InvalidInput);
+  EXPECT_THROW(split_boundary_states(index, std::vector<BusIndex>{1, 1}),
+               InvalidInput);
+}
+
+TEST(BoundarySplit, EmptyBoundaryIsEmptySplit) {
+  const StateIndex index(3, 1);
+  const BoundarySplit split = split_boundary_states(index, {});
+  EXPECT_TRUE(split.positions.empty());
+  EXPECT_TRUE(split.theta_slot.empty());
+  EXPECT_TRUE(split.vm_slot.empty());
+}
+
+}  // namespace
+}  // namespace gridse::grid

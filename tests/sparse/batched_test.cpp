@@ -1,0 +1,126 @@
+#include "sparse/batched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sparse/ldlt.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::sparse {
+namespace {
+
+Csr random_spd(Index n, Rng& rng, double density = 0.25) {
+  std::vector<Triplet<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j <= i; ++j) {
+      if (i == j || rng.bernoulli(density)) {
+        const double v = (i == j) ? rng.uniform(2.0, 4.0) + n * 0.2
+                                  : rng.uniform(-0.5, 0.5);
+        t.push_back({i, j, v});
+        if (i != j) t.push_back({j, i, v});
+      }
+    }
+  }
+  return Csr::from_triplets(n, n, std::move(t));
+}
+
+std::shared_ptr<const SymbolicPlan> plan_of(const Csr& a) {
+  return std::make_shared<const SymbolicPlan>(SymbolicPlan::analyze(a));
+}
+
+TEST(BatchedLdlt, HeterogeneousLanesMatchSequentialSolves) {
+  Rng rng(31);
+  // Deliberately different sizes and densities per lane.
+  const std::vector<Csr> mats = {random_spd(8, rng, 0.5),
+                                 random_spd(40, rng, 0.15),
+                                 random_spd(23, rng, 0.3)};
+  BatchedLdlt batched;
+  std::vector<std::shared_ptr<const SymbolicPlan>> plans;
+  std::vector<const Csr*> ptrs;
+  for (const Csr& m : mats) {
+    plans.push_back(plan_of(m));
+    ptrs.push_back(&m);
+  }
+  batched.set_lanes(plans);
+  ASSERT_EQ(batched.lanes(), mats.size());
+  batched.factorize(ptrs);
+
+  for (std::size_t lane = 0; lane < mats.size(); ++lane) {
+    const auto n = static_cast<std::size_t>(mats[lane].rows());
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-2, 2);
+    std::vector<double> b(n);
+    mats[lane].multiply(x_true, b);
+
+    std::vector<double> x(n);
+    batched.solve_lane(lane, b, x);
+
+    SparseLdlt ref;
+    ref.factorize(mats[lane]);
+    const auto x_ref = ref.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_ref[i], 1e-10) << "lane " << lane;
+      EXPECT_NEAR(x[i], x_true[i], 1e-8) << "lane " << lane;
+    }
+  }
+}
+
+TEST(BatchedLdlt, NullLaneKeepsPreviousFactor) {
+  Rng rng(32);
+  const Csr a0 = random_spd(12, rng);
+  const Csr a1 = random_spd(12, rng);
+  BatchedLdlt batched;
+  batched.set_lanes({plan_of(a0), plan_of(a1)});
+  batched.factorize(std::vector<const Csr*>{&a0, &a1});
+
+  std::vector<double> b(12);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<double> x_before(12);
+  batched.solve_lane(0, b, x_before);
+
+  // Sweep with lane 0 inactive: its factor must be untouched even though
+  // lane 1 refactors.
+  batched.factorize(std::vector<const Csr*>{nullptr, &a1});
+  std::vector<double> x_after(12);
+  batched.solve_lane(0, b, x_after);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x_before[i], x_after[i]);
+  }
+}
+
+TEST(BatchedLdlt, RepeatedSetLanesWithSamePlansIsStable) {
+  Rng rng(33);
+  const Csr a = random_spd(20, rng);
+  const auto plan = plan_of(a);
+  BatchedLdlt batched;
+  batched.set_lanes({plan});
+  batched.factorize(std::vector<const Csr*>{&a});
+  const std::size_t nnz = batched.factor_nnz();
+
+  std::vector<double> b(20);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<double> x_before(20);
+  batched.solve_lane(0, b, x_before);
+
+  // Same plan pointer: the arenas — including the current factor — survive.
+  batched.set_lanes({plan});
+  EXPECT_EQ(batched.factor_nnz(), nnz);
+  std::vector<double> x_after(20);
+  batched.solve_lane(0, b, x_after);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x_before[i], x_after[i]);
+  }
+}
+
+TEST(BatchedLdlt, LaneCountMismatchThrows) {
+  Rng rng(34);
+  const Csr a = random_spd(5, rng);
+  BatchedLdlt batched;
+  batched.set_lanes({plan_of(a)});
+  EXPECT_THROW(
+      batched.factorize(std::vector<const Csr*>{&a, &a}), InternalError);
+}
+
+}  // namespace
+}  // namespace gridse::sparse

@@ -91,6 +91,44 @@ TEST(Rcm, HandlesDisconnectedComponents) {
   EXPECT_EQ(seen.size(), 6u);
 }
 
+TEST(Rcm, IsDeterministicAcrossCalls) {
+  // SymbolicPlan fingerprints assume the ordering is a pure function of the
+  // pattern: repeated calls must be bit-identical, including on graphs full
+  // of equal-degree ties (ties break on node index per the contract).
+  Rng rng(11);
+  std::vector<Triplet<double>> t;
+  const Index n = 40;
+  for (Index i = 0; i < n; ++i) t.push_back({i, i, 1.0});
+  for (int e = 0; e < 80; ++e) {
+    const auto i = static_cast<Index>(rng.uniform_int(0, n - 1));
+    const auto j = static_cast<Index>(rng.uniform_int(0, n - 1));
+    if (i == j) continue;
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  }
+  const Csr a = Csr::from_triplets(n, n, std::move(t));
+  const auto first = reverse_cuthill_mckee(a);
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(reverse_cuthill_mckee(a), first);
+  }
+
+  // A 2x2 grid is all equal-degree ties; the documented index tie-break
+  // pins the exact permutation, not just some valid RCM ordering.
+  std::vector<Triplet<double>> g;
+  for (Index i = 0; i < 4; ++i) g.push_back({i, i, 1.0});
+  const auto add_edge = [&g](Index i, Index j) {
+    g.push_back({i, j, 1.0});
+    g.push_back({j, i, 1.0});
+  };
+  add_edge(0, 1);
+  add_edge(0, 2);
+  add_edge(1, 3);
+  add_edge(2, 3);
+  const Csr square = Csr::from_triplets(4, 4, std::move(g));
+  // BFS from node 0 (lowest index), neighbours in index order, reversed.
+  EXPECT_EQ(reverse_cuthill_mckee(square), (std::vector<Index>{3, 2, 1, 0}));
+}
+
 TEST(Permutation, InvertRoundTrips) {
   const std::vector<Index> perm{2, 0, 3, 1};
   const auto inv = invert_permutation(perm);

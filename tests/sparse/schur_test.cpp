@@ -1,0 +1,159 @@
+#include "sparse/schur.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/ldlt.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::sparse {
+namespace {
+
+Csr random_spd(Index n, Rng& rng, double density = 0.3) {
+  std::vector<Triplet<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j <= i; ++j) {
+      if (i == j || rng.bernoulli(density)) {
+        const double v = (i == j) ? rng.uniform(2.0, 4.0) + n * 0.2
+                                  : rng.uniform(-0.5, 0.5);
+        t.push_back({i, j, v});
+        if (i != j) t.push_back({j, i, v});
+      }
+    }
+  }
+  return Csr::from_triplets(n, n, std::move(t));
+}
+
+/// Dense reference: S = G_BB − G_BI G_II⁻¹ G_IB built block-by-block.
+DenseMatrix dense_schur(const Csr& g, std::span<const Index> boundary) {
+  std::vector<Index> interior;
+  for (Index i = 0; i < g.rows(); ++i) {
+    if (!std::binary_search(boundary.begin(), boundary.end(), i)) {
+      interior.push_back(i);
+    }
+  }
+  const std::size_t nb = boundary.size();
+  const std::size_t ni = interior.size();
+  DenseMatrix gbb(nb, nb);
+  DenseMatrix gbi(nb, ni);
+  DenseMatrix gii(ni, ni);
+  for (std::size_t r = 0; r < nb; ++r) {
+    for (std::size_t c = 0; c < nb; ++c) {
+      gbb(r, c) = g.value_at(boundary[r], boundary[c]);
+    }
+    for (std::size_t c = 0; c < ni; ++c) {
+      gbi(r, c) = g.value_at(boundary[r], interior[c]);
+    }
+  }
+  for (std::size_t r = 0; r < ni; ++r) {
+    for (std::size_t c = 0; c < ni; ++c) {
+      gii(r, c) = g.value_at(interior[r], interior[c]);
+    }
+  }
+  // X = G_II⁻¹ G_IB, column by column.
+  DenseMatrix x(ni, nb);
+  for (std::size_t c = 0; c < nb; ++c) {
+    std::vector<double> col(ni);
+    for (std::size_t r = 0; r < ni; ++r) col[r] = gbi(c, r);  // G_IB = G_BIᵀ
+    const auto sol = gii.solve_spd(col);
+    for (std::size_t r = 0; r < ni; ++r) x(r, c) = sol[r];
+  }
+  DenseMatrix s(nb, nb);
+  for (std::size_t r = 0; r < nb; ++r) {
+    for (std::size_t c = 0; c < nb; ++c) {
+      double acc = gbb(r, c);
+      for (std::size_t k = 0; k < ni; ++k) acc -= gbi(r, k) * x(k, c);
+      s(r, c) = acc;
+    }
+  }
+  return s;
+}
+
+TEST(Schur, MatchesDenseReference) {
+  Rng rng(41);
+  const Csr g = random_spd(18, rng);
+  const std::vector<Index> boundary = {2, 7, 11, 17};
+  const SchurSystem sys = schur_condense(g, {}, boundary);
+  ASSERT_EQ(sys.boundary, boundary);
+  ASSERT_EQ(sys.s.rows(), boundary.size());
+  EXPECT_TRUE(sys.rhs.empty());
+
+  const DenseMatrix ref = dense_schur(g, boundary);
+  for (std::size_t r = 0; r < boundary.size(); ++r) {
+    for (std::size_t c = 0; c < boundary.size(); ++c) {
+      EXPECT_NEAR(sys.s(r, c), ref(r, c), 1e-9) << r << "," << c;
+    }
+  }
+}
+
+TEST(Schur, CondensedSolveEqualsBoundaryBlockOfFullSolve) {
+  Rng rng(42);
+  const Csr g = random_spd(25, rng);
+  const std::vector<Index> boundary = {0, 4, 9, 13, 24};
+  std::vector<double> rhs(25);
+  for (auto& v : rhs) v = rng.uniform(-1, 1);
+
+  SparseLdlt full;
+  full.factorize(g);
+  const auto x_full = full.solve(rhs);
+
+  const SchurSystem sys = schur_condense(g, rhs, boundary);
+  ASSERT_EQ(sys.rhs.size(), boundary.size());
+  const auto x_b = sys.s.solve_spd(sys.rhs);
+  for (std::size_t k = 0; k < boundary.size(); ++k) {
+    EXPECT_NEAR(x_b[k], x_full[static_cast<std::size_t>(boundary[k])], 1e-8);
+  }
+}
+
+TEST(Schur, MarginalSigmasMatchDenseInverse) {
+  Rng rng(43);
+  const Csr g = random_spd(14, rng);
+  const std::vector<Index> boundary = {1, 6, 12};
+  const SchurSystem sys = schur_condense(g, {}, boundary);
+  const auto sigmas = schur_marginal_sigmas(sys);
+  ASSERT_EQ(sigmas.size(), boundary.size());
+
+  // diag(S⁻¹) column by column through the dense solver.
+  for (std::size_t k = 0; k < boundary.size(); ++k) {
+    std::vector<double> e(boundary.size(), 0.0);
+    e[k] = 1.0;
+    const auto col = sys.s.solve_spd(e);
+    EXPECT_NEAR(sigmas[k], std::sqrt(col[k]), 1e-10);
+    EXPECT_GT(sigmas[k], 0.0);
+  }
+}
+
+TEST(Schur, AllBoundaryDegeneratesToIdentityCondensation) {
+  // With no interior, S is just G itself.
+  Rng rng(44);
+  const Csr g = random_spd(6, rng);
+  const std::vector<Index> boundary = {0, 1, 2, 3, 4, 5};
+  std::vector<double> rhs(6, 1.0);
+  const SchurSystem sys = schur_condense(g, rhs, boundary);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(sys.s(r, c),
+                  g.value_at(static_cast<Index>(r), static_cast<Index>(c)),
+                  1e-12);
+    }
+    EXPECT_DOUBLE_EQ(sys.rhs[r], 1.0);
+  }
+}
+
+TEST(Schur, RegularizationRescuesSingularInterior) {
+  // Interior variable 1 fully decoupled with a zero diagonal: the plain
+  // condensation cannot factor G_II, the regularized one can.
+  const Csr g = Csr::from_triplets(
+      3, 3, {{0, 0, 2.0}, {2, 2, 2.0}, {0, 2, -1.0}, {2, 0, -1.0},
+             {1, 1, 0.0}});
+  const std::vector<Index> boundary = {0, 2};
+  EXPECT_THROW(schur_condense(g, {}, boundary), ConvergenceFailure);
+  const SchurSystem sys = schur_condense(g, {}, boundary, 1e-8);
+  EXPECT_NEAR(sys.s(0, 0), 2.0, 1e-9);
+  EXPECT_NEAR(sys.s(0, 1), -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gridse::sparse

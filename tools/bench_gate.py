@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Merge bench-smoke outputs into BENCH_ci.json and gate regressions.
 
-Inputs: the google-benchmark JSON from bench_pcg_solvers and the
-obs_report.json published by gridse_report. Output: one merged document
-(schema "gridse-bench-ci/1") with two metric classes:
+Inputs: one or more google-benchmark JSON files (bench_pcg_solvers,
+bench_batched_solve, ...) and the obs_report.json published by
+gridse_report. Output: one merged document (schema "gridse-bench-ci/1")
+with two metric classes:
 
 * "enforced" — deterministic given the seeded inputs: solver iteration
-  counts and exchange byte counts. A growth beyond --tolerance (default
-  25%) over the committed BENCH_baseline.json fails the job; these moving
-  means the algorithm changed, not that the runner was busy.
+  counts, lane counts, and exchange byte counts. Any benchmark counter
+  whose name ends in "_iters", "_bytes", or "_lanes" (or is exactly
+  "lanes") is promoted to this class automatically. A growth beyond
+  --tolerance (default 25%) over the committed BENCH_baseline.json fails
+  the job; these moving means the algorithm changed, not that the runner
+  was busy.
 * "advisory" — wall-clock numbers. Republished for trend dashboards but
   never gated: shared CI runners are too noisy for time-based gates.
 * "informational" — resilience counters (exchange.retries,
@@ -18,6 +22,12 @@ obs_report.json published by gridse_report. Output: one merged document
   or a remap epoch is visible in the merged document, but never gated and
   never required in the baseline: a healthy bench run legitimately
   reports zeros.
+
+`--diff --baseline FILE --current FILE [--out-md FILE]` renders the
+enforced and advisory metrics of two merged documents side by side as a
+GitHub-flavored markdown table (value, reference, % delta) — used by CI
+to publish a BENCH_ci-vs-baseline summary into $GITHUB_STEP_SUMMARY. The
+diff never gates; it is a rendering of what the gate saw.
 
 A second, independent mode validates chaos health reports instead of
 gating benchmarks: `--validate-chaos-report FILE...` checks each JSON
@@ -46,8 +56,19 @@ def load(path):
         return json.load(f)
 
 
-def merge(bench, report):
-    """Build the BENCH_ci.json document from the two inputs."""
+#: Benchmark counters promoted from advisory to enforced: anything ending
+#: in one of these suffixes (or named exactly "lanes") is deterministic
+#: given the seeded inputs, so drift means an algorithm change.
+ENFORCED_COUNTER_SUFFIXES = ("_iters", "_bytes", "_lanes")
+ENFORCED_COUNTER_NAMES = ("lanes",)
+
+
+def is_enforced_counter(key):
+    return key.endswith(ENFORCED_COUNTER_SUFFIXES) or key in ENFORCED_COUNTER_NAMES
+
+
+def merge(bench_docs, report):
+    """Build the BENCH_ci.json document from the bench JSONs + obs report."""
     doc = {
         "schema": "gridse-bench-ci/1",
         "case": report.get("case"),
@@ -59,22 +80,24 @@ def merge(bench, report):
         "informational": {},
     }
 
-    for b in bench.get("benchmarks", []):
-        name = b["name"]
-        if b.get("run_type") == "aggregate":
-            continue
-        entry = {
-            "real_time": b.get("real_time"),
-            "cpu_time": b.get("cpu_time"),
-            "time_unit": b.get("time_unit"),
-        }
-        if "cg_iters" in b:
-            entry["cg_iters"] = b["cg_iters"]
-            doc["enforced"][f"bench.{name}.cg_iters"] = b["cg_iters"]
-        doc["benchmarks"][name] = entry
-        doc["advisory"][f"bench.{name}.real_time_{b.get('time_unit', 'ns')}"] = b.get(
-            "real_time"
-        )
+    for bench in bench_docs:
+        for b in bench.get("benchmarks", []):
+            name = b["name"]
+            if b.get("run_type") == "aggregate":
+                continue
+            entry = {
+                "real_time": b.get("real_time"),
+                "cpu_time": b.get("cpu_time"),
+                "time_unit": b.get("time_unit"),
+            }
+            for key, value in b.items():
+                if is_enforced_counter(key):
+                    entry[key] = value
+                    doc["enforced"][f"bench.{name}.{key}"] = value
+            doc["benchmarks"][name] = entry
+            doc["advisory"][
+                f"bench.{name}.real_time_{b.get('time_unit', 'ns')}"
+            ] = b.get("real_time")
 
     metrics = report.get("metrics", {})
     cycles = max(1, doc["cycles"])
@@ -86,7 +109,8 @@ def merge(bench, report):
             doc["enforced"][f"obs.{hist_name}.max"] = hist["max"]
 
     for counter in ("dse.pseudo.bytes", "dse.combine.bytes", "dse.pseudo.messages",
-                    "dse.combine.messages", "dse.redistribute.bytes"):
+                    "dse.combine.messages", "dse.redistribute.bytes",
+                    "exchange.boundary_bytes"):
         value = metrics.get("counters", {}).get(counter)
         if value is not None:
             doc["enforced"][f"obs.{counter}.per_cycle"] = value / cycles
@@ -139,6 +163,70 @@ def gate(doc, baseline, tolerance):
         if key not in doc["enforced"]:
             failures.append(f"enforced metric disappeared from outputs: {key}")
     return failures
+
+
+def _fmt(value):
+    """Render one metric value for the diff table."""
+    if value is None:
+        return "—"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return f"{value:g}"
+
+
+def _delta(current, reference):
+    """Render the percent delta column, dash when undefined."""
+    if current is None or reference is None or reference == 0:
+        return "—"
+    return f"{(current - reference) / reference:+.1%}"
+
+
+def render_diff(baseline, current):
+    """Render two merged documents as a markdown comparison table."""
+    lines = ["# Bench gate: current vs baseline", ""]
+    for klass, gated in (("enforced", True), ("advisory", False)):
+        base = baseline.get(klass, {})
+        cur = current.get(klass, {})
+        keys = sorted(set(base) | set(cur))
+        if not keys:
+            continue
+        title = "Enforced (gated)" if gated else "Advisory (not gated)"
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| metric | baseline | current | delta |")
+        lines.append("|---|---:|---:|---:|")
+        for key in keys:
+            lines.append(
+                f"| `{key}` | {_fmt(base.get(key))} | {_fmt(cur.get(key))} "
+                f"| {_delta(cur.get(key), base.get(key))} |")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def run_diff(args):
+    """--diff mode: render the markdown table; never gates, exit 0/2 only."""
+    missing = [name for name, value in (("--baseline", args.baseline),
+                                        ("--current", args.current))
+               if not value]
+    if missing:
+        print(f"bench_gate: ERROR: --diff requires {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: ERROR: --diff inputs unreadable ({e})",
+              file=sys.stderr)
+        return 2
+    table = render_diff(baseline, current)
+    if args.out_md:
+        with open(args.out_md, "w") as f:
+            f.write(table)
+        print(f"bench_gate: wrote {args.out_md}")
+    else:
+        sys.stdout.write(table)
+    return 0
 
 
 #: Chaos health-report shape: field -> required type(s). Hand-rolled on
@@ -253,8 +341,19 @@ def main():
                         help="validate chaos health reports instead of "
                              "gating benchmarks; exits 2 on the first "
                              "malformed document")
-    parser.add_argument("--benchmarks",
-                        help="google-benchmark JSON from bench_pcg_solvers")
+    parser.add_argument("--diff", action="store_true",
+                        help="render a markdown comparison of two merged "
+                             "documents (--baseline vs --current) instead "
+                             "of gating")
+    parser.add_argument("--current",
+                        help="merged BENCH_ci.json to diff against the "
+                             "baseline (only with --diff)")
+    parser.add_argument("--out-md",
+                        help="write the --diff markdown table here instead "
+                             "of stdout")
+    parser.add_argument("--benchmarks", nargs="+", metavar="FILE",
+                        help="google-benchmark JSON file(s), e.g. from "
+                             "bench_pcg_solvers and bench_batched_solve")
     parser.add_argument("--obs-report",
                         help="obs_report.json from gridse_report")
     parser.add_argument("--baseline",
@@ -270,6 +369,8 @@ def main():
 
     if args.validate_chaos_report is not None:
         return validate_chaos_reports(args.validate_chaos_report)
+    if args.diff:
+        return run_diff(args)
     missing = [name for name, value in
                (("--benchmarks", args.benchmarks),
                 ("--obs-report", args.obs_report),
@@ -279,7 +380,8 @@ def main():
         parser.error(f"the following arguments are required: "
                      f"{', '.join(missing)}")
 
-    doc = merge(load(args.benchmarks), load(args.obs_report))
+    doc = merge([load(path) for path in args.benchmarks],
+                load(args.obs_report))
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -13,9 +13,13 @@
 # The curated subset mirrors the paper's evaluation:
 #   bench_table3_local_overhead   — local DSE overhead rows (Table III)
 #   bench_table4_network_overhead — networked overhead rows (Table IV)
-#   bench_pcg_solvers             — PCG/LDLt solver ablation (§IV-C), the
-#                                   only google-benchmark binary here, so
-#                                   the only one that emits benchmark JSON
+#   bench_pcg_solvers             — PCG/LDLt solver ablation (§IV-C),
+#                                   emits benchmark JSON
+#   bench_batched_solve           — sequential vs batched Step-1 sweep,
+#                                   emits benchmark JSON
+#
+# After gating, a markdown diff of BENCH_ci.json vs the baseline is
+# rendered to ${out_dir}/bench_diff.md for the CI step summary.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -34,6 +38,11 @@ echo "bench_smoke: Table IV network overhead..." >&2
 echo "bench_smoke: PCG solver ablation (benchmark JSON)..." >&2
 "${build_dir}/bench/bench_pcg_solvers" \
   --benchmark_out="${out_dir}/pcg_benchmarks.json" \
+  --benchmark_out_format=json
+
+echo "bench_smoke: batched Step-1 sweep (benchmark JSON)..." >&2
+"${build_dir}/bench/bench_batched_solve" \
+  --benchmark_out="${out_dir}/batched_benchmarks.json" \
   --benchmark_out_format=json
 
 echo "bench_smoke: DSE observability report (ieee118)..." >&2
@@ -58,7 +67,16 @@ fi
 # shellcheck disable=SC2086
 python3 "${repo_root}/tools/bench_gate.py" \
   --benchmarks "${out_dir}/pcg_benchmarks.json" \
+               "${out_dir}/batched_benchmarks.json" \
   --obs-report "${out_dir}/obs_report.json" \
   --baseline "${repo_root}/BENCH_baseline.json" \
   --out "${repo_root}/BENCH_ci.json" \
   ${BENCH_GATE_FLAGS:-}
+
+# Render the current-vs-baseline markdown table for the CI step summary.
+# Runs after the gate so a regression still fails the job first; when the
+# gate just seeded the baseline, the diff is all-zero deltas, which is fine.
+python3 "${repo_root}/tools/bench_gate.py" --diff \
+  --baseline "${repo_root}/BENCH_baseline.json" \
+  --current "${repo_root}/BENCH_ci.json" \
+  --out-md "${out_dir}/bench_diff.md"
