@@ -1,11 +1,13 @@
 #include "core/architecture.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "analysis/debug_sync.hpp"
 #include "grid/powerflow.hpp"
 #include "medici/medici_comm.hpp"
 #if GRIDSE_OBS
+#include "obs/telemetry.hpp"
 #include "obs/trace/trace.hpp"
 #endif
 #include "runtime/inproc_comm.hpp"
@@ -44,6 +46,13 @@ DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
   }
   config_.dse.degraded_step2 =
       config_.dse.degraded_step2 && config_.resilience.degraded_step2;
+  // Telemetry/SLO resolution mirrors the resilience pattern: env wins, and
+  // the resolved SLO thresholds flow into the DSE options unless already
+  // set explicitly there.
+  config_.telemetry = runtime::with_env_overrides(config_.telemetry);
+  if (!config_.dse.slo.any()) {
+    config_.dse.slo = config_.telemetry.slo;
+  }
   // A system-lifetime plan registry: symbolic solver plans survive across
   // cycles (each cycle's DseDriver is ephemeral). run_cycle invalidates the
   // entries of migrated subsystems on every remap epoch.
@@ -75,10 +84,33 @@ DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
   }
   generator_ = std::make_unique<grid::MeasurementGenerator>(
       generated_.kase.network, config_.plan);
+
+#if GRIDSE_OBS
+  if (!config_.telemetry.dir.empty()) {
+    obs::TelemetryOptions topt;
+    topt.dir = config_.telemetry.dir;
+    topt.sample_period = config_.telemetry.sample_period;
+    topt.flight_ring =
+        static_cast<std::size_t>(std::max(config_.telemetry.flight_ring, 1));
+    sampler_ = std::make_unique<obs::TelemetrySampler>(std::move(topt));
+    if (supervisor_ != nullptr) {
+      // Death/rejoin transitions arm the flight recorder; the flush itself
+      // happens at the next cycle boundary so the triggering cycle's record
+      // is in the ring (the sink runs outside the supervisor mutex).
+      supervisor_->set_alert_sink([this](const char* kind, int cluster) {
+        sampler_->note_trigger(kind, cluster,
+                               cycle_index_.load(std::memory_order_relaxed));
+      });
+    }
+  }
+#endif
 }
 
 DseSystem::~DseSystem() {
 #if GRIDSE_OBS
+  // Destroy the sampler first: a pending flight flush must drain the trace
+  // buffer into its post-mortem directory before the end-of-run flush does.
+  sampler_.reset();
   const std::string dir = resolve_trace_dir(config_.trace_dir);
   if (dir.empty()) {
     return;
@@ -224,10 +256,44 @@ CycleReport DseSystem::run_cycle(double time_sec) {
   if (supervisor_ != nullptr) {
     supervisor_->absorb(report.dse.recovery, participants);
   }
-  ++cycle_index_;
   report.max_vm_error = grid::max_vm_error(report.dse.state, true_state_);
   report.max_angle_error =
       grid::max_angle_error(report.dse.state, true_state_);
+#if GRIDSE_OBS
+  if (sampler_ != nullptr) {
+    const std::int64_t this_cycle =
+        cycle_index_.load(std::memory_order_relaxed);
+    if (!report.migrated_subsystems.empty()) {
+      sampler_->note_trigger("remap", -1, this_cycle);
+    }
+    if (report.dse.degraded_mode()) {
+      sampler_->note_trigger("degraded_combine", -1, this_cycle);
+    }
+    obs::CycleStamp stamp;
+    stamp.cycle = this_cycle;
+    stamp.participants = report.participants;
+    for (const DegradedStatus& d : report.dse.degraded) {
+      stamp.degraded_subsystems.push_back(d.subsystem);
+    }
+    if (supervisor_ != nullptr) {
+      stamp.epoch = supervisor_->epoch();
+      const std::vector<runtime::RankState> states =
+          supervisor_->cluster_states();
+      for (std::size_t c = 0; c < states.size(); ++c) {
+        if (states[c] == runtime::RankState::kDead) {
+          stamp.dead_clusters.push_back(static_cast<int>(c));
+        }
+      }
+    }
+    stamp.step1_seconds = report.dse.step1_seconds;
+    stamp.exchange_seconds = report.dse.exchange_seconds;
+    stamp.step2_seconds = report.dse.step2_seconds;
+    stamp.combine_seconds = report.dse.combine_seconds;
+    stamp.total_seconds = report.dse.total_seconds;
+    sampler_->on_cycle_end(stamp);
+  }
+#endif
+  ++cycle_index_;
   return report;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -13,6 +14,12 @@
 #include "mapping/mapper.hpp"
 #include "mapping/redistribution.hpp"
 #include "runtime/resilience.hpp"
+
+#if GRIDSE_OBS
+namespace gridse::obs {
+class TelemetrySampler;
+}  // namespace gridse::obs
+#endif
 
 namespace gridse::core {
 
@@ -44,6 +51,14 @@ struct SystemConfig {
   /// GRIDSE_TRACE_DIR environment variable; both empty = no trace files.
   /// Ignored (no files, no overhead) when built with GRIDSE_OBS=OFF.
   std::string trace_dir;
+  /// Per-cycle telemetry: time-series sampler, live exposition file, SLO
+  /// thresholds, degradation flight recorder (docs/OBSERVABILITY.md).
+  /// Resolved against GRIDSE_TELEMETRY_* / GRIDSE_CYCLE_DEADLINE_MS /
+  /// GRIDSE_PHASE_BUDGET_*_MS at construction (env wins); the resolved SLO
+  /// thresholds also seed dse.slo unless that was set explicitly. An empty
+  /// directory (config and GRIDSE_TELEMETRY_DIR both unset) disables the
+  /// sampler; so does a GRIDSE_OBS=OFF build (no files, no overhead).
+  runtime::TelemetryConfig telemetry;
   /// Optional system-load multiplier per frame time (e.g. a diurnal curve).
   /// When set, each run_cycle re-solves the power flow at the scaled
   /// operating point, so the DSE tracks a moving state — the paper's
@@ -136,7 +151,15 @@ class DseSystem {
   std::optional<std::vector<graph::PartId>> previous_assignment_;
   /// Present iff resilience.recovery.enabled.
   std::unique_ptr<Supervisor> supervisor_;
-  std::int64_t cycle_index_ = 0;
+  /// Atomic: the supervisor's alert sink stamps triggers with the current
+  /// cycle from whatever thread an operator kill/rejoin lands on.
+  std::atomic<std::int64_t> cycle_index_{0};
+#if GRIDSE_OBS
+  /// Present iff a telemetry directory is configured. Reset explicitly at
+  /// the top of ~DseSystem: a pending flight flush must drain the trace
+  /// buffer before the end-of-run trace flush does.
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
+#endif
 };
 
 }  // namespace gridse::core

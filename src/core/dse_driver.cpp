@@ -83,6 +83,38 @@ std::vector<BusStateRecord> narrow_records(
   return out;
 }
 
+#if GRIDSE_OBS
+/// Per-cycle SLO verdicts (rank 0 only, so counter deltas are cycle-scoped,
+/// not multiplied by the world size). Pure observation: emits `slo.*`
+/// counters and trace events, never alters the cycle outcome.
+void check_slo(const runtime::SloConfig& slo, const DseResult& result) {
+  const auto over = [](double seconds, std::chrono::milliseconds budget) {
+    return budget.count() > 0 &&
+           seconds * 1000.0 > static_cast<double>(budget.count());
+  };
+  const auto check_phase = [&](const char* phase, double seconds,
+                               std::chrono::milliseconds budget) {
+    if (!over(seconds, budget)) {
+      return;
+    }
+    OBS_COUNTER_ADD("slo.phase_budget_over", 1);
+    OBS_EVENT("slo.phase_budget_over", OBS_ATTR("phase", phase),
+              OBS_ATTR("seconds", seconds),
+              OBS_ATTR("budget_ms", budget.count()));
+  };
+  check_phase("step1", result.step1_seconds, slo.step1_budget);
+  check_phase("exchange", result.exchange_seconds, slo.exchange_budget);
+  check_phase("step2", result.step2_seconds, slo.step2_budget);
+  check_phase("combine", result.combine_seconds, slo.combine_budget);
+  if (over(result.total_seconds, slo.cycle_deadline)) {
+    OBS_COUNTER_ADD("slo.cycle_deadline_missed", 1);
+    OBS_EVENT("slo.cycle_deadline_missed",
+              OBS_ATTR("seconds", result.total_seconds),
+              OBS_ATTR("deadline_ms", slo.cycle_deadline.count()));
+  }
+}
+#endif
+
 }  // namespace
 
 DseDriver::DseDriver(const grid::Network& network,
@@ -690,6 +722,11 @@ DseResult DseDriver::run(runtime::Communicator& comm,
   }
   result.total_seconds = total_timer.seconds();
   result.bytes_sent = comm.bytes_sent() - bytes_before;
+#if GRIDSE_OBS
+  if (rank == 0 && options_.slo.any()) {
+    check_slo(options_.slo, result);
+  }
+#endif
 
   for (const int s : hosted2) {
     SubsystemTrace trace;

@@ -11,6 +11,7 @@
 #include "grid/meas_generator.hpp"
 #include "runtime/communicator.hpp"
 #include "runtime/recovery.hpp"
+#include "runtime/resilience.hpp"
 
 namespace gridse::core {
 
@@ -54,6 +55,11 @@ struct DseOptions {
   /// callers (DseSystem) pass a persistent registry and invalidate migrated
   /// subsystems on remap.
   std::shared_ptr<PlanRegistry> plan_registry;
+  /// Per-cycle SLO thresholds (cycle deadline + phase budgets). Checked on
+  /// rank 0 after the cycle completes; violations emit `slo.*` counters and
+  /// trace events but never change control flow. All-zero (the default)
+  /// disables the checks; so does a GRIDSE_OBS=OFF build.
+  runtime::SloConfig slo;
 };
 
 /// Per-cycle recovery context, supplied by the Supervisor when cross-cycle

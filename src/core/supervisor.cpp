@@ -111,27 +111,44 @@ Supervisor::Supervisor(int num_clusters, runtime::RecoveryConfig config)
                    "supervisor needs at least one cluster");
 }
 
-std::vector<int> Supervisor::begin_cycle() {
+void Supervisor::set_alert_sink(AlertSink sink) {
   analysis::LockGuard lock(mutex_);
-  ++epoch_;
+  sink_ = std::move(sink);
+}
+
+std::vector<int> Supervisor::begin_cycle() {
   std::vector<int> participants;
-  for (std::size_t c = 0; c < states_.size(); ++c) {
-    if (states_[c] == runtime::RankState::kRejoining &&
-        rejoin_ready_[c] >= 0 && rejoin_ready_[c] <= epoch_) {
-      states_[c] = runtime::RankState::kAlive;
-      rejoin_ready_[c] = -1;
-      ++rejoins_;
-      OBS_COUNTER_ADD("recovery.rejoins", 1);
-      OBS_EVENT("recovery.rejoined", OBS_ATTR("cluster", static_cast<int>(c)),
-                OBS_ATTR("epoch", static_cast<int>(epoch_)));
+  std::vector<int> rejoined;
+  AlertSink sink;
+  {
+    analysis::LockGuard lock(mutex_);
+    sink = sink_;
+    ++epoch_;
+    for (std::size_t c = 0; c < states_.size(); ++c) {
+      if (states_[c] == runtime::RankState::kRejoining &&
+          rejoin_ready_[c] >= 0 && rejoin_ready_[c] <= epoch_) {
+        states_[c] = runtime::RankState::kAlive;
+        rejoin_ready_[c] = -1;
+        ++rejoins_;
+        rejoined.push_back(static_cast<int>(c));
+        OBS_COUNTER_ADD("recovery.rejoins", 1);
+        OBS_EVENT("recovery.rejoined",
+                  OBS_ATTR("cluster", static_cast<int>(c)),
+                  OBS_ATTR("epoch", static_cast<int>(epoch_)));
+      }
+      if (states_[c] == runtime::RankState::kAlive) {
+        participants.push_back(static_cast<int>(c));
+      }
     }
-    if (states_[c] == runtime::RankState::kAlive) {
-      participants.push_back(static_cast<int>(c));
+    GRIDSE_CHECK_MSG(!participants.empty(),
+                     "recovery: every cluster is dead — nothing can host the "
+                     "estimation");
+  }
+  if (sink) {
+    for (const int c : rejoined) {
+      sink("rejoin", c);
     }
   }
-  GRIDSE_CHECK_MSG(!participants.empty(),
-                   "recovery: every cluster is dead — nothing can host the "
-                   "estimation");
   return participants;
 }
 
@@ -212,23 +229,45 @@ void Supervisor::absorb(const DseRecoveryResult& recovery,
   if (!recovery.enabled) {
     return;
   }
-  analysis::LockGuard lock(mutex_);
-  for (const int r : recovery.membership.dead_ranks()) {
-    if (r < 0 || r >= static_cast<int>(participants.size())) continue;
-    mark_dead_locked(participants[static_cast<std::size_t>(r)], "heartbeat");
-  }
+  std::vector<int> died;
+  AlertSink sink;
+  {
+    analysis::LockGuard lock(mutex_);
+    sink = sink_;
+    for (const int r : recovery.membership.dead_ranks()) {
+      if (r < 0 || r >= static_cast<int>(participants.size())) continue;
+      const int cluster = participants[static_cast<std::size_t>(r)];
+      if (mark_dead_locked(cluster, "heartbeat")) {
+        died.push_back(cluster);
+      }
+    }
 #if GRIDSE_OBS
-  for (const int r : recovery.membership.suspect_ranks()) {
-    if (r < 0 || r >= static_cast<int>(participants.size())) continue;
-    OBS_EVENT("recovery.cluster_suspect",
-              OBS_ATTR("cluster", participants[static_cast<std::size_t>(r)]));
-  }
+    for (const int r : recovery.membership.suspect_ranks()) {
+      if (r < 0 || r >= static_cast<int>(participants.size())) continue;
+      OBS_EVENT(
+          "recovery.cluster_suspect",
+          OBS_ATTR("cluster", participants[static_cast<std::size_t>(r)]));
+    }
 #endif
+  }
+  if (sink) {
+    for (const int c : died) {
+      sink("cluster_dead", c);
+    }
+  }
 }
 
 void Supervisor::kill_cluster(int cluster) {
-  analysis::LockGuard lock(mutex_);
-  mark_dead_locked(cluster, "operator");
+  bool died = false;
+  AlertSink sink;
+  {
+    analysis::LockGuard lock(mutex_);
+    sink = sink_;
+    died = mark_dead_locked(cluster, "operator");
+  }
+  if (died && sink) {
+    sink("cluster_dead", cluster);
+  }
 }
 
 void Supervisor::announce_rejoin(int cluster) {
@@ -254,12 +293,12 @@ runtime::RankState Supervisor::state_of(int cluster) const {
   return states_[static_cast<std::size_t>(cluster)];
 }
 
-void Supervisor::mark_dead_locked(int cluster, const char* reason) {
+bool Supervisor::mark_dead_locked(int cluster, const char* reason) {
   GRIDSE_ASSERT_HELD(mutex_);
   GRIDSE_CHECK_MSG(cluster >= 0 && cluster < static_cast<int>(states_.size()),
                    "mark_dead: cluster id out of range");
   if (states_[static_cast<std::size_t>(cluster)] == runtime::RankState::kDead) {
-    return;
+    return false;
   }
   states_[static_cast<std::size_t>(cluster)] = runtime::RankState::kDead;
   rejoin_ready_[static_cast<std::size_t>(cluster)] = -1;
@@ -268,6 +307,7 @@ void Supervisor::mark_dead_locked(int cluster, const char* reason) {
   OBS_EVENT("recovery.cluster_dead", OBS_ATTR("cluster", cluster),
             OBS_ATTR("reason", reason));
   (void)reason;
+  return true;
 }
 
 }  // namespace gridse::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -105,6 +106,16 @@ class Supervisor {
   /// the new mapping places on it.
   void announce_rejoin(int cluster);
 
+  /// Observer of state-machine transitions: invoked with kind
+  /// "cluster_dead" or "rejoin" and the affected cluster id, strictly
+  /// AFTER mutex_ is released (the sink may do I/O or take its own locks).
+  /// Deliberately obs-free — DseSystem wires it to the telemetry flight
+  /// recorder under GRIDSE_OBS, so gridse_core itself stays free of obs
+  /// symbols in an OBS=OFF build. Install before the first cycle; not
+  /// synchronized against in-flight transitions during replacement.
+  using AlertSink = std::function<void(const char* kind, int cluster)>;
+  void set_alert_sink(AlertSink sink);
+
   [[nodiscard]] runtime::RankState state_of(int cluster) const;
   /// Snapshot of every cluster's state. Returns a copy: the vector mutates
   /// under mutex_ whenever a death/rejoin lands, so a reference would hand
@@ -139,7 +150,9 @@ class Supervisor {
   }
 
  private:
-  void mark_dead_locked(int cluster, const char* reason)
+  /// Returns true when the cluster actually transitioned to dead (the
+  /// caller then reports it through the alert sink outside the lock).
+  bool mark_dead_locked(int cluster, const char* reason)
       GRIDSE_REQUIRES(mutex_);
 
   runtime::RecoveryConfig config_;
@@ -150,6 +163,7 @@ class Supervisor {
   std::vector<runtime::RankState> states_ GRIDSE_GUARDED_BY(mutex_);
   /// Epoch at which a rejoining cluster becomes alive again (-1 = n/a).
   std::vector<std::int64_t> rejoin_ready_ GRIDSE_GUARDED_BY(mutex_);
+  AlertSink sink_ GRIDSE_GUARDED_BY(mutex_);
   CheckpointStore store_;
   std::int64_t epoch_ GRIDSE_GUARDED_BY(mutex_) = 0;
   int remaps_ GRIDSE_GUARDED_BY(mutex_) = 0;

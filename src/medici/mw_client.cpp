@@ -92,6 +92,18 @@ void MwClient::read_loop(runtime::Socket conn) {
 #endif
       OBS_COUNTER_ADD("medici.client.recv.messages", 1);
       OBS_COUNTER_ADD("medici.client.recv.bytes", m.payload.size());
+#if GRIDSE_OBS
+      // Receive-side mirror of the per-endpoint send counters: keyed by the
+      // sending client id (the frame's source), so the telemetry sampler
+      // can compute per-link in/out rate deltas per cycle.
+      {
+        auto& registry = obs::MetricsRegistry::global();
+        const std::string from = std::to_string(m.source);
+        registry.counter("medici.endpoint.messages.from." + from).add(1);
+        registry.counter("medici.endpoint.bytes.from." + from)
+            .add(m.payload.size());
+      }
+#endif
       mailbox_.deliver(std::move(m));
     }
   } catch (const CommError& e) {

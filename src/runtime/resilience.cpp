@@ -120,4 +120,24 @@ ResilienceConfig with_env_overrides(ResilienceConfig base) {
   return base;
 }
 
+TelemetryConfig with_env_overrides(TelemetryConfig base) {
+  read_env("GRIDSE_TELEMETRY_DIR", base.dir,
+           [](const std::string&, const std::string& raw) { return raw; });
+  read_env("GRIDSE_TELEMETRY_SAMPLE_MS", base.sample_period, parse_env_ms);
+  read_env("GRIDSE_FLIGHT_RING", base.flight_ring,
+           [](const std::string& name, const std::string& raw) {
+             return parse_env_int(name, raw, 1);
+           });
+  read_env("GRIDSE_CYCLE_DEADLINE_MS", base.slo.cycle_deadline, parse_env_ms);
+  read_env("GRIDSE_PHASE_BUDGET_STEP1_MS", base.slo.step1_budget,
+           parse_env_ms);
+  read_env("GRIDSE_PHASE_BUDGET_EXCHANGE_MS", base.slo.exchange_budget,
+           parse_env_ms);
+  read_env("GRIDSE_PHASE_BUDGET_STEP2_MS", base.slo.step2_budget,
+           parse_env_ms);
+  read_env("GRIDSE_PHASE_BUDGET_COMBINE_MS", base.slo.combine_budget,
+           parse_env_ms);
+  return base;
+}
+
 }  // namespace gridse::runtime

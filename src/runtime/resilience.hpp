@@ -52,6 +52,42 @@ struct RecoveryConfig {
   std::string checkpoint_dir;
 };
 
+/// Per-cycle service-level objectives: a wall-clock deadline for the whole
+/// cycle and optional per-phase budgets. A value of 0 disables that check.
+/// Violations never alter control flow — they only emit
+/// `slo.cycle_deadline_missed` / `slo.phase_budget_over` counters and trace
+/// events (see docs/OBSERVABILITY.md, "Per-cycle telemetry").
+struct SloConfig {
+  std::chrono::milliseconds cycle_deadline{0};
+  std::chrono::milliseconds step1_budget{0};
+  std::chrono::milliseconds exchange_budget{0};
+  std::chrono::milliseconds step2_budget{0};
+  std::chrono::milliseconds combine_budget{0};
+
+  /// True when at least one threshold is configured.
+  [[nodiscard]] bool any() const {
+    return cycle_deadline.count() > 0 || step1_budget.count() > 0 ||
+           exchange_budget.count() > 0 || step2_budget.count() > 0 ||
+           combine_budget.count() > 0;
+  }
+};
+
+/// Per-cycle telemetry knobs (the time-series sampler and the degradation
+/// flight recorder in src/obs/telemetry.hpp). Plain data here so the config
+/// plumbing stays obs-free: a GRIDSE_OBS=OFF build still parses these, it
+/// just never starts a sampler.
+struct TelemetryConfig {
+  /// Output directory for timeseries.jsonl / metrics.prom / flight-*.json.
+  /// Empty = take GRIDSE_TELEMETRY_DIR; both empty = telemetry off.
+  std::string dir;
+  /// Wall-clock background sampling period for long phases; 0 = sample at
+  /// cycle boundaries only.
+  std::chrono::milliseconds sample_period{0};
+  /// Cycle snapshots retained in the flight-recorder ring.
+  int flight_ring = 16;
+  SloConfig slo;
+};
+
 /// How the distributed exchange behaves when peers misbehave. Threaded from
 /// SystemConfig into the transports and the DSE driver.
 struct ResilienceConfig {
@@ -101,5 +137,15 @@ bool parse_env_flag(const std::string& name, const std::string& raw);
 ///   GRIDSE_CHECKPOINT_DIR                                    (path)
 /// Throws gridse::InvalidInput on unparsable values.
 ResilienceConfig with_env_overrides(ResilienceConfig base);
+
+/// `base` with environment overrides applied:
+///   GRIDSE_TELEMETRY_DIR                                   (path)
+///   GRIDSE_TELEMETRY_SAMPLE_MS                             (ms)
+///   GRIDSE_FLIGHT_RING                                     (int >= 1)
+///   GRIDSE_CYCLE_DEADLINE_MS                               (ms)
+///   GRIDSE_PHASE_BUDGET_STEP1_MS, GRIDSE_PHASE_BUDGET_EXCHANGE_MS,
+///   GRIDSE_PHASE_BUDGET_STEP2_MS, GRIDSE_PHASE_BUDGET_COMBINE_MS  (ms)
+/// Throws gridse::InvalidInput on unparsable values.
+TelemetryConfig with_env_overrides(TelemetryConfig base);
 
 }  // namespace gridse::runtime

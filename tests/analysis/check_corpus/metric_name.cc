@@ -1,0 +1,30 @@
+// CHECK-PATH: src/obs/corpus_metrics.cpp
+// metric-name: registrations must follow the subsystem.noun[_unit] grammar
+// (lowercase snake-case dot-joined segments, at least two), dynamic names
+// need a grammar-clean dot-terminated literal prefix, and one literal name
+// maps to exactly one instrument kind per file.
+namespace corpus {
+
+struct Registry {
+  int& counter(const char* name);
+  double& gauge(const char* name);
+};
+
+void instrument(Registry& registry, const char* endpoint) {
+  // Clean registrations: no findings.
+  OBS_COUNTER_ADD("exchange.retries", 1);
+  OBS_HISTOGRAM_OBSERVE("dse.step1.subsystem_seconds", 0.25);
+  OBS_SPAN("medici.client.send");
+  registry.counter("medici.endpoint.bytes.to." + endpoint);
+
+  OBS_COUNTER_ADD("Retries", 1);  // (EXPECT: metric-name)
+  OBS_GAUGE_SET("queue_depth", 3);  // (EXPECT: metric-name)
+  OBS_COUNTS_OBSERVE("dse.Step1.iters", 4);  // (EXPECT: metric-name)
+  registry.counter("medici.endpoint" + endpoint);  // (EXPECT: metric-name)
+
+  // Kind collision: the same literal registered as counter then gauge.
+  registry.counter("runtime.mailbox.depth");
+  registry.gauge("runtime.mailbox.depth");  // (EXPECT: metric-name)
+}
+
+}  // namespace corpus

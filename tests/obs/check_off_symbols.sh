@@ -18,5 +18,17 @@ for archive in "$@"; do
   else
     echo "ok: ${archive} is free of gridse::obs symbols"
   fi
+  # The telemetry sampler has out-of-line symbols in libgridse_obs, so the
+  # generic gridse::obs:: grep above covers it — but check by name anyway:
+  # a future rename of the obs namespace must not silently unguard the
+  # per-cycle sampler in hot-path archives.
+  if symbols=$(nm -C "${archive}" 2>/dev/null \
+      | grep -E "TelemetrySampler|exposition_text"); then
+    echo "FAIL: ${archive} references telemetry in an OBS=OFF build:" >&2
+    echo "${symbols}" | head -20 >&2
+    status=1
+  else
+    echo "ok: ${archive} is free of telemetry symbols"
+  fi
 done
 exit "${status}"

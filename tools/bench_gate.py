@@ -23,6 +23,14 @@ with two metric classes:
   never required in the baseline: a healthy bench run legitimately
   reports zeros.
 
+An optional --timeseries FILE (the gridse-timeseries/1 JSONL written by
+the telemetry sampler, docs/OBSERVABILITY.md) adds per-cycle health to
+the informational class: total slo.cycle_deadline_missed across cycles,
+total exchange.retries, the cycle count, and the per-cycle Gauss-Newton
+iteration spread (max minus min of each cycle's iteration delta — 0
+means every cycle solved in identically many iterations, the
+deterministic steady state).
+
 `--diff --baseline FILE --current FILE [--out-md FILE]` renders the
 enforced and advisory metrics of two merged documents side by side as a
 GitHub-flavored markdown table (value, reference, % delta) — used by CI
@@ -65,6 +73,44 @@ ENFORCED_COUNTER_NAMES = ("lanes",)
 
 def is_enforced_counter(key):
     return key.endswith(ENFORCED_COUNTER_SUFFIXES) or key in ENFORCED_COUNTER_NAMES
+
+
+def timeseries_info(path):
+    """Informational keys from a gridse-timeseries/1 JSONL series."""
+    slo_missed = 0
+    retries = 0
+    iteration_deltas = []
+    cycles = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("schema") is not None:
+                if record["schema"] != "gridse-timeseries/1":
+                    raise ValueError(
+                        f"{path}: schema {record['schema']!r}, expected "
+                        "'gridse-timeseries/1'")
+                continue
+            if record.get("kind") != "cycle":
+                continue  # interval samples overlap the cycle deltas
+            cycles += 1
+            counters = record.get("counters", {})
+            slo_missed += counters.get("slo.cycle_deadline_missed", 0)
+            retries += counters.get("exchange.retries", 0)
+            gn = record.get("histograms", {}).get(
+                "wls.gauss_newton_iterations")
+            if gn:
+                iteration_deltas.append(gn.get("sum", 0))
+    spread = (max(iteration_deltas) - min(iteration_deltas)
+              if iteration_deltas else 0)
+    return {
+        "timeseries.cycles": cycles,
+        "timeseries.slo.cycle_deadline_missed": slo_missed,
+        "timeseries.exchange.retries": retries,
+        "timeseries.gn_iterations.spread": spread,
+    }
 
 
 def merge(bench_docs, report):
@@ -356,6 +402,10 @@ def main():
                              "bench_pcg_solvers and bench_batched_solve")
     parser.add_argument("--obs-report",
                         help="obs_report.json from gridse_report")
+    parser.add_argument("--timeseries",
+                        help="optional gridse-timeseries/1 JSONL from the "
+                             "telemetry sampler; adds per-cycle SLO/retry/"
+                             "iteration-stability informational keys")
     parser.add_argument("--baseline",
                         help="committed BENCH_baseline.json")
     parser.add_argument("--out",
@@ -382,6 +432,13 @@ def main():
 
     doc = merge([load(path) for path in args.benchmarks],
                 load(args.obs_report))
+    if args.timeseries:
+        try:
+            doc["informational"].update(timeseries_info(args.timeseries))
+        except (OSError, json.JSONDecodeError, ValueError) as e:
+            print(f"bench_gate: ERROR: --timeseries {args.timeseries}: {e}",
+                  file=sys.stderr)
+            return 2
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")

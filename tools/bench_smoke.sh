@@ -17,6 +17,8 @@
 #                                   emits benchmark JSON
 #   bench_batched_solve           — sequential vs batched Step-1 sweep,
 #                                   emits benchmark JSON
+#   bench_telemetry_overhead      — per-cycle telemetry sampler cost
+#                                   (<1% cycle budget), emits benchmark JSON
 #
 # After gating, a markdown diff of BENCH_ci.json vs the baseline is
 # rendered to ${out_dir}/bench_diff.md for the CI step summary.
@@ -45,10 +47,28 @@ echo "bench_smoke: batched Step-1 sweep (benchmark JSON)..." >&2
   --benchmark_out="${out_dir}/batched_benchmarks.json" \
   --benchmark_out_format=json
 
+echo "bench_smoke: telemetry sampler overhead (benchmark JSON)..." >&2
+"${build_dir}/bench/bench_telemetry_overhead" \
+  --benchmark_out="${out_dir}/telemetry_benchmarks.json" \
+  --benchmark_out_format=json
+
 echo "bench_smoke: DSE observability report (ieee118)..." >&2
 "${build_dir}/tools/gridse_report" --case ieee118 --cycles 3 \
   --out "${out_dir}/obs_report.json" \
-  --trace-dir "${out_dir}/trace"
+  --trace-dir "${out_dir}/trace" \
+  --telemetry-dir "${out_dir}/telemetry"
+
+# Per-cycle telemetry: analyze the time-series into a markdown report for
+# the CI step summary. A GRIDSE_OBS=OFF build writes no series; skip.
+if [ -f "${out_dir}/telemetry/timeseries.jsonl" ]; then
+  echo "bench_smoke: analyzing telemetry time-series..." >&2
+  "${build_dir}/tools/gridse_stats" "${out_dir}/telemetry" \
+    --out "${out_dir}/telemetry_report.md"
+  timeseries_flag=(--timeseries "${out_dir}/telemetry/timeseries.jsonl")
+else
+  echo "bench_smoke: no telemetry series (GRIDSE_OBS=OFF build?); skipping" >&2
+  timeseries_flag=()
+fi
 
 # Merge the per-rank distributed-trace files into a Perfetto-loadable
 # trace.json and fail on a malformed document. A GRIDSE_OBS=OFF build
@@ -68,7 +88,9 @@ fi
 python3 "${repo_root}/tools/bench_gate.py" \
   --benchmarks "${out_dir}/pcg_benchmarks.json" \
                "${out_dir}/batched_benchmarks.json" \
+               "${out_dir}/telemetry_benchmarks.json" \
   --obs-report "${out_dir}/obs_report.json" \
+  ${timeseries_flag[@]+"${timeseries_flag[@]}"} \
   --baseline "${repo_root}/BENCH_baseline.json" \
   --out "${repo_root}/BENCH_ci.json" \
   ${BENCH_GATE_FLAGS:-}

@@ -26,6 +26,17 @@ clang-tidy enforces, because they are *project* conventions:
                    "guarded by" / "protected by" without a
                    GRIDSE_GUARDED_BY(...) annotation.  Prose invariants rot;
                    annotated ones are compiler-checked.
+  metric-name      metric registrations in src/ (OBS_COUNTER_ADD /
+                   OBS_GAUGE_SET / OBS_HISTOGRAM_OBSERVE / OBS_COUNTS_OBSERVE
+                   / OBS_SPAN and registry .counter()/.gauge()/.histogram())
+                   whose literal name does not follow the
+                   `subsystem.noun[_unit]` grammar: lowercase snake-case
+                   segments joined by dots, at least two segments.  Dynamic
+                   names are tolerated when the literal prefix ends in `.`
+                   (e.g. "medici.endpoint.bytes.to." + key).  Registering the
+                   same literal name under two different instrument kinds in
+                   one file is also flagged — the registry would race the
+                   types at runtime.  Tests are exempt (toy names).
 
 Suppressions (tools/gridse_check_suppressions.txt by default):
   each non-comment line is `<rule> <path-glob> [reason...]`; a finding whose
@@ -61,6 +72,7 @@ RULES = (
     "fault-hook",
     "locked-requires",
     "guarded-field",
+    "metric-name",
 )
 
 # Directories scanned in a tree run, relative to the repo root.
@@ -107,6 +119,26 @@ LOCKED_DECL_RE = re.compile(
 GUARDED_COMMENT_RE = re.compile(r"(?://|/\*).*(?:guarded|protected)\s+by",
                                 re.IGNORECASE)
 GUARDED_ANNOT_RE = re.compile(r"\bGRIDSE_(?:PT_)?GUARDED_BY\s*\(")
+# Metric registration sites.  The literal lives in the raw line (string
+# literals are blanked in the stripped code), so the site token is matched
+# against code and the name extracted from raw.
+METRIC_SITE_RE = re.compile(
+    r"\b(?:OBS_(?P<macro>COUNTER_ADD|GAUGE_SET|HISTOGRAM_OBSERVE|"
+    r"COUNTS_OBSERVE|SPAN)"
+    r"|(?:\.|->)\s*(?P<method>counter|gauge|histogram))"
+    r"\s*\(\s*\"(?P<name>[^\"]*)\"(?P<plus>\s*\+)?"
+)
+# subsystem.noun[_unit]: >= 2 dot-separated lowercase snake segments.
+METRIC_NAME_RE = re.compile(r"[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+")
+# Dynamic-name prefix: grammar-clean segments, ending at a segment boundary.
+METRIC_PREFIX_RE = re.compile(r"(?:[a-z][a-z0-9_]*\.)+")
+METRIC_KIND = {
+    "COUNTER_ADD": "counter", "GAUGE_SET": "gauge",
+    "HISTOGRAM_OBSERVE": "histogram", "COUNTS_OBSERVE": "histogram",
+    "SPAN": "span",
+    "counter": "counter", "gauge": "gauge", "histogram": "histogram",
+}
+
 ALLOW_RE = re.compile(r"gridse-check:\s*allow\(\s*([\w-]+)\s*\)")
 EXPECT_RE = re.compile(r"EXPECT(-SUPPRESSED)?:\s*([\w-]+)")
 CHECK_PATH_RE = re.compile(r"//\s*CHECK-PATH:\s*(\S+)")
@@ -186,6 +218,10 @@ def check_file(rel: str, raw_lines: list[str]) -> list[Finding]:
                             "src/runtime/resilience.hpp")
     in_transport = rel.startswith(("src/runtime/", "src/medici/"))
     has_fault_hook = any(FAULT_HOOK_RE.search(c) for c in code)
+    # metric-name applies to production code only; tests/bench register toy
+    # names ("x", "lat") on purpose-built registries.
+    in_metric_scope = rel.startswith("src/")
+    metric_kinds: dict[str, tuple[str, int]] = {}
 
     for idx, line in enumerate(code):
         lineno = idx + 1
@@ -221,6 +257,39 @@ def check_file(rel: str, raw_lines: list[str]) -> list[Finding]:
                     rel, lineno, "locked-requires",
                     f"{m.group(2)}() follows the *_locked naming contract "
                     "but has no GRIDSE_REQUIRES(<mutex>) annotation"))
+
+        if in_metric_scope:
+            for m in METRIC_SITE_RE.finditer(raw):
+                token = m.group("macro") or m.group("method")
+                if token not in line:
+                    continue  # the site itself is commented out
+                name = m.group("name")
+                kind = METRIC_KIND[token]
+                if m.group("plus"):
+                    if not METRIC_PREFIX_RE.fullmatch(name):
+                        findings.append(Finding(
+                            rel, lineno, "metric-name",
+                            f"dynamic metric prefix \"{name}\" must be "
+                            "grammar-clean dot-terminated segments "
+                            "(e.g. \"medici.endpoint.bytes.to.\")"))
+                    continue
+                if not METRIC_NAME_RE.fullmatch(name):
+                    findings.append(Finding(
+                        rel, lineno, "metric-name",
+                        f"metric \"{name}\" violates the "
+                        "subsystem.noun[_unit] grammar (lowercase "
+                        "snake-case segments joined by dots, >= 2 "
+                        "segments)"))
+                    continue
+                prev = metric_kinds.get(name)
+                if prev is not None and prev[0] != kind:
+                    findings.append(Finding(
+                        rel, lineno, "metric-name",
+                        f"metric \"{name}\" re-registered as a {kind}; "
+                        f"already a {prev[0]} at line {prev[1]} — one "
+                        "name, one instrument kind"))
+                elif prev is None:
+                    metric_kinds[name] = (kind, lineno)
 
         if GUARDED_COMMENT_RE.search(raw):
             stripped = line.strip()

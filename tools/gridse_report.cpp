@@ -4,6 +4,15 @@
 //   gridse_report [--case ieee118|wecc37] [--clusters K] [--cycles N]
 //                 [--transport inproc|tcp|medici|direct] [--rounds R]
 //                 [--out obs_report.json] [--trace-dir DIR] [--table]
+//                 [--telemetry-dir DIR] [--cycle-deadline-ms MS]
+//                 [--recovery 0|1] [--kill-cluster C --kill-cycle N]
+//
+// The service-run flags drive a long-running estimation scenario: with
+// --telemetry-dir every cycle appends a gridse-timeseries/1 record (and
+// refreshes the live metrics.prom exposition); with --recovery plus
+// --kill-cluster/--kill-cycle, cluster C is killed right before cycle N so
+// the run exercises remap/degraded cycles and the flight recorder writes
+// flight-N.json (analyze with gridse_stats).
 //
 // The report (schema "gridse-obs-report/1") carries two views of the same
 // run: per-cycle phase timings and byte counts in the shape of the paper's
@@ -68,7 +77,10 @@ void usage() {
       "                     [--cycles N] [--transport inproc|tcp|medici|"
       "direct]\n"
       "                     [--rounds R] [--out obs_report.json]\n"
-      "                     [--trace-dir DIR] [--table]\n");
+      "                     [--trace-dir DIR] [--table]\n"
+      "                     [--telemetry-dir DIR] [--cycle-deadline-ms MS]\n"
+      "                     [--recovery 0|1] [--kill-cluster C "
+      "--kill-cycle N]\n");
 }
 
 int run(const Args& args) {
@@ -104,6 +116,35 @@ int run(const Args& args) {
                  config.trace_dir.c_str());
   }
 
+  // Per-cycle telemetry + flight recorder (docs/OBSERVABILITY.md). The SLO
+  // deadline flows through config.telemetry.slo into the driver.
+  config.telemetry.dir = opt_str(args, "telemetry-dir", "");
+  config.telemetry.slo.cycle_deadline =
+      std::chrono::milliseconds(opt_int(args, "cycle-deadline-ms", 0));
+  if (!config.telemetry.dir.empty() && !obs::kEnabled) {
+    std::fprintf(stderr,
+                 "note: built with GRIDSE_OBS=OFF; no telemetry will be "
+                 "written to '%s'\n",
+                 config.telemetry.dir.c_str());
+  }
+
+  // Recovery service scenario: kill cluster C right before cycle N (0-based
+  // cycle index) so the heartbeat/remap machinery — and the telemetry
+  // flight recorder — get exercised deterministically.
+  const bool recovery = opt_int(args, "recovery", 0) != 0;
+  const int kill_cluster = opt_int(args, "kill-cluster", -1);
+  const int kill_cycle = opt_int(args, "kill-cycle", -1);
+  if (recovery) {
+    config.resilience.recovery.enabled = true;
+    if (config.resilience.exchange_deadline.count() == 0) {
+      config.resilience.exchange_deadline = std::chrono::milliseconds(2000);
+    }
+  }
+  if (kill_cluster >= 0 && !recovery) {
+    std::fprintf(stderr, "--kill-cluster requires --recovery 1\n");
+    return 2;
+  }
+
   // Drop anything a previous run in this process accumulated so the report
   // covers exactly the cycles below.
   obs::MetricsRegistry::global().reset();
@@ -113,6 +154,10 @@ int run(const Args& args) {
   reports.reserve(static_cast<std::size_t>(cycles));
   bool all_converged = true;
   for (int i = 0; i < cycles; ++i) {
+    if (kill_cluster >= 0 && i == kill_cycle) {
+      std::printf("killing cluster %d before cycle %d\n", kill_cluster, i);
+      system.kill_cluster(kill_cluster);
+    }
     reports.push_back(system.run_cycle(i * 30.0));
     const core::CycleReport& rep = reports.back();
     all_converged = all_converged && rep.dse.all_converged;
