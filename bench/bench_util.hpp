@@ -3,10 +3,25 @@
 #include <cstdio>
 #include <string>
 
+#include "io/synthetic.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace gridse::bench {
+
+/// The one case-loading path shared by every bench binary, so a tier name
+/// means the same network everywhere ("ieee118" in the figure benches is
+/// the same case as in the scaling sweeps). Known names: ieee118, wecc37,
+/// 10k, 30k, 100k.
+inline io::GeneratedCase load_case(const std::string& name) {
+  if (name == "ieee118") return io::ieee118_dse();
+  if (name == "wecc37") return io::wecc37();
+  if (name == "10k") return io::interconnection10k();
+  if (name == "30k") return io::interconnection30k();
+  if (name == "100k") return io::interconnection100k();
+  throw InvalidInput("unknown bench case: " + name);
+}
 
 /// Print a section header in the style shared by all bench binaries.
 inline void print_header(const std::string& experiment,

@@ -47,7 +47,7 @@ int run() {
       "Paper reference: load-imbalance 1.035 before Step 1, 1.079 before\n"
       "Step 2 (METIS, suggested threshold 1.05).");
 
-  const io::GeneratedCase generated = io::ieee118_dse();
+  const io::GeneratedCase generated = bench::load_case("ieee118");
   decomp::Decomposition d =
       decomp::decompose(generated.kase.network, generated.subsystem_of_bus);
   decomp::analyze_sensitivity(generated.kase.network, d, {});

@@ -4,7 +4,17 @@
 // random subsystem-to-cluster designations on edge cut and load balance, and
 // reports partitioning wall time (the paper notes "partitioning is typically
 // much faster than running state estimation computations").
+//
+// A second sweep partitions the hierarchical scale tiers (ieee118 / 10k /
+// 30k / 100k buses) at the bus level, checks thread-count determinism, and
+// writes a gridse-partition-report/1 JSON consumed by tools/bench_gate.py
+// as informational partition.<tier>.* keys (argv[1] = output path; no
+// argument = report to stdout only).
+#include <cstdio>
+#include <thread>
+
 #include "bench_util.hpp"
+#include "decomp/bus_partition.hpp"
 #include "decomp/decomposition.hpp"
 #include "io/synthetic.hpp"
 #include "mapping/mapper.hpp"
@@ -15,6 +25,132 @@
 namespace {
 
 using namespace gridse;
+
+struct TierResult {
+  std::string tier;
+  int buses = 0;
+  int k = 0;
+  double time_ms = 0.0;
+  double cut = 0.0;
+  int boundary_buses = 0;
+  double boundary_coupling = 0.0;
+  double expected_gn = 0.0;
+  double imbalance = 0.0;
+  double speedup = 1.0;
+  bool deterministic = true;
+};
+
+/// The 100k tier must finish within this bound — the bench exits nonzero
+/// otherwise, which is what makes "completes under bench-gated time" a
+/// smoke-testable property rather than a hope.
+constexpr double kMaxTierSeconds = 120.0;
+
+int run_tiers(const char* report_path) {
+  bench::print_header(
+      "Scale tiers — bus-level partitioning of hierarchical interconnections",
+      "partition_buses() on the susceptance-coupling graph of each tier:\n"
+      "wall time, edge cut, boundary buses, boundary coupling rho and the\n"
+      "expected-GN-iteration score (arXiv 2104.04320). speedup = 1-thread\n"
+      "time over hardware-thread time; assignments must be bit-identical\n"
+      "regardless of thread count.");
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const struct {
+    const char* name;
+    int k;
+  } kTiers[] = {{"ieee118", 3}, {"10k", 32}, {"30k", 32}, {"100k", 64}};
+
+  std::vector<TierResult> results;
+  bool ok = true;
+  TextTable t({"tier", "buses", "k", "time (ms)", "cut", "bdry buses",
+               "coupling", "exp GN", "imb", "speedup", "det"});
+  for (const auto& tier : kTiers) {
+    const io::GeneratedCase gc = bench::load_case(tier.name);
+    graph::PartitionOptions popts;
+    popts.k = tier.k;
+    popts.seed = 7;
+    popts.objective = graph::PartitionObjective::kConvergenceAware;
+
+    popts.threads = 1;
+    Timer timer;
+    const std::vector<int> seq =
+        decomp::partition_buses(gc.kase.network, popts);
+    const double t1_ms = timer.millis();
+
+    popts.threads = std::max(hw, 2);
+    Timer timer_par;
+    const std::vector<int> par =
+        decomp::partition_buses(gc.kase.network, popts);
+    const double tn_ms = timer_par.millis();
+
+    const graph::WeightedGraph g = decomp::bus_coupling_graph(gc.kase.network);
+    const graph::Partition p = graph::evaluate_partition(
+        g, std::vector<graph::PartId>(seq.begin(), seq.end()), tier.k);
+
+    TierResult r;
+    r.tier = tier.name;
+    r.buses = gc.kase.network.num_buses();
+    r.k = tier.k;
+    r.time_ms = tn_ms;
+    r.cut = p.edge_cut;
+    r.boundary_buses = p.boundary_vertices;
+    r.boundary_coupling = p.boundary_coupling;
+    r.expected_gn = p.expected_gn_iterations;
+    r.imbalance = p.load_imbalance;
+    r.speedup = tn_ms > 0.0 ? t1_ms / tn_ms : 1.0;
+    r.deterministic = seq == par;
+    results.push_back(r);
+
+    if (!r.deterministic) {
+      std::printf("FAIL: %s partition differs between 1 and %d threads\n",
+                  tier.name, popts.threads);
+      ok = false;
+    }
+    if (tn_ms > kMaxTierSeconds * 1e3 || t1_ms > kMaxTierSeconds * 1e3) {
+      std::printf("FAIL: %s partition exceeded %.0fs\n", tier.name,
+                  kMaxTierSeconds);
+      ok = false;
+    }
+    t.add_row({r.tier, std::to_string(r.buses), std::to_string(r.k),
+               strfmt("%.1f", r.time_ms), strfmt("%.1f", r.cut),
+               std::to_string(r.boundary_buses),
+               strfmt("%.4f", r.boundary_coupling),
+               strfmt("%.2f", r.expected_gn),
+               strfmt("%.3f", r.imbalance), strfmt("%.2f", r.speedup),
+               r.deterministic ? "yes" : "NO"});
+  }
+  bench::print_table(t);
+  std::printf("hardware threads: %d (speedup is informational; a 1-core\n"
+              "runner legitimately reports ~1.0)\n",
+              hw);
+
+  if (report_path != nullptr) {
+    FILE* f = std::fopen(report_path, "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", report_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"gridse-partition-report/1\",\n"
+                    "  \"tiers\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const TierResult& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"tier\": \"%s\", \"buses\": %d, \"k\": %d, "
+          "\"time_ms\": %.3f, \"cut\": %.3f, \"boundary_buses\": %d, "
+          "\"boundary_coupling\": %.6f, \"expected_gn_iterations\": %.3f, "
+          "\"imbalance\": %.4f, \"speedup\": %.3f, \"deterministic\": %s}%s\n",
+          r.tier.c_str(), r.buses, r.k, r.time_ms, r.cut, r.boundary_buses,
+          r.boundary_coupling, r.expected_gn, r.imbalance, r.speedup,
+          r.deterministic ? "true" : "false",
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", report_path);
+  }
+  return ok ? 0 : 1;
+}
 
 int run() {
   bench::print_header(
@@ -77,4 +213,8 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  const int ablation = run();
+  const int tiers = run_tiers(argc > 1 ? argv[1] : nullptr);
+  return ablation != 0 ? ablation : tiers;
+}

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "analysis/debug_sync.hpp"
+#include "grid/dc_powerflow.hpp"
 #include "grid/powerflow.hpp"
 #include "medici/medici_comm.hpp"
 #if GRIDSE_OBS
@@ -30,6 +31,42 @@ std::string resolve_trace_dir(const std::string& configured) {
 
 }  // namespace
 #endif
+
+namespace {
+
+/// Solve for the frame's true operating state per the configured mode. The
+/// DC path is what makes the 10k+ tiers runnable end to end: angles from
+/// the sparse B'θ = P solve, magnitudes anchored at the generator setpoints
+/// with a small seed-deterministic jitter on load buses (re-derived
+/// identically every frame, so only the angles track a moving load).
+grid::GridState solve_truth_state(const grid::Network& network, TruthMode mode,
+                                  std::uint64_t seed) {
+  if (mode == TruthMode::kAcPowerFlow) {
+    const grid::PowerFlowResult pf = grid::solve_power_flow(network);
+    if (!pf.converged) {
+      throw ConvergenceFailure("DseSystem: power flow for the true state did "
+                               "not converge");
+    }
+    return pf.state;
+  }
+  const std::optional<grid::DcPowerFlow> dc =
+      grid::solve_dc_power_flow(network);
+  if (!dc) {
+    throw ConvergenceFailure("DseSystem: DC power flow is singular");
+  }
+  grid::GridState state(network.num_buses());
+  state.theta = dc->theta;
+  Rng jitter(seed ^ 0xdc0ull);
+  for (grid::BusIndex b = 0; b < network.num_buses(); ++b) {
+    const grid::Bus& bus = network.bus(b);
+    state.vm[static_cast<std::size_t>(b)] =
+        bus.type == grid::BusType::kPQ ? 1.0 + jitter.uniform(-0.02, 0.02)
+                                       : bus.v_setpoint;
+  }
+  return state;
+}
+
+}  // namespace
 
 DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
     : generated_(std::move(generated)),
@@ -68,13 +105,8 @@ DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
                                                config_.resilience.recovery);
   }
 
-  const grid::PowerFlowResult pf =
-      grid::solve_power_flow(generated_.kase.network);
-  if (!pf.converged) {
-    throw ConvergenceFailure("DseSystem: power flow for the true state did "
-                             "not converge");
-  }
-  true_state_ = pf.state;
+  true_state_ = solve_truth_state(generated_.kase.network, config_.truth_mode,
+                                  config_.seed);
 
   if (config_.plan.pmu_buses.empty()) {
     for (const decomp::Subsystem& s : decomposition_.subsystems) {
@@ -138,13 +170,7 @@ CycleReport DseSystem::run_cycle(double time_sec) {
     const double factor = config_.load_profile(time_sec);
     grid::Network scaled = generated_.kase.network;
     scaled.scale_loads(factor);
-    const grid::PowerFlowResult pf = grid::solve_power_flow(scaled);
-    if (!pf.converged) {
-      throw ConvergenceFailure(
-          "DseSystem: power flow at load factor " + std::to_string(factor) +
-          " did not converge");
-    }
-    true_state_ = pf.state;
+    true_state_ = solve_truth_state(scaled, config_.truth_mode, config_.seed);
   }
   last_measurements_ = generator_->generate(true_state_, rng_, time_sec);
 

@@ -31,6 +31,14 @@ enum class Transport {
   kMediciDirect,  ///< MwClient direct TCP (paper's "w/o MeDICi" mode)
 };
 
+/// How the "true" operating state the measurements are drawn from is
+/// produced. Full-Newton AC is exact but its per-frame cost is prohibitive
+/// at the 10k+ bus scale tiers; kDcLinearized takes sparse DC angles plus
+/// setpoint-anchored magnitudes with a small deterministic jitter. That
+/// truth needn't satisfy AC power balance — measurements are h(x_true) +
+/// noise either way, so the estimation problem stays well posed.
+enum class TruthMode { kAcPowerFlow, kDcLinearized };
+
 /// End-to-end configuration of the prototype system (paper Fig. 1).
 struct SystemConfig {
   mapping::MappingOptions mapping;          ///< clusters, balance tolerance
@@ -38,6 +46,7 @@ struct SystemConfig {
   decomp::SensitivityOptions sensitivity;   ///< preliminary-step analysis
   DseOptions dse;
   grid::MeasurementPlan plan;  ///< SCADA/PMU synthesis (PMUs auto-placed)
+  TruthMode truth_mode = TruthMode::kAcPowerFlow;
   Transport transport = Transport::kInproc;
   /// Fault-handling knobs: send retry/backoff, barrier timeout, exchange
   /// deadline. Resolved against GRIDSE_BARRIER_TIMEOUT_MS and

@@ -1,0 +1,232 @@
+#include "decomp/bus_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace gridse::decomp {
+
+graph::WeightedGraph bus_coupling_graph(const grid::Network& network) {
+  const auto n = static_cast<graph::VertexId>(network.num_buses());
+  graph::WeightedGraph g(n);
+  // Accumulate parallel branches into one edge: WeightedGraph rejects
+  // duplicate edges, and the couplings add anyway.
+  std::map<std::pair<graph::VertexId, graph::VertexId>, double> weight;
+  for (std::size_t bi = 0; bi < network.num_branches(); ++bi) {
+    const grid::Branch& br = network.branch(bi);
+    // std::minmax returns references; materialize the pair by value before
+    // the casted temporaries die.
+    const std::pair<graph::VertexId, graph::VertexId> key =
+        std::minmax(static_cast<graph::VertexId>(br.from),
+                    static_cast<graph::VertexId>(br.to));
+    // |x| floored to keep the weight finite on near-zero-impedance links.
+    weight[key] += 1.0 / std::max(std::abs(br.x), 1e-6);
+  }
+  for (const auto& [key, w] : weight) {
+    g.add_edge(key.first, key.second, w);
+  }
+  return g;
+}
+
+namespace {
+
+/// Connected components of one part, as lists of bus indices. Components
+/// are discovered in ascending bus order, so their order (and the BFS
+/// inside each) is deterministic.
+std::vector<std::vector<graph::VertexId>> part_components(
+    const graph::WeightedGraph& g, const std::vector<int>& part_of, int part) {
+  std::vector<std::vector<graph::VertexId>> components;
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (part_of[static_cast<std::size_t>(v)] != part ||
+        seen[static_cast<std::size_t>(v)] != 0) {
+      continue;
+    }
+    std::vector<graph::VertexId> comp;
+    std::queue<graph::VertexId> q;
+    q.push(v);
+    seen[static_cast<std::size_t>(v)] = 1;
+    while (!q.empty()) {
+      const graph::VertexId u = q.front();
+      q.pop();
+      comp.push_back(u);
+      for (const auto& [nbr, w] : g.neighbors(u)) {
+        (void)w;
+        if (part_of[static_cast<std::size_t>(nbr)] == part &&
+            seen[static_cast<std::size_t>(nbr)] == 0) {
+          seen[static_cast<std::size_t>(nbr)] = 1;
+          q.push(nbr);
+        }
+      }
+    }
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+}  // namespace
+
+std::vector<int> partition_buses(const grid::Network& network,
+                                 const graph::PartitionOptions& options) {
+  network.validate();  // repair below relies on a connected network
+  const graph::WeightedGraph g = bus_coupling_graph(network);
+  const graph::Partition p = graph::partition(g, options);
+
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<int> part_of(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    part_of[v] = static_cast<int>(p.assignment[v]);
+  }
+
+  // Connectivity repair: keep each part's largest component (ties break to
+  // the one containing the lowest bus index — the first one found), release
+  // every other fragment, then re-grow the released buses onto anchored
+  // parts. Each released bus attaches to the anchored neighbour part with
+  // the strongest total coupling, so every part stays connected by
+  // construction: a bus joins a part only through an edge to an anchored
+  // member of that part.
+  std::vector<char> anchored(n, 0);
+  for (int part = 0; part < options.k; ++part) {
+    const auto components = part_components(g, part_of, part);
+    GRIDSE_CHECK_MSG(!components.empty(),
+                     "partition_buses: partitioner produced an empty part");
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < components.size(); ++c) {
+      if (components[c].size() > components[best].size()) best = c;
+    }
+    for (const graph::VertexId v : components[best]) {
+      anchored[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+
+  // Sequential sweeps in bus order until every bus is anchored. The network
+  // is connected, so each sweep anchors at least one more bus; termination
+  // is guaranteed. Target choice is balance-aware: parts still under the
+  // balance limit win over overweight ones (strongest coupling within each
+  // class), so the regrow cannot pile every stray onto one part.
+  std::vector<std::size_t> part_size(static_cast<std::size_t>(options.k), 0);
+  std::size_t remaining = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (anchored[v] != 0) {
+      ++part_size[static_cast<std::size_t>(part_of[v])];
+    } else {
+      ++remaining;
+    }
+  }
+  const double limit = options.imbalance_tolerance * static_cast<double>(n) /
+                       static_cast<double>(options.k);
+  while (remaining > 0) {
+    std::size_t fixed_this_sweep = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (anchored[v] != 0) continue;
+      // Total coupling into each anchored neighbour part.
+      std::map<int, double> pull;
+      for (const auto& [nbr, w] :
+           g.neighbors(static_cast<graph::VertexId>(v))) {
+        if (anchored[static_cast<std::size_t>(nbr)] != 0) {
+          pull[part_of[static_cast<std::size_t>(nbr)]] += w;
+        }
+      }
+      if (pull.empty()) continue;  // no anchored neighbour yet; next sweep
+      int best_part = -1;
+      double best_w = -1.0;
+      bool best_fits = false;
+      // std::map iterates parts in ascending order, so ties break to
+      // the lowest part id.
+      for (const auto& [part, w] : pull) {
+        const bool fits =
+            static_cast<double>(
+                part_size[static_cast<std::size_t>(part)] + 1) <= limit;
+        if ((fits && !best_fits) || (fits == best_fits && w > best_w)) {
+          best_w = w;
+          best_part = part;
+          best_fits = fits;
+        }
+      }
+      part_of[v] = best_part;
+      anchored[v] = 1;
+      ++part_size[static_cast<std::size_t>(best_part)];
+      ++fixed_this_sweep;
+    }
+    GRIDSE_CHECK_MSG(fixed_this_sweep > 0,
+                     "partition_buses: connectivity repair stalled");
+    remaining -= fixed_this_sweep;
+  }
+
+  // Rebalance: overweight parts shed boundary buses to adjacent under-limit
+  // parts, but only when the donor stays connected (verified by BFS over
+  // the donor minus the candidate). Sweeps run in bus order until no
+  // overweight part can shed anything, so the result is deterministic and
+  // still satisfies decompose()'s connectivity precondition.
+  const auto stays_connected = [&](std::size_t moved_v, int part) {
+    graph::VertexId start = -1;
+    std::size_t members = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (part_of[v] != part || v == moved_v) continue;
+      ++members;
+      if (start < 0) start = static_cast<graph::VertexId>(v);
+    }
+    if (members == 0) return false;  // never empty a part
+    std::vector<char> seen(n, 0);
+    std::queue<graph::VertexId> q;
+    q.push(start);
+    seen[static_cast<std::size_t>(start)] = 1;
+    std::size_t count = 1;
+    while (!q.empty()) {
+      const graph::VertexId u = q.front();
+      q.pop();
+      for (const auto& [nbr, w] : g.neighbors(u)) {
+        (void)w;
+        const auto ni = static_cast<std::size_t>(nbr);
+        if (ni == moved_v || part_of[ni] != part || seen[ni] != 0) continue;
+        seen[ni] = 1;
+        ++count;
+        q.push(nbr);
+      }
+    }
+    return count == members;
+  };
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    std::size_t moves = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const int from = part_of[v];
+      if (static_cast<double>(part_size[static_cast<std::size_t>(from)]) <=
+          limit) {
+        continue;
+      }
+      // Strongest-coupled adjacent part that stays under the limit.
+      std::map<int, double> pull;
+      for (const auto& [nbr, w] :
+           g.neighbors(static_cast<graph::VertexId>(v))) {
+        const int p2 = part_of[static_cast<std::size_t>(nbr)];
+        if (p2 != from &&
+            static_cast<double>(part_size[static_cast<std::size_t>(p2)] + 1) <=
+                limit) {
+          pull[p2] += w;
+        }
+      }
+      if (pull.empty()) continue;
+      int best_part = -1;
+      double best_w = -1.0;
+      for (const auto& [part, w] : pull) {
+        if (w > best_w) {
+          best_w = w;
+          best_part = part;
+        }
+      }
+      if (!stays_connected(v, from)) continue;
+      part_of[v] = best_part;
+      --part_size[static_cast<std::size_t>(from)];
+      ++part_size[static_cast<std::size_t>(best_part)];
+      ++moves;
+    }
+    if (moves == 0) break;
+  }
+  return part_of;
+}
+
+}  // namespace gridse::decomp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/partitioner.hpp"
+#include "grid/network.hpp"
+
+namespace gridse::decomp {
+
+/// The bus-level coupling graph: one vertex per bus (unit weight), one edge
+/// per connected bus pair with weight = Σ 1/|x| over the parallel branches
+/// joining them. 1/x is the DC susceptance, so the edge weight measures how
+/// strongly the two buses' states are electrically coupled — a cut through
+/// low-1/x corridors yields weakly coupled subsystems, which is exactly what
+/// the convergence-aware objective (arXiv 2104.04320) wants to minimize.
+graph::WeightedGraph bus_coupling_graph(const grid::Network& network);
+
+/// Partition the network's buses into `options.k` internally connected
+/// subsystems by running the multilevel partitioner on the coupling graph
+/// and then repairing connectivity deterministically: each part keeps its
+/// largest connected component, and every stray fragment is re-grown onto
+/// an adjacent part (strongest-coupling neighbour first, sequential sweeps
+/// in bus order), so the result always satisfies decompose()'s
+/// "internally connected" precondition. Deterministic given options.seed —
+/// the partitioner itself is thread-count invariant, and the repair is
+/// sequential. Returns subsystem_of_bus (0-based ids, contiguous 0..k-1).
+std::vector<int> partition_buses(const grid::Network& network,
+                                 const graph::PartitionOptions& options);
+
+}  // namespace gridse::decomp

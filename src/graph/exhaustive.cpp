@@ -124,4 +124,24 @@ bool better_partition(const Partition& candidate, const Partition& incumbent,
   return candidate.edge_cut < incumbent.edge_cut;
 }
 
+bool better_partition(const Partition& candidate, const Partition& incumbent,
+                      double tolerance, PartitionObjective objective) {
+  if (objective == PartitionObjective::kEdgeCut) {
+    return better_partition(candidate, incumbent, tolerance);
+  }
+  const bool cand_ok = candidate.load_imbalance <= tolerance + 1e-12;
+  const bool inc_ok = incumbent.load_imbalance <= tolerance + 1e-12;
+  if (cand_ok != inc_ok) return cand_ok;
+  if (!cand_ok && candidate.load_imbalance != incumbent.load_imbalance) {
+    return candidate.load_imbalance < incumbent.load_imbalance;
+  }
+  if (candidate.expected_gn_iterations != incumbent.expected_gn_iterations) {
+    return candidate.expected_gn_iterations < incumbent.expected_gn_iterations;
+  }
+  if (candidate.edge_cut != incumbent.edge_cut) {
+    return candidate.edge_cut < incumbent.edge_cut;
+  }
+  return candidate.load_imbalance < incumbent.load_imbalance;
+}
+
 }  // namespace gridse::graph::detail

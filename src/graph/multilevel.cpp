@@ -1,10 +1,15 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <utility>
+#include <vector>
 
+#include "graph/parallel.hpp"
 #include "graph/partitioner.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
-#include "util/rng.hpp"
+#include "util/logging.hpp"
 
 namespace gridse::graph::detail {
 namespace {
@@ -15,67 +20,220 @@ struct CoarseLevel {
   std::vector<VertexId> fine_to_coarse;
 };
 
-/// Heavy-edge matching coarsening: visit vertices in random order and merge
-/// each unmatched vertex with the unmatched neighbor sharing the heaviest
-/// edge. Vertex weights add; parallel coarse edges fold together.
-CoarseLevel coarsen_once(const WeightedGraph& g, Rng& rng) {
-  const VertexId n = g.num_vertices();
-  std::vector<VertexId> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  rng.shuffle(order);
+/// Deterministic per-vertex tie-break priority for one coarsening level.
+std::uint64_t vertex_priority(std::uint64_t seed, int level, VertexId v) {
+  return mix64(seed ^ mix64((static_cast<std::uint64_t>(level) << 32) ^
+                            static_cast<std::uint64_t>(v)));
+}
 
-  std::vector<VertexId> fine_to_coarse(static_cast<std::size_t>(n), -1);
-  VertexId coarse_count = 0;
-  for (const VertexId v : order) {
-    if (fine_to_coarse[static_cast<std::size_t>(v)] >= 0) continue;
-    VertexId mate = -1;
-    double best_w = -1.0;
-    for (const auto& [nbr, w] : g.neighbors(v)) {
-      if (fine_to_coarse[static_cast<std::size_t>(nbr)] < 0 && w > best_w) {
-        best_w = w;
-        mate = nbr;
+/// Union-find with path halving. Roots are chosen by index (smaller index
+/// wins) so the forest shape — and therefore every downstream id — is a
+/// pure function of the union sequence, which is applied sequentially in
+/// vertex order.
+VertexId uf_find(std::vector<VertexId>& parent, VertexId v) {
+  while (parent[static_cast<std::size_t>(v)] != v) {
+    parent[static_cast<std::size_t>(v)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+    v = parent[static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+/// Handshake heavy-edge matching + union-find absorption of the leftover
+/// singletons. Proposal computation is a parallel pure map over a snapshot
+/// of the match state; mutual-preference resolution and the union pass are
+/// sequential in vertex order, so the clustering is bit-identical for any
+/// thread count. Returns fine→coarse map and the coarse vertex count.
+std::pair<std::vector<VertexId>, VertexId> cluster_vertices(
+    const WeightedGraph& g, std::uint64_t seed, int level, double weight_cap,
+    const Executor& exec) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<VertexId> match(n, -1);
+  std::vector<VertexId> pref(n, -1);
+
+  constexpr int kHandshakeRounds = 4;
+  for (int round = 0; round < kHandshakeRounds; ++round) {
+    // Propose: each unmatched vertex prefers its heaviest unmatched
+    // neighbor whose combined weight stays under the cluster cap; ties
+    // break on hashed priority, then lower index.
+    exec.for_ranges(n, [&](std::size_t begin, std::size_t end, int) {
+      for (std::size_t vs = begin; vs < end; ++vs) {
+        pref[vs] = -1;
+        if (match[vs] >= 0) continue;
+        const auto v = static_cast<VertexId>(vs);
+        const double vw = g.vertex_weight(v);
+        VertexId best = -1;
+        double best_w = -1.0;
+        std::uint64_t best_pri = 0;
+        for (const auto& [nbr, w] : g.neighbors(v)) {
+          if (match[static_cast<std::size_t>(nbr)] >= 0) continue;
+          if (vw + g.vertex_weight(nbr) > weight_cap) continue;
+          const std::uint64_t pri = vertex_priority(seed, level, nbr);
+          if (w > best_w ||
+              (w == best_w &&
+               (pri > best_pri || (pri == best_pri && nbr < best)))) {
+            best_w = w;
+            best_pri = pri;
+            best = nbr;
+          }
+        }
+        pref[vs] = best;
+      }
+    });
+    // Handshake: a pair matches when the preference is mutual. Sequential
+    // O(n) scan; each pair is committed once via the v < u guard.
+    bool matched_any = false;
+    for (std::size_t vs = 0; vs < n; ++vs) {
+      if (match[vs] >= 0) continue;
+      const VertexId u = pref[vs];
+      if (u < 0 || static_cast<VertexId>(vs) >= u) continue;
+      if (pref[static_cast<std::size_t>(u)] == static_cast<VertexId>(vs)) {
+        match[vs] = u;
+        match[static_cast<std::size_t>(u)] = static_cast<VertexId>(vs);
+        matched_any = true;
       }
     }
-    fine_to_coarse[static_cast<std::size_t>(v)] = coarse_count;
-    if (mate >= 0) {
-      fine_to_coarse[static_cast<std::size_t>(mate)] = coarse_count;
-    }
-    ++coarse_count;
+    if (!matched_any) break;
   }
 
-  CoarseLevel level;
-  level.graph = WeightedGraph(coarse_count);
-  level.fine_to_coarse = std::move(fine_to_coarse);
-  for (VertexId c = 0; c < coarse_count; ++c) {
-    level.graph.set_vertex_weight(c, 0.0);
+  // Absorb leftover singletons into a neighboring cluster: propose the
+  // strongest neighbor in parallel (frontier = still-unmatched vertices),
+  // then union sequentially under the cluster weight cap so star centers
+  // do not collapse whole neighborhoods into one overweight coarse vertex.
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<double> cluster_weight(n);
+  for (std::size_t vs = 0; vs < n; ++vs) {
+    cluster_weight[vs] = g.vertex_weight(static_cast<VertexId>(vs));
   }
-  for (VertexId v = 0; v < n; ++v) {
-    const VertexId c = level.fine_to_coarse[static_cast<std::size_t>(v)];
-    level.graph.set_vertex_weight(
-        c, level.graph.vertex_weight(c) + g.vertex_weight(v));
-  }
-  std::vector<std::pair<std::pair<VertexId, VertexId>, double>> agg;
-  agg.reserve(g.num_edges());
-  for (const Edge& e : g.edges()) {
-    const VertexId cu = level.fine_to_coarse[static_cast<std::size_t>(e.u)];
-    const VertexId cv = level.fine_to_coarse[static_cast<std::size_t>(e.v)];
-    if (cu == cv) continue;
-    const auto [lo, hi] = std::minmax(cu, cv);
-    agg.push_back({{lo, hi}, e.weight});
-  }
-  std::sort(agg.begin(), agg.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (std::size_t i = 0; i < agg.size();) {
-    std::size_t j = i;
-    double w = 0.0;
-    while (j < agg.size() && agg[j].first == agg[i].first) {
-      w += agg[j].second;
-      ++j;
+  for (std::size_t vs = 0; vs < n; ++vs) {
+    const VertexId u = match[vs];
+    if (u > static_cast<VertexId>(vs)) {
+      parent[static_cast<std::size_t>(u)] = static_cast<VertexId>(vs);
+      cluster_weight[vs] += cluster_weight[static_cast<std::size_t>(u)];
     }
-    level.graph.add_edge(agg[i].first.first, agg[i].first.second, w);
-    i = j;
   }
-  return level;
+  std::vector<VertexId> absorb_target(n, -1);
+  exec.for_ranges(n, [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t vs = begin; vs < end; ++vs) {
+      if (match[vs] >= 0) continue;
+      const auto v = static_cast<VertexId>(vs);
+      VertexId best = -1;
+      double best_w = -1.0;
+      std::uint64_t best_pri = 0;
+      for (const auto& [nbr, w] : g.neighbors(v)) {
+        const std::uint64_t pri = vertex_priority(seed, level, nbr);
+        if (w > best_w || (w == best_w && (pri > best_pri ||
+                                           (pri == best_pri && nbr < best)))) {
+          best_w = w;
+          best_pri = pri;
+          best = nbr;
+        }
+      }
+      absorb_target[vs] = best;
+    }
+  });
+  for (std::size_t vs = 0; vs < n; ++vs) {
+    if (match[vs] >= 0 || absorb_target[vs] < 0) continue;
+    const VertexId rv = uf_find(parent, static_cast<VertexId>(vs));
+    const VertexId rt = uf_find(parent, absorb_target[vs]);
+    if (rv == rt) continue;
+    const double merged = cluster_weight[static_cast<std::size_t>(rv)] +
+                          cluster_weight[static_cast<std::size_t>(rt)];
+    if (merged > weight_cap) continue;
+    const auto [lo, hi] = std::minmax(rv, rt);
+    parent[static_cast<std::size_t>(hi)] = lo;
+    cluster_weight[static_cast<std::size_t>(lo)] = merged;
+  }
+
+  // Coarse ids in order of first appearance of each cluster root.
+  std::vector<VertexId> fine_to_coarse(n, -1);
+  std::vector<VertexId> root_to_coarse(n, -1);
+  VertexId coarse_count = 0;
+  for (std::size_t vs = 0; vs < n; ++vs) {
+    const VertexId r = uf_find(parent, static_cast<VertexId>(vs));
+    if (root_to_coarse[static_cast<std::size_t>(r)] < 0) {
+      root_to_coarse[static_cast<std::size_t>(r)] = coarse_count++;
+    }
+    fine_to_coarse[vs] = root_to_coarse[static_cast<std::size_t>(r)];
+  }
+  return {std::move(fine_to_coarse), coarse_count};
+}
+
+/// One coarsening step: cluster, then build the coarse graph in parallel.
+/// Each coarse vertex is owned by exactly one task that accumulates its
+/// weight and adjacency in fixed (member, adjacency) order, so float sums
+/// are reproducible for any thread count.
+CoarseLevel coarsen_once(const WeightedGraph& g, std::uint64_t seed, int level,
+                         double weight_cap, const Executor& exec) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  CoarseLevel out;
+  auto [fine_to_coarse, coarse_count] =
+      cluster_vertices(g, seed, level, weight_cap, exec);
+  out.fine_to_coarse = std::move(fine_to_coarse);
+
+  // Invert the map with a counting sort: members of coarse vertex c are
+  // members[offsets[c] .. offsets[c+1]), ascending by construction.
+  const auto cc = static_cast<std::size_t>(coarse_count);
+  std::vector<std::size_t> offsets(cc + 1, 0);
+  for (std::size_t vs = 0; vs < n; ++vs) {
+    ++offsets[static_cast<std::size_t>(out.fine_to_coarse[vs]) + 1];
+  }
+  for (std::size_t c = 0; c < cc; ++c) offsets[c + 1] += offsets[c];
+  std::vector<VertexId> members(n);
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t vs = 0; vs < n; ++vs) {
+      members[cursor[static_cast<std::size_t>(out.fine_to_coarse[vs])]++] =
+          static_cast<VertexId>(vs);
+    }
+  }
+
+  out.graph = WeightedGraph(coarse_count);
+  std::vector<double> coarse_weight(cc, 0.0);
+  std::vector<std::vector<std::pair<VertexId, double>>> coarse_adj(cc);
+  exec.for_ranges(cc, [&](std::size_t begin, std::size_t end, int) {
+    // Stamped scratch: weight_to[cv] is valid only when stamp[cv] == the
+    // coarse vertex currently being built.
+    std::vector<double> weight_to(cc, 0.0);
+    std::vector<VertexId> stamp(cc, -1);
+    std::vector<VertexId> touched;
+    for (std::size_t c = begin; c < end; ++c) {
+      touched.clear();
+      double vw = 0.0;
+      for (std::size_t mi = offsets[c]; mi < offsets[c + 1]; ++mi) {
+        const VertexId m = members[mi];
+        vw += g.vertex_weight(m);
+        for (const auto& [nbr, w] : g.neighbors(m)) {
+          const VertexId cv = out.fine_to_coarse[static_cast<std::size_t>(nbr)];
+          if (cv == static_cast<VertexId>(c)) continue;
+          if (stamp[static_cast<std::size_t>(cv)] != static_cast<VertexId>(c)) {
+            stamp[static_cast<std::size_t>(cv)] = static_cast<VertexId>(c);
+            weight_to[static_cast<std::size_t>(cv)] = 0.0;
+            touched.push_back(cv);
+          }
+          weight_to[static_cast<std::size_t>(cv)] += w;
+        }
+      }
+      coarse_weight[c] = vw;
+      std::sort(touched.begin(), touched.end());
+      coarse_adj[c].reserve(touched.size());
+      for (const VertexId cv : touched) {
+        coarse_adj[c].emplace_back(cv, weight_to[static_cast<std::size_t>(cv)]);
+      }
+    }
+  });
+  for (VertexId c = 0; c < coarse_count; ++c) {
+    out.graph.set_vertex_weight(c, coarse_weight[static_cast<std::size_t>(c)]);
+  }
+  // The lower-id endpoint owns each coarse edge so its (member, adjacency)
+  // accumulation order — and thus the float sum — is the canonical one.
+  for (VertexId c = 0; c < coarse_count; ++c) {
+    for (const auto& [cv, w] : coarse_adj[static_cast<std::size_t>(c)]) {
+      if (cv > c) out.graph.add_edge(c, cv, w);
+    }
+  }
+  return out;
 }
 
 bool exhaustive_fits(const WeightedGraph& g, const PartitionOptions& options) {
@@ -91,38 +249,60 @@ Partition multilevel_partition(const WeightedGraph& g,
 
 Partition multilevel_partition(const WeightedGraph& g,
                                const PartitionOptions& options) {
-  Rng rng(options.seed);
+  const Executor exec(options.pool, options.threads,
+                      static_cast<std::size_t>(g.num_vertices()));
   // --- coarsening phase ----------------------------------------------------
   std::vector<CoarseLevel> levels;
   const WeightedGraph* current = &g;
   const VertexId stop_at =
       std::max<VertexId>(options.coarsen_to, options.k * 4);
-  while (current->num_vertices() > stop_at) {
-    CoarseLevel level = coarsen_once(*current, rng);
-    if (level.graph.num_vertices() == current->num_vertices()) {
-      break;  // matching stalled (e.g. star graphs); stop coarsening
+  {
+    OBS_SPAN("partition.coarsen");
+    // METIS-style cluster weight cap: no coarse vertex may outgrow ~1.5x
+    // the ideal vertex weight of the coarsest graph, so the initial
+    // partition never inherits an unsplittable overweight vertex.
+    const double weight_cap = std::max(
+        1.5 * g.total_vertex_weight() / static_cast<double>(stop_at), 1e-12);
+    int level = 0;
+    while (current->num_vertices() > stop_at) {
+      CoarseLevel next =
+          coarsen_once(*current, options.seed, level++, weight_cap, exec);
+      if (next.graph.num_vertices() >
+          (current->num_vertices() * 9) / 10) {
+        break;  // matching stalled (weight caps / star graphs): diminishing
+                // returns, hand the rest to the initial partitioner
+      }
+      GRIDSE_DEBUG << "partition: level " << level << " coarsened "
+                   << current->num_vertices() << " -> "
+                   << next.graph.num_vertices() << " vertices, "
+                   << next.graph.num_edges() << " edges";
+      levels.push_back(std::move(next));
+      current = &levels.back().graph;
     }
-    levels.push_back(std::move(level));
-    current = &levels.back().graph;
   }
 
   // --- initial partition at the coarsest level ------------------------------
-  Partition part = exhaustive_fits(*current, options)
-                       ? exhaustive_partition(*current, options)
-                       : greedy_partition(*current, options);
+  Partition part;
+  {
+    OBS_SPAN("partition.initial");
+    part = exhaustive_fits(*current, options)
+               ? exhaustive_partition(*current, options)
+               : greedy_partition(*current, options);
+  }
 
   // --- uncoarsening + refinement --------------------------------------------
+  OBS_SPAN("partition.refine");
   for (std::size_t li = levels.size(); li > 0; --li) {
     const CoarseLevel& level = levels[li - 1];
-    const WeightedGraph& fine =
-        (li - 1 == 0) ? g : levels[li - 2].graph;
-    std::vector<PartId> projected(static_cast<std::size_t>(fine.num_vertices()));
+    const WeightedGraph& fine = (li - 1 == 0) ? g : levels[li - 2].graph;
+    std::vector<PartId> projected(
+        static_cast<std::size_t>(fine.num_vertices()));
     for (VertexId v = 0; v < fine.num_vertices(); ++v) {
       projected[static_cast<std::size_t>(v)] =
           part.assignment[static_cast<std::size_t>(
               level.fine_to_coarse[static_cast<std::size_t>(v)])];
     }
-    part = fm_refine(fine, std::move(projected), options);
+    part = fm_refine_with(fine, std::move(projected), options, exec);
   }
   return part;
 }

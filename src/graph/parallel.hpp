@@ -1,0 +1,92 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "graph/partitioner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gridse::graph::detail {
+
+/// splitmix64 finalizer: the per-vertex hash that replaces a shared Rng in
+/// the parallel partitioner phases. Consuming a shared Rng would make the
+/// result depend on scheduling; hashing (seed, salt, vertex) gives every
+/// vertex an independent deterministic priority.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Runs pure index-range maps for the partitioner, optionally across a
+/// thread pool. Every parallel phase is a pure map over immutable
+/// snapshots writing disjoint output slots, so the output is bit-identical
+/// for any shard/thread count — the executor changes wall-clock only.
+class Executor {
+ public:
+  /// `n_hint` is the problem size: small problems stay inline and never
+  /// spin up a private pool. When `pool` is null and threads > 1, a
+  /// private pool is owned for the executor's lifetime.
+  Executor(ThreadPool* pool, int threads, std::size_t n_hint)
+      : shards_(std::max(threads, 1)) {
+    if (shards_ > 1 && n_hint >= kInlineBelow) {
+      if (pool != nullptr) {
+        pool_ = pool;
+      } else {
+        owned_.emplace(static_cast<std::size_t>(shards_));
+        pool_ = &*owned_;
+      }
+    }
+    if (pool_ == nullptr) shards_ = 1;
+  }
+
+  [[nodiscard]] int shards() const { return shards_; }
+
+  /// Invoke fn(begin, end, shard) over contiguous ascending ranges that
+  /// cover [0, n). Shard s always receives the s-th contiguous chunk, so
+  /// per-shard result vectors concatenated in shard order are in global
+  /// index order regardless of how many threads actually ran.
+  void for_ranges(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, int)>& fn) const {
+    if (pool_ == nullptr || shards_ <= 1 || n < kInlineBelow) {
+      if (n > 0) fn(0, n, 0);
+      return;
+    }
+    const auto shards = static_cast<std::size_t>(shards_);
+    const std::size_t chunk = (n + shards - 1) / shards;
+    std::vector<std::future<void>> futures;
+    futures.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = s * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      futures.push_back(pool_->submit(
+          [&fn, begin, end, s] { fn(begin, end, static_cast<int>(s)); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+ private:
+  // Shard even smallish index ranges: coarse partitioner levels have few
+  // vertices but can carry hundreds of thousands of edges, so per-index
+  // work is large and task overhead (~µs) is amortized quickly.
+  static constexpr std::size_t kInlineBelow = 128;
+
+  std::optional<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+  int shards_ = 1;
+};
+
+/// fm_refine with an externally owned executor (so the multilevel v-cycle
+/// reuses one pool across levels instead of re-creating it per level).
+Partition fm_refine_with(const WeightedGraph& g, std::vector<PartId> assignment,
+                         const PartitionOptions& options, const Executor& exec);
+
+}  // namespace gridse::graph::detail

@@ -1,6 +1,7 @@
 #include "graph/partition.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -20,18 +21,53 @@ Partition evaluate_partition(const WeightedGraph& g,
     p.part_weights[static_cast<std::size_t>(part)] += g.vertex_weight(v);
   }
   p.edge_cut = 0.0;
+  std::vector<double> cut_incident(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> total_incident(static_cast<std::size_t>(k), 0.0);
+  std::vector<char> on_boundary(static_cast<std::size_t>(g.num_vertices()), 0);
   for (const Edge& e : g.edges()) {
-    if (p.assignment[static_cast<std::size_t>(e.u)] !=
-        p.assignment[static_cast<std::size_t>(e.v)]) {
+    const PartId pu = p.assignment[static_cast<std::size_t>(e.u)];
+    const PartId pv = p.assignment[static_cast<std::size_t>(e.v)];
+    total_incident[static_cast<std::size_t>(pu)] += e.weight;
+    total_incident[static_cast<std::size_t>(pv)] += e.weight;
+    if (pu != pv) {
       p.edge_cut += e.weight;
+      cut_incident[static_cast<std::size_t>(pu)] += e.weight;
+      cut_incident[static_cast<std::size_t>(pv)] += e.weight;
+      on_boundary[static_cast<std::size_t>(e.u)] = 1;
+      on_boundary[static_cast<std::size_t>(e.v)] = 1;
     }
   }
+  p.boundary_coupling = 0.0;
+  for (PartId part = 0; part < k; ++part) {
+    const double tot = total_incident[static_cast<std::size_t>(part)];
+    if (tot > 0.0) {
+      p.boundary_coupling =
+          std::max(p.boundary_coupling,
+                   cut_incident[static_cast<std::size_t>(part)] / tot);
+    }
+  }
+  p.expected_gn_iterations = expected_gn_iterations(p.boundary_coupling);
+  p.boundary_vertices = static_cast<int>(
+      std::count(on_boundary.begin(), on_boundary.end(), char{1}));
   const double total = g.total_vertex_weight();
   const double ideal = total / static_cast<double>(k);
   const double max_part =
       *std::max_element(p.part_weights.begin(), p.part_weights.end());
   p.load_imbalance = ideal > 0.0 ? max_part / ideal : 0.0;
   return p;
+}
+
+double expected_gn_iterations(double boundary_coupling) {
+  // Linear-convergence model: the distributed GN error contracts by the
+  // worst area's coupling ratio each exchange round, so reaching a 1e-4
+  // relative tolerance takes 1 + ln(eps)/ln(rho) rounds. rho is clamped
+  // away from 0 (fully decoupled: one round) and 1 (the model diverges;
+  // cap keeps comparisons finite and monotone).
+  constexpr double kEps = 1e-4;
+  constexpr double kRhoMax = 1.0 - 1e-6;
+  if (boundary_coupling <= 0.0) return 1.0;
+  const double rho = std::min(boundary_coupling, kRhoMax);
+  return 1.0 + std::log(kEps) / std::log(rho);
 }
 
 bool is_valid_partition(const WeightedGraph& g,

@@ -25,11 +25,33 @@ struct Partition {
 
   /// Aggregate vertex weight per part.
   std::vector<double> part_weights;
+
+  /// Convergence-aware quality (arXiv 2104.04320: the distributed
+  /// Gauss-Newton iteration count of a multi-area estimator grows with the
+  /// boundary coupling of the worst area, not with the raw edge cut).
+  /// boundary_coupling is max over parts of (cut edge weight incident to
+  /// the part) / (all edge weight incident to the part), in [0, 1).
+  double boundary_coupling = 0.0;
+
+  /// Expected distributed-GN iteration count implied by boundary_coupling
+  /// under a linear-convergence model with contraction factor equal to the
+  /// coupling ratio: 1 + ln(eps)/ln(rho). Lower is better; 1.0 when no
+  /// edge is cut.
+  double expected_gn_iterations = 1.0;
+
+  /// Vertices incident to at least one cut edge (the boundary buses whose
+  /// states cross parts as pseudo measurements).
+  int boundary_vertices = 0;
 };
 
-/// Compute edge cut, part weights and imbalance for `assignment` on `g`.
+/// Compute edge cut, part weights, imbalance and the convergence-aware
+/// coupling metrics for `assignment` on `g`.
 Partition evaluate_partition(const WeightedGraph& g,
                              std::vector<PartId> assignment, PartId k);
+
+/// Expected distributed-GN iteration count for a given boundary-coupling
+/// ratio (1 + ln(1e-4)/ln(rho), clamped; 1.0 for rho <= 0).
+double expected_gn_iterations(double boundary_coupling);
 
 /// True if every vertex has a part in [0,k) and no part is empty.
 bool is_valid_partition(const WeightedGraph& g,

@@ -1,7 +1,10 @@
 #include "graph/partitioner.hpp"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -19,6 +22,7 @@ Partition partition(const WeightedGraph& g, const PartitionOptions& options) {
   if (options.k > g.num_vertices()) {
     throw InvalidInput("partition: k exceeds number of vertices");
   }
+  OBS_SPAN("partition.run");
   if (options.k == 1) {
     return evaluate_partition(
         g, std::vector<PartId>(static_cast<std::size_t>(g.num_vertices()), 0),
@@ -26,11 +30,29 @@ Partition partition(const WeightedGraph& g, const PartitionOptions& options) {
   }
   const double space = std::pow(static_cast<double>(options.k),
                                 static_cast<double>(g.num_vertices()));
-  Partition result = (space <= options.exhaustive_budget)
-                         ? detail::exhaustive_partition(g, options)
-                         : detail::multilevel_partition(g, options);
+  Partition result;
+  if (space <= options.exhaustive_budget) {
+    result = detail::exhaustive_partition(g, options);
+    if (options.objective == PartitionObjective::kConvergenceAware) {
+      // Exhaustive search is cut-optimal; let the coupling refinement pass
+      // trade cut for lower boundary coupling and keep the better of the
+      // two under the convergence-aware order.
+      Partition refined = detail::fm_refine(g, result.assignment, options);
+      if (detail::better_partition(refined, result,
+                                   options.imbalance_tolerance,
+                                   options.objective)) {
+        result = std::move(refined);
+      }
+    }
+  } else {
+    result = detail::multilevel_partition(g, options);
+  }
+  OBS_GAUGE_SET("partition.cut", result.edge_cut);
+  OBS_GAUGE_SET("partition.boundary_buses",
+                static_cast<double>(result.boundary_vertices));
   GRIDSE_DEBUG << "partition: k=" << options.k << " cut=" << result.edge_cut
-               << " imbalance=" << result.load_imbalance;
+               << " imbalance=" << result.load_imbalance
+               << " coupling=" << result.boundary_coupling;
   return result;
 }
 
@@ -40,6 +62,7 @@ Partition repartition(const WeightedGraph& g, std::span<const PartId> previous,
     throw InvalidInput("repartition: previous assignment is not a valid "
                        "k-way partition of this graph");
   }
+  OBS_SPAN("partition.repartition");
   // Refine the previous assignment under the new weights (low-migration,
   // ParMETIS-style adaptive repartitioning)…
   Partition refined = detail::fm_refine(
@@ -48,8 +71,8 @@ Partition repartition(const WeightedGraph& g, std::span<const PartId> previous,
   // the balance tolerance (weights drifted too far for local moves).
   if (refined.load_imbalance > options.imbalance_tolerance + 1e-12) {
     Partition fresh = partition(g, options);
-    if (detail::better_partition(fresh, refined,
-                                 options.imbalance_tolerance)) {
+    if (detail::better_partition(fresh, refined, options.imbalance_tolerance,
+                                 options.objective)) {
       GRIDSE_DEBUG << "repartition: refinement stuck at imbalance "
                    << refined.load_imbalance << ", took fresh partition";
       return fresh;

@@ -5,7 +5,21 @@
 
 #include "graph/partition.hpp"
 
+namespace gridse {
+class ThreadPool;
+}
+
 namespace gridse::graph {
+
+/// What the partitioner minimizes once feasibility (balance) is met.
+enum class PartitionObjective {
+  /// Classic METIS objective: total weight of cut edges.
+  kEdgeCut,
+  /// Convergence-aware score per arXiv 2104.04320: minimize the expected
+  /// distributed-GN iteration count implied by the worst area's boundary
+  /// coupling, breaking ties on edge cut.
+  kConvergenceAware,
+};
 
 /// Tuning knobs for the k-way partitioner. Defaults mirror METIS: 1.05
 /// imbalance tolerance (the "suggested threshold" the paper quotes).
@@ -20,6 +34,14 @@ struct PartitionOptions {
   int refinement_passes = 8;
   /// Stop coarsening once the graph has at most max(this, 4k) vertices.
   VertexId coarsen_to = 24;
+  /// Score minimized after feasibility.
+  PartitionObjective objective = PartitionObjective::kEdgeCut;
+  /// Worker threads for matching/coarsening/refinement. Results are
+  /// bit-identical for any thread count; 1 runs inline.
+  int threads = 1;
+  /// Optional shared pool; when null and threads > 1 the partitioner spins
+  /// up (and joins) a private pool per call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Partition `g` into `options.k` parts, minimizing edge cut subject to the
@@ -51,9 +73,16 @@ Partition greedy_partition(const WeightedGraph& g,
 Partition fm_refine(const WeightedGraph& g, std::vector<PartId> assignment,
                     const PartitionOptions& options);
 
-/// True if candidate is better under the lexicographic objective.
+/// True if candidate is better under the lexicographic edge-cut objective
+/// (feasibility, then cut, then imbalance).
 bool better_partition(const Partition& candidate, const Partition& incumbent,
                       double tolerance);
+
+/// Objective-aware comparison: kEdgeCut delegates to the overload above;
+/// kConvergenceAware orders by feasibility, then expected GN iterations,
+/// then cut, then imbalance.
+bool better_partition(const Partition& candidate, const Partition& incumbent,
+                      double tolerance, PartitionObjective objective);
 
 }  // namespace detail
 }  // namespace gridse::graph

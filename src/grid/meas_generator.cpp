@@ -12,7 +12,31 @@ MeasurementGenerator::MeasurementGenerator(const Network& network,
   GRIDSE_CHECK_MSG(plan.noise_level >= 0.0, "noise level must be nonnegative");
   GRIDSE_CHECK_MSG(plan.pmu_coverage >= 0.0 && plan.pmu_coverage <= 1.0,
                    "pmu coverage must be in [0,1]");
+  GRIDSE_CHECK_MSG(plan.flow_coverage >= 0.0 && plan.flow_coverage <= 1.0,
+                   "flow coverage must be in [0,1]");
 }
+
+namespace {
+
+/// splitmix64 finalizer; selects the telemetered-branch subset so coverage
+/// is a deterministic property of (coverage_seed, branch index).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool branch_telemetered(const MeasurementPlan& plan, std::size_t branch) {
+  if (plan.flow_coverage >= 1.0) return true;
+  if (plan.flow_coverage <= 0.0) return false;
+  const double u =
+      static_cast<double>(mix64(plan.coverage_seed ^ branch) >> 11) *
+      0x1.0p-53;
+  return u < plan.flow_coverage;
+}
+
+}  // namespace
 
 MeasurementSet MeasurementGenerator::skeleton(double timestamp) const {
   MeasurementSet set;
@@ -21,6 +45,7 @@ MeasurementSet MeasurementGenerator::skeleton(double timestamp) const {
   // caller asks for a noise-free frame via noise_level = 0.
   const double lvl = std::max(plan_.noise_level, 1e-6);
   for (std::size_t bi = 0; bi < network_->num_branches(); ++bi) {
+    if (!branch_telemetered(plan_, bi)) continue;
     const Branch& br = network_->branch(bi);
     for (const bool from_side : {true, false}) {
       const BusIndex metered = from_side ? br.from : br.to;

@@ -17,6 +17,14 @@ struct MeasurementPlan {
   bool bus_p_injections = true;   ///< P injection at every bus
   bool bus_q_injections = true;   ///< Q injection at every bus
   bool bus_voltage_mags = true;   ///< |V| at every bus
+
+  /// Fraction of branches whose flows are actually telemetered (SCADA RTU
+  /// density). A hash of (coverage_seed, branch index) selects the subset
+  /// deterministically; 1.0 keeps the classic full-coverage mix. Injections
+  /// and |V| stay at every bus so observability is preserved at any
+  /// density.
+  double flow_coverage = 1.0;
+  std::uint64_t coverage_seed = 0x5eed;
   /// Fraction of buses carrying a PMU (angle measurement); 0 disables.
   double pmu_coverage = 0.0;
   /// Explicit PMU placement (global bus indices); when non-empty it

@@ -7,15 +7,15 @@
 namespace gridse::grid {
 
 BusIndex Network::add_bus(Bus bus) {
-  for (const Bus& b : buses_) {
-    if (b.external_id == bus.external_id) {
-      throw InvalidInput("duplicate external bus id " +
-                         std::to_string(bus.external_id));
-    }
+  const auto idx = static_cast<BusIndex>(buses_.size());
+  const auto [it, inserted] = external_index_.emplace(bus.external_id, idx);
+  if (!inserted) {
+    throw InvalidInput("duplicate external bus id " +
+                       std::to_string(bus.external_id));
   }
   buses_.push_back(std::move(bus));
   incident_.emplace_back();
-  return static_cast<BusIndex>(buses_.size()) - 1;
+  return idx;
 }
 
 void Network::add_branch(Branch branch) {
@@ -78,12 +78,12 @@ const Branch& Network::branch(std::size_t i) const {
 }
 
 BusIndex Network::index_of(int external_id) const {
-  for (BusIndex i = 0; i < num_buses(); ++i) {
-    if (buses_[static_cast<std::size_t>(i)].external_id == external_id) {
-      return i;
-    }
+  const auto it = external_index_.find(external_id);
+  if (it == external_index_.end()) {
+    throw InvalidInput("unknown external bus id " +
+                       std::to_string(external_id));
   }
-  throw InvalidInput("unknown external bus id " + std::to_string(external_id));
+  return it->second;
 }
 
 BusIndex Network::slack_bus() const {

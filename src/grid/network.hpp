@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace gridse::grid {
@@ -103,6 +104,9 @@ class Network {
   std::vector<Bus> buses_;
   std::vector<Branch> branches_;
   std::vector<std::vector<std::size_t>> incident_;
+  /// external_id -> internal index; keeps add_bus/index_of O(1) so the
+  /// 100k-bus synthetic interconnections build in linear time.
+  std::unordered_map<int, BusIndex> external_index_;
 };
 
 }  // namespace gridse::grid

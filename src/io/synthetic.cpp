@@ -51,6 +51,16 @@ GeneratedCase generate_synthetic(const SyntheticSpec& spec) {
   if (spec.tie_lines_per_edge < 1) {
     throw InvalidInput("synthetic spec: tie_lines_per_edge must be >= 1");
   }
+  if (!spec.tie_lines_by_edge.empty() &&
+      spec.tie_lines_by_edge.size() != spec.decomposition_edges.size()) {
+    throw InvalidInput(
+        "synthetic spec: tie_lines_by_edge must match decomposition_edges");
+  }
+  for (const int t : spec.tie_lines_by_edge) {
+    if (t < 1) {
+      throw InvalidInput("synthetic spec: per-edge tie count must be >= 1");
+    }
+  }
 
   Rng rng(spec.seed);
   GeneratedCase out;
@@ -147,11 +157,15 @@ GeneratedCase generate_synthetic(const SyntheticSpec& spec) {
   }
 
   // --- tie lines -------------------------------------------------------------
-  for (const auto& [a, b] : spec.decomposition_edges) {
+  for (std::size_t ei = 0; ei < spec.decomposition_edges.size(); ++ei) {
+    const auto& [a, b] = spec.decomposition_edges[ei];
+    const int ties = spec.tie_lines_by_edge.empty()
+                         ? spec.tie_lines_per_edge
+                         : spec.tie_lines_by_edge[ei];
     const auto& ba = subsystem_buses[static_cast<std::size_t>(a)];
     const auto& bb = subsystem_buses[static_cast<std::size_t>(b)];
     std::set<std::pair<grid::BusIndex, grid::BusIndex>> used;
-    for (int t = 0; t < spec.tie_lines_per_edge; ++t) {
+    for (int t = 0; t < ties; ++t) {
       for (int attempt = 0; attempt < 50; ++attempt) {
         const auto u = ba[static_cast<std::size_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(ba.size()) - 1))];
@@ -234,6 +248,136 @@ SyntheticSpec make_mesh_spec(int rows, int cols, int buses_per,
     }
   }
   return spec;
+}
+
+SyntheticSpec make_hierarchical_spec(const HierarchicalSpec& h) {
+  if (h.regions < 1 || h.areas_per_region < 1 || h.buses_per_area < 4) {
+    throw InvalidInput("hierarchical spec: bad dimensions");
+  }
+  if (h.intra_region_chords < 0 || h.inter_region_edges < 1 ||
+      h.tie_lines_intra < 1 || h.tie_lines_inter < 1) {
+    throw InvalidInput("hierarchical spec: bad tie/chord counts");
+  }
+  SyntheticSpec spec;
+  spec.seed = h.seed;
+  spec.extra_edge_fraction = h.extra_edge_fraction;
+  spec.load_mean_mw = h.load_mean_mw;
+  spec.buses_per_generator = h.buses_per_generator;
+  spec.tie_lines_per_edge = h.tie_lines_intra;
+
+  Rng rng(h.seed ^ 0x41e5a);
+  const int m = h.regions * h.areas_per_region;
+  const auto area_id = [&h](int region, int a) {
+    return region * h.areas_per_region + a;
+  };
+  // Area sizes: 70-130% of the per-area mean, deterministic per seed.
+  for (int s = 0; s < m; ++s) {
+    const int lo = std::max(4, (h.buses_per_area * 7) / 10);
+    const int hi = std::max(lo, (h.buses_per_area * 13) / 10);
+    spec.subsystem_sizes.push_back(static_cast<int>(rng.uniform_int(lo, hi)));
+  }
+
+  std::set<std::pair<int, int>> used;
+  const auto add_edge = [&spec, &used](int a, int b, int ties) {
+    const auto key = std::minmax(a, b);
+    if (a == b || used.count(key) > 0) return false;
+    used.insert(key);
+    spec.decomposition_edges.emplace_back(key.first, key.second);
+    spec.tie_lines_by_edge.push_back(ties);
+    return true;
+  };
+
+  // Intra-region topology: ring of areas plus random chords.
+  for (int r = 0; r < h.regions; ++r) {
+    if (h.areas_per_region > 1) {
+      for (int a = 0; a < h.areas_per_region; ++a) {
+        add_edge(area_id(r, a), area_id(r, (a + 1) % h.areas_per_region),
+                 h.tie_lines_intra);
+        if (h.areas_per_region == 2) break;  // ring of 2 is a single edge
+      }
+    }
+    int added = 0;
+    int attempts = 0;
+    while (added < h.intra_region_chords &&
+           attempts < h.intra_region_chords * 50 && h.areas_per_region > 3) {
+      ++attempts;
+      const int a =
+          static_cast<int>(rng.uniform_int(0, h.areas_per_region - 1));
+      const int b =
+          static_cast<int>(rng.uniform_int(0, h.areas_per_region - 1));
+      if (add_edge(area_id(r, a), area_id(r, b), h.tie_lines_intra)) ++added;
+    }
+  }
+
+  // Inter-region corridors: ring of regions plus a couple of long-range
+  // interties; each region pair is joined by `inter_region_edges` random
+  // area pairs carrying the heavier inter-region tie count.
+  std::vector<std::pair<int, int>> region_pairs;
+  for (int r = 0; r < h.regions && h.regions > 1; ++r) {
+    region_pairs.emplace_back(r, (r + 1) % h.regions);
+    if (h.regions == 2) break;
+  }
+  if (h.regions > 4) {
+    region_pairs.emplace_back(0, h.regions / 2);  // long-range interties
+    region_pairs.emplace_back(1, 1 + h.regions / 2);
+  }
+  for (const auto& [ra, rb] : region_pairs) {
+    int added = 0;
+    int attempts = 0;
+    while (added < h.inter_region_edges &&
+           attempts < h.inter_region_edges * 50) {
+      ++attempts;
+      const int a =
+          static_cast<int>(rng.uniform_int(0, h.areas_per_region - 1));
+      const int b =
+          static_cast<int>(rng.uniform_int(0, h.areas_per_region - 1));
+      if (add_edge(area_id(ra, a), area_id(rb, b), h.tie_lines_inter))
+        ++added;
+    }
+  }
+  return spec;
+}
+
+GeneratedCase generate_hierarchical(const HierarchicalSpec& h) {
+  GeneratedCase out = generate_synthetic(make_hierarchical_spec(h));
+  out.kase.name = strfmt("hier_r%d_a%d_n%d", h.regions, h.areas_per_region,
+                         out.kase.network.num_buses());
+  out.region_of_subsystem.reserve(
+      static_cast<std::size_t>(h.regions * h.areas_per_region));
+  for (int s = 0; s < h.regions * h.areas_per_region; ++s) {
+    out.region_of_subsystem.push_back(s / h.areas_per_region);
+  }
+  return out;
+}
+
+GeneratedCase interconnection10k(std::uint64_t seed) {
+  HierarchicalSpec h;
+  h.regions = 4;
+  h.areas_per_region = 8;
+  h.buses_per_area = 312;
+  h.seed = seed;
+  return generate_hierarchical(h);
+}
+
+GeneratedCase interconnection30k(std::uint64_t seed) {
+  HierarchicalSpec h;
+  h.regions = 6;
+  h.areas_per_region = 10;
+  h.buses_per_area = 500;
+  h.intra_region_chords = 3;
+  h.seed = seed;
+  return generate_hierarchical(h);
+}
+
+GeneratedCase interconnection100k(std::uint64_t seed) {
+  HierarchicalSpec h;
+  h.regions = 8;
+  h.areas_per_region = 25;
+  h.buses_per_area = 500;
+  h.intra_region_chords = 5;
+  h.inter_region_edges = 4;
+  h.seed = seed;
+  return generate_hierarchical(h);
 }
 
 SyntheticSpec make_ring_spec(int m, int buses_per, int chords,

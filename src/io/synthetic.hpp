@@ -20,6 +20,10 @@ struct SyntheticSpec {
   std::vector<std::pair<int, int>> decomposition_edges;
   /// Physical tie lines materialized per decomposition edge.
   int tie_lines_per_edge = 2;
+  /// Optional per-edge override of tie_lines_per_edge; when non-empty it
+  /// must have one entry per decomposition edge. The hierarchical builder
+  /// uses it to make inter-region corridors heavier than intra-region ties.
+  std::vector<int> tie_lines_by_edge;
   /// Extra intra-subsystem branches beyond the spanning tree, as a fraction
   /// of the subsystem bus count (controls meshing).
   double extra_edge_fraction = 0.6;
@@ -37,6 +41,9 @@ struct GeneratedCase {
   std::vector<int> subsystem_of_bus;
   /// The spec's decomposition edges (echoed for convenience).
   std::vector<std::pair<int, int>> decomposition_edges;
+  /// For hierarchical cases: region_of_subsystem[subsystem] = 0-based
+  /// top-tier region id. Empty for flat (single-tier) cases.
+  std::vector<int> region_of_subsystem;
 
   [[nodiscard]] int num_subsystems() const;
 };
@@ -71,5 +78,45 @@ SyntheticSpec make_mesh_spec(int rows, int cols, int buses_per,
 /// decomposition edges.
 SyntheticSpec make_ring_spec(int m, int buses_per, int chords,
                              std::uint64_t seed = 7);
+
+/// Per-tier topology knobs for a hierarchical area-of-areas
+/// interconnection: `regions` top-tier regions on a ring (plus long-range
+/// interties), each containing `areas_per_region` areas (= subsystems) on
+/// an intra-region ring with chords. Inter-region corridors run between
+/// randomly chosen area pairs of adjacent regions and carry more tie
+/// lines than intra-region edges.
+struct HierarchicalSpec {
+  int regions = 4;
+  int areas_per_region = 8;
+  /// Mean buses per area; each area is jittered to 70–130% of this.
+  int buses_per_area = 300;
+  /// Extra area-area decomposition edges inside each region beyond the ring.
+  int intra_region_chords = 2;
+  /// Area pairs tied per adjacent region pair (the inter-region corridors).
+  int inter_region_edges = 3;
+  /// Tie lines per intra-region decomposition edge.
+  int tie_lines_intra = 2;
+  /// Tie lines per inter-region corridor (heavier, EHV-style).
+  int tie_lines_inter = 4;
+  /// Intra-area meshing, as in SyntheticSpec::extra_edge_fraction.
+  double extra_edge_fraction = 0.55;
+  double load_mean_mw = 25.0;
+  int buses_per_generator = 6;
+  std::uint64_t seed = 42;
+};
+
+/// Compose a flat SyntheticSpec (with per-edge tie-line counts) from the
+/// hierarchical knobs. Exposed so tests can inspect the composed topology.
+SyntheticSpec make_hierarchical_spec(const HierarchicalSpec& h);
+
+/// Generate the hierarchical interconnection; fills region_of_subsystem.
+GeneratedCase generate_hierarchical(const HierarchicalSpec& h);
+
+/// Scale-tier presets targeting ~10k / ~30k / ~100k buses. The exact
+/// counts are deterministic per seed and pinned by the golden generator
+/// tests; see docs/ARCHITECTURE.md for the knob values.
+GeneratedCase interconnection10k(std::uint64_t seed = 10);
+GeneratedCase interconnection30k(std::uint64_t seed = 30);
+GeneratedCase interconnection100k(std::uint64_t seed = 100);
 
 }  // namespace gridse::io

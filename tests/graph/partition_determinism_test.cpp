@@ -1,0 +1,136 @@
+// Determinism regression tests: partition() must be a pure function of
+// (graph, options) — bit-identical assignments for any worker thread count
+// within one process, and across two separate processes (catching
+// unordered-container iteration, address-dependent hashing, or
+// uninitialized reads that an in-process comparison can miss). Mirrors the
+// RCM ordering determinism tests in tests/sparse/ordering_test.cpp.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "decomp/bus_partition.hpp"
+#include "io/synthetic.hpp"
+#include "runtime/resilience.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gridse::graph {
+namespace {
+
+/// FNV-1a over the assignment vector — any single differing PartId flips it.
+std::uint64_t assignment_hash(const std::vector<PartId>& assignment) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const PartId p : assignment) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(p));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Partition partition_with_threads(const WeightedGraph& g, PartId k,
+                                 int threads) {
+  PartitionOptions opts;
+  opts.k = k;
+  opts.seed = 7;
+  opts.threads = threads;
+  return partition(g, opts);
+}
+
+/// The two reference graphs of the regression: the paper's IEEE-118 case
+/// and the 10k-bus hierarchical tier, both at the bus level.
+WeightedGraph ieee118_graph() {
+  return decomp::bus_coupling_graph(io::ieee118_dse().kase.network);
+}
+
+WeightedGraph tier10k_graph() {
+  return decomp::bus_coupling_graph(io::interconnection10k().kase.network);
+}
+
+TEST(PartitionDeterminism, Ieee118ThreadCountInvariant) {
+  const WeightedGraph g = ieee118_graph();
+  const Partition ref = partition_with_threads(g, 9, 1);
+  for (const int threads : {2, 8}) {
+    const Partition p = partition_with_threads(g, 9, threads);
+    EXPECT_EQ(ref.assignment, p.assignment) << threads << " threads";
+  }
+}
+
+TEST(PartitionDeterminism, Tier10kThreadCountInvariant) {
+  const WeightedGraph g = tier10k_graph();
+  const Partition ref = partition_with_threads(g, 32, 1);
+  for (const int threads : {2, 8}) {
+    const Partition p = partition_with_threads(g, 32, threads);
+    EXPECT_EQ(ref.assignment, p.assignment) << threads << " threads";
+  }
+}
+
+TEST(PartitionDeterminism, SharedPoolMatchesPrivatePool) {
+  // A caller-supplied pool (the DseSystem wiring) must not change results
+  // vs the partitioner's own per-call pool.
+  const WeightedGraph g = ieee118_graph();
+  const Partition ref = partition_with_threads(g, 9, 4);
+  ThreadPool pool(4);
+  PartitionOptions opts;
+  opts.k = 9;
+  opts.seed = 7;
+  opts.threads = 4;
+  opts.pool = &pool;
+  const Partition shared = partition(g, opts);
+  EXPECT_EQ(ref.assignment, shared.assignment);
+}
+
+/// Child half of the cross-process check: when the env var names an output
+/// file, compute the combined hash of both reference partitions and write
+/// it there. Run directly (parent invocation below); skipped in a normal
+/// ctest run.
+TEST(PartitionDeterminism, ChildWritesHash) {
+  const std::optional<std::string> out =
+      runtime::env_value("GRIDSE_PARTITION_HASH_FILE");
+  if (!out) {
+    GTEST_SKIP() << "cross-process child mode only";
+  }
+  const Partition p118 = partition_with_threads(ieee118_graph(), 9, 2);
+  const Partition p10k = partition_with_threads(tier10k_graph(), 32, 2);
+  std::ofstream f(*out);
+  ASSERT_TRUE(f.good());
+  f << assignment_hash(p118.assignment) << " "
+    << assignment_hash(p10k.assignment) << "\n";
+}
+
+TEST(PartitionDeterminism, CrossProcessIdentical) {
+  // Re-exec this binary twice (fresh address spaces, fresh heap layout)
+  // and require identical partition hashes from both children.
+  std::string exe(4096, '\0');
+  const ssize_t len = readlink("/proc/self/exe", exe.data(), exe.size() - 1);
+  if (len <= 0) {
+    GTEST_SKIP() << "/proc/self/exe not available";
+  }
+  exe.resize(static_cast<std::size_t>(len));
+
+  std::string hashes[2];
+  for (int run = 0; run < 2; ++run) {
+    const std::string out_file =
+        ::testing::TempDir() + "partition_hash_" + std::to_string(run);
+    std::remove(out_file.c_str());
+    const std::string cmd =
+        "GRIDSE_PARTITION_HASH_FILE='" + out_file + "' '" + exe +
+        "' --gtest_filter=PartitionDeterminism.ChildWritesHash > /dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+    std::ifstream f(out_file);
+    ASSERT_TRUE(f.good()) << out_file;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    hashes[run] = ss.str();
+    ASSERT_FALSE(hashes[run].empty());
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+}
+
+}  // namespace
+}  // namespace gridse::graph

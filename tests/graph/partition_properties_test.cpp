@@ -1,0 +1,132 @@
+// Seeded random-graph property harness for the k-way partitioner: the
+// invariants that must hold on EVERY input, checked across 100 seeds per
+// size tier (the counterpart of the example-based tests in
+// partitioner_test.cpp). Each seed builds a connected weighted graph,
+// partitions it, and verifies structural soundness, reported-vs-recomputed
+// metrics, and the repartitioning migration contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/partitioner.hpp"
+#include "util/rng.hpp"
+
+namespace gridse::graph {
+namespace {
+
+WeightedGraph random_connected(VertexId n, double extra_density, Rng& rng) {
+  WeightedGraph g(n);
+  for (VertexId v = 1; v < n; ++v) {
+    g.add_edge(static_cast<VertexId>(rng.uniform_int(0, v - 1)), v,
+               rng.uniform(1.0, 5.0));
+    g.set_vertex_weight(v, rng.uniform(1.0, 10.0));
+  }
+  const int extra = static_cast<int>(extra_density * n);
+  for (int e = 0; e < extra; ++e) {
+    const auto a = static_cast<VertexId>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<VertexId>(rng.uniform_int(0, n - 1));
+    if (a != b && !g.has_edge(a, b)) {
+      g.add_edge(a, b, rng.uniform(1.0, 5.0));
+    }
+  }
+  return g;
+}
+
+/// Edge cut recomputed straight from the edge list, independently of
+/// evaluate_partition's internals.
+double recompute_cut(const WeightedGraph& g,
+                     const std::vector<PartId>& assignment) {
+  double cut = 0.0;
+  for (const Edge& e : g.edges()) {
+    if (assignment[static_cast<std::size_t>(e.u)] !=
+        assignment[static_cast<std::size_t>(e.v)]) {
+      cut += e.weight;
+    }
+  }
+  return cut;
+}
+
+/// The partitioner treats 1.05 as a target, not a guarantee: on adversarial
+/// vertex-weight draws the best feasible imbalance can exceed it. 1.25 is
+/// the empirical envelope over this harness's seeds with margin; a value
+/// beyond it means balance handling regressed, not an unlucky seed.
+constexpr double kImbalanceEnvelope = 1.25;
+
+void check_tier(VertexId n, PartId k, int seeds) {
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("n=" + std::to_string(n) + " k=" + std::to_string(k) +
+                 " seed=" + std::to_string(seed));
+    Rng rng(static_cast<std::uint64_t>(seed) * 977);
+    const WeightedGraph g = random_connected(n, 1.5, rng);
+    PartitionOptions opts;
+    opts.k = k;
+    opts.seed = static_cast<std::uint64_t>(seed);
+    const Partition p = partition(g, opts);
+
+    // Every vertex assigned exactly once, to a part in range.
+    ASSERT_EQ(p.assignment.size(), static_cast<std::size_t>(n));
+    for (const PartId part : p.assignment) {
+      ASSERT_GE(part, 0);
+      ASSERT_LT(part, k);
+    }
+    EXPECT_TRUE(is_valid_partition(g, p.assignment, k));
+
+    EXPECT_LE(p.load_imbalance, kImbalanceEnvelope);
+    EXPECT_GE(p.load_imbalance, 1.0 - 1e-9);
+
+    // Reported metrics must match independent recomputation.
+    EXPECT_NEAR(p.edge_cut, recompute_cut(g, p.assignment), 1e-9);
+    double total = 0.0;
+    for (const double w : p.part_weights) total += w;
+    EXPECT_NEAR(total, g.total_vertex_weight(), 1e-9);
+    EXPECT_GE(p.boundary_coupling, 0.0);
+    EXPECT_LT(p.boundary_coupling, 1.0 + 1e-12);
+    EXPECT_GE(p.expected_gn_iterations, 1.0);
+
+    // Repartitioning after a weight perturbation must not migrate more
+    // vertices than a from-scratch partition would (that is its contract:
+    // prefer low migration at equal quality).
+    WeightedGraph g2 = g;
+    for (VertexId v = 0; v < n; ++v) {
+      g2.set_vertex_weight(v, g.vertex_weight(v) * rng.uniform(0.8, 1.25));
+    }
+    const Partition repart = repartition(g2, p.assignment, opts);
+    EXPECT_TRUE(is_valid_partition(g2, repart.assignment, k));
+    const Partition fresh = partition(g2, opts);
+    EXPECT_LE(migration_count(p.assignment, repart.assignment),
+              migration_count(p.assignment, fresh.assignment));
+  }
+}
+
+TEST(PartitionProperties, SmallTier) { check_tier(30, 4, 100); }
+
+TEST(PartitionProperties, MediumTier) { check_tier(200, 8, 100); }
+
+TEST(PartitionProperties, LargeTier) { check_tier(1200, 16, 100); }
+
+TEST(PartitionProperties, MultilevelWithinBoundedFactorOfOptimal) {
+  // On graphs small enough for the exhaustive search, force the multilevel
+  // path (coarsen_to=2, tiny budget) and compare to the provable optimum.
+  // Multilevel is a heuristic; 2x the optimal cut (plus an absolute slack
+  // for near-zero optima) is the regression envelope.
+  for (int seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(static_cast<std::uint64_t>(seed) * 31);
+    const auto n = static_cast<VertexId>(rng.uniform_int(8, 12));
+    const WeightedGraph g = random_connected(n, 1.0, rng);
+    PartitionOptions opts;
+    opts.k = 3;
+    opts.seed = static_cast<std::uint64_t>(seed);
+    const Partition optimal = detail::exhaustive_partition(g, opts);
+
+    PartitionOptions heuristic = opts;
+    heuristic.exhaustive_budget = 1;  // never take the exhaustive path
+    heuristic.coarsen_to = 2;
+    const Partition multilevel = partition(g, heuristic);
+    EXPECT_TRUE(is_valid_partition(g, multilevel.assignment, opts.k));
+    EXPECT_LE(multilevel.edge_cut, 2.0 * optimal.edge_cut + 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace gridse::graph

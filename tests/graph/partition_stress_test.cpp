@@ -1,0 +1,101 @@
+// Thread-safety stress for the parallel partitioner: many concurrent
+// partition() calls over independent graphs sharing one ThreadPool — the
+// DseSystem wiring where per-cycle mapping and bus-level decomposition
+// reuse the system pool. Run under the tsan preset this is a data-race
+// detector; in a plain build it still verifies results are independent of
+// interleaving. Plus negative coverage: is_valid_partition must reject
+// malformed assignments rather than let them flow into decompose().
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "analysis/tsan.hpp"
+#include "graph/partitioner.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gridse::graph {
+namespace {
+
+WeightedGraph random_connected(VertexId n, std::uint64_t seed) {
+  Rng rng(seed);
+  WeightedGraph g(n);
+  for (VertexId v = 1; v < n; ++v) {
+    g.add_edge(static_cast<VertexId>(rng.uniform_int(0, v - 1)), v,
+               rng.uniform(1.0, 5.0));
+    g.set_vertex_weight(v, rng.uniform(1.0, 10.0));
+  }
+  for (int e = 0; e < n; ++e) {
+    const auto a = static_cast<VertexId>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<VertexId>(rng.uniform_int(0, n - 1));
+    if (a != b && !g.has_edge(a, b)) {
+      g.add_edge(a, b, rng.uniform(1.0, 5.0));
+    }
+  }
+  return g;
+}
+
+TEST(PartitionStress, ConcurrentPartitionsSharingOnePool) {
+  // TSan multiplies runtime ~10x; scale the stress down there, not off.
+  const int graphs = GRIDSE_TSAN_ENABLED ? 4 : 12;
+  const VertexId n = GRIDSE_TSAN_ENABLED ? 150 : 400;
+
+  std::vector<WeightedGraph> inputs;
+  std::vector<Partition> expected;
+  PartitionOptions opts;
+  opts.k = 6;
+  opts.seed = 11;
+  for (int i = 0; i < graphs; ++i) {
+    inputs.push_back(random_connected(n, 1000 + static_cast<std::uint64_t>(i)));
+    expected.push_back(partition(inputs.back(), opts));
+  }
+
+  ThreadPool pool(4);
+  PartitionOptions shared = opts;
+  shared.threads = 4;
+  shared.pool = &pool;
+  std::vector<Partition> results(static_cast<std::size_t>(graphs));
+  std::vector<std::thread> callers;
+  callers.reserve(static_cast<std::size_t>(graphs));
+  for (int i = 0; i < graphs; ++i) {
+    callers.emplace_back([&, i] {
+      results[static_cast<std::size_t>(i)] =
+          partition(inputs[static_cast<std::size_t>(i)], shared);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+
+  for (int i = 0; i < graphs; ++i) {
+    EXPECT_EQ(expected[static_cast<std::size_t>(i)].assignment,
+              results[static_cast<std::size_t>(i)].assignment)
+        << "graph " << i;
+  }
+}
+
+TEST(PartitionStress, InvalidAssignmentsAreRejected) {
+  const WeightedGraph g = random_connected(20, 42);
+  PartitionOptions opts;
+  opts.k = 4;
+  const Partition good = partition(g, opts);
+  ASSERT_TRUE(is_valid_partition(g, good.assignment, opts.k));
+
+  // Part id out of range (high and negative).
+  std::vector<PartId> bad = good.assignment;
+  bad[3] = 4;
+  EXPECT_FALSE(is_valid_partition(g, bad, opts.k));
+  bad[3] = -1;
+  EXPECT_FALSE(is_valid_partition(g, bad, opts.k));
+
+  // Empty part: every vertex crammed into part 0.
+  std::vector<PartId> collapsed(good.assignment.size(), 0);
+  EXPECT_FALSE(is_valid_partition(g, collapsed, opts.k));
+
+  // Wrong length: a vertex left unassigned.
+  std::vector<PartId> truncated(good.assignment.begin(),
+                                good.assignment.end() - 1);
+  EXPECT_FALSE(is_valid_partition(g, truncated, opts.k));
+}
+
+}  // namespace
+}  // namespace gridse::graph

@@ -1,0 +1,126 @@
+// Golden-fingerprint tests for the hierarchical interconnection generator:
+// the 10k tier's exact shape (bus/branch/measurement counts, degree
+// histogram) is pinned so any change to the generator's sampling order,
+// topology recipe, or measurement plan shows up as a diff here instead of
+// as silently shifted bench baselines. Plus structural checks on the
+// tier presets and the per-edge tie-line override.
+#include "io/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "grid/meas_generator.hpp"
+#include "util/error.hpp"
+
+namespace gridse::io {
+namespace {
+
+TEST(HierarchicalGolden, Tier10kFingerprint) {
+  const GeneratedCase gc = interconnection10k();
+  const grid::Network& net = gc.kase.network;
+  EXPECT_EQ(net.num_buses(), 9490);
+  EXPECT_EQ(net.num_branches(), 14793u);
+  EXPECT_EQ(gc.num_subsystems(), 32);
+  EXPECT_EQ(gc.decomposition_edges.size(), 52u);
+  EXPECT_EQ(gc.kase.name, "hier_r4_a8_n9490");
+
+  // Degree histogram, pinned exactly: a resampled topology cannot match it
+  // by accident.
+  std::map<int, int> hist;
+  for (grid::BusIndex b = 0; b < net.num_buses(); ++b) {
+    ++hist[static_cast<int>(net.branches_at(b).size())];
+  }
+  const std::map<int, int> expected = {
+      {1, 1573}, {2, 2427}, {3, 2285}, {4, 1483}, {5, 809},
+      {6, 471},  {7, 232},  {8, 98},   {9, 65},   {10, 26},
+      {11, 11},  {12, 5},   {13, 3},   {14, 2},
+  };
+  EXPECT_EQ(hist, expected);
+
+  // Measurement skeleton sizes at full and reduced SCADA flow coverage.
+  grid::MeasurementPlan plan;
+  const grid::GridState flat(net.num_buses());
+  EXPECT_EQ(grid::MeasurementGenerator(net, plan)
+                .generate_noiseless(flat)
+                .items.size(),
+            87642u);
+  plan.flow_coverage = 0.6;
+  EXPECT_EQ(grid::MeasurementGenerator(net, plan)
+                .generate_noiseless(flat)
+                .items.size(),
+            64174u);
+}
+
+TEST(HierarchicalGolden, TierPresetsLandNearTargets) {
+  const GeneratedCase g10 = interconnection10k();
+  EXPECT_NEAR(g10.kase.network.num_buses(), 10000, 1500);
+  const GeneratedCase g30 = interconnection30k();
+  EXPECT_NEAR(g30.kase.network.num_buses(), 30000, 4500);
+  EXPECT_EQ(g30.num_subsystems(), 60);
+  // Validate (connectivity, slack, impedances) without paying for a power
+  // flow; the 100k tier is covered by bench_partitioner_scaling.
+  g30.kase.network.validate();
+}
+
+TEST(HierarchicalGolden, RegionOfSubsystemIsRegionMajor) {
+  HierarchicalSpec h;
+  h.regions = 3;
+  h.areas_per_region = 4;
+  h.buses_per_area = 20;
+  const GeneratedCase gc = generate_hierarchical(h);
+  ASSERT_EQ(gc.region_of_subsystem.size(), 12u);
+  for (int s = 0; s < 12; ++s) {
+    EXPECT_EQ(gc.region_of_subsystem[static_cast<std::size_t>(s)], s / 4);
+  }
+  // Every area must host at least one bus of its own subsystem id.
+  std::set<int> seen(gc.subsystem_of_bus.begin(), gc.subsystem_of_bus.end());
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(HierarchicalGolden, InterRegionCorridorsCarryMoreTies) {
+  HierarchicalSpec h;
+  h.regions = 3;
+  h.areas_per_region = 4;
+  h.buses_per_area = 20;
+  h.tie_lines_intra = 2;
+  h.tie_lines_inter = 5;
+  const SyntheticSpec spec = make_hierarchical_spec(h);
+  ASSERT_EQ(spec.tie_lines_by_edge.size(), spec.decomposition_edges.size());
+  int intra = 0;
+  int inter = 0;
+  for (std::size_t e = 0; e < spec.decomposition_edges.size(); ++e) {
+    const auto& [a, b] = spec.decomposition_edges[e];
+    const bool same_region = a / h.areas_per_region == b / h.areas_per_region;
+    EXPECT_EQ(spec.tie_lines_by_edge[e], same_region ? 2 : 5);
+    (same_region ? intra : inter) += 1;
+  }
+  EXPECT_GT(intra, 0);
+  EXPECT_GT(inter, 0);
+}
+
+TEST(HierarchicalGolden, TieLinesByEdgeIsValidated) {
+  SyntheticSpec spec;
+  spec.subsystem_sizes = {6, 6};
+  spec.decomposition_edges = {{0, 1}};
+  spec.tie_lines_by_edge = {2, 2};  // wrong length
+  EXPECT_THROW(generate_synthetic(spec), InvalidInput);
+  spec.tie_lines_by_edge = {0};  // a decomposition edge needs >= 1 tie
+  EXPECT_THROW(generate_synthetic(spec), InvalidInput);
+  spec.tie_lines_by_edge = {3};
+  const GeneratedCase gc = generate_synthetic(spec);
+  EXPECT_EQ(gc.decomposition_edges.size(), 1u);
+}
+
+TEST(HierarchicalGolden, SameSeedSameCaseDifferentSeedDifferentCase) {
+  const GeneratedCase a = interconnection10k(123);
+  const GeneratedCase b = interconnection10k(123);
+  EXPECT_EQ(a.kase.network.num_buses(), b.kase.network.num_buses());
+  EXPECT_EQ(a.subsystem_of_bus, b.subsystem_of_bus);
+  const GeneratedCase c = interconnection10k(124);
+  EXPECT_NE(a.subsystem_of_bus, c.subsystem_of_bus);
+}
+
+}  // namespace
+}  // namespace gridse::io

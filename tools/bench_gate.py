@@ -113,6 +113,34 @@ def timeseries_info(path):
     }
 
 
+def partition_report_info(path):
+    """Informational keys from a gridse-partition-report/1 document.
+
+    Partition wall time and cut are published per tier (partition.<tier>.*)
+    but never gated: time is runner-dependent and cut legitimately moves
+    when the partitioner's objective or the generator's topology evolves.
+    A non-deterministic tier is the exception — that is a hard error here,
+    mirroring the bench binary's own exit code.
+    """
+    doc = load(path)
+    if doc.get("schema") != "gridse-partition-report/1":
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r}, expected "
+            "'gridse-partition-report/1'")
+    info = {}
+    for tier in doc.get("tiers", []):
+        name = tier["tier"]
+        info[f"partition.{name}.time_ms"] = tier["time_ms"]
+        info[f"partition.{name}.cut"] = tier["cut"]
+        info[f"partition.{name}.boundary_buses"] = tier["boundary_buses"]
+        info[f"partition.{name}.boundary_coupling"] = tier["boundary_coupling"]
+        info[f"partition.{name}.speedup"] = tier["speedup"]
+        if not tier.get("deterministic", True):
+            raise ValueError(f"{path}: tier {name} is not thread-count "
+                             "deterministic")
+    return info
+
+
 def merge(bench_docs, report):
     """Build the BENCH_ci.json document from the bench JSONs + obs report."""
     doc = {
@@ -406,6 +434,12 @@ def main():
                         help="optional gridse-timeseries/1 JSONL from the "
                              "telemetry sampler; adds per-cycle SLO/retry/"
                              "iteration-stability informational keys")
+    parser.add_argument("--partition-report",
+                        help="optional gridse-partition-report/1 JSON from "
+                             "bench_partitioner_scaling; adds per-tier "
+                             "partition.<tier>.time_ms/.cut informational "
+                             "keys (errors if any tier was "
+                             "non-deterministic)")
     parser.add_argument("--baseline",
                         help="committed BENCH_baseline.json")
     parser.add_argument("--out",
@@ -438,6 +472,14 @@ def main():
         except (OSError, json.JSONDecodeError, ValueError) as e:
             print(f"bench_gate: ERROR: --timeseries {args.timeseries}: {e}",
                   file=sys.stderr)
+            return 2
+    if args.partition_report:
+        try:
+            doc["informational"].update(
+                partition_report_info(args.partition_report))
+        except (OSError, json.JSONDecodeError, ValueError, KeyError) as e:
+            print(f"bench_gate: ERROR: --partition-report "
+                  f"{args.partition_report}: {e}", file=sys.stderr)
             return 2
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

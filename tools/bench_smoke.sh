@@ -19,6 +19,11 @@
 #                                   emits benchmark JSON
 #   bench_telemetry_overhead      — per-cycle telemetry sampler cost
 #                                   (<1% cycle budget), emits benchmark JSON
+#   bench_partitioner_scaling     — mapping ablation + hierarchical scale
+#                                   tiers (10k/30k/100k buses); emits the
+#                                   gridse-partition-report/1 JSON merged
+#                                   into BENCH_ci.json as informational
+#                                   partition.<tier>.* keys
 #
 # After gating, a markdown diff of BENCH_ci.json vs the baseline is
 # rendered to ${out_dir}/bench_diff.md for the CI step summary.
@@ -51,6 +56,11 @@ echo "bench_smoke: telemetry sampler overhead (benchmark JSON)..." >&2
 "${build_dir}/bench/bench_telemetry_overhead" \
   --benchmark_out="${out_dir}/telemetry_benchmarks.json" \
   --benchmark_out_format=json
+
+echo "bench_smoke: partitioner scale tiers (partition report JSON)..." >&2
+"${build_dir}/bench/bench_partitioner_scaling" \
+  "${out_dir}/partition_report.json" \
+  | tee "${out_dir}/partitioner_scaling.txt"
 
 echo "bench_smoke: DSE observability report (ieee118)..." >&2
 "${build_dir}/tools/gridse_report" --case ieee118 --cycles 3 \
@@ -90,6 +100,7 @@ python3 "${repo_root}/tools/bench_gate.py" \
                "${out_dir}/batched_benchmarks.json" \
                "${out_dir}/telemetry_benchmarks.json" \
   --obs-report "${out_dir}/obs_report.json" \
+  --partition-report "${out_dir}/partition_report.json" \
   ${timeseries_flag[@]+"${timeseries_flag[@]}"} \
   --baseline "${repo_root}/BENCH_baseline.json" \
   --out "${repo_root}/BENCH_ci.json" \
