@@ -1,12 +1,18 @@
 #include "core/architecture.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <iterator>
 #include <numeric>
+#include <utility>
 
 #include "analysis/debug_sync.hpp"
+#include "decomp/bus_partition.hpp"
+#include "graph/partitioner.hpp"
 #include "grid/dc_powerflow.hpp"
 #include "grid/powerflow.hpp"
 #include "medici/medici_comm.hpp"
+#include "obs/obs.hpp"
 #if GRIDSE_OBS
 #include "obs/telemetry.hpp"
 #include "obs/trace/trace.hpp"
@@ -66,6 +72,45 @@ grid::GridState solve_truth_state(const grid::Network& network, TruthMode mode,
   return state;
 }
 
+/// Island-aware variant of the DC truth above: per-island references,
+/// de-energized buses pinned to |V| = 0, θ = 0. The jitter stream draws for
+/// every PQ bus regardless of energization, so restoring the base topology
+/// returns the exact pre-event truth.
+grid::GridState solve_truth_state_islands(const grid::Network& network,
+                                          const grid::IslandReport& islands,
+                                          std::uint64_t seed) {
+  const grid::DcPowerFlow dc =
+      grid::solve_dc_power_flow_islands(network, islands);
+  grid::GridState state(network.num_buses());
+  state.theta = dc.theta;
+  Rng jitter(seed ^ 0xdc0ull);
+  for (grid::BusIndex b = 0; b < network.num_buses(); ++b) {
+    const grid::Bus& bus = network.bus(b);
+    const double vm = bus.type == grid::BusType::kPQ
+                          ? 1.0 + jitter.uniform(-0.02, 0.02)
+                          : bus.v_setpoint;
+    state.vm[static_cast<std::size_t>(b)] =
+        islands.bus_energized(b) ? vm : 0.0;
+  }
+  return state;
+}
+
+/// Resolve the replay plan text: inline JSON when it starts with '{', else
+/// the contents of the named file.
+fault::TopologyReplayPlan load_replay_plan(const std::string& plan) {
+  if (!plan.empty() && plan.front() == '{') {
+    return fault::TopologyReplayPlan::parse(plan);
+  }
+  std::ifstream in(plan, std::ios::binary);
+  if (!in) {
+    throw InvalidInput("DseSystem: cannot open topology plan file \"" + plan +
+                       "\"");
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  return fault::TopologyReplayPlan::parse(text);
+}
+
 }  // namespace
 
 DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
@@ -107,6 +152,18 @@ DseSystem::DseSystem(io::GeneratedCase generated, SystemConfig config)
 
   true_state_ = solve_truth_state(generated_.kase.network, config_.truth_mode,
                                   config_.seed);
+  last_estimate_ = true_state_;
+  bus_energized_prev_.assign(
+      static_cast<std::size_t>(generated_.kase.network.num_buses()), 1);
+
+  // Topology replay: env wins over the configured plan/threshold, and a
+  // resolved non-empty plan arms the harness for run_cycle.
+  config_.topology = runtime::with_env_overrides(config_.topology);
+  if (!config_.topology.plan.empty()) {
+    ensure_live_topology();
+    replay_ = std::make_unique<fault::TopologyReplayHarness>(
+        load_replay_plan(config_.topology.plan));
+  }
 
   if (config_.plan.pmu_buses.empty()) {
     for (const decomp::Subsystem& s : decomposition_.subsystems) {
@@ -162,8 +219,59 @@ DseSystem::~DseSystem() {
 
 CycleReport DseSystem::run_cycle(double time_sec) {
   CycleReport report;
+  report.topology.num_subsystems =
+      static_cast<int>(decomposition_.subsystems.size());
 
-  if (config_.load_profile) {
+  // --- topology replay (docs/RESILIENCE.md): apply this cycle's switching
+  // batch, re-derive islands, then react — repartition past the threshold
+  // or selectively invalidate the touched subsystems' solver plans.
+  std::optional<grid::IslandReport> islands;
+  if (live_topology_ != nullptr) {
+    if (replay_ != nullptr) {
+      OBS_SPAN("topology.apply_cycle");
+      const std::size_t before = replay_->events_applied();
+      report.topology.changed_branches = replay_->apply_cycle(
+          cycle_index_.load(std::memory_order_relaxed), *live_topology_);
+      report.topology.events_applied =
+          static_cast<int>(replay_->events_applied() - before);
+    }
+    if (!pending_manual_changes_.empty()) {
+      report.topology.changed_branches.insert(
+          report.topology.changed_branches.end(),
+          pending_manual_changes_.begin(), pending_manual_changes_.end());
+      pending_manual_changes_.clear();
+      std::sort(report.topology.changed_branches.begin(),
+                report.topology.changed_branches.end());
+      report.topology.changed_branches.erase(
+          std::unique(report.topology.changed_branches.begin(),
+                      report.topology.changed_branches.end()),
+          report.topology.changed_branches.end());
+    }
+    if (!report.topology.changed_branches.empty()) {
+      // The measurement generator caches its admittance matrix; adopt the
+      // incrementally patched live values so generated injections reflect
+      // the switching state (the pattern is switching-invariant).
+      generator_->sync_ybus(live_topology_->ybus());
+    }
+    islands = live_topology_->islands();
+    report.topology.num_islands = islands->num_islands;
+    OBS_GAUGE_SET("topology.islands",
+                  static_cast<double>(islands->num_islands));
+    react_to_topology(report, *islands);
+  }
+
+  if (live_topology_ != nullptr) {
+    // The switching state may have moved: re-solve the island-aware DC
+    // truth every cycle (per-island references, dead buses at |V| = 0).
+    if (config_.load_profile) {
+      grid::Network scaled = generated_.kase.network;
+      scaled.scale_loads(config_.load_profile(time_sec));
+      true_state_ = solve_truth_state_islands(scaled, *islands, config_.seed);
+    } else {
+      true_state_ = solve_truth_state_islands(generated_.kase.network,
+                                              *islands, config_.seed);
+    }
+  } else if (config_.load_profile) {
     // Track a moving operating point: re-solve the power flow at the
     // frame's load level. The measurement model itself is load-independent
     // (loads only shift the true state), so the same generator stays valid.
@@ -173,6 +281,23 @@ CycleReport DseSystem::run_cycle(double time_sec) {
     true_state_ = solve_truth_state(scaled, config_.truth_mode, config_.seed);
   }
   last_measurements_ = generator_->generate(true_state_, rng_, time_sec);
+  if (live_topology_ != nullptr) {
+    // De-energization mask + anchors: what enters the residual is only
+    // live telemetry, and every estimation group keeps a nonsingular gain.
+    grid::MaskedMeasurements masked = grid::mask_measurements(
+        generated_.kase.network, *islands, last_measurements_);
+    report.topology.masked_measurements = masked.total_masked();
+    grid::AnchorOptions anchor_options;
+    anchor_options.angle_sigma = config_.topology.anchor_angle_sigma;
+    anchor_options.dead_sigma = config_.topology.dead_pin_sigma;
+    report.topology.anchors_added = grid::append_anchor_measurements(
+        generated_.kase.network, *islands, generated_.subsystem_of_bus,
+        last_estimate_, masked.active, anchor_options);
+    last_measurements_ = std::move(masked.active);
+    OBS_COUNTER_ADD("topology.masked_measurements",
+                    report.topology.masked_measurements);
+    OBS_COUNTER_ADD("topology.anchors_added", report.topology.anchors_added);
+  }
 
   // --- mapping (paper §IV-B): weights from the time frame -------------------
   // With recovery enabled the participant set may have shrunk (cluster
@@ -285,6 +410,10 @@ CycleReport DseSystem::run_cycle(double time_sec) {
   report.max_vm_error = grid::max_vm_error(report.dse.state, true_state_);
   report.max_angle_error =
       grid::max_angle_error(report.dse.state, true_state_);
+  if (report.dse.state.vm.size() ==
+      static_cast<std::size_t>(generated_.kase.network.num_buses())) {
+    last_estimate_ = report.dse.state;
+  }
 #if GRIDSE_OBS
   if (sampler_ != nullptr) {
     const std::int64_t this_cycle =
@@ -321,6 +450,151 @@ CycleReport DseSystem::run_cycle(double time_sec) {
 #endif
   ++cycle_index_;
   return report;
+}
+
+double DseSystem::decomposition_score() const {
+  const graph::WeightedGraph g =
+      decomp::bus_coupling_graph(generated_.kase.network);
+  std::vector<graph::PartId> assignment;
+  assignment.reserve(generated_.subsystem_of_bus.size());
+  for (const int s : generated_.subsystem_of_bus) {
+    assignment.push_back(static_cast<graph::PartId>(s));
+  }
+  const auto m = static_cast<graph::PartId>(decomposition_.subsystems.size());
+  return graph::evaluate_partition(g, std::move(assignment), m)
+      .expected_gn_iterations;
+}
+
+void DseSystem::ensure_live_topology() {
+  if (live_topology_ != nullptr) {
+    return;
+  }
+  if (config_.truth_mode != TruthMode::kDcLinearized) {
+    throw InvalidInput(
+        "DseSystem: topology replay requires truth_mode == kDcLinearized — "
+        "the island-aware DC truth degrades gracefully where the AC Newton "
+        "solve goes singular");
+  }
+  live_topology_ =
+      std::make_unique<grid::LiveTopology>(generated_.kase.network);
+  partition_baseline_score_ = decomposition_score();
+}
+
+std::vector<std::size_t> DseSystem::apply_topology_event(
+    const grid::TopologyEvent& event) {
+  ensure_live_topology();
+  std::vector<std::size_t> changed = live_topology_->apply(event);
+  pending_manual_changes_.insert(pending_manual_changes_.end(),
+                                 changed.begin(), changed.end());
+  return changed;
+}
+
+void DseSystem::react_to_topology(CycleReport& report,
+                                  const grid::IslandReport& islands) {
+  const grid::Network& network = generated_.kase.network;
+  const auto n = static_cast<std::size_t>(network.num_buses());
+  const auto m = static_cast<int>(decomposition_.subsystems.size());
+  // Subsystems whose WLS pattern changed this cycle: owners of a flipped
+  // branch's endpoints, plus owners of buses whose energization flipped
+  // (the mask/pin rows for those buses appear or disappear).
+  std::vector<char> touched(static_cast<std::size_t>(m), 0);
+  for (const std::size_t bi : report.topology.changed_branches) {
+    const grid::Branch& br = network.branch(bi);
+    touched[static_cast<std::size_t>(
+        generated_.subsystem_of_bus[static_cast<std::size_t>(br.from)])] = 1;
+    touched[static_cast<std::size_t>(
+        generated_.subsystem_of_bus[static_cast<std::size_t>(br.to)])] = 1;
+  }
+  for (std::size_t b = 0; b < n; ++b) {
+    const char live =
+        islands.bus_energized(static_cast<grid::BusIndex>(b)) ? 1 : 0;
+    if (live != bus_energized_prev_[b]) {
+      touched[static_cast<std::size_t>(generated_.subsystem_of_bus[b])] = 1;
+      bus_energized_prev_[b] = live;
+    }
+  }
+  if (std::none_of(touched.begin(), touched.end(),
+                   [](char t) { return t != 0; })) {
+    return;  // quiet cycle: keep every cached plan, skip the re-score
+  }
+
+  const double score = decomposition_score();
+  report.topology.partition_score = score;
+  OBS_GAUGE_SET("topology.partition_score", score);
+  const double threshold = config_.topology.repartition_threshold;
+  if (threshold > 0.0 && partition_baseline_score_ > 0.0 &&
+      score > threshold * partition_baseline_score_) {
+    OBS_SPAN("topology.repartition");
+    graph::PartitionOptions options;
+    options.seed = config_.seed;
+    options.objective = graph::PartitionObjective::kConvergenceAware;
+    int k = m;
+    if (config_.topology.k_min > 0 && config_.topology.k_max > 0) {
+      // Sweep the subsystem count, but never below the cluster count:
+      // mapping onto more clusters than subsystems is infeasible.
+      const auto k_lo = static_cast<graph::PartId>(
+          std::max(config_.topology.k_min, config_.mapping.num_clusters));
+      const auto k_hi = static_cast<graph::PartId>(
+          std::max(config_.topology.k_max, static_cast<int>(k_lo)));
+      const graph::PartsChoice choice = graph::choose_parts(
+          decomp::bus_coupling_graph(network), options, k_lo, k_hi);
+      k = static_cast<int>(choice.k);
+    }
+    options.k = static_cast<graph::PartId>(k);
+    std::vector<int> assignment = decomp::partition_buses(network, options);
+    decomposition_ = decomp::decompose(network, assignment);
+    generated_.subsystem_of_bus = std::move(assignment);
+    decomp::analyze_sensitivity(network, decomposition_, config_.sensitivity);
+    // Every subsystem id now means something new: cached solver plans and
+    // the Step-2 warm-start assignment are all stale. (PMUs stay where the
+    // original placement put them — they are physical devices — and the
+    // anchor pass guarantees every new group still has an angle reference.)
+    config_.dse.plan_registry->invalidate_all();
+    previous_assignment_.reset();
+    if (supervisor_ != nullptr) {
+      // Reseed the checkpoint store in the new numbering: one synthetic
+      // checkpoint per new subsystem, carrying the last combined estimate,
+      // so the driver's restore phase warm-starts every estimator instead
+      // of shipping checkpoints for subsystem ids that no longer exist.
+      const std::int64_t this_cycle =
+          cycle_index_.load(std::memory_order_relaxed);
+      std::vector<EstimatorCheckpoint> seeds;
+      for (std::size_t s = 0; s < decomposition_.subsystems.size(); ++s) {
+        EstimatorCheckpoint ckpt;
+        ckpt.subsystem = static_cast<std::int32_t>(s);
+        ckpt.cycle = this_cycle;
+        ckpt.reuse_gain = false;
+        for (const grid::BusIndex b : decomposition_.subsystems[s].buses) {
+          ckpt.step1_states.push_back(
+              {static_cast<std::int32_t>(b),
+               last_estimate_.theta[static_cast<std::size_t>(b)],
+               last_estimate_.vm[static_cast<std::size_t>(b)]});
+        }
+        seeds.push_back(std::move(ckpt));
+      }
+      supervisor_->reseed_checkpoints(std::move(seeds));
+    } else {
+      OBS_COUNTER_ADD("topology.repartitions", 1);  // else counted there
+    }
+    ++topology_repartitions_;
+    const double old_baseline = partition_baseline_score_;
+    partition_baseline_score_ = decomposition_score();
+    report.topology.partition_score = partition_baseline_score_;
+    report.topology.repartitioned = true;
+    report.topology.num_subsystems =
+        static_cast<int>(decomposition_.subsystems.size());
+    GRIDSE_INFO << "topology: repartitioned into "
+                << decomposition_.subsystems.size() << " subsystems (score "
+                << score << " > " << threshold << " x baseline "
+                << old_baseline << ", now " << partition_baseline_score_
+                << ")";
+  } else {
+    for (int s = 0; s < m; ++s) {
+      if (touched[static_cast<std::size_t>(s)] != 0) {
+        config_.dse.plan_registry->invalidate(s);
+      }
+    }
+  }
 }
 
 void DseSystem::kill_cluster(int cluster) {

@@ -10,6 +10,8 @@
 #include "core/hierarchical.hpp"
 #include "core/supervisor.hpp"
 #include "decomp/sensitivity.hpp"
+#include "fault/topology_replay.hpp"
+#include "grid/topology.hpp"
 #include "io/synthetic.hpp"
 #include "mapping/mapper.hpp"
 #include "mapping/redistribution.hpp"
@@ -73,6 +75,36 @@ struct SystemConfig {
   /// operating point, so the DSE tracks a moving state — the paper's
   /// real-time tracking setting. Null = static operating point.
   std::function<double(double time_sec)> load_profile;
+  /// Topology-change replay + event-driven repartitioning (see
+  /// docs/RESILIENCE.md, "Topology events & repartitioning"). Resolved
+  /// against GRIDSE_TOPOLOGY_* at construction (env wins). A non-empty
+  /// plan (inline JSON or a file path) enables replay, which requires
+  /// truth_mode == kDcLinearized: the island-aware DC truth degrades
+  /// gracefully where the AC Newton solve would go singular.
+  runtime::TopologyConfig topology;
+};
+
+/// What the topology layer did in one cycle (all defaults when replay is
+/// off and no manual events were applied).
+struct TopologyCycleInfo {
+  /// Replay events applied at the top of this cycle (dropped ones excluded).
+  int events_applied = 0;
+  /// Branches whose live status flipped this cycle (sorted, deduplicated).
+  std::vector<std::size_t> changed_branches;
+  /// Electrical islands after this cycle's events (0 = not evaluated).
+  int num_islands = 0;
+  /// Measurements dropped by the de-energization mask this cycle.
+  std::size_t masked_measurements = 0;
+  /// Pseudo measurements appended (dead-bus pins + angle anchors).
+  std::size_t anchors_added = 0;
+  /// Live expected-GN-iteration score of the decomposition (0 until a
+  /// topology change makes the system re-score it).
+  double partition_score = 0.0;
+  /// True when this cycle re-partitioned the network (score exceeded
+  /// threshold × baseline) — the decomposition object changed identity.
+  bool repartitioned = false;
+  /// Subsystem count after this cycle (repartitioning may change it).
+  int num_subsystems = 0;
 };
 
 /// Everything one DSE cycle produced, from mapping to solution quality.
@@ -90,6 +122,8 @@ struct CycleReport {
   /// Subsystems whose previous-cycle cluster died and were migrated to a
   /// survivor before this cycle's mapping (recovery only).
   std::vector<int> migrated_subsystems;
+  /// Topology replay facts for this cycle.
+  TopologyCycleInfo topology;
 };
 
 /// Facade wiring the whole prototype together: decomposition + sensitivity
@@ -134,6 +168,32 @@ class DseSystem {
     return supervisor_.get();
   }
 
+  /// Topology replay controls. apply_topology_event pushes one switching
+  /// event outside any replay plan (operator action); it requires
+  /// truth_mode == kDcLinearized (throws InvalidInput otherwise) and takes
+  /// effect from the next run_cycle. replay() is null without a plan.
+  std::vector<std::size_t> apply_topology_event(
+      const grid::TopologyEvent& event);
+  [[nodiscard]] bool topology_active() const {
+    return live_topology_ != nullptr;
+  }
+  [[nodiscard]] const grid::LiveTopology* live_topology() const {
+    return live_topology_.get();
+  }
+  [[nodiscard]] const fault::TopologyReplayHarness* replay() const {
+    return replay_.get();
+  }
+  /// The replay determinism witness: applied-event log as JSON ("[]"
+  /// without a plan). Bit-identical across same-seed runs/thread counts.
+  [[nodiscard]] std::string replay_log_json() const {
+    return replay_ != nullptr ? replay_->log_to_json() : std::string("[]");
+  }
+  /// Event-driven repartitions executed so far (counted with or without a
+  /// supervisor).
+  [[nodiscard]] int topology_repartitions() const {
+    return topology_repartitions_;
+  }
+
   [[nodiscard]] const decomp::Decomposition& decomposition() const {
     return decomposition_;
   }
@@ -148,6 +208,17 @@ class DseSystem {
   }
 
  private:
+  /// Re-score the live decomposition, repartition past the threshold (or
+  /// selectively invalidate the touched subsystems' plans), and refresh the
+  /// energization snapshot. Runs once per cycle while topology is active.
+  void react_to_topology(CycleReport& report,
+                         const grid::IslandReport& islands);
+  /// Expected-GN-iteration score of `subsystem_of_bus` on the live
+  /// coupling graph (out-of-service branches at epsilon weight).
+  [[nodiscard]] double decomposition_score() const;
+  /// Lazily create live_topology_ (and validate truth_mode).
+  void ensure_live_topology();
+
   io::GeneratedCase generated_;
   SystemConfig config_;
   decomp::Decomposition decomposition_;
@@ -160,6 +231,25 @@ class DseSystem {
   std::optional<std::vector<graph::PartId>> previous_assignment_;
   /// Present iff resilience.recovery.enabled.
   std::unique_ptr<Supervisor> supervisor_;
+  /// Live switching state + incrementally patched Ybus; present once
+  /// topology replay (or apply_topology_event) is in play.
+  std::unique_ptr<grid::LiveTopology> live_topology_;
+  /// Present iff config_.topology.plan resolved non-empty.
+  std::unique_ptr<fault::TopologyReplayHarness> replay_;
+  /// Last combined estimate — the warm prior for angle anchors and for the
+  /// reseeded checkpoints after a repartition. Seeded with the true state
+  /// before the first cycle.
+  grid::GridState last_estimate_;
+  /// Previous cycle's per-bus energization, to detect flips (a flip changes
+  /// the bus's measurement pattern → its subsystem's plan is invalidated).
+  std::vector<char> bus_energized_prev_;
+  /// Branch flips from apply_topology_event, folded into the next cycle's
+  /// changed-branch set (so manual events drive the same reaction path).
+  std::vector<std::size_t> pending_manual_changes_;
+  /// Expected-GN-iteration score captured at the last (re)partition; the
+  /// repartition trigger compares live scores against this.
+  double partition_baseline_score_ = 0.0;
+  int topology_repartitions_ = 0;
   /// Atomic: the supervisor's alert sink stamps triggers with the current
   /// cycle from whatever thread an operator kill/rejoin lands on.
   std::atomic<std::int64_t> cycle_index_{0};

@@ -24,7 +24,12 @@ graph::WeightedGraph bus_coupling_graph(const grid::Network& network) {
         std::minmax(static_cast<graph::VertexId>(br.from),
                     static_cast<graph::VertexId>(br.to));
     // |x| floored to keep the weight finite on near-zero-impedance links.
-    weight[key] += 1.0 / std::max(std::abs(br.x), 1e-6);
+    // Out-of-service branches (line outages, open breakers) keep the edge —
+    // the graph must stay structurally connected for the repair phase — but
+    // at epsilon weight, so an open corridor is nearly free to cut and the
+    // convergence-aware objective steers part borders onto it.
+    weight[key] +=
+        br.in_service ? 1.0 / std::max(std::abs(br.x), 1e-6) : 1e-9;
   }
   for (const auto& [key, w] : weight) {
     g.add_edge(key.first, key.second, w);

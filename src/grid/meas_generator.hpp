@@ -63,6 +63,11 @@ class MeasurementGenerator {
 
   [[nodiscard]] const MeasurementPlan& plan() const { return plan_; }
 
+  /// Adopt the live switching state after topology events: copies the
+  /// values of an incrementally patched Ybus (same pattern as the cached
+  /// model's) so generated injections reflect open/restored branches.
+  void sync_ybus(const sparse::CsrComplex& live) { model_.sync_ybus(live); }
+
  private:
   [[nodiscard]] MeasurementSet skeleton(double timestamp) const;
 

@@ -1,5 +1,6 @@
 #include "grid/meas_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -56,6 +57,20 @@ MeasurementModel::MeasurementModel(const Network& network, StateIndex index)
   GRIDSE_CHECK(index_.num_buses() == network.num_buses());
 }
 
+void MeasurementModel::sync_ybus(const sparse::CsrComplex& live) {
+  if (live.rows() != ybus_.rows() || live.nnz() != ybus_.nnz() ||
+      !std::equal(live.row_ptr().begin(), live.row_ptr().end(),
+                  ybus_.row_ptr().begin()) ||
+      !std::equal(live.col_idx().begin(), live.col_idx().end(),
+                  ybus_.col_idx().begin())) {
+    throw InvalidInput(
+        "sync_ybus: pattern mismatch — the live Ybus is not an in-place "
+        "patched copy of this model's admittance matrix");
+  }
+  std::copy(live.values().begin(), live.values().end(),
+            ybus_.mutable_values().begin());
+}
+
 std::vector<double> MeasurementModel::evaluate(const MeasurementSet& set,
                                                const GridState& state) const {
   GRIDSE_CHECK(state.num_buses() == network_->num_buses());
@@ -72,6 +87,13 @@ std::vector<double> MeasurementModel::evaluate(const MeasurementSet& set,
       case MeasType::kPFlow:
       case MeasType::kQFlow: {
         const Branch& br = network_->branch(static_cast<std::size_t>(m.branch));
+        // Open branch carries no flow. Such measurements are masked before
+        // estimation (grid::mask_measurements); this guard keeps the model
+        // physical for direct evaluation too.
+        if (!br.in_service) {
+          h[mi] = 0.0;
+          break;
+        }
         const BranchAdmittance a = branch_admittance(br);
         const BusIndex mb = m.at_from_side ? br.from : br.to;
         const BusIndex ob = m.at_from_side ? br.to : br.from;
@@ -135,6 +157,7 @@ sparse::Csr MeasurementModel::jacobian(const MeasurementSet& set,
       case MeasType::kPFlow:
       case MeasType::kQFlow: {
         const Branch& br = network_->branch(static_cast<std::size_t>(m.branch));
+        if (!br.in_service) break;  // zero flow, zero sensitivity
         const BranchAdmittance a = branch_admittance(br);
         const BusIndex mb = m.at_from_side ? br.from : br.to;
         const BusIndex ob = m.at_from_side ? br.to : br.from;

@@ -30,6 +30,13 @@ class MeasurementModel {
   [[nodiscard]] const sparse::CsrComplex& ybus() const { return ybus_; }
   [[nodiscard]] const Network& network() const { return *network_; }
 
+  /// Adopt the values of `live` — an incrementally patched Ybus of the SAME
+  /// network (build_ybus keeps the pattern switching-invariant, so only
+  /// values differ after topology events). Throws InvalidInput on a pattern
+  /// mismatch. Keeps cached injection h consistent with live switching
+  /// state without an O(nnz log nnz) rebuild.
+  void sync_ybus(const sparse::CsrComplex& live);
+
  private:
   const Network* network_;
   StateIndex index_;

@@ -67,6 +67,11 @@ void Network::set_branch_rating(std::size_t i, double rating) {
   branches_[i].rating = rating;
 }
 
+void Network::set_branch_in_service(std::size_t i, bool in_service) {
+  GRIDSE_CHECK(i < branches_.size());
+  branches_[i].in_service = in_service;
+}
+
 const Bus& Network::bus(BusIndex i) const {
   GRIDSE_CHECK(i >= 0 && i < num_buses());
   return buses_[static_cast<std::size_t>(i)];

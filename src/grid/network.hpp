@@ -40,10 +40,17 @@ struct Branch {
   double tap = 1.0;          ///< off-nominal turns ratio (1.0 = plain line)
   double phase_shift = 0.0;  ///< phase-shifter angle, radians
   double rating = 0.0;       ///< thermal flow limit, p.u. (0 = unlimited)
+  /// Live switching status. Out-of-service branches stay in the structural
+  /// model (indices, incidence lists and the Ybus pattern are stable across
+  /// switching) but carry no admittance and no flow.
+  bool in_service = true;
 };
 
 /// Per-unit positive-sequence network model: the entity state estimation
-/// runs against. Immutable topology after construction helpers finish.
+/// runs against. The structural topology (buses, branch endpoints,
+/// incidence) is immutable after construction helpers finish; only the
+/// per-branch `in_service` status may change afterwards, via
+/// `set_branch_in_service` (driven by grid::LiveTopology).
 class Network {
  public:
   /// Append a bus; returns its internal index. Throws InvalidInput on a
@@ -64,6 +71,16 @@ class Network {
 
   /// Set the thermal rating of branch i (p.u. flow; 0 = unlimited).
   void set_branch_rating(std::size_t i, double rating);
+
+  /// Flip the live switching status of branch i. The structural model is
+  /// untouched: `connected()`/`validate()` still reason over all branches,
+  /// so partitioning preconditions hold mid-replay; live reachability is
+  /// the topology layer's job (grid::find_islands).
+  void set_branch_in_service(std::size_t i, bool in_service);
+
+  [[nodiscard]] bool branch_in_service(std::size_t i) const {
+    return branch(i).in_service;
+  }
 
   /// Scale every bus's load and scheduled generation by `factor` — the
   /// knob a time-series simulation turns to move the operating point

@@ -24,7 +24,12 @@ sparse::CsrComplex build_ybus(const Network& network) {
   std::vector<sparse::Triplet<C>> triplets;
   triplets.reserve(network.num_branches() * 4 + static_cast<std::size_t>(n));
   for (const Branch& br : network.branches()) {
-    const BranchAdmittance a = branch_admittance(br);
+    // Out-of-service branches contribute explicit zeros: the sparsity
+    // pattern is identical for every switching state, so incremental
+    // updates (LiveTopology) can patch values in place and symbolic
+    // solver plans keyed on the pattern stay valid across switching.
+    const BranchAdmittance a =
+        br.in_service ? branch_admittance(br) : BranchAdmittance{};
     triplets.push_back({br.from, br.from, a.yff});
     triplets.push_back({br.from, br.to, a.yft});
     triplets.push_back({br.to, br.from, a.ytf});

@@ -88,6 +88,27 @@ struct TelemetryConfig {
   SloConfig slo;
 };
 
+/// Topology-change replay and event-driven repartitioning knobs (see
+/// docs/RESILIENCE.md "Topology events & repartitioning"). Plain data so
+/// the config plumbing stays fault/grid-free; DseSystem interprets it.
+struct TopologyConfig {
+  /// Replay plan: inline JSON when it starts with '{', else a file path.
+  /// Empty = take GRIDSE_TOPOLOGY_PLAN; both empty = replay off.
+  std::string plan;
+  /// Repartition when the live decomposition's expected-GN-iteration score
+  /// exceeds threshold × the score captured at the last (re)partition.
+  /// <= 0 disables event-driven repartitioning.
+  double repartition_threshold = 1.5;
+  /// Subsystem-count sweep bounds handed to graph::choose_parts when a
+  /// repartition triggers; both 0 = keep the current k.
+  int k_min = 0;
+  int k_max = 0;
+  /// Sigma of the pseudo angle anchors on unobserved live components.
+  double anchor_angle_sigma = 1e-4;
+  /// Sigma of the |V| = 0 / θ = 0 pins on de-energized buses.
+  double dead_pin_sigma = 1e-4;
+};
+
 /// How the distributed exchange behaves when peers misbehave. Threaded from
 /// SystemConfig into the transports and the DSE driver.
 struct ResilienceConfig {
@@ -128,6 +149,9 @@ int parse_env_int(const std::string& name, const std::string& raw,
                   int min_value);
 /// Boolean: accepts 0/1/on/off/true/false (case-sensitive, lowercase).
 bool parse_env_flag(const std::string& name, const std::string& raw);
+/// Finite double >= `min_value`.
+double parse_env_double(const std::string& name, const std::string& raw,
+                        double min_value);
 
 /// `base` with environment overrides applied:
 ///   GRIDSE_BARRIER_TIMEOUT_MS, GRIDSE_EXCHANGE_DEADLINE_MS   (ms)
@@ -147,5 +171,12 @@ ResilienceConfig with_env_overrides(ResilienceConfig base);
 ///   GRIDSE_PHASE_BUDGET_STEP2_MS, GRIDSE_PHASE_BUDGET_COMBINE_MS  (ms)
 /// Throws gridse::InvalidInput on unparsable values.
 TelemetryConfig with_env_overrides(TelemetryConfig base);
+
+/// `base` with environment overrides applied:
+///   GRIDSE_TOPOLOGY_PLAN                         (inline JSON or path)
+///   GRIDSE_TOPOLOGY_REPARTITION_THRESHOLD        (double >= 0; 0 = off)
+///   GRIDSE_TOPOLOGY_K_MIN, GRIDSE_TOPOLOGY_K_MAX (int >= 0; 0 = keep k)
+/// Throws gridse::InvalidInput on unparsable values.
+TopologyConfig with_env_overrides(TopologyConfig base);
 
 }  // namespace gridse::runtime

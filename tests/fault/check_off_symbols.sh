@@ -6,12 +6,19 @@
 # (libgridse_fault itself still defines the layer — plan parsing stays
 # testable in OFF builds — so only the hot-path archives are checked.)
 #
+# The topology-replay harness also lives in namespace gridse::fault but is
+# NOT the injection layer: replay runs in OFF builds too (only its
+# FAULT_DROP hook compiles out), so its symbols are exempt.
+#
 # Usage: check_off_symbols.sh <archive>...
 set -euo pipefail
 
+replay_exempt='TopologyReplay|ScheduledTopologyEvent|AppliedTopologyEvent|ReplayScenario|load_replay_plan'
+
 status=0
 for archive in "$@"; do
-  if symbols=$(nm -C "${archive}" 2>/dev/null | grep "gridse::fault::"); then
+  if symbols=$(nm -C "${archive}" 2>/dev/null | grep "gridse::fault::" \
+               | grep -vE "${replay_exempt}"); then
     echo "FAIL: ${archive} references the fault layer in a FAULT=OFF build:" >&2
     echo "${symbols}" | head -20 >&2
     status=1

@@ -17,11 +17,14 @@ with two metric classes:
   never gated: shared CI runners are too noisy for time-based gates.
 * "informational" — resilience counters (exchange.retries,
   exchange.degraded_subsystems, exchange.corrupt_frames) and recovery
-  counters (recovery.remaps, recovery.rejoins, recovery.checkpoint_bytes).
+  counters (recovery.remaps, recovery.rejoins, recovery.checkpoint_bytes),
+  and topology counters/gauges (topology.events_applied,
+  topology.repartitions, topology.masked_measurements,
+  topology.anchors_added, topology.islands, topology.partition_score).
   Published so a run that limped through on retries, degraded subsystems,
-  or a remap epoch is visible in the merged document, but never gated and
-  never required in the baseline: a healthy bench run legitimately
-  reports zeros.
+  a remap epoch, or a topology-event repartition is visible in the merged
+  document, but never gated and never required in the baseline: a healthy
+  bench run legitimately reports zeros.
 
 An optional --timeseries FILE (the gridse-timeseries/1 JSONL written by
 the telemetry sampler, docs/OBSERVABILITY.md) adds per-cycle health to
@@ -41,7 +44,8 @@ A second, independent mode validates chaos health reports instead of
 gating benchmarks: `--validate-chaos-report FILE...` checks each JSON
 produced by the chaos suites (tests/fault/) against the expected shape —
 including the optional "recovery" object written by the recovery chaos
-test — and exits 2 on the first malformed document.
+test and the optional "topology"/"replay" pair written by the topology
+chaos test — and exits 2 on the first malformed document.
 
 A missing or unreadable BENCH_baseline.json is an error (exit 3), not a
 silent pass: a gate that cannot find its reference must say so. Pass
@@ -194,9 +198,19 @@ def merge(bench_docs, report):
     # run-environment noise, not algorithm change, hence never gated.
     for counter in ("exchange.retries", "exchange.degraded_subsystems",
                     "exchange.corrupt_frames", "recovery.remaps",
-                    "recovery.rejoins", "recovery.checkpoint_bytes"):
+                    "recovery.rejoins", "recovery.checkpoint_bytes",
+                    "topology.events_applied", "topology.repartitions",
+                    "topology.masked_measurements", "topology.anchors_added"):
         doc["informational"][f"obs.{counter}"] = (
             metrics.get("counters", {}).get(counter, 0))
+
+    # Topology gauges: the island count of the last cycle is a health
+    # indicator (1 means the system returned to a single energized
+    # component), never a regression signal.
+    for gauge in ("topology.islands", "topology.partition_score"):
+        value = metrics.get("gauges", {}).get(gauge)
+        if value is not None:
+            doc["informational"][f"obs.{gauge}"] = value
 
     for span_name, span in metrics.get("spans", {}).items():
         doc["advisory"][f"obs.span.{span_name}.total_seconds"] = span[
@@ -326,6 +340,11 @@ CHAOS_RECOVERY_REQUIRED = {
     "rejoins": (int, float),
     "checkpoint_bytes": (int, float),
 }
+CHAOS_TOPOLOGY_REQUIRED = {
+    "events_applied": (int, float),
+    "repartitions": (int, float),
+    "islands": (int, float),
+}
 
 
 def _type_ok(value, types):
@@ -376,6 +395,22 @@ def chaos_report_errors(doc):
                 elif not _type_ok(recovery[field], types):
                     errors.append(f"recovery.{field} has type "
                                   f"{type(recovery[field]).__name__}")
+    topology = doc.get("topology")
+    if topology is not None:
+        if not isinstance(topology, dict):
+            errors.append("'topology' is not an object")
+        else:
+            for field, types in CHAOS_TOPOLOGY_REQUIRED.items():
+                if field not in topology:
+                    errors.append(f"topology missing '{field}'")
+                elif not _type_ok(topology[field], types):
+                    errors.append(f"topology.{field} has type "
+                                  f"{type(topology[field]).__name__}")
+        # A report carrying topology events should also carry the replay
+        # log (the bit-identical determinism witness published as a CI
+        # artifact).
+        if "replay" in doc and not isinstance(doc["replay"], list):
+            errors.append("'replay' is not an array")
     return errors
 
 
@@ -402,6 +437,11 @@ def validate_chaos_reports(paths):
                   f" rejoins={recovery.get('rejoins')},"
                   f" checkpoint_bytes={recovery.get('checkpoint_bytes')})"
                   if recovery else "")
+        topology = doc.get("topology", {})
+        if topology:
+            suffix += (f" topology(events={topology.get('events_applied')},"
+                       f" repartitions={topology.get('repartitions')},"
+                       f" islands={topology.get('islands')})")
         print(f"bench_gate: [ok] {path}: test={doc['test']} "
               f"injected={doc['injected']:g} degraded={len(doc['degraded'])}"
               f"{suffix}")

@@ -58,6 +58,7 @@ Exit status: 0 clean (or all findings suppressed), 1 findings, 2 usage/IO.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import fnmatch
 import json
 import os
@@ -94,6 +95,7 @@ REQUIRED_FAULT_SITES = {
     "wire.write": "src/medici/wire.cpp",
     "relay.forward": "src/medici/router.cpp",
     "client.send": "src/medici/mw_client.cpp",
+    "topology.apply": "src/fault/topology_replay.cpp",
 }
 
 NAKED_MUTEX_RE = re.compile(
@@ -431,6 +433,18 @@ def run_tree(root: Path, build_dir: Path | None, supp_path: Path,
     return 1 if active else 0
 
 
+@contextlib.contextmanager
+def _patched_manifest(sites: dict[str, str]):
+    """Temporarily swap REQUIRED_FAULT_SITES (self-test only)."""
+    global REQUIRED_FAULT_SITES
+    saved = REQUIRED_FAULT_SITES
+    REQUIRED_FAULT_SITES = sites
+    try:
+        yield
+    finally:
+        REQUIRED_FAULT_SITES = saved
+
+
 def run_self_test(root: Path) -> int:
     corpus = root / "tests" / "analysis" / "check_corpus"
     if not corpus.is_dir():
@@ -479,6 +493,22 @@ def run_self_test(root: Path) -> int:
     for rule, count in seen_expected.items():
         if count == 0:
             failures.append(f"corpus has no EXPECT coverage for [{rule}]")
+
+    # The fault-site manifest is tree-level, not line-level, so the corpus
+    # markers can't cover it; self-test it directly: the real tree must
+    # satisfy every recorded site, and the rule must fire for a site whose
+    # hosting file has vanished.
+    for f in check_fault_manifest(root):
+        failures.append(f"manifest: real tree violates required fault "
+                        f"sites: {f.path}: {f.message}")
+    ghost = dict(REQUIRED_FAULT_SITES)
+    ghost["corpus.ghost"] = "src/runtime/does_not_exist.cpp"
+    with _patched_manifest(ghost):
+        fired = [f for f in check_fault_manifest(root)
+                 if "corpus.ghost" in f.message]
+    if not fired:
+        failures.append("manifest: rule did not fire for a missing "
+                        "fault-site file")
     for msg in failures:
         print(f"gridse_check self-test: FAIL: {msg}", file=sys.stderr)
     if failures:
